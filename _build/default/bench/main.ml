@@ -1,0 +1,682 @@
+(* Benchmark harness: one subcommand per table / figure of the paper,
+   plus ablations and a Bechamel microbenchmark suite. `main.exe all`
+   (the default) regenerates everything at a laptop-friendly scale;
+   EXPERIMENTS.md records paper-vs-measured. *)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let std xs =
+  let m = mean xs in
+  Float.sqrt (mean (List.map (fun x -> (x -. m) ** 2.) xs))
+
+(* ------------------------------------------------------------------ *)
+(* T1 (Table 1 / Fig 10): VAE gradient-estimate wall time, automated
+   vs hand-coded, across batch sizes. *)
+
+let t1 ~quick () =
+  hr "Table 1 / Fig 10: VAE gradient estimate timing (ms), ours vs hand-coded";
+  let store = Store.create () in
+  Vae.register store (Prng.key 1);
+  let batches = if quick then [ 64; 128; 256 ] else [ 64; 128; 256; 512; 1024 ] in
+  let repeats = if quick then 5 else 15 in
+  Printf.printf "%-12s %-18s %-18s %s\n" "Batch size" "Ours" "Hand coded"
+    "Overhead";
+  List.iter
+    (fun batch ->
+      let images, _ = Data.digit_batch (Prng.key 2) batch in
+      let ours =
+        List.init repeats (fun i ->
+            let frame = Store.Frame.make store in
+            let t0 = Unix.gettimeofday () in
+            let s =
+              Adev.expectation
+                (Vae.elbo_per_datum frame images)
+                (Prng.fold_in (Prng.key 3) i)
+            in
+            Ad.backward s;
+            ignore (Store.Frame.grads frame);
+            (Unix.gettimeofday () -. t0) *. 1000.)
+      in
+      let hand =
+        List.init repeats (fun i ->
+            let frame = Store.Frame.make store in
+            let t0 = Unix.gettimeofday () in
+            let s =
+              Vae_hand.elbo_surrogate frame images (Prng.fold_in (Prng.key 3) i)
+            in
+            Ad.backward s;
+            ignore (Store.Frame.grads frame);
+            (Unix.gettimeofday () -. t0) *. 1000.)
+      in
+      Printf.printf "%-12d %6.2f +- %-8.2f %6.2f +- %-8.2f %5.1f%%\n%!" batch
+        (mean ours) (std ours) (mean hand) (std hand)
+        (100. *. ((mean ours /. mean hand) -. 1.)))
+    batches
+
+(* ------------------------------------------------------------------ *)
+(* T2 (Table 2): AIR seconds per epoch across estimators, our modular
+   engine vs the monolithic baseline engine. *)
+
+let baseline_air_epoch ~estimator ~images ~batch ~store ~optim key =
+  let n = (Tensor.shape images).(0) in
+  let nbatches = n / batch in
+  let t0 = Unix.gettimeofday () in
+  let (_ : Train.report list) =
+    Train.fit_surrogate ~store ~optim ~steps:nbatches
+      ~surrogate:(fun frame step key_step ->
+        let surrogates =
+          List.init batch (fun i ->
+              let image = Tensor.slice0 images ((step * batch) + i) in
+              let baselines = Air.make_baselines () in
+              let model = Air.model frame image in
+              let guide = Air.guide ~baselines frame image in
+              Svi.elbo_surrogate ~model ~guide estimator
+                (Prng.fold_in key_step i))
+        in
+        Ad.scale (1. /. float_of_int batch) (Ad.add_list surrogates))
+      key
+  in
+  Unix.gettimeofday () -. t0
+
+let baseline_air_iwelbo_epoch ~particles ~images ~batch ~store ~optim key =
+  let n = (Tensor.shape images).(0) in
+  let nbatches = n / batch in
+  let t0 = Unix.gettimeofday () in
+  let (_ : Train.report list) =
+    Train.fit_surrogate ~store ~optim ~steps:nbatches
+      ~surrogate:(fun frame step key_step ->
+        let surrogates =
+          List.init batch (fun i ->
+              let image = Tensor.slice0 images ((step * batch) + i) in
+              let baselines = Air.make_baselines () in
+              let model = Air.model frame image in
+              let guide = Air.guide ~baselines frame image in
+              Svi.iwelbo_surrogate ~particles ~model ~guide Svi.Reinforce
+                (Prng.fold_in key_step i))
+        in
+        Ad.scale (1. /. float_of_int batch) (Ad.add_list surrogates))
+      key
+  in
+  Unix.gettimeofday () -. t0
+
+let t2 ~quick () =
+  hr "Table 2: AIR seconds/epoch per estimator (ours vs monolithic baseline)";
+  let n_images = if quick then 64 else 256 in
+  let batch = 16 in
+  let images, _ = Data.air_batch (Prng.key 10) n_images in
+  Printf.printf "(%d images, batch %d, IWELBO n=2)\n" n_images batch;
+  let run_ours label strategy objective =
+    let store = Store.create () in
+    Air.register store (Prng.key 11);
+    let optim = Optim.adam ~lr:1e-3 () in
+    let baselines = Air.make_baselines () in
+    let _, dt =
+      Air.train_epoch ~pres:strategy ~pos:strategy ~store ~optim ~baselines
+        ~objective ~images ~batch (Prng.key 12)
+    in
+    Printf.printf "%-22s ours: %7.3f s\n%!" label dt
+  in
+  let run_baseline label maker =
+    let store = Store.create () in
+    Air.register store (Prng.key 11);
+    let optim = Optim.adam ~lr:1e-3 () in
+    try
+      let dt = maker ~images ~batch ~store ~optim (Prng.key 12) in
+      Printf.printf "%-22s baseline: %7.3f s\n%!" label dt
+    with Svi.Unsupported msg ->
+      Printf.printf "%-22s baseline: X (%s)\n%!" label msg
+  in
+  run_ours "REINFORCE" Air.RE Air.Elbo;
+  run_ours "REINFORCE+BL" Air.RE_BL Air.Elbo;
+  run_ours "ENUM" Air.EN Air.Elbo;
+  run_ours "MVD" Air.MV Air.Elbo;
+  run_ours "IWELBO+REINFORCE" Air.RE (Air.Iwelbo 2);
+  run_ours "IWELBO+MVD" Air.MV (Air.Iwelbo 2);
+  run_baseline "REINFORCE" (baseline_air_epoch ~estimator:Svi.Reinforce);
+  run_baseline "REINFORCE+BL"
+    (baseline_air_epoch ~estimator:Svi.Reinforce_baselines);
+  run_baseline "ENUM" (baseline_air_epoch ~estimator:Svi.Enum_discrete);
+  Printf.printf "%-22s baseline: X (no measure-valued estimator in the menu)\n"
+    "MVD";
+  run_baseline "IWELBO+REINFORCE" (baseline_air_iwelbo_epoch ~particles:2);
+  Printf.printf "%-22s baseline: X (no measure-valued estimator in the menu)\n"
+    "IWELBO+MVD"
+
+(* ------------------------------------------------------------------ *)
+(* T3 (Table 3): the expressivity grid. *)
+
+let baseline_probe ~model ~guide ~objective ~pres ~pos key =
+  let estimator =
+    match (pres, pos) with
+    | Air.RE, Air.RE -> Svi.Reinforce
+    | Air.RE_BL, Air.RE_BL -> Svi.Reinforce_baselines
+    | Air.EN, Air.EN -> Svi.Enum_discrete
+    | Air.MV, _ | _, Air.MV ->
+      raise (Svi.Unsupported "no measure-valued estimator in the menu")
+    | _ -> raise (Svi.Unsupported "per-site strategy mixing")
+  in
+  let s =
+    match objective with
+    | Grid.Elbo -> Svi.elbo_surrogate ~model ~guide estimator key
+    | Grid.Iwae -> Svi.iwelbo_surrogate ~particles:2 ~model ~guide estimator key
+    | Grid.Rws -> raise (Svi.Unsupported "reweighted wake-sleep")
+  in
+  Ad.backward s
+
+let t3 ~quick () =
+  hr "Table 3: estimator-combination x objective expressivity grid";
+  Printf.printf "%-28s %-8s %-10s %s\n" "Strategies (pres+pos)" "Obj."
+    "Baseline" "Ours";
+  let key = Prng.key 20 in
+  List.iter
+    (fun (combo, obj) ->
+      let heavy =
+        obj = Grid.Iwae
+        && (combo.Grid.pres = Air.EN || combo.Grid.pos = Air.EN)
+      in
+      let ours =
+        if quick && heavy then "OK*"
+        else
+          match Grid.try_ours combo obj key with
+          | Grid.Supported -> "OK"
+          | Grid.Failed msg -> "X (" ^ msg ^ ")"
+      in
+      let baseline =
+        match Grid.try_probe ~probe:baseline_probe combo obj key with
+        | Grid.Supported -> "OK"
+        | Grid.Failed _ -> "X"
+      in
+      Printf.printf "%-28s %-8s %-10s %s\n%!" (Grid.combo_name combo)
+        (Grid.objective_name obj) baseline ours)
+    Grid.rows;
+  if quick then
+    Printf.printf
+      "(* = IWAE with full enumeration verified in the non-quick run)\n"
+
+(* ------------------------------------------------------------------ *)
+(* T4 (Table 4): final mean objective values on the cone problem. *)
+
+let t4 ~quick () =
+  hr "Table 4: final mean objective value (nats) on the cone problem";
+  let steps = if quick then 800 else 2000 in
+  let kinds =
+    [ Cone.Elbo; Cone.Iwelbo 5; Cone.Hvi; Cone.Iwhvi 5;
+      Cone.Iwhvi_learned 5; Cone.Diwhvi (5, 5) ]
+  in
+  Printf.printf "%-18s %-10s %s\n" "Objective" "Value" "(higher = tighter)";
+  List.iter
+    (fun kind ->
+      let store, _ = Cone.train ~steps kind (Prng.key 30) in
+      let v = Cone.final_value ~samples:3000 store kind (Prng.key 31) in
+      Printf.printf "%-18s %8.2f\n%!" (Cone.objective_name kind) v)
+    kinds
+
+(* ------------------------------------------------------------------ *)
+(* F2 (Fig 2): ELBO training of the mean-field guide. *)
+
+let scatter_stats pts =
+  let r2s = List.map (fun (x, y) -> (x *. x) +. (y *. y)) pts in
+  (mean r2s, std r2s)
+
+let f2 ~quick () =
+  hr "Fig 2: mean-field guide trained with the ELBO on the cone posterior";
+  let steps = if quick then 800 else 2000 in
+  let store, reports = Cone.train ~steps Cone.Elbo (Prng.key 40) in
+  List.iter
+    (fun s ->
+      if s < steps then
+        Printf.printf "step %5d  elbo %8.3f\n" s
+          (List.nth reports s).Train.objective)
+    [ 0; 10; 50; 100; 200; 400; steps - 1 ];
+  let pts = Cone.guide_samples store Cone.Elbo 400 (Prng.key 41) in
+  let m, s = scatter_stats pts in
+  Printf.printf
+    "guide samples: mean(x^2+y^2) = %.2f +- %.2f (posterior circle: 5.0)\n" m s;
+  Printf.printf
+    "mode-seeking: the mean-field guide hugs one arc of the circle\n"
+
+(* F3 (Fig 3): programmable improvements — IWELBO + SIR, marginal. *)
+
+let f3 ~quick () =
+  hr "Fig 3: importance-weighted VI and hierarchical guides on the cone";
+  let steps = if quick then 800 else 2000 in
+  (* Left panel: train with IWELBO, then sample the SIR guide. *)
+  let store, _ = Cone.train ~steps (Cone.Iwelbo 5) (Prng.key 50) in
+  let frame = Store.Frame.make store in
+  let sir = Cone.guide_sir ~particles:30 frame in
+  let pts =
+    List.init 400 (fun i ->
+        let _, trace, _ = Gen.sample_prior sir (Prng.fold_in (Prng.key 51) i) in
+        (Trace.get_float "x" trace, Trace.get_float "y" trace))
+  in
+  let m, s = scatter_stats pts in
+  Printf.printf "q_SIR (N=30) samples: mean r^2 = %.2f +- %.2f (target 5.0)\n" m s;
+  (* Right panel: hierarchical guide via marginal. *)
+  let store_h, _ = Cone.train ~steps (Cone.Iwhvi 5) (Prng.key 52) in
+  let pts_h = Cone.guide_samples store_h (Cone.Iwhvi 5) 400 (Prng.key 53) in
+  let mh, sh = scatter_stats pts_h in
+  Printf.printf "q_MARG samples:       mean r^2 = %.2f +- %.2f (target 5.0)\n" mh
+    sh;
+  (* Angular coverage: the hierarchical guide should cover more of the
+     circle than the mode-seeking mean-field guide. *)
+  let store_e, _ = Cone.train ~steps Cone.Elbo (Prng.key 54) in
+  let pts_e = Cone.guide_samples store_e Cone.Elbo 400 (Prng.key 55) in
+  let angular_spread pts =
+    let angles = List.map (fun (x, y) -> Float.atan2 y x) pts in
+    std angles
+  in
+  Printf.printf "angular spread: mean-field %.2f, hierarchical %.2f rad\n"
+    (angular_spread pts_e) (angular_spread pts_h)
+
+(* ------------------------------------------------------------------ *)
+(* F8 (Fig 8): AIR training curves (objective + count accuracy). *)
+
+let f8 ~quick () =
+  hr "Fig 8: AIR objective and count accuracy per epoch, per estimator";
+  let n_images = if quick then 96 else 256 in
+  let epochs = if quick then 4 else 10 in
+  let batch = 16 in
+  let images, _ = Data.air_batch (Prng.key 60) n_images in
+  let eval_images, eval_counts = Data.air_batch (Prng.key 61) 64 in
+  let configs =
+    [ ("ELBO+REINFORCE", Air.RE, Air.Elbo);
+      ("ELBO+REINFORCE+BL", Air.RE_BL, Air.Elbo);
+      ("ELBO+ENUM", Air.EN, Air.Elbo);
+      ("ELBO+MVD", Air.MV, Air.Elbo);
+      ("IWAE(2)+REINFORCE", Air.RE, Air.Iwelbo 2);
+      ("IWAE(2)+MVD", Air.MV, Air.Iwelbo 2);
+      ("RWS(2)", Air.RE, Air.Rws 2) ]
+  in
+  Printf.printf "series: config, epoch, mean objective, count accuracy\n";
+  List.iter
+    (fun (label, strategy, objective) ->
+      let store = Store.create () in
+      Air.register store (Prng.key 62);
+      let optim = Optim.adam ~lr:1e-3 () in
+      let baselines = Air.make_baselines () in
+      for epoch = 1 to epochs do
+        let obj, _ =
+          Air.train_epoch ~pres:strategy ~pos:strategy ~store ~optim
+            ~baselines ~objective ~images ~batch
+            (Prng.fold_in (Prng.key 63) epoch)
+        in
+        let acc =
+          Air.count_accuracy store eval_images eval_counts
+            (Prng.fold_in (Prng.key 64) epoch)
+        in
+        Printf.printf "%s, %d, %.3f, %.3f\n%!" label epoch obj acc
+      done)
+    configs
+
+(* ------------------------------------------------------------------ *)
+(* D1: coin fairness. *)
+
+let d1 ~quick () =
+  hr "Appendix D.1: coin fairness (Beta-Bernoulli)";
+  let steps = if quick then 600 else 1500 in
+  let store, reports, dt = Coin.train ~steps (Prng.key 70) in
+  let last100 =
+    List.filteri (fun i _ -> i >= steps - 100) reports
+    |> List.map (fun r -> r.Train.objective)
+  in
+  Printf.printf "wall time / step: %.3f ms\n" (1000. *. dt /. float_of_int steps);
+  Printf.printf "avg ELBO (last 100 steps): %.2f\n" (mean last100);
+  Printf.printf "inferred posterior mean: %.3f (exact conjugate: %.3f)\n"
+    (Coin.posterior_mean store) Coin.exact_posterior_mean
+
+(* D2: Bayesian linear regression. *)
+
+let d2 ~quick () =
+  hr "Appendix D.2: Bayesian linear regression (terrain ruggedness)";
+  let steps = if quick then 600 else 1500 in
+  let store, reports, dt = Regression.train ~steps (Prng.key 71) in
+  let n_data = float_of_int (Array.length Regression.data) in
+  let last100 =
+    List.filteri (fun i _ -> i >= steps - 100) reports
+    |> List.map (fun r -> r.Train.objective /. n_data)
+  in
+  Printf.printf "wall time / step: %.3f ms\n" (1000. *. dt /. float_of_int steps);
+  Printf.printf "avg ELBO per datum (last 100 steps): %.3f\n" (mean last100);
+  let a, ba, br, bar = Regression.coefficient_means store in
+  let ta, tba, tbr, tbar = Data.regression_truth in
+  Printf.printf "coefficients (learned vs true):\n";
+  Printf.printf "  a   = %6.2f vs %6.2f\n  bA  = %6.2f vs %6.2f\n" a ta ba tba;
+  Printf.printf "  bR  = %6.2f vs %6.2f\n  bAR = %6.2f vs %6.2f\n" br tbr bar
+    tbar;
+  Printf.printf "posterior predictive (mean [90%% CI]):\n";
+  List.iter
+    (fun r ->
+      let m1, lo1, hi1 =
+        Regression.predict store ~ruggedness:r ~in_africa:true (Prng.key 72)
+      in
+      let m0, lo0, hi0 =
+        Regression.predict store ~ruggedness:r ~in_africa:false (Prng.key 73)
+      in
+      Printf.printf
+        "  ruggedness %4.1f: africa %5.2f [%5.2f, %5.2f]   other %5.2f [%5.2f, \
+         %5.2f]\n"
+        r m1 lo1 hi1 m0 lo0 hi0)
+    [ 0.; 2.; 4.; 6. ]
+
+(* D3: semi-supervised VAE. *)
+
+let d3 ~quick () =
+  hr "Appendix D.3: semi-supervised VAE";
+  let n = if quick then 64 else 256 in
+  let epochs = if quick then 3 else 8 in
+  let images, labels = Data.digit_batch (Prng.key 80) n in
+  let store = Store.create () in
+  Ssvae.register store (Prng.key 81);
+  let optim = Optim.adam ~lr:2e-3 () in
+  Printf.printf "epoch, unsup ELBO/datum, seconds, classifier accuracy\n";
+  for epoch = 1 to epochs do
+    let elbo, dt =
+      Ssvae.train_epoch ~store ~optim ~images ~labels ~batch:8
+        ~supervised_every:4
+        (Prng.fold_in (Prng.key 82) epoch)
+    in
+    let acc = Ssvae.classifier_accuracy store images labels in
+    Printf.printf "%d, %.2f, %.3f, %.3f\n%!" epoch elbo dt acc
+  done;
+  Printf.printf "conditional generation (label 3):\n%s"
+    (Data.ascii (Ssvae.generate store ~label:3 (Prng.key 83)))
+
+(* D4: conditional VAE. *)
+
+let d4 ~quick () =
+  hr "Appendix D.4: conditional VAE (quadrant completion)";
+  let n = if quick then 64 else 256 in
+  let epochs = if quick then 3 else 8 in
+  let images, _ = Data.digit_batch (Prng.key 90) n in
+  let store = Store.create () in
+  Cvae.register store (Prng.key 91);
+  let optim = Optim.adam ~lr:2e-3 () in
+  Printf.printf "epoch, ELBO/datum, seconds\n";
+  for epoch = 1 to epochs do
+    let elbo, dt =
+      Cvae.train_epoch ~store ~optim ~images ~batch:8
+        (Prng.fold_in (Prng.key 92) epoch)
+    in
+    Printf.printf "%d, %.2f, %.3f\n%!" epoch elbo dt
+  done;
+  let img = Tensor.slice0 images 0 in
+  Printf.printf "input digit:\n%s" (Data.ascii img);
+  Printf.printf "fill-in from bottom-left quadrant:\n%s"
+    (Data.ascii (Cvae.fill_in store img (Prng.key 93)))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations. *)
+
+let grad_variance ~n build =
+  let samples =
+    List.init n (fun i ->
+        let theta, obj = build () in
+        let _, grads =
+          Adev.grad
+            ~params:[ ("theta", theta) ]
+            obj
+            (Prng.fold_in (Prng.key 99) i)
+        in
+        Tensor.to_scalar (List.assoc "theta" grads))
+  in
+  (mean samples, std samples ** 2.)
+
+let ablations ~quick () =
+  hr "Ablation: gradient variance of REINFORCE vs MVD vs REPARAM (normal scale)";
+  let n = if quick then 2000 else 10000 in
+  Printf.printf
+    "objective: d/dsigma E_{x~N(0,sigma)}[x^2] at sigma = 0.9 (true 1.8)\n";
+  let make dist =
+    let open Adev.Syntax in
+    let theta = Ad.scalar 0.9 in
+    ( theta,
+      let* x = Adev.sample (dist (Ad.scalar 0.) theta) in
+      Adev.return (Ad.mul x x) )
+  in
+  List.iter
+    (fun (label, dist) ->
+      let m, v = grad_variance ~n (fun () -> make dist) in
+      Printf.printf "%-10s mean %6.3f  variance %8.3f\n%!" label m v)
+    [ ("REINFORCE", Dist.normal_reinforce); ("MVD", Dist.normal_mvd);
+      ("REPARAM", Dist.normal_reparam) ];
+  hr "Ablation: per-site DiCE (ours) vs single-coefficient monolithic surrogate";
+  let toy_model =
+    let open Gen.Syntax in
+    let* b = Gen.sample (Dist.flip_reinforce (Ad.scalar 0.5)) "b" in
+    Gen.observe (Dist.flip_reinforce (Ad.scalar (if b then 0.9 else 0.2))) true
+  in
+  let modular =
+    List.init n (fun i ->
+        let theta = Ad.scalar 0.4 in
+        let guide = Gen.sample (Dist.flip_reinforce theta) "b" in
+        let _, grads =
+          Adev.grad
+            ~params:[ ("theta", theta) ]
+            (Objectives.elbo ~model:toy_model ~guide)
+            (Prng.fold_in (Prng.key 98) i)
+        in
+        Tensor.to_scalar (List.assoc "theta" grads))
+  in
+  let monolithic =
+    List.init n (fun i ->
+        let theta = Ad.scalar 0.4 in
+        let guide = Gen.sample (Dist.flip_reinforce theta) "b" in
+        let s =
+          Svi.elbo_surrogate ~model:toy_model ~guide Svi.Reinforce
+            (Prng.fold_in (Prng.key 98) i)
+        in
+        Ad.backward s;
+        Tensor.to_scalar (Ad.grad theta))
+  in
+  Printf.printf "modular DiCE:        mean %.3f variance %.3f\n" (mean modular)
+    (std modular ** 2.);
+  Printf.printf "monolithic:          mean %.3f variance %.3f\n"
+    (mean monolithic)
+    (std monolithic ** 2.);
+  Printf.printf "(same estimator, two constructions: means agree)\n";
+  hr "Ablation: estimator cost and variance vs categorical support size";
+  Printf.printf
+    "objective: E_{i ~ softmax(logits)}[f i], one gradient sample per run\n";
+  let scaling_n = if quick then 500 else 2000 in
+  List.iter
+    (fun support ->
+      let table = Array.init support (fun i -> Float.sin (float_of_int i)) in
+      let make dist_of =
+        let logits =
+          Ad.const
+            (Tensor.init [| support |] (fun ix -> 0.01 *. float_of_int ix.(0)))
+        in
+        let open Adev.Syntax in
+        ( logits,
+          let* i = Adev.sample (dist_of logits) in
+          Adev.return (Ad.scalar table.(i)) )
+      in
+      List.iter
+        (fun (label, dist_of) ->
+          let t0 = Unix.gettimeofday () in
+          let grads =
+            List.init scaling_n (fun i ->
+                let logits, obj = make dist_of in
+                let _, gs =
+                  Adev.grad
+                    ~params:[ ("l", logits) ]
+                    obj
+                    (Prng.fold_in (Prng.key 93) i)
+                in
+                Tensor.get_flat (List.assoc "l" gs) 0)
+          in
+          let dt = (Unix.gettimeofday () -. t0) /. float_of_int scaling_n in
+          Printf.printf
+            "support %4d  %-10s %8.1f us/grad   grad[0] var %10.6f\n%!"
+            support label (dt *. 1e6) (std grads ** 2.))
+        [ ("REINFORCE", Dist.categorical_logits_reinforce);
+          ("ENUM", Dist.categorical_logits_enum);
+          ("MVD", Dist.categorical_logits_mvd) ])
+    [ 2; 8; 32; 128 ];
+  hr "Extension: Markov chain VI (MH chain marginalized with `marginal`)";
+  let mcvi_steps = if quick then 400 else 1000 in
+  let store_mcvi, _ = Mcvi.train ~train_steps:mcvi_steps ~aux_particles:3 (Prng.key 95) in
+  let pts = Mcvi.guide_samples store_mcvi 300 (Prng.key 94) in
+  let r2 = mean (List.map (fun (x, y) -> (x *. x) +. (y *. y)) pts) in
+  let angles = List.map (fun (x, y) -> Float.atan2 y x) pts in
+  Printf.printf
+    "MCVI (3-step MH chain, m=3): mean r^2 = %.2f (target 5), angular spread %.2f rad\n"
+    r2 (std angles);
+  hr "Ablation: marginal particle count vs bound tightness (IWHVI on the cone)";
+  let steps = if quick then 600 else 1500 in
+  List.iter
+    (fun m ->
+      let store, _ = Cone.train ~steps (Cone.Iwhvi m) (Prng.key 97) in
+      let v =
+        Cone.final_value ~samples:2000 store (Cone.Iwhvi m) (Prng.key 96)
+      in
+      Printf.printf "IWHVI m=%-3d final objective %8.3f\n%!" m v)
+    [ 1; 5; 25 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test.make per table. *)
+
+let bechamel () =
+  hr "Bechamel microbenchmarks (monotonic clock, one test per table)";
+  let open Bechamel in
+  let vae_store = Store.create () in
+  Vae.register vae_store (Prng.key 1);
+  let vae_images, _ = Data.digit_batch (Prng.key 2) 64 in
+  let t1_ours =
+    Test.make ~name:"t1: VAE grad (ours, batch 64)"
+      (Staged.stage (fun () ->
+           let frame = Store.Frame.make vae_store in
+           let s =
+             Adev.expectation (Vae.elbo_per_datum frame vae_images) (Prng.key 3)
+           in
+           Ad.backward s))
+  in
+  let t1_hand =
+    Test.make ~name:"t1: VAE grad (hand-coded, batch 64)"
+      (Staged.stage (fun () ->
+           let frame = Store.Frame.make vae_store in
+           let s = Vae_hand.elbo_surrogate frame vae_images (Prng.key 3) in
+           Ad.backward s))
+  in
+  let air_store = Store.create () in
+  Air.register air_store (Prng.key 4);
+  let air_images, _ = Data.air_batch (Prng.key 5) 4 in
+  let air_test name strategy =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let frame = Store.Frame.make air_store in
+           let baselines = Air.make_baselines () in
+           let objs =
+             Air.batch_objectives ~pres:strategy ~pos:strategy ~baselines
+               Air.Elbo frame air_images
+           in
+           let s =
+             Ad.add_list
+               (List.mapi
+                  (fun i o -> Adev.expectation o (Prng.fold_in (Prng.key 6) i))
+                  objs)
+           in
+           Ad.backward s))
+  in
+  let t3_grid =
+    Test.make ~name:"t3: one mixed-strategy grid cell (MVD+ENUM)"
+      (Staged.stage (fun () ->
+           ignore
+             (Grid.try_ours
+                { Grid.pres = Air.MV; pos = Air.EN }
+                Grid.Elbo (Prng.key 9))))
+  in
+  let t4_cone =
+    Test.make ~name:"t4: cone DIWHVI(5,5) objective estimate"
+      (Staged.stage (fun () ->
+           let store = Store.create () in
+           Cone.register store (Prng.key 7);
+           let frame = Store.Frame.make store in
+           let s =
+             Adev.expectation
+               (Cone.objective (Cone.Diwhvi (5, 5)) frame)
+               (Prng.key 8)
+           in
+           Ad.backward s))
+  in
+  let tests =
+    [ t1_ours; t1_hand;
+      air_test "t2: AIR ELBO step (REINFORCE, 4 imgs)" Air.RE;
+      air_test "t2: AIR ELBO step (ENUM, 4 imgs)" Air.EN;
+      air_test "t2: AIR ELBO step (MVD, 4 imgs)" Air.MV; t3_grid; t4_cone ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"ppvi" [ test ]) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-50s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-50s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all ~quick () =
+  t1 ~quick ();
+  t2 ~quick ();
+  t3 ~quick ();
+  t4 ~quick ();
+  f2 ~quick ();
+  f3 ~quick ();
+  f8 ~quick ();
+  d1 ~quick ();
+  d2 ~quick ();
+  d3 ~quick ();
+  d4 ~quick ();
+  ablations ~quick ()
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes for smoke runs.")
+
+let subcommand name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun quick -> f ~quick ()) $ quick_flag)
+
+let () =
+  let cmds =
+    [ subcommand "t1" "Table 1 / Fig 10: VAE overhead" t1;
+      subcommand "t2" "Table 2: AIR epoch timing" t2;
+      subcommand "t3" "Table 3: expressivity grid" t3;
+      subcommand "t4" "Table 4: cone objective values" t4;
+      subcommand "f2" "Fig 2: ELBO on the cone" f2;
+      subcommand "f3" "Fig 3: programmable guides on the cone" f3;
+      subcommand "f8" "Fig 8: AIR training curves" f8;
+      subcommand "d1" "Appendix D.1: coin" d1;
+      subcommand "d2" "Appendix D.2: regression" d2;
+      subcommand "d3" "Appendix D.3: SSVAE" d3;
+      subcommand "d4" "Appendix D.4: CVAE" d4;
+      subcommand "ablations" "Design-choice ablations" ablations;
+      Cmd.v
+        (Cmd.info "bechamel" ~doc:"Bechamel microbenchmarks")
+        Term.(const bechamel $ const ());
+      subcommand "all" "Everything" all ]
+  in
+  let default = Term.(const (fun quick -> all ~quick ()) $ quick_flag) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "ppvi-bench"
+             ~doc:
+               "Regenerate every table and figure of 'Probabilistic \
+                Programming with Programmable Variational Inference'.")
+          cmds))

@@ -1,0 +1,185 @@
+(* ppvi: command-line front end for the library's training workloads.
+   The benchmark tables live in bench/main.exe; this binary is for
+   interactive use — train one workload with chosen settings and print
+   human-readable results (optionally a CSV series for plotting). *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let steps_arg default =
+  Arg.(value & opt int default & info [ "steps" ] ~doc:"Optimization steps.")
+
+let csv_arg =
+  Arg.(
+    value & flag
+    & info [ "csv" ] ~doc:"Print the per-step objective series as CSV.")
+
+let print_series csv reports =
+  if csv then begin
+    print_endline "step,objective";
+    List.iter
+      (fun r -> Printf.printf "%d,%.6f\n" r.Train.step r.Train.objective)
+      reports
+  end
+
+(* cone *)
+
+let cone_objective_conv =
+  let parse = function
+    | "elbo" -> Ok Cone.Elbo
+    | "iwelbo" -> Ok (Cone.Iwelbo 5)
+    | "hvi" -> Ok Cone.Hvi
+    | "iwhvi" -> Ok (Cone.Iwhvi 5)
+    | "diwhvi" -> Ok (Cone.Diwhvi (5, 5))
+    | s -> Error (`Msg (Printf.sprintf "unknown objective %S" s))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Cone.objective_name k))
+
+let cone_cmd =
+  let run objective steps seed csv =
+    let store, reports = Cone.train ~steps objective (Prng.key seed) in
+    Printf.printf "%s after %d steps: %.3f\n"
+      (Cone.objective_name objective)
+      steps
+      (Cone.final_value store objective (Prng.key (seed + 1)));
+    print_series csv reports
+  in
+  Cmd.v
+    (Cmd.info "cone" ~doc:"Train a guide on the ring posterior (Fig. 2/3).")
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt cone_objective_conv Cone.Elbo
+          & info [ "objective" ] ~doc:"elbo|iwelbo|hvi|iwhvi|diwhvi")
+      $ steps_arg 1500 $ seed_arg $ csv_arg)
+
+(* coin *)
+
+let coin_cmd =
+  let run steps seed csv =
+    let store, reports, seconds = Coin.train ~steps (Prng.key seed) in
+    Printf.printf
+      "posterior mean %.3f (exact %.3f), final ELBO %.2f, %.2f s\n"
+      (Coin.posterior_mean store) Coin.exact_posterior_mean
+      (Coin.final_elbo store (Prng.key (seed + 1)))
+      seconds;
+    print_series csv reports
+  in
+  Cmd.v
+    (Cmd.info "coin" ~doc:"Beta-Bernoulli coin fairness (Appendix D.1).")
+    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg)
+
+(* regression *)
+
+let regression_cmd =
+  let run steps seed csv =
+    let store, reports, seconds = Regression.train ~steps (Prng.key seed) in
+    let a, ba, br, bar = Regression.coefficient_means store in
+    Printf.printf "a=%.2f bA=%.2f bR=%.2f bAR=%.2f  (%.2f s)\n" a ba br bar
+      seconds;
+    Printf.printf "ELBO/datum %.3f\n"
+      (Regression.final_elbo_per_datum store (Prng.key (seed + 1)));
+    print_series csv reports
+  in
+  Cmd.v
+    (Cmd.info "regression"
+       ~doc:"Bayesian linear regression (Appendix D.2).")
+    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg)
+
+(* vae *)
+
+let vae_cmd =
+  let run steps batch seed csv =
+    let _, reports = Vae.train ~steps ~batch (Prng.key seed) in
+    let last = (List.nth reports (steps - 1)).Train.objective in
+    Printf.printf "final ELBO/datum %.2f after %d steps (batch %d)\n" last
+      steps batch;
+    print_series csv reports
+  in
+  Cmd.v
+    (Cmd.info "vae" ~doc:"Sprite-digit VAE (Table 1 workload).")
+    Term.(
+      const run $ steps_arg 300
+      $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.")
+      $ seed_arg $ csv_arg)
+
+(* air *)
+
+let strategy_conv =
+  let parse = function
+    | "re" | "reinforce" -> Ok Air.RE
+    | "bl" | "baselines" -> Ok Air.RE_BL
+    | "enum" -> Ok Air.EN
+    | "mvd" -> Ok Air.MV
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf s -> Format.pp_print_string ppf (Air.strategy_name s))
+
+let air_cmd =
+  let run strategy epochs images seed =
+    let data_images, _ = Data.air_batch (Prng.key (seed + 10)) images in
+    let eval_images, eval_counts = Data.air_batch (Prng.key (seed + 11)) 64 in
+    let store = Store.create () in
+    Air.register store (Prng.key seed);
+    let optim = Optim.adam ~lr:1e-3 () in
+    let baselines = Air.make_baselines () in
+    for epoch = 1 to epochs do
+      let obj, dt =
+        Air.train_epoch ~pres:strategy ~pos:strategy ~store ~optim ~baselines
+          ~objective:Air.Elbo ~images:data_images ~batch:16
+          (Prng.fold_in (Prng.key seed) epoch)
+      in
+      let acc =
+        Air.count_accuracy store eval_images eval_counts
+          (Prng.fold_in (Prng.key (seed + 12)) epoch)
+      in
+      Printf.printf "epoch %d: ELBO %8.2f  acc %.2f  %.2f s\n%!" epoch obj acc
+        dt
+    done
+  in
+  Cmd.v
+    (Cmd.info "air" ~doc:"Attend-Infer-Repeat scenes (Table 2 workload).")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt strategy_conv Air.MV
+          & info [ "strategy" ] ~doc:"re|bl|enum|mvd")
+      $ Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Training epochs.")
+      $ Arg.(value & opt int 192 & info [ "images" ] ~doc:"Training scenes.")
+      $ seed_arg)
+
+(* info *)
+
+let info_cmd =
+  let run () =
+    print_endline
+      "ppvi: programmable variational inference (PLDI 2024 reproduction)";
+    let count register =
+      let store = Store.create () in
+      register store (Prng.key 0);
+      Store.parameter_count store
+    in
+    Printf.printf "workload parameter counts:\n";
+    Printf.printf "  VAE   %6d\n" (count Vae.register);
+    Printf.printf "  AIR   %6d\n" (count Air.register);
+    Printf.printf "  SSVAE %6d\n" (count Ssvae.register);
+    Printf.printf "  CVAE  %6d\n" (count Cvae.register);
+    Printf.printf "data: %dx%d sprites, %dx%d AIR canvases (max %d objects)\n"
+      Data.sprite_side Data.sprite_side Data.canvas_side Data.canvas_side
+      Data.max_objects
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print the system inventory.")
+    Term.(const run $ const ())
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "ppvi" ~version:"1.0.0"
+             ~doc:"Programmable variational inference workloads.")
+          [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; info_cmd ]))

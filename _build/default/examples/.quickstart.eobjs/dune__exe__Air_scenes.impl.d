@@ -1,0 +1,1 @@
+examples/air_scenes.ml: Air Array Data List Optim Printf Prng Store Tensor

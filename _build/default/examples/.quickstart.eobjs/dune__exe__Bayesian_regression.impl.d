@@ -1,0 +1,1 @@
+examples/bayesian_regression.ml: Array Data List Printf Prng Regression

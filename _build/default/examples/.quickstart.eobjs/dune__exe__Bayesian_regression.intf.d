@@ -1,0 +1,1 @@
+examples/bayesian_regression.mli:

@@ -1,0 +1,1 @@
+examples/coin_fairness.ml: Coin List Printf Prng String Train

@@ -1,0 +1,1 @@
+examples/cone_programmable.ml: Array Buffer Cone Float Gen List Printf Prng Store Trace

@@ -1,0 +1,1 @@
+examples/cone_programmable.mli:

@@ -1,0 +1,1 @@
+examples/custom_primitive.ml: Ad Adev Dist Gen List Objectives Optim Printf Prng Store Tensor Train Value

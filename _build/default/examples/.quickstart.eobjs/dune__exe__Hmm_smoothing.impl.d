@@ -1,0 +1,1 @@
+examples/hmm_smoothing.ml: Ad Array Dist Float Gen Layer List Objectives Optim Printf Prng Store String Tensor Trace Train

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ad Adev Dist Gen List Optim Printf Prng Store Tensor Trace Train

@@ -1,0 +1,1 @@
+examples/vae_sprites.ml: Ad Array Data List Printf Prng Store String Tensor Train Vae

@@ -1,0 +1,1 @@
+examples/vae_sprites.mli:

@@ -1,0 +1,1 @@
+examples/wake_sleep.ml: Ad Adev Dist Float Gen List Objectives Optim Printf Prng Store Tensor Train

@@ -1,0 +1,1 @@
+examples/wake_sleep.mli:

@@ -1,0 +1,1 @@
+examples/yolo_fig9.ml: Float Format List Prng String Yolo

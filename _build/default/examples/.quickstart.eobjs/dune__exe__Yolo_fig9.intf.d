@@ -1,0 +1,1 @@
+examples/yolo_fig9.mli:

@@ -1,0 +1,26 @@
+(* Coin-fairness inference (Appendix D.1): Beta prior, Bernoulli
+   likelihood, Beta guide trained by score-function VI. Because the
+   model is conjugate, we can print the exact posterior next to the
+   learned one.
+
+   Run with: dune exec examples/coin_fairness.exe *)
+
+let () =
+  Printf.printf "Observed flips: %s\n"
+    (String.concat " "
+       (List.map (fun b -> if b then "H" else "T") Coin.flips));
+  Printf.printf "Prior: Beta(10, 10); guide: Beta(softplus a, softplus b)\n\n";
+  let store, reports, seconds = Coin.train ~steps:1500 (Prng.key 0) in
+  List.iter
+    (fun s ->
+      Printf.printf "step %4d  ELBO %7.3f\n" s
+        (List.nth reports s).Train.objective)
+    [ 0; 200; 600; 1400 ];
+  Printf.printf "\ntrained in %.2f s (%.2f ms/step)\n" seconds
+    (1000. *. seconds /. 1500.);
+  Printf.printf "posterior mean of the coin weight: %.3f\n"
+    (Coin.posterior_mean store);
+  Printf.printf "exact conjugate posterior mean:    %.3f\n"
+    Coin.exact_posterior_mean;
+  Printf.printf "final ELBO estimate: %.2f\n"
+    (Coin.final_elbo store (Prng.key 1))

@@ -1,0 +1,71 @@
+(* Programmable variational inference on the ring posterior (Fig. 3).
+
+   Three ways to beat the mean-field guide of quickstart.exe:
+   - the IWELBO objective (train q as a proposal for importance
+     sampling);
+   - an SIR guide built with [normalize] (sample-importance-resample
+     toward the posterior);
+   - a hierarchical guide built with [marginal] (an auxiliary angle
+     variable shapes the ring, then gets marginalized out).
+
+   Run with: dune exec examples/cone_programmable.exe *)
+
+let ascii_scatter pts =
+  (* 21x41 character density plot of points in [-3, 3]^2. *)
+  let rows = 21 and cols = 41 in
+  let grid = Array.make_matrix rows cols 0 in
+  List.iter
+    (fun (x, y) ->
+      let c = int_of_float (Float.round ((x +. 3.) /. 6. *. float_of_int (cols - 1))) in
+      let r = int_of_float (Float.round ((3. -. y) /. 6. *. float_of_int (rows - 1))) in
+      if r >= 0 && r < rows && c >= 0 && c < cols then
+        grid.(r).(c) <- grid.(r).(c) + 1)
+    pts;
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun n ->
+          Buffer.add_char buf
+            (if n = 0 then '.' else if n < 3 then '+' else '#'))
+        row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf
+
+let () =
+  let steps = 1500 in
+  Printf.printf "Training objectives on the ring posterior (%d steps each)\n"
+    steps;
+
+  (* Mean-field ELBO, for contrast. *)
+  let store_e, _ = Cone.train ~steps Cone.Elbo (Prng.key 1) in
+  Printf.printf "\n[ELBO, mean-field guide] final value %.2f\n"
+    (Cone.final_value store_e Cone.Elbo (Prng.key 2));
+  print_string
+    (ascii_scatter (Cone.guide_samples store_e Cone.Elbo 600 (Prng.key 3)));
+
+  (* IWELBO + SIR guide (normalize). *)
+  let store_iw, _ = Cone.train ~steps (Cone.Iwelbo 5) (Prng.key 4) in
+  Printf.printf "\n[IWELBO(5)] final value %.2f; drawing from q_SIR(N=30):\n"
+    (Cone.final_value store_iw (Cone.Iwelbo 5) (Prng.key 5));
+  let frame = Store.Frame.make store_iw in
+  let sir = Cone.guide_sir ~particles:30 frame in
+  let sir_pts =
+    List.init 600 (fun i ->
+        let _, trace, _ = Gen.sample_prior sir (Prng.fold_in (Prng.key 6) i) in
+        (Trace.get_float "x" trace, Trace.get_float "y" trace))
+  in
+  print_string (ascii_scatter sir_pts);
+
+  (* Hierarchical guide via marginal (IWHVI). *)
+  let store_h, _ = Cone.train ~steps (Cone.Iwhvi 5) (Prng.key 7) in
+  Printf.printf "\n[IWHVI(5), hierarchical guide via marginal] final value %.2f\n"
+    (Cone.final_value store_h (Cone.Iwhvi 5) (Prng.key 8));
+  print_string
+    (ascii_scatter (Cone.guide_samples store_h (Cone.Iwhvi 5) 600 (Prng.key 9)));
+
+  Printf.printf
+    "\nThe SIR and hierarchical guides cover the whole ring; the mean-field\n\
+     guide collapses to an arc. Table 4 of the paper reports the same\n\
+     objective ordering (run: dune exec bench/main.exe -- t4).\n"

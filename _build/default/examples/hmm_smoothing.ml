@@ -1,0 +1,147 @@
+(* Amortization-free VI on a discrete hidden Markov model, checked
+   against exact inference.
+
+   A 3-state weather HMM emits noisy observations for 6 days; the guide
+   is a learned (non-stationary) Markov chain over the hidden states,
+   trained with ENUM gradients — so the ELBO and its gradient are exact
+   on every step, and the trained guide can be compared state-by-state
+   with the exact smoothing posterior computed by [Gen.enumerate].
+
+   This shows three things at once: stochastic structure with many
+   discrete sites, exact enumeration both as an estimator strategy and
+   as a test oracle, and VI converging to the true posterior when the
+   family contains it.
+
+   Run with: dune exec examples/hmm_smoothing.exe *)
+
+let num_states = 3
+let horizon = 6
+let state_names = [| "sunny"; "cloudy"; "rainy" |]
+
+(* Transition and emission matrices. *)
+let transition =
+  [| [| 0.7; 0.2; 0.1 |]; [| 0.3; 0.4; 0.3 |]; [| 0.2; 0.3; 0.5 |] |]
+
+let emission = [| [| 0.8; 0.15; 0.05 |]; [| 0.2; 0.6; 0.2 |]; [| 0.05; 0.25; 0.7 |] |]
+let observations = [ 0; 0; 1; 2; 2; 1 ]
+
+let row m i = Ad.const (Tensor.of_array [| num_states |] m.(i))
+let uniform_probs = Ad.const (Tensor.full [| num_states |] (1. /. 3.))
+
+let addr t = Printf.sprintf "z%d" t
+
+let model =
+  let open Gen.Syntax in
+  let rec go t prev =
+    if t >= horizon then Gen.return ()
+    else begin
+      let probs = if t = 0 then uniform_probs else row transition prev in
+      let* z = Gen.sample (Dist.categorical_reinforce probs) (addr t) in
+      let* () =
+        Gen.observe
+          (Dist.categorical_reinforce (row emission z))
+          (List.nth observations t)
+      in
+      go (t + 1) z
+    end
+  in
+  go 0 0
+
+(* Guide: learned initial logits plus a learned per-step transition
+   table — expressive enough to contain the exact smoothing posterior,
+   which factorizes as q(z0) prod_t q(z_{t+1} | z_t). *)
+let guide frame =
+  let open Gen.Syntax in
+  let logits t prev =
+    Layer.apply_activation Layer.Linear
+      (Store.Frame.get frame (Printf.sprintf "hmm.q.%d.%d" t prev))
+  in
+  let rec go t prev =
+    if t >= horizon then Gen.return ()
+    else
+      let* z =
+        Gen.sample (Dist.categorical_logits_enum (logits t prev)) (addr t)
+      in
+      go (t + 1) z
+  in
+  go 0 0
+
+let register store =
+  for t = 0 to horizon - 1 do
+    for prev = 0 to num_states - 1 do
+      Store.ensure store
+        (Printf.sprintf "hmm.q.%d.%d" t prev)
+        (fun () -> Tensor.zeros [| num_states |])
+    done
+  done
+
+(* Exact smoothing marginals from full enumeration. *)
+let exact_marginals () =
+  let traces = Gen.enumerate model in
+  let logz = Gen.exact_log_marginal model in
+  let marginals = Array.make_matrix horizon num_states 0. in
+  List.iter
+    (fun ((), trace, logw) ->
+      let p = Float.exp (logw -. logz) in
+      for t = 0 to horizon - 1 do
+        let z = Trace.get_int (addr t) trace in
+        marginals.(t).(z) <- marginals.(t).(z) +. p
+      done)
+    traces;
+  marginals
+
+(* Guide smoothing marginals by (cheap) forward enumeration of the
+   guide chain. *)
+let guide_marginals store =
+  let frame = Store.Frame.make store in
+  let probs t prev =
+    Tensor.to_array
+      (Tensor.softmax
+         (Ad.value (Store.Frame.get frame (Printf.sprintf "hmm.q.%d.%d" t prev))))
+  in
+  let marginals = Array.make_matrix horizon num_states 0. in
+  let rec walk t prev weight =
+    if t < horizon then begin
+      let p = probs t prev in
+      for z = 0 to num_states - 1 do
+        marginals.(t).(z) <- marginals.(t).(z) +. (weight *. p.(z));
+        walk (t + 1) z (weight *. p.(z))
+      done
+    end
+  in
+  walk 0 0 1.;
+  marginals
+
+let () =
+  Printf.printf "observations: %s\n\n"
+    (String.concat " " (List.map string_of_int observations));
+  let store = Store.create () in
+  register store;
+  let optim = Optim.adam ~lr:0.1 () in
+  let reports =
+    Train.fit ~store ~optim ~steps:250
+      ~objective:(fun frame _ -> Objectives.elbo ~model ~guide:(guide frame))
+      (Prng.key 0)
+  in
+  let logz = Gen.exact_log_marginal model in
+  Printf.printf "exact log evidence: %.4f\n" logz;
+  Printf.printf "ELBO: step 0 %.4f -> step 249 %.4f\n\n"
+    (List.nth reports 0).Train.objective
+    (List.nth reports 249).Train.objective;
+  let exact = exact_marginals () in
+  let learned = guide_marginals store in
+  Printf.printf "smoothing marginals, exact vs learned guide:\n";
+  let max_err = ref 0. in
+  for t = 0 to horizon - 1 do
+    Printf.printf "  day %d:" t;
+    for z = 0 to num_states - 1 do
+      Printf.printf "  %s %.3f/%.3f" state_names.(z) exact.(t).(z)
+        learned.(t).(z);
+      max_err := Float.max !max_err (Float.abs (exact.(t).(z) -. learned.(t).(z)))
+    done;
+    print_newline ()
+  done;
+  Printf.printf "\nmax marginal error: %.4f\n" !max_err;
+  Printf.printf
+    "(ENUM gradients are exact, so the guide converges to the true\n\
+     smoothing posterior and the final ELBO equals the log evidence.)\n"

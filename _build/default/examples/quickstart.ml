@@ -1,0 +1,74 @@
+(* Quickstart: the Fig. 2 workflow end to end.
+
+   1. Write a model in the generative language (a point near a 3D cone,
+      conditioned on its height).
+   2. Write a mean-field variational family with REPARAM-annotated
+      primitives.
+   3. Define the ELBO as a differentiable-language program from the
+      compiled sim/density of the two programs.
+   4. Optimize with unbiased ADEV gradients + ADAM.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Gen.Syntax
+
+(* Step 1: the model. (x, y) have broad normal priors; we observe that
+   x^2 + y^2 is 5, so the posterior is a ring of radius sqrt 5. *)
+let model =
+  let* x = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 3.)) "x" in
+  let* y = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 3.)) "y" in
+  let r2 = Ad.add (Ad.mul x x) (Ad.mul y y) in
+  Gen.observe (Dist.normal_reparam r2 (Ad.scalar 0.5)) (Ad.scalar 5.)
+
+(* Step 2: the variational family. Each primitive carries its gradient
+   estimation strategy (REPARAM here); parameters live in a store. *)
+let guide frame =
+  let p = Store.Frame.get frame in
+  let std rho = Ad.add_scalar 1e-3 (Ad.softplus rho) in
+  let* _ = Gen.sample (Dist.normal_reparam (p "mx") (std (p "rx"))) "x" in
+  let* _ = Gen.sample (Dist.normal_reparam (p "my") (std (p "ry"))) "y" in
+  Gen.return ()
+
+(* Step 3: the objective — literally Eqn. 3, written with the compiled
+   simulator of the guide and density of the model. *)
+let elbo frame =
+  let open Adev.Syntax in
+  let* _, trace, logq = Gen.simulate (guide frame) in
+  let* logp = Gen.log_density model trace in
+  Adev.return (Ad.sub logp logq)
+
+let () =
+  let store = Store.create () in
+  List.iter
+    (fun name -> Store.ensure store name (fun () -> Tensor.scalar 0.5))
+    [ "mx"; "rx"; "my"; "ry" ];
+  let optim = Optim.adam ~lr:0.05 () in
+  Printf.printf "Training a mean-field guide on the ring posterior...\n";
+  let reports =
+    Train.fit ~store ~optim ~steps:1500
+      ~objective:(fun frame _ -> elbo frame)
+      ~on_step:(fun r ->
+        if r.Train.step mod 300 = 0 then
+          Printf.printf "  step %4d  ELBO estimate %8.3f\n%!" r.Train.step
+            r.Train.objective)
+      (Prng.key 0)
+  in
+  let final =
+    List.fold_left ( +. ) 0.
+      (List.filteri
+         (fun i _ -> i >= 1400)
+         (List.map (fun r -> r.Train.objective) reports))
+    /. 100.
+  in
+  Printf.printf "final ELBO (last 100 steps): %.3f\n" final;
+  Printf.printf "\nSamples from the trained guide (x, y, x^2+y^2):\n";
+  let frame = Store.Frame.make store in
+  List.iter
+    (fun i ->
+      let _, trace, _ = Gen.sample_prior (guide frame) (Prng.fold_in (Prng.key 1) i) in
+      let x = Trace.get_float "x" trace and y = Trace.get_float "y" trace in
+      Printf.printf "  (% .2f, % .2f)   r^2 = %.2f\n" x y ((x *. x) +. (y *. y)))
+    [ 1; 2; 3; 4; 5; 6 ];
+  Printf.printf
+    "\nThe reverse KL is mode-seeking: the Gaussian guide settles on one\n\
+     arc of the ring. See cone_programmable.exe for guides that cover it.\n"

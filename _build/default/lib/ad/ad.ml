@@ -1,0 +1,269 @@
+type t = {
+  id : int;
+  v : Tensor.t;
+  mutable g : Tensor.t option;
+  parents : (t * (Tensor.t -> Tensor.t)) array;
+}
+
+let counter = ref 0
+
+let node v parents =
+  incr counter;
+  { id = !counter; v; g = None; parents = Array.of_list parents }
+
+let const v = node v []
+let scalar x = const (Tensor.scalar x)
+let value t = t.v
+let to_float t = Tensor.to_scalar t.v
+let shape t = Tensor.shape t.v
+let is_leaf t = Array.length t.parents = 0
+
+let accumulate t delta =
+  match t.g with
+  | None -> t.g <- Some delta
+  | Some g -> t.g <- Some (Tensor.add g delta)
+
+let backward root =
+  if not (Tensor.is_scalar root.v || Tensor.size root.v = 1) then
+    invalid_arg "Ad.backward: root is not a scalar";
+  (* Topological order by DFS, then reverse sweep. *)
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem visited n.id) then begin
+      Hashtbl.add visited n.id ();
+      Array.iter (fun (p, _) -> visit p) n.parents;
+      order := n :: !order
+    end
+  in
+  visit root;
+  accumulate root (Tensor.ones (Tensor.shape root.v));
+  List.iter
+    (fun n ->
+      match n.g with
+      | None -> ()
+      | Some g ->
+        Array.iter (fun (p, vjp) -> accumulate p (vjp g)) n.parents)
+    !order
+
+let grad t =
+  match t.g with
+  | Some g -> g
+  | None -> Tensor.zeros (Tensor.shape t.v)
+
+let stop_grad t = const t.v
+let custom ~value ~parents = node value parents
+
+(* Sum a broadcast gradient back down to [target] shape. *)
+let unbroadcast target g =
+  if Tensor.shape g = target then g
+  else begin
+    let gs = Tensor.shape g in
+    let rg = Array.length gs and rt = Array.length target in
+    (* Sum out leading extra dims. *)
+    let g = ref g in
+    for _ = 1 to rg - rt do
+      g := Tensor.sum_axis 0 !g
+    done;
+    (* Sum over dims where the target had size 1. *)
+    Array.iteri
+      (fun d dt ->
+        if dt = 1 && (Tensor.shape !g).(d) <> 1 then
+          g :=
+            Tensor.reshape
+              (Array.mapi
+                 (fun i s -> if i = d then 1 else s)
+                 (Tensor.shape !g))
+              (Tensor.sum_axis d !g))
+      target;
+    Tensor.reshape target !g
+  end
+
+let binop f dfa dfb a b =
+  let v = f a.v b.v in
+  node v
+    [ (a, fun g -> unbroadcast (Tensor.shape a.v) (dfa g));
+      (b, fun g -> unbroadcast (Tensor.shape b.v) (dfb g)) ]
+
+let add a b = binop Tensor.add (fun g -> g) (fun g -> g) a b
+let sub a b = binop Tensor.sub (fun g -> g) (fun g -> Tensor.neg g) a b
+
+let mul a b =
+  binop Tensor.mul (fun g -> Tensor.mul g b.v) (fun g -> Tensor.mul g a.v) a b
+
+let div a b =
+  binop Tensor.div
+    (fun g -> Tensor.div g b.v)
+    (fun g -> Tensor.neg (Tensor.div (Tensor.mul g a.v) (Tensor.mul b.v b.v)))
+    a b
+
+let unop f df a =
+  let v = f a.v in
+  node v [ (a, fun g -> Tensor.mul g (df a.v v)) ]
+
+let neg a = node (Tensor.neg a.v) [ (a, Tensor.neg) ]
+let scale c a = node (Tensor.scale c a.v) [ (a, Tensor.scale c) ]
+let add_scalar c a = node (Tensor.add_scalar c a.v) [ (a, fun g -> g) ]
+let exp a = unop Tensor.exp (fun _ v -> v) a
+let log a = unop Tensor.log (fun x _ -> Tensor.map (fun xi -> 1. /. xi) x) a
+
+let sqrt a =
+  unop Tensor.sqrt (fun _ v -> Tensor.map (fun vi -> 0.5 /. vi) v) a
+
+let sigmoid a =
+  unop Tensor.sigmoid (fun _ v -> Tensor.map (fun s -> s *. (1. -. s)) v) a
+
+let tanh a = unop Tensor.tanh (fun _ v -> Tensor.map (fun s -> 1. -. (s *. s)) v) a
+
+let relu a =
+  unop Tensor.relu (fun x _ -> Tensor.map (fun xi -> if xi > 0. then 1. else 0.) x) a
+
+let softplus a =
+  unop Tensor.softplus
+    (fun x _ -> Tensor.map (fun xi -> 1. /. (1. +. Float.exp (-.xi))) x)
+    a
+
+let log1p_exp = softplus
+
+let pow_scalar a p =
+  unop
+    (fun x -> Tensor.pow_scalar x p)
+    (fun x _ -> Tensor.map (fun xi -> p *. Float.pow xi (p -. 1.)) x)
+    a
+
+let sum a =
+  node (Tensor.sum_keep a.v)
+    [ (a, fun g -> Tensor.full (Tensor.shape a.v) (Tensor.to_scalar g)) ]
+
+let mean a =
+  let n = float_of_int (Stdlib.max 1 (Tensor.size a.v)) in
+  node
+    (Tensor.scalar (Tensor.mean a.v))
+    [ (a, fun g -> Tensor.full (Tensor.shape a.v) (Tensor.to_scalar g /. n)) ]
+
+let dot a b =
+  node
+    (Tensor.scalar (Tensor.dot a.v b.v))
+    [ (a, fun g -> Tensor.scale (Tensor.to_scalar g) b.v);
+      (b, fun g -> Tensor.scale (Tensor.to_scalar g) a.v) ]
+
+let matmul a b =
+  let v = Tensor.matmul a.v b.v in
+  let ra = Array.length (Tensor.shape a.v)
+  and rb = Array.length (Tensor.shape b.v) in
+  match (ra, rb) with
+  | 2, 2 ->
+    node v
+      [ (a, fun g -> Tensor.matmul g (Tensor.transpose b.v));
+        (b, fun g -> Tensor.matmul (Tensor.transpose a.v) g) ]
+  | 2, 1 ->
+    node v
+      [ (a, fun g -> Tensor.outer g b.v);
+        (b, fun g -> Tensor.matmul (Tensor.transpose a.v) g) ]
+  | 1, 2 ->
+    node v
+      [ (a, fun g -> Tensor.matmul b.v g);
+        (b, fun g -> Tensor.outer a.v g) ]
+  | _ -> raise (Tensor.Shape_error "Ad.matmul: unsupported ranks")
+
+let transpose a =
+  node (Tensor.transpose a.v) [ (a, Tensor.transpose) ]
+
+let logsumexp a =
+  let lse = Tensor.logsumexp a.v in
+  node
+    (Tensor.scalar lse)
+    [ (a,
+       fun g ->
+         let gs = Tensor.to_scalar g in
+         Tensor.map (fun x -> gs *. Float.exp (x -. lse)) a.v) ]
+
+let log_softmax a =
+  let lse = Tensor.logsumexp a.v in
+  let v = Tensor.map (fun x -> x -. lse) a.v in
+  node v
+    [ (a,
+       fun g ->
+         let total = Tensor.sum g in
+         Tensor.map2 (fun gi vi -> gi -. (total *. Float.exp vi)) g v) ]
+
+let reshape new_shape a =
+  let old_shape = Tensor.shape a.v in
+  node (Tensor.reshape new_shape a.v) [ (a, Tensor.reshape old_shape) ]
+
+let concat0 ts =
+  let v = Tensor.concat0 (List.map value ts) in
+  let parents =
+    let off = ref 0 in
+    List.map
+      (fun t ->
+        let n0 = (Tensor.shape t.v).(0) in
+        let start = !off in
+        off := !off + n0;
+        ( t,
+          fun g ->
+            Tensor.take_rows g (List.init n0 (fun i -> start + i)) ))
+      ts
+  in
+  node v parents
+
+let stack0 ts =
+  let v = Tensor.stack0 (List.map value ts) in
+  let parents = List.mapi (fun i t -> (t, fun g -> Tensor.slice0 g i)) ts in
+  node v parents
+
+let slice0 a i =
+  let full_shape = Tensor.shape a.v in
+  node (Tensor.slice0 a.v i)
+    [ (a,
+       fun g ->
+         let z = Tensor.zeros full_shape in
+         let sub_size = Tensor.size g in
+         Tensor.of_array full_shape
+           (Array.mapi
+              (fun flat zero ->
+                let lo = i * sub_size in
+                if flat >= lo && flat < lo + sub_size then
+                  Tensor.get_flat g (flat - lo)
+                else zero)
+              (Tensor.to_array z))) ]
+
+let get a ix =
+  let full_shape = Tensor.shape a.v in
+  node
+    (Tensor.scalar (Tensor.get a.v ix))
+    [ (a,
+       fun g ->
+         let out = Tensor.to_array (Tensor.zeros full_shape) in
+         (* Recompute the flat index via a one-hot trick. *)
+         let probe = Tensor.init full_shape (fun jx -> if jx = ix then 1. else 0.) in
+         Array.iteri
+           (fun flat p -> if p = 1. then out.(flat) <- Tensor.to_scalar g)
+           (Tensor.to_array probe);
+         Tensor.of_array full_shape out) ]
+
+let add_list = function
+  | [] -> scalar 0.
+  | first :: rest -> List.fold_left add first rest
+
+module O = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+end
+
+let finite_diff_grad ?(eps = 1e-5) f x =
+  let xs = Tensor.to_array x in
+  let shape = Tensor.shape x in
+  let g = Array.make (Array.length xs) 0. in
+  for i = 0 to Array.length xs - 1 do
+    let bump d =
+      let xs' = Array.copy xs in
+      xs'.(i) <- xs'.(i) +. d;
+      f (Tensor.of_array shape xs')
+    in
+    g.(i) <- (bump eps -. bump (-.eps)) /. (2. *. eps)
+  done;
+  Tensor.of_array shape g

@@ -1,0 +1,128 @@
+(** Reverse-mode automatic differentiation over tensors.
+
+    Values are nodes in a dynamically built computation graph; rank-0
+    tensors serve as scalars. Calling {!backward} on a scalar root
+    accumulates gradients into every reachable node, which can then be
+    read with {!grad}. Graphs are rebuilt on every forward pass, so
+    gradients never leak between optimization steps.
+
+    The module also exposes {!stop_grad} and {!custom}, the two hooks the
+    ADEV estimators (see [Adev]) use to construct surrogate losses whose
+    reverse-mode derivatives are unbiased gradient estimates. *)
+
+type t
+(** A differentiable tensor value. *)
+
+(** {1 Leaves and constants} *)
+
+val const : Tensor.t -> t
+(** A leaf node. Gradients accumulate into leaves like any other node;
+    whether a leaf is a "parameter" is the caller's concern. *)
+
+val scalar : float -> t
+(** Rank-0 leaf. *)
+
+val value : t -> Tensor.t
+(** The primal value. *)
+
+val to_float : t -> float
+(** Primal value of a rank-0 node. @raise Tensor.Shape_error otherwise. *)
+
+val shape : t -> int array
+
+val is_leaf : t -> bool
+(** [true] when no gradient can flow out of this node (it was created by
+    {!const}, {!scalar}, or {!stop_grad}). Used by [Value.to_float_rigid]
+    to enforce the paper's R / R* smoothness discipline at runtime. *)
+
+(** {1 Differentiation} *)
+
+val backward : t -> unit
+(** Seed the (scalar) root with gradient 1 and backpropagate. Safe to
+    call once per graph. @raise Invalid_argument on a non-scalar root. *)
+
+val grad : t -> Tensor.t
+(** The gradient accumulated into this node by the last {!backward}
+    through it; a zero tensor if none reached it. *)
+
+val stop_grad : t -> t
+(** A node with the same value through which no gradient flows. *)
+
+val custom : value:Tensor.t -> parents:(t * (Tensor.t -> Tensor.t)) list -> t
+(** [custom ~value ~parents] creates a node with an explicit
+    vector-Jacobian product per parent: during backprop, each function
+    receives the node's output gradient and returns the contribution to
+    that parent (which must match the parent's shape). *)
+
+(** {1 Arithmetic (broadcasting like [Tensor])} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val sigmoid : t -> t
+val tanh : t -> t
+
+val relu : t -> t
+(** Subgradient 0 at the kink. As in the paper's discussion of static
+    checks, using [relu] inside density computations is at the user's
+    own risk. *)
+
+val softplus : t -> t
+val pow_scalar : t -> float -> t
+
+val log1p_exp : t -> t
+(** Alias of {!softplus}, for log-density code readability. *)
+
+(** {1 Reductions and linear algebra} *)
+
+val sum : t -> t
+(** Sum of all elements, as a rank-0 node. *)
+
+val mean : t -> t
+val dot : t -> t -> t
+val matmul : t -> t -> t
+val transpose : t -> t
+
+val logsumexp : t -> t
+(** Stable logsumexp over all elements, rank-0. *)
+
+val log_softmax : t -> t
+(** Elementwise [x - logsumexp x]. *)
+
+(** {1 Structural} *)
+
+val reshape : int array -> t -> t
+val concat0 : t list -> t
+val stack0 : t list -> t
+val slice0 : t -> int -> t
+val get : t -> int array -> t
+(** Extract one element as a rank-0 node (gradient scatters back). *)
+
+(** {1 Convenience} *)
+
+val add_list : t list -> t
+(** Sum of a non-empty list of same-shaped nodes ([scalar 0.] when
+    empty). *)
+
+module O : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+end
+
+(** {1 Testing support} *)
+
+val finite_diff_grad :
+  ?eps:float -> (Tensor.t -> float) -> Tensor.t -> Tensor.t
+(** Central finite differences of a scalar function, elementwise on its
+    tensor input. Used by the test suite to validate every vjp. *)

@@ -1,0 +1,1 @@
+lib/adev/adev.ml: Ad Array Baseline Dist Fun List Printf Prng Tensor

@@ -1,0 +1,1 @@
+lib/adev/adev.mli: Ad Dist Prng Tensor

@@ -1,0 +1,1 @@
+lib/adev/estimated.ml: Ad Adev Array Float List Prng Tensor

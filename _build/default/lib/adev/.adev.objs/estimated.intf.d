@@ -1,0 +1,1 @@
+lib/adev/estimated.mli: Ad Adev Prng

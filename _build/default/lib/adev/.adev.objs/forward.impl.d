@@ -1,0 +1,1 @@
+lib/adev/forward.ml: Array Float Prng

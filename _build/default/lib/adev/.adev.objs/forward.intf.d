@@ -1,0 +1,1 @@
+lib/adev/forward.mli: Prng

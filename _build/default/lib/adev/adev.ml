@@ -1,0 +1,120 @@
+type 'a t = Prng.key -> ('a -> Ad.t) -> Ad.t
+
+let return x _key k = k x
+
+let bind m f key k =
+  let k1, k2 = Prng.split key in
+  m k1 (fun a -> f a k2 k)
+
+let map f m key k = m key (fun a -> k (f a))
+
+(* The DiCE / magic-box surrogate: value y, gradient dy + (y - b) dlogp. *)
+let score_function_surrogate ?(baseline = 0.) y lp =
+  let open Ad.O in
+  y
+  + ((Ad.stop_grad y - Ad.scalar baseline) * (lp - Ad.stop_grad lp))
+
+(* MVD couplings evaluate the continuation for its primal value only.
+   While doing so, downstream sample sites must not spin up their own
+   estimator machinery (ENUM branch products, nested couplings, score
+   terms): a plain detached sample preserves the coupling's expectation
+   and keeps its cost linear instead of exponential in the number of
+   downstream sites. *)
+let primal_mode = ref false
+
+let in_primal_mode f =
+  let saved = !primal_mode in
+  primal_mode := true;
+  Fun.protect ~finally:(fun () -> primal_mode := saved) f
+
+let sample (d : 'a Dist.t) : 'a t =
+ fun key k ->
+  if !primal_mode then k (d.sample key)
+  else
+  match d.strategy with
+  | Dist.Reparam -> begin
+    match d.reparam with
+    | Some r -> k (r key)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Adev.sample: %s has no reparameterized sampler"
+           d.name)
+  end
+  | Dist.Reinforce ->
+    let x = d.sample key in
+    let y = k x in
+    score_function_surrogate y (d.log_density x)
+  | Dist.Reinforce_baseline cell ->
+    let x = d.sample key in
+    let y = k x in
+    let b = Baseline.value cell in
+    Baseline.update cell (Tensor.to_scalar (Ad.value y));
+    score_function_surrogate ~baseline:b y (d.log_density x)
+  | Dist.Enum -> begin
+    match d.support with
+    | Some support ->
+      let terms =
+        List.map
+          (fun v -> Ad.mul (Ad.exp (d.log_density v)) (k v))
+          support
+      in
+      Ad.add_list terms
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Adev.sample: %s has no finite support for ENUM"
+           d.name)
+  end
+  | Dist.Mvd -> begin
+    match d.mvd with
+    | Some mvd ->
+      let x, couplings = mvd key in
+      let y = k x in
+      let coupling_term (c : 'a Dist.coupling) =
+        let primal v = Tensor.to_scalar (Ad.value (in_primal_mode (fun () -> k v))) in
+        let y_plus = primal c.plus in
+        let y_minus = primal c.minus in
+        Ad.scale
+          (c.weight *. (y_plus -. y_minus))
+          (Ad.sub c.param (Ad.stop_grad c.param))
+      in
+      Ad.add_list (y :: List.map coupling_term couplings)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Adev.sample: %s has no MVD couplings" d.name)
+  end
+
+let rec replicate n m =
+  if n <= 0 then return []
+  else bind m (fun x -> bind (replicate (n - 1) m) (fun rest -> return (x :: rest)))
+
+let score w _key k = Ad.mul w (k ())
+let score_log lw key k = score (Ad.exp lw) key k
+
+let run m key k = m key k
+let expectation m key = m key (fun x -> x)
+
+let expectation_mean ~samples m key =
+  if samples < 1 then invalid_arg "Adev.expectation_mean: samples < 1";
+  let keys = Prng.split_many key samples in
+  let terms = Array.to_list (Array.map (expectation m) keys) in
+  Ad.scale (1. /. float_of_int samples) (Ad.add_list terms)
+
+let estimate ?(samples = 1) m key =
+  let keys = Prng.split_many key samples in
+  let total =
+    Array.fold_left
+      (fun acc ki -> acc +. Tensor.to_scalar (Ad.value (expectation m ki)))
+      0. keys
+  in
+  total /. float_of_int samples
+
+let grad ~params ?(samples = 1) m key =
+  let surrogate = expectation_mean ~samples m key in
+  Ad.backward surrogate;
+  let v = Tensor.to_scalar (Ad.value surrogate) in
+  (v, List.map (fun (name, p) -> (name, Ad.grad p)) params)
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end

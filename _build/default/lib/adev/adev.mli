@@ -1,0 +1,95 @@
+(** The differentiable probabilistic language (lambda_ADEV) with
+    automatic differentiation of expected values.
+
+    A computation of type ['a t] denotes a measure over ['a]-values. The
+    implementation is in continuation-passing style: running the
+    computation threads a PRNG key and builds a single AD scalar — a
+    {e surrogate loss} — whose primal value is an unbiased estimate of
+    the program's expectation and whose reverse-mode gradient (via
+    [Ad.backward]) is an unbiased estimate of the expectation's gradient
+    with respect to every parameter the program closes over.
+
+    This is the reverse-mode ADEV construction of Appendix A.4 of the
+    paper: each {!sample} site dispatches on the distribution's gradient
+    estimation strategy and wires the appropriate estimator into the
+    surrogate —
+
+    - REPARAM: the differentiable sampler's output flows into the
+      continuation; the pathwise derivative is ordinary backprop.
+    - REINFORCE: the continuation's result [y] is augmented with the
+      DiCE / magic-box term [stop(y) * (log p(x) - stop(log p(x)))],
+      whose value is 0 and whose gradient is [y * d log p(x)].
+    - REINFORCE with baseline: as above with [stop(y) - b].
+    - ENUM: the continuation runs once per support element; the result
+      is the exactly enumerated expectation (probabilities carry
+      gradients).
+    - MVD: the continuation runs at the sampled value (pathwise part)
+      and, primal-only, at each coupling's positive/negative samples;
+      the coupling contributes
+      [(param - stop param) * weight * (y+ - y-)], whose value is 0 and
+      whose gradient is the measure-valued derivative. Couplings share
+      the continuation's randomness (common random numbers).
+
+    The soundness of each construction is checked in
+    [test/test_adev.ml] against closed-form gradients and against the
+    forward-mode transformation in {!module:Forward}. *)
+
+type 'a t
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val sample : 'a Dist.t -> 'a t
+(** Draw from a primitive, estimating gradients with its strategy.
+    @raise Invalid_argument if the strategy's required data is missing
+    (e.g. ENUM without a finite support). *)
+
+val score : Ad.t -> unit t
+(** Multiply the measure by a (nonnegative) density factor, as in the
+    paper's [score]: [E (do { score w; m })] integrates [m]'s integrand
+    against the [w]-reweighted measure. *)
+
+val score_log : Ad.t -> unit t
+(** [score_log lw = score (exp lw)]. *)
+
+val replicate : int -> 'a t -> 'a list t
+(** Run a computation [n] times with independent randomness, collecting
+    the results (the particle-drawing idiom of IWELBO-style
+    objectives). *)
+
+(** {1 Running} *)
+
+val run : 'a t -> Prng.key -> ('a -> Ad.t) -> Ad.t
+(** Low-level runner (used by [Gen] to embed generative programs). *)
+
+val expectation : Ad.t t -> Prng.key -> Ad.t
+(** One-sample surrogate for the expected value: its primal is an
+    unbiased estimate of [E m], its reverse-mode gradient an unbiased
+    estimate of [grad E m]. This is the paper's [E] operator composed
+    with the [adev] transformation. *)
+
+val expectation_mean : samples:int -> Ad.t t -> Prng.key -> Ad.t
+(** Average of [samples] independent surrogates (a minibatch of
+    estimates); still unbiased, with variance reduced by 1/samples. *)
+
+val estimate : ?samples:int -> Ad.t t -> Prng.key -> float
+(** Primal-only Monte Carlo estimate (default 1 sample). *)
+
+val grad :
+  params:(string * Ad.t) list ->
+  ?samples:int ->
+  Ad.t t ->
+  Prng.key ->
+  float * (string * Tensor.t) list
+(** [grad ~params obj key] runs the surrogate, backpropagates, and
+    returns the objective estimate together with the gradient
+    accumulated in each named parameter leaf. Parameters must be fresh
+    leaf nodes for this call (gradients accumulate per node). *)
+
+(** {1 Syntax} *)
+
+module Syntax : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+end

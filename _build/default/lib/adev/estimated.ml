@@ -1,0 +1,59 @@
+type t = Prng.key -> Ad.t
+
+let run t key = t key
+
+let mean ?(samples = 1000) t key =
+  let ks = Prng.split_many key samples in
+  Array.fold_left
+    (fun acc k -> acc +. Tensor.to_scalar (Ad.value (t k)))
+    0. ks
+  /. float_of_int samples
+
+let of_expectation m key = Adev.expectation m key
+let const x _key = Ad.scalar x
+let of_fun f = f
+
+let add a b key =
+  let k1, k2 = Prng.split key in
+  Ad.add (a k1) (b k2)
+
+let sub a b key =
+  let k1, k2 = Prng.split key in
+  Ad.sub (a k1) (b k2)
+
+let scale c a key = Ad.scale c (a key)
+let shift c a key = Ad.add_scalar c (a key)
+
+let mul a b key =
+  let k1, k2 = Prng.split key in
+  Ad.mul (a k1) (b k2)
+
+(* e^x = E_{N ~ Poisson(rate)} [ e^rate rate^{-N} prod_{i<N} X_i ]:
+   each term of the exponential series, importance-sampled by the
+   Poisson. *)
+let exp ?(rate = 2.0) a key =
+  let kn, kx = Prng.split key in
+  let n = Prng.poisson kn rate in
+  let coeff = Float.exp rate /. (rate ** float_of_int n) in
+  let factors = List.init n (fun i -> a (Prng.fold_in kx i)) in
+  Ad.scale coeff (List.fold_left Ad.mul (Ad.scalar 1.) factors)
+
+(* 1/x around anchor a: 1/x = (1/a) sum_n (1 - x/a)^n. Russian roulette:
+   include term n with probability p^n, weighting by p^{-n}. *)
+let reciprocal_mean ?(anchor = 1.0) ?(horizon_p = 0.9) a key =
+  let rec terms key acc weight =
+    let k1, rest = Prng.split key in
+    let k2, k3 = Prng.split rest in
+    if not (Prng.bernoulli k1 horizon_p) then acc
+    else begin
+      (* One fresh estimate per series factor keeps terms unbiased. *)
+      let factor =
+        Ad.scale (1. /. horizon_p)
+          (Ad.sub (Ad.scalar 1.) (Ad.scale (1. /. anchor) (a k2)))
+      in
+      let weight = Ad.mul weight factor in
+      terms k3 (Ad.add acc weight) weight
+    end
+  in
+  let acc = terms key (Ad.scalar 1.) (Ad.scalar 1.) in
+  Ad.scale (1. /. anchor) acc

@@ -1,0 +1,66 @@
+(** Estimated reals — the paper's R-tilde type (Section 3.3).
+
+    A value of type {!t} represents "a real number we can unbiasedly
+    estimate": running it with a key produces an AD scalar whose
+    expectation is the represented number (and whose reverse-mode
+    gradient unbiasedly estimates the number's gradient, when it came
+    from {!of_expectation}).
+
+    Unlike a probabilistic computation ([_ Adev.t]), an estimated real
+    cannot be sampled inside larger programs — arbitrary post-processing
+    would introduce Jensen bias. Instead it composes through the special
+    operators here, each of which preserves unbiasedness:
+
+    - {!add}, {!sub}, {!scale}, {!shift}: linearity of expectation;
+    - {!mul}: independent keys make the estimators uncorrelated, so the
+      product's expectation factorizes;
+    - {!exp}: the paper's [exp_R-tilde]. The series
+      [e^x = sum_n x^n / n!] is estimated without bias by drawing
+      [N ~ Poisson(lambda)] and returning
+      [e^lambda lambda^{-N} prod_{i=1}^{N} X_i] with [X_i] independent
+      estimates of [x];
+    - {!reciprocal_mean}: a Russian-roulette (von Neumann series)
+      estimator of [1 / x] for estimators concentrated near a known
+      anchor.
+
+    Each operator's unbiasedness is checked statistically in
+    [test/test_estimated.ml]. *)
+
+type t
+
+val run : t -> Prng.key -> Ad.t
+(** Draw one estimate. *)
+
+val mean : ?samples:int -> t -> Prng.key -> float
+(** Monte Carlo average of primal estimates (default 1000). *)
+
+val of_expectation : Ad.t Adev.t -> t
+(** [E m]: the number [E m] with the one-sample ADEV estimator. *)
+
+val const : float -> t
+(** A degenerate (zero-variance) estimator. *)
+
+val of_fun : (Prng.key -> Ad.t) -> t
+(** Wrap an arbitrary unbiased estimator; the caller owns the proof
+    obligation that its expectation is the intended number. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val shift : float -> t -> t
+
+val mul : t -> t -> t
+(** Product of two {e independent} estimates: unbiased for the product
+    of the represented numbers. *)
+
+val exp : ?rate:float -> t -> t
+(** Unbiased estimator of [e^x]; [rate] is the Poisson truncation rate
+    (default 2.0 — larger reduces variance, costs more inner
+    estimates). *)
+
+val reciprocal_mean : ?anchor:float -> ?horizon_p:float -> t -> t
+(** Unbiased estimator of [1 / x] via the geometric series around
+    [anchor] (default 1.0): [1/x = (1/a) sum_n (1 - x/a)^n], truncated
+    by Russian roulette with continuation probability [horizon_p]
+    (default 0.9). Convergence requires [|1 - x/a| < horizon_p] with
+    probability 1, i.e. estimates concentrated near the anchor. *)

@@ -1,0 +1,115 @@
+type dual = { v : float; dv : float }
+type 'a p = Prng.key -> ('a -> dual) -> dual
+
+let return x _key k = k x
+
+let bind m f key k =
+  let k1, k2 = Prng.split key in
+  m k1 (fun a -> f a k2 k)
+
+let ( let* ) = bind
+
+let dual v dv = { v; dv }
+let constant v = { v; dv = 0. }
+let add a b = { v = a.v +. b.v; dv = a.dv +. b.dv }
+let sub a b = { v = a.v -. b.v; dv = a.dv -. b.dv }
+let mul a b = { v = a.v *. b.v; dv = (a.dv *. b.v) +. (a.v *. b.dv) }
+
+let div a b =
+  { v = a.v /. b.v; dv = ((a.dv *. b.v) -. (a.v *. b.dv)) /. (b.v *. b.v) }
+
+let neg a = { v = -.a.v; dv = -.a.dv }
+let exp a = { v = Float.exp a.v; dv = Float.exp a.v *. a.dv }
+let log a = { v = Float.log a.v; dv = a.dv /. a.v }
+let sin_d a = { v = Float.sin a.v; dv = Float.cos a.v *. a.dv }
+let cos_d a = { v = Float.cos a.v; dv = -.Float.sin a.v *. a.dv }
+
+(* Fig. 6: D{normal_REPARAM} — push the tangent through sigma*eps + mu. *)
+let normal_reparam mu sigma key k =
+  let eps = Prng.normal key in
+  k { v = mu.v +. (sigma.v *. eps); dv = mu.dv +. (sigma.dv *. eps) }
+
+(* Fig. 6: D{normal_REINFORCE} — sample detached, add y * dlog p. *)
+let normal_reinforce mu sigma key k =
+  let x = Prng.normal_mean_std key mu.v sigma.v in
+  let y = k { v = x; dv = 0. } in
+  let z = (x -. mu.v) /. sigma.v in
+  let l' =
+    (mu.dv *. z /. sigma.v)
+    +. (sigma.dv *. (((z *. z) -. 1.) /. sigma.v))
+  in
+  { y with dv = y.dv +. (y.v *. l') }
+
+(* Measure-valued derivative with the Weibull (mean) and double-sided
+   Maxwell vs normal (scale) decompositions; continuation re-run
+   primal-only at the coupled positions. *)
+let normal_mvd mu sigma key k =
+  let k1, rest = Prng.split key in
+  let k2, rest = Prng.split rest in
+  let k3, rest = Prng.split rest in
+  let k4, k5 = Prng.split rest in
+  let x = Prng.normal_mean_std k1 mu.v sigma.v in
+  let y = k { v = x; dv = 0. } in
+  let primal_at z = (k { v = z; dv = 0. }).v in
+  let dmu =
+    if mu.dv = 0. then 0.
+    else begin
+      let w = Prng.weibull k2 ~shape:2. ~scale:(Float.sqrt 2.) in
+      let c = 1. /. (sigma.v *. Float.sqrt (2. *. Float.pi)) in
+      mu.dv *. c
+      *. (primal_at (mu.v +. (sigma.v *. w)) -. primal_at (mu.v -. (sigma.v *. w)))
+    end
+  in
+  let dsigma =
+    if sigma.dv = 0. then 0.
+    else begin
+      let m = Prng.maxwell k3 in
+      let s = if Prng.bernoulli k4 0.5 then 1. else -1. in
+      let eps = Prng.normal k5 in
+      sigma.dv /. sigma.v
+      *. (primal_at (mu.v +. (sigma.v *. m *. s))
+         -. primal_at (mu.v +. (sigma.v *. eps)))
+    end
+  in
+  { y with dv = y.dv +. dmu +. dsigma }
+
+(* Fig. 6: D{flip_ENUM} — enumerate both branches. *)
+let flip_enum p _key k =
+  let yt = k true in
+  let yf = k false in
+  { v = (p.v *. yt.v) +. ((1. -. p.v) *. yf.v);
+    dv =
+      (p.dv *. yt.v) +. (p.v *. yt.dv)
+      +. ((1. -. p.v) *. yf.dv)
+      -. (p.dv *. yf.v) }
+
+(* Fig. 6: D{flip_REINFORCE}. *)
+let flip_reinforce p key k =
+  let b = Prng.bernoulli key p.v in
+  let y = k b in
+  let l' = if b then p.dv /. p.v else p.dv /. (p.v -. 1.) in
+  { y with dv = y.dv +. (y.v *. l') }
+
+(* MVD for Bernoulli: d/dp E f(b) = f(true) - f(false). *)
+let flip_mvd p key k =
+  let b = Prng.bernoulli key p.v in
+  let y = k b in
+  let dcoupling =
+    if p.dv = 0. then 0. else p.dv *. ((k true).v -. (k false).v)
+  in
+  { y with dv = y.dv +. dcoupling }
+
+(* D{score}: multiply the continuation (product rule in the tangent). *)
+let score w _key k = mul w (k ())
+
+let expectation m key = m key (fun x -> x)
+
+let grad_estimate ?(samples = 1000) f theta i key =
+  let n = Array.length theta in
+  let seeded = Array.mapi (fun j t -> dual t (if j = i then 1. else 0.)) theta in
+  let keys = Prng.split_many key samples in
+  let total =
+    Array.fold_left (fun acc ki -> acc +. (expectation (f seeded) ki).dv) 0. keys
+  in
+  ignore n;
+  total /. float_of_int samples

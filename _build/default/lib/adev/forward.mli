@@ -1,0 +1,69 @@
+(** Forward-mode ADEV over dual numbers — a direct transcription of the
+    paper's Fig. 6 transformation (Jacobian-vector products).
+
+    This module is deliberately small and scalar-only. It exists (a) as
+    the pedagogically faithful counterpart of the formal development in
+    Sections 5-6, and (b) as an independent implementation used by the
+    test suite to cross-validate the reverse-mode surrogate-loss
+    construction in {!module:Adev}: for the same objective, both must
+    estimate the same directional derivative in expectation. *)
+
+type dual = { v : float; dv : float }
+(** A dual number: primal [v] and tangent [dv]. *)
+
+type 'a p
+(** A probabilistic computation over dual-number losses. *)
+
+val return : 'a -> 'a p
+val bind : 'a p -> ('a -> 'b p) -> 'b p
+
+val ( let* ) : 'a p -> ('a -> 'b p) -> 'b p
+
+(** {1 Dual arithmetic} *)
+
+val dual : float -> float -> dual
+val constant : float -> dual
+val add : dual -> dual -> dual
+val sub : dual -> dual -> dual
+val mul : dual -> dual -> dual
+val div : dual -> dual -> dual
+val neg : dual -> dual
+val exp : dual -> dual
+val log : dual -> dual
+val sin_d : dual -> dual
+val cos_d : dual -> dual
+
+(** {1 Primitives with strategies (Fig. 6)} *)
+
+val normal_reparam : dual -> dual -> dual p
+(** [normal_reparam mu sigma]: pathwise [sigma * eps + mu]. *)
+
+val normal_reinforce : dual -> dual -> dual p
+(** Score-function: tangent [y' + y * l'] with
+    [l' = mu' (x - mu) / sigma^2 + sigma' ((x - mu)^2 / sigma^3 - 1 / sigma)]
+    (Fig. 6 with the standard signs). *)
+
+val normal_mvd : dual -> dual -> dual p
+(** Measure-valued: Weibull coupling for the mean, double-sided
+    Maxwell / normal coupling for the scale. *)
+
+val flip_enum : dual -> bool p
+val flip_reinforce : dual -> bool p
+val flip_mvd : dual -> bool p
+
+val score : dual -> unit p
+(** Multiply the measure by a density factor (the paper's extension of
+    ADEV to unnormalized measures). *)
+
+(** {1 Differentiating expectations} *)
+
+val expectation : dual p -> Prng.key -> dual
+(** One sample of the (value, derivative-estimate) pair: the [adev]
+    transformation applied to [E]. *)
+
+val grad_estimate :
+  ?samples:int -> (dual array -> dual p) -> float array -> int ->
+  Prng.key -> float
+(** [grad_estimate f theta i key]: Monte Carlo estimate of
+    [d/dtheta_i E (f theta)] — runs [f] on duals seeded with the [i]-th
+    basis tangent vector. *)

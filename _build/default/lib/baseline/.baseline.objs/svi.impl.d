@@ -1,0 +1,1 @@
+lib/baseline/svi.ml: Ad Baseline Dist Float Gen Hashtbl List Printf Prng Tensor Trace

@@ -1,0 +1,1 @@
+lib/baseline/svi.mli: Ad Gen Prng

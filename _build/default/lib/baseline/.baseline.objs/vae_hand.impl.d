@@ -1,0 +1,1 @@
+lib/baseline/vae_hand.ml: Ad Adev Array Data Dist Prng Store Tensor Unix Vae

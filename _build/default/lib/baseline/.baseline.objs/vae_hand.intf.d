@@ -1,0 +1,1 @@
+lib/baseline/vae_hand.mli: Ad Prng Store Tensor

@@ -1,0 +1,212 @@
+exception Unsupported of string
+
+type estimator = Reinforce | Reinforce_baselines | Enum_discrete
+
+let estimator_name = function
+  | Reinforce -> "REINFORCE"
+  | Reinforce_baselines -> "REINFORCE+BL"
+  | Enum_discrete -> "ENUM"
+
+(* Per-address baseline cells, owned by the engine (as Pyro attaches
+   baselines to sites). *)
+let baseline_cells : (string, Baseline.t) Hashtbl.t = Hashtbl.create 16
+
+let cell_for address =
+  match Hashtbl.find_opt baseline_cells address with
+  | Some c -> c
+  | None ->
+    let c = Baseline.create () in
+    Hashtbl.add baseline_cells address c;
+    c
+
+type site = {
+  address : string;
+  logq : Ad.t;  (* log density at the replayed value *)
+  pathwise : bool;  (* sampled with a reparameterized sampler *)
+}
+
+(* Replay a guide like a trace poutine: reparameterized sampling where
+   available, detached sampling otherwise; record per-site log
+   densities. *)
+let rec replay : type a. a Gen.t -> Prng.key -> a * Trace.t * site list =
+ fun prog key ->
+  match Gen.view prog with
+  | Gen.View_return x -> (x, Trace.empty, [])
+  | Gen.View_bind (m, f) ->
+    let k1, k2 = Prng.split key in
+    let x, u1, s1 = replay m k1 in
+    let y, u2, s2 = replay (f x) k2 in
+    (y, Trace.union_disjoint u1 u2, s1 @ s2)
+  | Gen.View_sample (d, address) ->
+    let x, pathwise =
+      match d.Dist.reparam with
+      | Some r -> (r key, true)
+      | None -> (d.Dist.sample key, false)
+    in
+    ( x,
+      Trace.singleton address (d.Dist.inject x),
+      [ { address; logq = d.Dist.log_density x; pathwise } ] )
+  | Gen.View_observe (_, _) ->
+    raise (Unsupported "observe statements in the guide")
+  | Gen.View_unsupported what ->
+    raise (Unsupported (what ^ " (requires programmable densities)"))
+
+(* The engine's own monolithic density accumulator for the model. *)
+let rec model_log_density : type a. a Gen.t -> Trace.t -> Ad.t * a * Trace.t =
+ fun prog u ->
+  match Gen.view prog with
+  | Gen.View_return x -> (Ad.scalar 0., x, u)
+  | Gen.View_bind (m, f) ->
+    let w1, x, u1 = model_log_density m u in
+    let w2, y, u2 = model_log_density (f x) u1 in
+    (Ad.add w1 w2, y, u2)
+  | Gen.View_sample (d, address) -> begin
+    match Trace.find_opt address u with
+    | Some v -> begin
+      match d.Dist.project v with
+      | Some x -> (d.Dist.log_density x, x, Trace.remove address u)
+      | None -> (Ad.scalar Float.neg_infinity, d.Dist.default, u)
+    end
+    | None -> (Ad.scalar Float.neg_infinity, d.Dist.default, u)
+  end
+  | Gen.View_observe (d, v) -> (d.Dist.log_density v, (), u)
+  | Gen.View_unsupported what ->
+    raise (Unsupported (what ^ " in the model"))
+
+let model_logp model trace =
+  let w, _, remainder = model_log_density model trace in
+  if Trace.is_empty remainder then w else Ad.scalar Float.neg_infinity
+
+let magic_box coeff lp = Ad.mul coeff (Ad.sub lp (Ad.stop_grad lp))
+
+(* The classic monolithic surrogate: elbo + sum over score-function
+   sites of (stop(elbo) - baseline) (logq - stop logq). *)
+let reinforce_surrogate ~baselines ~model ~guide key =
+  let k1, _ = Prng.split key in
+  let _, trace, sites = replay guide k1 in
+  let logq = Ad.add_list (List.map (fun s -> s.logq) sites) in
+  let logp = model_logp model trace in
+  let elbo = Ad.sub logp logq in
+  let score_terms =
+    List.filter_map
+      (fun s ->
+        if s.pathwise then None
+        else begin
+          let b =
+            if baselines then begin
+              let cell = cell_for s.address in
+              let b = Baseline.value cell in
+              Baseline.update cell (Tensor.to_scalar (Ad.value elbo));
+              b
+            end
+            else 0.
+          in
+          let coeff = Ad.add_scalar (-.b) (Ad.stop_grad elbo) in
+          Some (magic_box coeff s.logq)
+        end)
+      sites
+  in
+  Ad.add_list (elbo :: score_terms)
+
+(* Exhaustive enumeration of finite-support sites. Each branch carries
+   (value, trace so far, log enumeration weight, log density of the
+   pathwise continuous sites). *)
+let rec enum_branches : type a.
+    a Gen.t -> Prng.key -> (a * Trace.t * Ad.t * Ad.t) list =
+ fun prog key ->
+  match Gen.view prog with
+  | Gen.View_return x -> [ (x, Trace.empty, Ad.scalar 0., Ad.scalar 0.) ]
+  | Gen.View_bind (m, f) ->
+    let k1, k2 = Prng.split key in
+    List.concat_map
+      (fun (x, u1, w1, c1) ->
+        List.map
+          (fun (y, u2, w2, c2) ->
+            (y, Trace.union_disjoint u1 u2, Ad.add w1 w2, Ad.add c1 c2))
+          (enum_branches (f x) k2))
+      (enum_branches m k1)
+  | Gen.View_sample (d, address) -> begin
+    match d.Dist.support with
+    | Some support ->
+      List.map
+        (fun v ->
+          ( v,
+            Trace.singleton address (d.Dist.inject v),
+            d.Dist.log_density v,
+            Ad.scalar 0. ))
+        support
+    | None -> begin
+      match d.Dist.reparam with
+      | Some r ->
+        let x = r key in
+        [ (x, Trace.singleton address (d.Dist.inject x), Ad.scalar 0.,
+           d.Dist.log_density x) ]
+      | None ->
+        raise
+          (Unsupported
+             (Printf.sprintf
+                "site %S: non-enumerable, non-reparameterizable under \
+                 Enum_discrete"
+                address))
+    end
+  end
+  | Gen.View_observe (_, _) ->
+    raise (Unsupported "observe statements in the guide")
+  | Gen.View_unsupported what -> raise (Unsupported what)
+
+let enum_surrogate ~model ~guide key =
+  let branches = enum_branches guide key in
+  let terms =
+    List.map
+      (fun (_, trace, logw, logc) ->
+        let logp = model_logp model trace in
+        let weight = Ad.exp logw in
+        Ad.mul weight Ad.O.(logp - logw - logc))
+      branches
+  in
+  Ad.add_list terms
+
+let elbo_surrogate ~model ~guide estimator key =
+  match estimator with
+  | Reinforce -> reinforce_surrogate ~baselines:false ~model ~guide key
+  | Reinforce_baselines -> reinforce_surrogate ~baselines:true ~model ~guide key
+  | Enum_discrete -> enum_surrogate ~model ~guide key
+
+let iwelbo_surrogate ~particles ~model ~guide estimator key =
+  (match estimator with
+  | Reinforce -> ()
+  | Reinforce_baselines ->
+    raise (Unsupported "baselines are not wired into the IWELBO objective")
+  | Enum_discrete ->
+    raise (Unsupported "enumeration is not wired into the IWELBO objective"));
+  let particle i =
+    let k = Prng.fold_in key i in
+    let _, trace, sites = replay guide k in
+    let logq = Ad.add_list (List.map (fun s -> s.logq) sites) in
+    let logp = model_logp model trace in
+    (Ad.sub logp logq, sites)
+  in
+  let runs = List.init particles particle in
+  let logws = List.map fst runs in
+  let iwelbo =
+    Ad.sub
+      (Ad.logsumexp (Ad.stack0 logws))
+      (Ad.scalar (Float.log (float_of_int particles)))
+  in
+  let score_terms =
+    List.concat_map
+      (fun (_, sites) ->
+        List.filter_map
+          (fun s ->
+            if s.pathwise then None
+            else Some (magic_box (Ad.stop_grad iwelbo) s.logq))
+          sites)
+      runs
+  in
+  Ad.add_list (iwelbo :: score_terms)
+
+let supports ~objective estimator =
+  match (objective, estimator) with
+  | `Elbo, (Reinforce | Reinforce_baselines | Enum_discrete) -> true
+  | `Iwelbo, Reinforce -> true
+  | `Iwelbo, (Reinforce_baselines | Enum_discrete) -> false

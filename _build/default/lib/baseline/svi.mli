@@ -1,0 +1,45 @@
+(** A monolithic, Pyro-style stochastic variational inference engine —
+    the comparator system for Tables 2 and 3.
+
+    This engine deliberately mirrors the design the paper argues
+    against: instead of compiling the model and guide into ADEV programs
+    and composing per-primitive estimators, it replays the guide like a
+    trace poutine and bakes a {e fixed} menu of whole-objective gradient
+    estimators into its ELBO implementation:
+
+    - [Reinforce]: pathwise derivatives through reparameterizable sites,
+      a single score-function term for everything else;
+    - [Reinforce_baselines]: the same, with per-site running-mean
+      control variates;
+    - [Enum_discrete]: exhaustive enumeration of every finite-support
+      site (one monolithic product over branches — exponential in the
+      number of discrete sites, like Pyro's sequential enumeration).
+
+    Everything outside that menu — measure-valued derivatives, per-site
+    strategy mixing, importance-weighted objectives with enumeration,
+    [marginal] / [normalize] guides — raises {!Unsupported}. Those
+    raised exceptions are the X entries of Table 3. *)
+
+exception Unsupported of string
+
+type estimator = Reinforce | Reinforce_baselines | Enum_discrete
+
+val estimator_name : estimator -> string
+
+val elbo_surrogate :
+  model:'a Gen.t -> guide:'b Gen.t -> estimator -> Prng.key -> Ad.t
+(** A surrogate loss whose value is an ELBO estimate and whose gradient
+    is the engine's gradient estimator. @raise Unsupported on guides
+    using [marginal] / [normalize], on guides with [observe], and on
+    non-reparameterizable continuous sites under [Enum_discrete]. *)
+
+val iwelbo_surrogate :
+  particles:int -> model:'a Gen.t -> guide:'b Gen.t -> estimator ->
+  Prng.key -> Ad.t
+(** IWELBO with the score-function estimator. Only [Reinforce] is
+    supported (as in Pyro, where e.g. enumeration and baselines are not
+    wired into the importance-weighted objective).
+    @raise Unsupported otherwise. *)
+
+val supports : objective:[ `Elbo | `Iwelbo ] -> estimator -> bool
+(** The engine's static menu (the Table 3 "Pyro" column). *)

@@ -1,0 +1,55 @@
+let latent_dim = Vae.latent_dim
+
+(* The estimator of Fig. 10 (top left), written directly against the AD
+   engine: reparameterize by hand, accumulate the three log-density
+   terms by hand. *)
+let elbo_surrogate frame images key =
+  let n = (Tensor.shape images).(0) in
+  let x = Ad.const images in
+  let mu, std = Vae.encode frame x in
+  let eps = Ad.const (Prng.normal_tensor key [| n; latent_dim |]) in
+  let z = Ad.O.(mu + (std * eps)) in
+  let guide_logp = Dist.log_density_mv_normal_diag ~mean:mu ~std z in
+  let prior_logp =
+    Dist.log_density_mv_normal_diag
+      ~mean:(Ad.const (Tensor.zeros [| n; latent_dim |]))
+      ~std:(Ad.const (Tensor.ones [| n; latent_dim |]))
+      z
+  in
+  let logits = Vae.decode frame z in
+  let like_logp = Dist.log_density_bernoulli_logits ~logits x in
+  Ad.scale (1. /. float_of_int n)
+    Ad.O.(like_logp + prior_logp - guide_logp)
+
+let grad_step_time store ~batch ~repeats key =
+  let images, _ = Data.digit_batch key batch in
+  let run i =
+    let frame = Store.Frame.make store in
+    let surrogate = elbo_surrogate frame images (Prng.fold_in key i) in
+    Ad.backward surrogate;
+    ignore (Store.Frame.grads frame)
+  in
+  run 0;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to repeats do
+    run i
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int repeats
+
+let agrees_with_automated store ~batch key =
+  let images, _ = Data.digit_batch key batch in
+  let samples = 400 in
+  let hand =
+    let total = ref 0. in
+    for i = 0 to samples - 1 do
+      let frame = Store.Frame.make store in
+      let s = elbo_surrogate frame images (Prng.fold_in key i) in
+      total := !total +. Tensor.to_scalar (Ad.value s)
+    done;
+    !total /. float_of_int samples
+  in
+  let automated =
+    let frame = Store.Frame.make store in
+    Adev.estimate ~samples (Vae.elbo_per_datum frame images) key
+  in
+  (hand, automated)

@@ -1,0 +1,24 @@
+(** Hand-coded VAE ELBO gradient estimator — the Table 1 / Fig. 10
+    comparator.
+
+    This is the estimator a practitioner would write directly against
+    the AD engine, with no generative language, no traces, and no ADEV:
+    sample the noise, reparameterize, and write out the three log-density
+    terms by hand. It shares [Vae.register]'s parameters (and its
+    encoder/decoder networks), so any runtime difference against
+    [Vae.grad_step_time] measures exactly the overhead of the automation
+    layers. *)
+
+val elbo_surrogate : Store.Frame.t -> Tensor.t -> Prng.key -> Ad.t
+(** Per-datum ELBO of a batch, reparameterized by hand. *)
+
+val grad_step_time :
+  Store.t -> batch:int -> repeats:int -> Prng.key -> float
+(** Mean seconds per hand-coded gradient estimate (forward + backward)
+    at the given batch size — the Table 1 "Hand coded" column. *)
+
+val agrees_with_automated :
+  Store.t -> batch:int -> Prng.key -> float * float
+(** (hand-coded estimate, automated estimate) of the ELBO under the
+    {e same} noise key — used by the test suite to show the two
+    estimators compute the same value. *)

@@ -1,0 +1,193 @@
+let sprite_side = 12
+let sprite_dim = sprite_side * sprite_side
+let canvas_side = 16
+let canvas_dim = canvas_side * canvas_side
+let patch_side = 6
+let num_positions = 4
+let max_objects = 2
+
+(* Seven-segment digit rendering. Segments: a = top, b = top-right,
+   c = bottom-right, d = bottom, e = bottom-left, f = top-left,
+   g = middle. *)
+let segments_of_digit = function
+  | 0 -> [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ]
+  | 1 -> [ 'b'; 'c' ]
+  | 2 -> [ 'a'; 'b'; 'g'; 'e'; 'd' ]
+  | 3 -> [ 'a'; 'b'; 'g'; 'c'; 'd' ]
+  | 4 -> [ 'f'; 'g'; 'b'; 'c' ]
+  | 5 -> [ 'a'; 'f'; 'g'; 'c'; 'd' ]
+  | 6 -> [ 'a'; 'f'; 'g'; 'e'; 'c'; 'd' ]
+  | 7 -> [ 'a'; 'b'; 'c' ]
+  | 8 -> [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g' ]
+  | 9 -> [ 'a'; 'b'; 'c'; 'd'; 'f'; 'g' ]
+  | d -> invalid_arg (Printf.sprintf "Data.digit_glyph: %d" d)
+
+(* Draw the glyph in a 10x6 box centered in the 12x12 sprite. *)
+let digit_glyph d =
+  let segs = segments_of_digit d in
+  let on seg = List.mem seg segs in
+  let top = 1 and left = 3 in
+  let h = 10 and w = 6 in
+  Tensor.init [| sprite_side; sprite_side |] (fun ix ->
+      let r = ix.(0) - top and c = ix.(1) - left in
+      if r < 0 || r >= h || c < 0 || c >= w then 0.
+      else begin
+        let mid = h / 2 in
+        let hit =
+          (on 'a' && r = 0)
+          || (on 'g' && r = mid)
+          || (on 'd' && r = h - 1)
+          || (on 'f' && c = 0 && r <= mid)
+          || (on 'e' && c = 0 && r >= mid)
+          || (on 'b' && c = w - 1 && r <= mid)
+          || (on 'c' && c = w - 1 && r >= mid)
+        in
+        if hit then 1. else 0.
+      end)
+
+let shift_image img dr dc =
+  let side = (Tensor.shape img).(0) in
+  Tensor.init [| side; side |] (fun ix ->
+      let r = ix.(0) - dr and c = ix.(1) - dc in
+      if r < 0 || r >= side || c < 0 || c >= side then 0.
+      else Tensor.get img [| r; c |])
+
+let flip_pixels key rate img =
+  let u = Prng.uniform_tensor key (Tensor.shape img) in
+  Tensor.map2 (fun ui xi -> if ui < rate then 1. -. xi else xi) u img
+
+let sprite ?(noise = 0.02) key d =
+  let k1, rest = Prng.split key in
+  let k2, k3 = Prng.split rest in
+  let dr = Prng.categorical k1 [| 1.; 1.; 1. |] - 1 in
+  let dc = Prng.categorical k2 [| 1.; 1.; 1. |] - 1 in
+  flip_pixels k3 noise (shift_image (digit_glyph d) dr dc)
+
+let digit_batch ?noise key n =
+  let ks = Prng.split_many key n in
+  let labels = Array.map (fun k -> Prng.categorical k (Array.make 10 1.)) ks in
+  let images =
+    Array.to_list
+      (Array.mapi
+         (fun i k -> Tensor.flatten (sprite ?noise (Prng.fold_in k 1) labels.(i)))
+         ks)
+  in
+  (Tensor.stack0 images, labels)
+
+(* Nearest-neighbour downsample of the 12x12 glyph to 6x6. *)
+let patch_glyph d =
+  let g = digit_glyph d in
+  Tensor.init [| patch_side; patch_side |] (fun ix ->
+      let r = ix.(0) * sprite_side / patch_side in
+      let c = ix.(1) * sprite_side / patch_side in
+      (* A patch cell is on when any covered source pixel is on. *)
+      let any = ref 0. in
+      for dr = 0 to (sprite_side / patch_side) - 1 do
+        for dc = 0 to (sprite_side / patch_side) - 1 do
+          if Tensor.get g [| r + dr; c + dc |] > 0.5 then any := 1.
+        done
+      done;
+      !any)
+
+let position_offset i =
+  if i < 0 || i >= num_positions then
+    invalid_arg (Printf.sprintf "Data.position_offset: %d" i);
+  let step = canvas_side - patch_side in
+  (i / 2 * step, i mod 2 * step)
+
+let render_scene objs =
+  let canvas = Array.make canvas_dim 0. in
+  List.iter
+    (fun (digit, pos) ->
+      let patch = patch_glyph digit in
+      let r0, c0 = position_offset pos in
+      for r = 0 to patch_side - 1 do
+        for c = 0 to patch_side - 1 do
+          let p = Tensor.get patch [| r; c |] in
+          let i = ((r0 + r) * canvas_side) + (c0 + c) in
+          (* Probabilistic OR keeps overlaps in [0, 1]. *)
+          canvas.(i) <- 1. -. ((1. -. canvas.(i)) *. (1. -. p))
+        done
+      done)
+    objs;
+  Tensor.of_array [| canvas_side; canvas_side |] canvas
+
+let air_scene key =
+  let k1, rest = Prng.split key in
+  let k2, k3 = Prng.split rest in
+  let count = Prng.categorical k1 (Array.make (max_objects + 1) 1.) in
+  let positions = Prng.permutation k2 num_positions in
+  let objs =
+    List.init count (fun i ->
+        let digit = Prng.categorical (Prng.fold_in k3 i) (Array.make 10 1.) in
+        (digit, positions.(i)))
+  in
+  let img = flip_pixels (Prng.fold_in k3 99) 0.01 (render_scene objs) in
+  (Tensor.flatten img, count)
+
+let air_batch key n =
+  let ks = Prng.split_many key n in
+  let scenes = Array.map air_scene ks in
+  (Tensor.stack0 (Array.to_list (Array.map fst scenes)), Array.map snd scenes)
+
+let as_square img =
+  match Tensor.rank img with
+  | 2 -> img
+  | 1 ->
+    let n = Tensor.size img in
+    let side = int_of_float (Float.round (Float.sqrt (float_of_int n))) in
+    Tensor.reshape [| side; side |] img
+  | _ -> invalid_arg "Data: expected a rank-1 or rank-2 image"
+
+let quadrant img q =
+  let img = as_square img in
+  let side = (Tensor.shape img).(0) in
+  let half = side / 2 in
+  let r0 = q / 2 * half and c0 = q mod 2 * half in
+  Tensor.init [| half; half |] (fun ix ->
+      Tensor.get img [| r0 + ix.(0); c0 + ix.(1) |])
+
+let without_quadrant img q =
+  let img = as_square img in
+  let side = (Tensor.shape img).(0) in
+  let half = side / 2 in
+  let r0 = q / 2 * half and c0 = q mod 2 * half in
+  let kept = ref [] in
+  for r = side - 1 downto 0 do
+    for c = side - 1 downto 0 do
+      if not (r >= r0 && r < r0 + half && c >= c0 && c < c0 + half) then
+        kept := Tensor.get img [| r; c |] :: !kept
+    done
+  done;
+  Tensor.of_list1 !kept
+
+type regression_datum = { ruggedness : float; in_africa : bool; log_gdp : float }
+
+let regression_truth = (9., -1.8, -0.2, 0.35)
+
+let regression_data key n =
+  let a, ba, br, bar = regression_truth in
+  Array.map
+    (fun k ->
+      let k1, rest = Prng.split k in
+      let k2, k3 = Prng.split rest in
+      let ruggedness = Prng.uniform_range k1 0. 6. in
+      let in_africa = Prng.bernoulli k2 0.4 in
+      let c = if in_africa then 1. else 0. in
+      let mean = a +. (ba *. c) +. (br *. ruggedness) +. (bar *. c *. ruggedness) in
+      { ruggedness; in_africa; log_gdp = Prng.normal_mean_std k3 mean 0.5 })
+    (Prng.split_many key n)
+
+let ascii img =
+  let img = as_square img in
+  let side = (Tensor.shape img).(0) in
+  let buf = Buffer.create (side * (side + 1)) in
+  for r = 0 to side - 1 do
+    for c = 0 to side - 1 do
+      let x = Tensor.get img [| r; c |] in
+      Buffer.add_char buf
+        (if x > 0.75 then '#' else if x > 0.35 then '+' else '.')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/dist/dist.ml: Ad Array Baseline Float Fun List Prng Special Tensor Value

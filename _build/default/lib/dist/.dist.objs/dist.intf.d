@@ -1,0 +1,1 @@
+lib/dist/dist.mli: Ad Baseline Prng Value

@@ -1,0 +1,1 @@
+lib/dist/special.mli: Ad

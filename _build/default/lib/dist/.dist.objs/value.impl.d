@@ -1,0 +1,1 @@
+lib/dist/value.ml: Ad Format Tensor

@@ -1,0 +1,1 @@
+lib/dist/value.mli: Ad Format Tensor

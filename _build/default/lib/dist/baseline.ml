@@ -1,0 +1,11 @@
+type t = { mutable mean : float; mutable count : int; decay : float }
+
+let create ?(decay = 0.9) () = { mean = 0.; count = 0; decay }
+let value t = t.mean
+
+let update t x =
+  if t.count = 0 then t.mean <- x
+  else t.mean <- (t.decay *. t.mean) +. ((1. -. t.decay) *. x);
+  t.count <- t.count + 1
+
+let observations t = t.count

@@ -1,0 +1,22 @@
+(** Running-mean control-variate baselines for score-function (REINFORCE)
+    gradient estimators.
+
+    A baseline cell tracks an exponential moving average of the losses
+    observed at a sample site; subtracting it from the loss inside the
+    score-function term reduces variance without introducing bias
+    (the baseline is independent of the current sample). This is the
+    "BL" strategy of Table 3. *)
+
+type t
+
+val create : ?decay:float -> unit -> t
+(** A fresh cell. [decay] (default 0.9) is the EMA coefficient. *)
+
+val value : t -> float
+(** Current baseline (0 until the first update). *)
+
+val update : t -> float -> unit
+(** Fold one observed loss into the moving average. *)
+
+val observations : t -> int
+(** Number of updates so far. *)

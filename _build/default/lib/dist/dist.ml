@@ -1,0 +1,459 @@
+type strategy =
+  | Reparam
+  | Reinforce
+  | Reinforce_baseline of Baseline.t
+  | Enum
+  | Mvd
+
+type 'a coupling = { param : Ad.t; weight : float; plus : 'a; minus : 'a }
+
+type 'a t = {
+  name : string;
+  strategy : strategy;
+  sample : Prng.key -> 'a;
+  log_density : 'a -> Ad.t;
+  default : 'a;
+  inject : 'a -> Value.t;
+  project : Value.t -> 'a option;
+  support : 'a list option;
+  reparam : (Prng.key -> 'a) option;
+  mvd : (Prng.key -> 'a * 'a coupling list) option;
+}
+
+let make ~name ~strategy ~sample ~log_density ~default ~inject ~project
+    ?support ?reparam ?mvd () =
+  { name; strategy; sample; log_density; default; inject; project; support;
+    reparam; mvd }
+
+(* Injection helpers per carrier type. *)
+
+let inject_real a = Value.Real a
+let project_real = function Value.Real a -> Some a | _ -> None
+let inject_bool b = Value.Bool b
+let project_bool = function Value.Bool b -> Some b | _ -> None
+let inject_int i = Value.Int i
+let project_int = function Value.Int i -> Some i | _ -> None
+
+let primal a = Tensor.to_scalar (Ad.value a)
+let log_2pi = Float.log (2. *. Float.pi)
+
+(* Clamp a probability-valued AD node away from 0/1 before taking logs.
+   The clamp is a detached additive correction, so gradients are those of
+   the unclamped value. *)
+let log_stable a =
+  let eps = 1e-12 in
+  let v = Ad.value a in
+  let safe = Tensor.clip ~min:eps ~max:Float.infinity v in
+  Ad.log (Ad.add a (Ad.const (Tensor.sub safe v)))
+
+(* Normal *)
+
+let log_density_normal ~mu ~sigma x =
+  let open Ad.O in
+  let z = (x - mu) / sigma in
+  Ad.scale (-0.5) (z * z) - Ad.log sigma - Ad.scalar (0.5 *. log_2pi)
+
+let normal_base ~strategy ?support ?reparam ?mvd mu sigma =
+  make ~name:"normal" ~strategy
+    ~sample:(fun key ->
+      Ad.scalar (Prng.normal_mean_std key (primal mu) (primal sigma)))
+    ~log_density:(log_density_normal ~mu ~sigma)
+    ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
+    ?support ?reparam ?mvd ()
+
+let normal_reparam mu sigma =
+  normal_base ~strategy:Reparam
+    ~reparam:(fun key ->
+      let eps = Ad.scalar (Prng.normal key) in
+      Ad.O.(mu + (sigma * eps)))
+    mu sigma
+
+let normal_reinforce mu sigma = normal_base ~strategy:Reinforce mu sigma
+
+let normal_mvd mu sigma =
+  normal_base ~strategy:Mvd
+    ~mvd:(fun key ->
+      let k1, rest = Prng.split key in
+      let k2, rest = Prng.split rest in
+      let k3, rest = Prng.split rest in
+      let k4, k5 = Prng.split rest in
+      let mu_p = primal mu and sigma_p = primal sigma in
+      let x = Ad.scalar (Prng.normal_mean_std k1 mu_p sigma_p) in
+      (* d/dmu: Weibull(scale sqrt 2, shape 2) coupling, constant
+         1 / (sigma sqrt (2 pi)). *)
+      let w = Prng.weibull k2 ~shape:2. ~scale:(Float.sqrt 2.) in
+      let mu_coupling =
+        { param = mu;
+          weight = 1. /. (sigma_p *. Float.sqrt (2. *. Float.pi));
+          plus = Ad.scalar (mu_p +. (sigma_p *. w));
+          minus = Ad.scalar (mu_p -. (sigma_p *. w)) }
+      in
+      (* d/dsigma: double-sided Maxwell minus normal, constant 1/sigma. *)
+      let m = Prng.maxwell k3 in
+      let s = if Prng.bernoulli k4 0.5 then 1. else -1. in
+      let eps = Prng.normal k5 in
+      let sigma_coupling =
+        { param = sigma;
+          weight = 1. /. sigma_p;
+          plus = Ad.scalar (mu_p +. (sigma_p *. m *. s));
+          minus = Ad.scalar (mu_p +. (sigma_p *. eps)) }
+      in
+      (x, [ mu_coupling; sigma_coupling ]))
+    mu sigma
+
+(* Uniform: rigid bounds, rigid value. *)
+
+let uniform lo hi =
+  if hi <= lo then invalid_arg "Dist.uniform: hi <= lo";
+  let logd = -.Float.log (hi -. lo) in
+  make ~name:"uniform" ~strategy:Reinforce
+    ~sample:(fun key -> Ad.scalar (Prng.uniform_range key lo hi))
+    ~log_density:(fun x ->
+      let v = primal x in
+      if v >= lo && v <= hi then Ad.scalar logd
+      else Ad.scalar Float.neg_infinity)
+    ~default:(Ad.scalar lo) ~inject:inject_real ~project:project_real ()
+
+(* Beta / Gamma *)
+
+let beta_reinforce a b =
+  make ~name:"beta" ~strategy:Reinforce
+    ~sample:(fun key -> Ad.scalar (Prng.beta key (primal a) (primal b)))
+    ~log_density:(fun x ->
+      let open Ad.O in
+      let xv = Float.min (Float.max (primal x) 1e-12) (1. -. 1e-12) in
+      let x = Ad.scalar xv in
+      ((a - Ad.scalar 1.) * Ad.log x)
+      + ((b - Ad.scalar 1.) * Ad.log (Ad.scalar 1. - x))
+      - Special.log_beta a b)
+    ~default:(Ad.scalar 0.5) ~inject:inject_real ~project:project_real ()
+
+let gamma_reinforce shape =
+  make ~name:"gamma" ~strategy:Reinforce
+    ~sample:(fun key -> Ad.scalar (Prng.gamma key (primal shape)))
+    ~log_density:(fun x ->
+      let open Ad.O in
+      let xv = Float.max (primal x) 1e-12 in
+      let x = Ad.scalar xv in
+      ((shape - Ad.scalar 1.) * Ad.log x) - x - Special.lgamma_ad shape)
+    ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real ()
+
+(* Location-scale families with inverse-CDF reparameterizations. *)
+
+let laplace_reparam loc scale =
+  make ~name:"laplace" ~strategy:Reparam
+    ~sample:(fun key ->
+      let u = Prng.uniform key -. 0.5 in
+      let m = if u < 0. then Float.log (1. +. (2. *. u)) else -.Float.log (1. -. (2. *. u)) in
+      Ad.scalar (primal loc +. (primal scale *. m)))
+    ~log_density:(fun x ->
+      let open Ad.O in
+      let z = (x - loc) / scale in
+      (* |z| = z * sign(z) with the sign detached: correct value and
+         subgradient away from the kink at the location (the usual
+         Laplace caveat). *)
+      let sign = Ad.const (Tensor.map (fun v -> if v >= 0. then 1. else -1.) (Ad.value z)) in
+      let abs_z = Ad.mul z sign in
+      Ad.neg abs_z - Ad.log (Ad.scale 2. scale))
+    ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
+    ~reparam:(fun key ->
+      let u = Prng.uniform key -. 0.5 in
+      let m = if u < 0. then Float.log (1. +. (2. *. u)) else -.Float.log (1. -. (2. *. u)) in
+      Ad.O.(loc + (scale * Ad.scalar m)))
+    ()
+
+let logistic_reparam loc scale =
+  let logit u = Float.log (u /. (1. -. u)) in
+  make ~name:"logistic" ~strategy:Reparam
+    ~sample:(fun key ->
+      let u = Float.min (Float.max (Prng.uniform key) 1e-12) (1. -. 1e-12) in
+      Ad.scalar (primal loc +. (primal scale *. logit u)))
+    ~log_density:(fun x ->
+      let open Ad.O in
+      let z = (x - loc) / scale in
+      Ad.neg z - Ad.log scale - Ad.scale 2. (Ad.softplus (Ad.neg z)))
+    ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
+    ~reparam:(fun key ->
+      let u = Float.min (Float.max (Prng.uniform key) 1e-12) (1. -. 1e-12) in
+      Ad.O.(loc + (scale * Ad.scalar (logit u))))
+    ()
+
+let lognormal_reparam mu sigma =
+  make ~name:"lognormal" ~strategy:Reparam
+    ~sample:(fun key ->
+      Ad.scalar (Float.exp (Prng.normal_mean_std key (primal mu) (primal sigma))))
+    ~log_density:(fun x ->
+      let xv = Float.max (primal x) 1e-300 in
+      let logx = Ad.scalar (Float.log xv) in
+      Ad.O.(log_density_normal ~mu ~sigma logx - Ad.scalar (Float.log xv)))
+    ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real
+    ~reparam:(fun key ->
+      let eps = Ad.scalar (Prng.normal key) in
+      Ad.exp Ad.O.(mu + (sigma * eps)))
+    ()
+
+let exponential_reparam rate =
+  make ~name:"exponential" ~strategy:Reparam
+    ~sample:(fun key -> Ad.scalar (Prng.exponential key /. primal rate))
+    ~log_density:(fun x -> Ad.O.(Ad.log rate - (rate * x)))
+    ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real
+    ~reparam:(fun key -> Ad.div (Ad.scalar (Prng.exponential key)) rate)
+    ()
+
+let student_t_reinforce df =
+  make ~name:"student_t" ~strategy:Reinforce
+    ~sample:(fun key ->
+      (* t = Z / sqrt(V / df) with V ~ chi^2(df) = Gamma(df/2, 2). *)
+      let k1, k2 = Prng.split key in
+      let z = Prng.normal k1 in
+      let v = 2. *. Prng.gamma k2 (primal df /. 2.) in
+      Ad.scalar (z /. Float.sqrt (v /. primal df)))
+    ~log_density:(fun x ->
+      let open Ad.O in
+      let xv = primal x in
+      let half = Ad.scale 0.5 df in
+      let half1 = Ad.add_scalar 0.5 half in
+      Special.lgamma_ad half1 - Special.lgamma_ad half
+      - Ad.scale 0.5 (Ad.log (Ad.scale Float.pi df))
+      - (half1
+        * Ad.log (Ad.add_scalar 1. (Ad.scale (xv *. xv) (Ad.pow_scalar df (-1.)))))
+      )
+    ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real ()
+
+let scaled_beta_reinforce ~lo ~hi a b =
+  if hi <= lo then invalid_arg "Dist.scaled_beta_reinforce: hi <= lo";
+  let width = hi -. lo in
+  let unscale x = (primal x -. lo) /. width in
+  make ~name:"scaled_beta" ~strategy:Reinforce
+    ~sample:(fun key ->
+      Ad.scalar (lo +. (width *. Prng.beta key (primal a) (primal b))))
+    ~log_density:(fun x ->
+      let open Ad.O in
+      let u = Float.min (Float.max (unscale x) 1e-12) (1. -. 1e-12) in
+      let u = Ad.scalar u in
+      ((a - Ad.scalar 1.) * Ad.log u)
+      + ((b - Ad.scalar 1.) * Ad.log (Ad.scalar 1. - u))
+      - Special.log_beta a b
+      - Ad.scalar (Float.log width))
+    ~default:(Ad.scalar ((lo +. hi) /. 2.)) ~inject:inject_real
+    ~project:project_real ()
+
+(* Flip *)
+
+let log_density_flip p b =
+  if b then log_stable p else log_stable Ad.O.(Ad.scalar 1. - p)
+
+let flip_base ~strategy ?mvd p =
+  make ~name:"flip" ~strategy
+    ~sample:(fun key -> Prng.bernoulli key (primal p))
+    ~log_density:(log_density_flip p) ~default:false ~inject:inject_bool
+    ~project:project_bool ~support:[ true; false ] ?mvd ()
+
+let flip_enum p = flip_base ~strategy:Enum p
+let flip_reinforce p = flip_base ~strategy:Reinforce p
+let flip_reinforce_bl cell p = flip_base ~strategy:(Reinforce_baseline cell) p
+
+let flip_mvd p =
+  flip_base ~strategy:Mvd
+    ~mvd:(fun key ->
+      let b = Prng.bernoulli key (primal p) in
+      (b, [ { param = p; weight = 1.; plus = true; minus = false } ]))
+    p
+
+(* Categorical *)
+
+let categorical_base ~name ~strategy ~probs_of ~log_density_of param =
+  let n = Tensor.size (Ad.value param) in
+  make ~name ~strategy
+    ~sample:(fun key -> Prng.categorical key (Tensor.to_array (probs_of param)))
+    ~log_density:(fun i ->
+      if i < 0 || i >= n then Ad.scalar Float.neg_infinity
+      else log_density_of param i)
+    ~default:0 ~inject:inject_int ~project:project_int
+    ~support:(List.init n (fun i -> i))
+    ()
+
+let categorical_with ~strategy probs =
+  categorical_base ~name:"categorical" ~strategy
+    ~probs_of:(fun p -> Ad.value p)
+    ~log_density_of:(fun p i -> log_stable (Ad.get p [| i |]))
+    probs
+
+let categorical_enum probs = categorical_with ~strategy:Enum probs
+let categorical_reinforce probs = categorical_with ~strategy:Reinforce probs
+
+let categorical_reinforce_bl cell probs =
+  categorical_with ~strategy:(Reinforce_baseline cell) probs
+
+let categorical_logits_with ~strategy logits =
+  categorical_base ~name:"categorical_logits" ~strategy
+    ~probs_of:(fun l -> Tensor.softmax (Ad.value l))
+    ~log_density_of:(fun l i -> Ad.get (Ad.log_softmax l) [| i |])
+    logits
+
+let categorical_logits_enum l = categorical_logits_with ~strategy:Enum l
+
+let categorical_logits_reinforce l =
+  categorical_logits_with ~strategy:Reinforce l
+
+let categorical_logits_reinforce_bl cell l =
+  categorical_logits_with ~strategy:(Reinforce_baseline cell) l
+
+let categorical_logits_mvd logits =
+  let n = Tensor.size (Ad.value logits) in
+  let base = categorical_logits_with ~strategy:Mvd logits in
+  let mvd key =
+    let k1, k2 = Prng.split key in
+    let probs = Tensor.softmax (Ad.value logits) in
+    let weights = Tensor.to_array probs in
+    let x = Prng.categorical k1 weights in
+    let j = Prng.categorical k2 weights in
+    let couplings =
+      List.init n (fun i ->
+          { param = Ad.get logits [| i |]; weight = weights.(i); plus = i;
+            minus = j })
+    in
+    (x, couplings)
+  in
+  { base with mvd = Some mvd }
+
+(* Poisson *)
+
+let poisson_reinforce rate =
+  make ~name:"poisson" ~strategy:Reinforce
+    ~sample:(fun key -> Prng.poisson key (primal rate))
+    ~log_density:(fun k ->
+      if k < 0 then Ad.scalar Float.neg_infinity
+      else
+        let open Ad.O in
+        (Ad.scale (float_of_int k) (Ad.log rate))
+        - rate
+        - Ad.scalar (Special.lgamma (float_of_int k +. 1.)))
+    ~default:0 ~inject:inject_int ~project:project_int ()
+
+let poisson_mvd rate =
+  let base = poisson_reinforce rate in
+  { base with
+    strategy = Mvd;
+    mvd =
+      Some
+        (fun key ->
+          let n = Prng.poisson key (primal rate) in
+          (n, [ { param = rate; weight = 1.; plus = n + 1; minus = n } ])) }
+
+let geometric_reinforce p =
+  make ~name:"geometric" ~strategy:Reinforce
+    ~sample:(fun key ->
+      let pv = primal p in
+      let u = Float.max (Prng.uniform key) 1e-300 in
+      int_of_float (Float.floor (Float.log u /. Float.log (1. -. pv))))
+    ~log_density:(fun k ->
+      if k < 0 then Ad.scalar Float.neg_infinity
+      else
+        Ad.O.(
+          Ad.scale (float_of_int k) (log_stable (Ad.scalar 1. - p))
+          + log_stable p))
+    ~default:0 ~inject:inject_int ~project:project_int ()
+
+let binomial_log_density n p k =
+  if k < 0 || k > n then Ad.scalar Float.neg_infinity
+  else
+    let choose =
+      Special.lgamma (float_of_int (n + 1))
+      -. Special.lgamma (float_of_int (k + 1))
+      -. Special.lgamma (float_of_int (n - k + 1))
+    in
+    let failures = float_of_int (n - k) in
+    Ad.O.(
+      Ad.scalar choose
+      + Ad.scale (float_of_int k) (log_stable p)
+      + Ad.scale failures (log_stable (Ad.scalar 1. - p)))
+
+let binomial_base ~strategy ?support n p =
+  make ~name:"binomial" ~strategy
+    ~sample:(fun key ->
+      let pv = primal p in
+      let count = ref 0 in
+      Array.iter
+        (fun k -> if Prng.bernoulli k pv then incr count)
+        (Prng.split_many key n);
+      !count)
+    ~log_density:(binomial_log_density n p)
+    ~default:0 ~inject:inject_int ~project:project_int ?support ()
+
+let binomial_reinforce n p = binomial_base ~strategy:Reinforce n p
+
+let binomial_enum n p =
+  binomial_base ~strategy:Enum ~support:(List.init (n + 1) Fun.id) n p
+
+let discrete_uniform_enum n =
+  if n < 1 then invalid_arg "Dist.discrete_uniform_enum: n < 1";
+  let logp = -.Float.log (float_of_int n) in
+  make ~name:"discrete_uniform" ~strategy:Enum
+    ~sample:(fun key -> Prng.categorical key (Array.make n 1.))
+    ~log_density:(fun i ->
+      if i >= 0 && i < n then Ad.scalar logp else Ad.scalar Float.neg_infinity)
+    ~default:0 ~inject:inject_int ~project:project_int
+    ~support:(List.init n Fun.id) ()
+
+(* Diagonal multivariate normal *)
+
+let log_density_mv_normal_diag ~mean ~std x =
+  let open Ad.O in
+  let z = (x - mean) / std in
+  let d = float_of_int (Tensor.size (Ad.value mean)) in
+  Ad.scale (-0.5) (Ad.sum (z * z))
+  - Ad.sum (Ad.log std)
+  - Ad.scalar (0.5 *. d *. log_2pi)
+
+let mv_normal_diag_base ~strategy ?reparam mean std =
+  make ~name:"mv_normal_diag" ~strategy
+    ~sample:(fun key ->
+      Ad.const (Prng.normal_tensor_mean_std key (Ad.value mean) (Ad.value std)))
+    ~log_density:(log_density_mv_normal_diag ~mean ~std)
+    ~default:(Ad.const (Tensor.zeros (Ad.shape mean)))
+    ~inject:inject_real ~project:project_real ?reparam ()
+
+let mv_normal_diag_reparam mean std =
+  mv_normal_diag_base ~strategy:Reparam
+    ~reparam:(fun key ->
+      let eps = Ad.const (Prng.normal_tensor key (Ad.shape mean)) in
+      Ad.O.(mean + (std * eps)))
+    mean std
+
+let mv_normal_diag_reinforce mean std =
+  mv_normal_diag_base ~strategy:Reinforce mean std
+
+(* Vectors of independent Bernoullis (image likelihoods) *)
+
+let bernoulli_vector probs =
+  make ~name:"bernoulli_vector" ~strategy:Reinforce
+    ~sample:(fun key ->
+      let u = Prng.uniform_tensor key (Ad.shape probs) in
+      Ad.const
+        (Tensor.map2 (fun ui pi -> if ui < pi then 1. else 0.) u
+           (Ad.value probs)))
+    ~log_density:(fun x ->
+      let open Ad.O in
+      Ad.sum
+        ((x * log_stable probs)
+        + ((Ad.scalar 1. - x) * log_stable (Ad.scalar 1. - probs))))
+    ~default:(Ad.const (Tensor.zeros (Ad.shape probs)))
+    ~inject:inject_real ~project:project_real ()
+
+let log_density_bernoulli_logits ~logits x =
+  let open Ad.O in
+  Ad.neg
+    (Ad.sum
+       ((x * Ad.softplus (Ad.neg logits))
+       + ((Ad.scalar 1. - x) * Ad.softplus logits)))
+
+let bernoulli_logits_vector logits =
+  make ~name:"bernoulli_logits_vector" ~strategy:Reinforce
+    ~sample:(fun key ->
+      let probs = Tensor.sigmoid (Ad.value logits) in
+      let u = Prng.uniform_tensor key (Ad.shape logits) in
+      Ad.const (Tensor.map2 (fun ui pi -> if ui < pi then 1. else 0.) u probs))
+    ~log_density:(log_density_bernoulli_logits ~logits)
+    ~default:(Ad.const (Tensor.zeros (Ad.shape logits)))
+    ~inject:inject_real ~project:project_real ()

@@ -1,0 +1,187 @@
+(** Primitive probability distributions, each paired with a gradient
+    estimation strategy.
+
+    Following the paper's shared core, every primitive comes in several
+    versions (e.g. [normal_reparam], [normal_reinforce], [normal_mvd])
+    that denote the {e same} distribution but propagate derivative
+    information differently. The strategy determines how the ADEV
+    transformation (module [Adev]) estimates
+    [d/dtheta E_{x ~ mu_theta} f(theta, x)] at each sample site:
+
+    - {b REPARAM}: sample [x = g(theta, eps)] differentiably and push
+      gradients through the path (requires a smooth continuation; the
+      sampled value is a non-leaf AD node, the analogue of type R).
+    - {b REINFORCE}: sample detached and add the score-function term
+      [y * dlog p_theta(x)] (value usable non-smoothly: type R star).
+    - {b REINFORCE + baseline}: same, with a running-mean control
+      variate.
+    - {b ENUM}: exact enumeration of a finite support.
+    - {b MVD}: measure-valued derivatives via weak-derivative coupled
+      triples (constant, positive part, negative part).
+
+    The record type is exposed so that new primitives with custom
+    gradient estimators can be added in a few lines (Appendix F of the
+    paper); {!make} fills in sensible defaults. Each constructor's proof
+    obligations — that [sample] draws from the distribution whose log
+    density is [log_density], and that the strategy's data (reparam
+    sampler, support, couplings) agree with it — are discharged by the
+    statistical tests in [test/test_dist.ml]. *)
+
+type strategy =
+  | Reparam
+  | Reinforce
+  | Reinforce_baseline of Baseline.t
+  | Enum
+  | Mvd
+
+(** One weak-derivative coupling for MVD: contributes
+    [weight * (f plus - f minus)] to the derivative with respect to
+    [param]. *)
+type 'a coupling = { param : Ad.t; weight : float; plus : 'a; minus : 'a }
+
+type 'a t = {
+  name : string;
+  strategy : strategy;
+  sample : Prng.key -> 'a;  (** Detached (primal) sampler. *)
+  log_density : 'a -> Ad.t;
+      (** Rank-0 log density, differentiable in the parameters the
+          distribution closes over (and in the value, when the value is
+          a smooth AD node). *)
+  default : 'a;  (** Placeholder returned when a trace lacks the site. *)
+  inject : 'a -> Value.t;
+  project : Value.t -> 'a option;
+  support : 'a list option;  (** Finite support, required by ENUM. *)
+  reparam : (Prng.key -> 'a) option;
+      (** Differentiable sampler, required by REPARAM. *)
+  mvd : (Prng.key -> 'a * 'a coupling list) option;
+      (** Primal sample plus couplings, required by MVD. *)
+}
+
+val make :
+  name:string ->
+  strategy:strategy ->
+  sample:(Prng.key -> 'a) ->
+  log_density:('a -> Ad.t) ->
+  default:'a ->
+  inject:('a -> Value.t) ->
+  project:(Value.t -> 'a option) ->
+  ?support:'a list ->
+  ?reparam:(Prng.key -> 'a) ->
+  ?mvd:(Prng.key -> 'a * 'a coupling list) ->
+  unit ->
+  'a t
+
+(** {1 Scalar continuous primitives}
+
+    Parameters are rank-0 AD nodes; sampled values are rank-0 AD nodes
+    (non-leaf under REPARAM, leaves otherwise). *)
+
+val normal_reparam : Ad.t -> Ad.t -> Ad.t t
+(** [normal_reparam mu sigma]: pathwise derivative via
+    [x = mu + sigma * eps]. *)
+
+val normal_reinforce : Ad.t -> Ad.t -> Ad.t t
+val normal_mvd : Ad.t -> Ad.t -> Ad.t t
+(** Measure-valued derivative: Weibull coupling for the mean,
+    double-sided-Maxwell/normal coupling for the scale. *)
+
+val uniform : float -> float -> Ad.t t
+(** [uniform lo hi]. The bounds are plain floats — the paper's typing
+    makes them R*, so they may not carry learned-parameter gradients
+    (the density would be discontinuous in them). The sampled value is a
+    leaf, freely usable non-smoothly. *)
+
+val beta_reinforce : Ad.t -> Ad.t -> Ad.t t
+val gamma_reinforce : Ad.t -> Ad.t t
+(** Shape-parameter gamma with rate 1. *)
+
+val laplace_reparam : Ad.t -> Ad.t -> Ad.t t
+(** [laplace_reparam loc scale], reparameterized by the inverse CDF. *)
+
+val logistic_reparam : Ad.t -> Ad.t -> Ad.t t
+(** [logistic_reparam loc scale], reparameterized by the logit of a
+    uniform. *)
+
+val lognormal_reparam : Ad.t -> Ad.t -> Ad.t t
+(** [lognormal_reparam mu sigma]: [exp] of a reparameterized normal. *)
+
+val exponential_reparam : Ad.t -> Ad.t t
+(** [exponential_reparam rate], reparameterized by the inverse CDF. *)
+
+val student_t_reinforce : Ad.t -> Ad.t t
+(** Student's t with differentiable degrees of freedom (REINFORCE). *)
+
+val scaled_beta_reinforce : lo:float -> hi:float -> Ad.t -> Ad.t -> Ad.t t
+(** A Beta distribution affinely mapped onto [lo, hi] — a learnable
+    distribution over a bounded interval (used e.g. as a learnable
+    reverse kernel over the cone guide's angle). *)
+
+(** {1 Scalar discrete primitives} *)
+
+val flip_enum : Ad.t -> bool t
+val flip_reinforce : Ad.t -> bool t
+val flip_reinforce_bl : Baseline.t -> Ad.t -> bool t
+val flip_mvd : Ad.t -> bool t
+
+val categorical_enum : Ad.t -> int t
+(** [categorical_enum probs] over indices [0 .. n-1]; [probs] is a
+    rank-1 node of (normalized) probabilities. *)
+
+val categorical_reinforce : Ad.t -> int t
+val categorical_reinforce_bl : Baseline.t -> Ad.t -> int t
+
+val categorical_logits_enum : Ad.t -> int t
+(** Same distribution parameterized by unnormalized log-weights. *)
+
+val categorical_logits_reinforce : Ad.t -> int t
+val categorical_logits_reinforce_bl : Baseline.t -> Ad.t -> int t
+
+val categorical_logits_mvd : Ad.t -> int t
+(** Measure-valued derivative for the softmax categorical: with respect
+    to logit [i], the weak derivative of [E f] is
+    [p_i (f i - E_p f)]; each coupling pairs the point mass at [i]
+    (positive part) against a fresh sample from [p] (negative part,
+    shared across couplings), with constant [p_i]. *)
+
+val poisson_reinforce : Ad.t -> int t
+
+val poisson_mvd : Ad.t -> int t
+(** Measure-valued derivative of the Poisson:
+    [d/drate E f(N) = E (f (N+1) - f N)] — a single coupling with unit
+    weight (the paper's Appendix F example family). *)
+
+val geometric_reinforce : Ad.t -> int t
+(** Number of failures before the first success, success probability
+    [p]. *)
+
+val binomial_reinforce : int -> Ad.t -> int t
+(** [binomial_reinforce n p]. *)
+
+val binomial_enum : int -> Ad.t -> int t
+(** Same distribution with exhaustive enumeration of [0 .. n]. *)
+
+val discrete_uniform_enum : int -> int t
+(** Uniform over [0 .. n-1], enumerable; constant density (no learned
+    parameters). *)
+
+(** {1 Vector primitives} *)
+
+val mv_normal_diag_reparam : Ad.t -> Ad.t -> Ad.t t
+(** [mv_normal_diag_reparam mean std]: independent normals with rank-1
+    mean and std; the sample is a rank-1 node. *)
+
+val mv_normal_diag_reinforce : Ad.t -> Ad.t -> Ad.t t
+
+val bernoulli_vector : Ad.t -> Ad.t t
+(** Independent Bernoullis over a tensor of probabilities — the image
+    likelihood used by the VAE/AIR experiments. Typically observed;
+    sampling uses REINFORCE. *)
+
+val bernoulli_logits_vector : Ad.t -> Ad.t t
+(** Same, parameterized by logits (numerically stable likelihood). *)
+
+(** {1 Log-density helpers (shared with hand-coded baselines)} *)
+
+val log_density_normal : mu:Ad.t -> sigma:Ad.t -> Ad.t -> Ad.t
+val log_density_mv_normal_diag : mean:Ad.t -> std:Ad.t -> Ad.t -> Ad.t
+val log_density_bernoulli_logits : logits:Ad.t -> Ad.t -> Ad.t

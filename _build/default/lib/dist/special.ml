@@ -1,0 +1,45 @@
+(* Lanczos approximation (g = 7, n = 9 coefficients). *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec lgamma x =
+  if x < 0.5 then
+    (* Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x). *)
+    Float.log (Float.pi /. Float.abs (Float.sin (Float.pi *. x)))
+    -. lgamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. Float.log (2. *. Float.pi))
+    +. ((x +. 0.5) *. Float.log t)
+    -. t
+    +. Float.log !a
+  end
+
+(* Recurrence to push the argument above 6, then the asymptotic series. *)
+let rec digamma x =
+  if x < 6. then digamma (x +. 1.) -. (1. /. x)
+  else begin
+    let inv = 1. /. x in
+    let inv2 = inv *. inv in
+    Float.log x
+    -. (0.5 *. inv)
+    -. (inv2
+       *. ((1. /. 12.)
+          -. (inv2 *. ((1. /. 120.) -. (inv2 *. (1. /. 252.))))))
+  end
+
+let lgamma_ad a =
+  let av = Ad.value a in
+  Ad.custom
+    ~value:(Tensor.map lgamma av)
+    ~parents:[ (a, fun g -> Tensor.mul g (Tensor.map digamma av)) ]
+
+let log_beta a b =
+  Ad.O.(lgamma_ad a + lgamma_ad b - lgamma_ad (Ad.add a b))

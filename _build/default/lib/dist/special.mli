@@ -1,0 +1,17 @@
+(** Special functions needed by log-densities: log-gamma and digamma,
+    with AD support (the derivative of [lgamma] is [digamma]). *)
+
+val lgamma : float -> float
+(** Natural log of the absolute value of the gamma function, for
+    positive arguments (Lanczos approximation, ~1e-13 relative error). *)
+
+val digamma : float -> float
+(** Logarithmic derivative of the gamma function, for positive
+    arguments (recurrence + asymptotic series). *)
+
+val lgamma_ad : Ad.t -> Ad.t
+(** Elementwise [lgamma] with derivative [digamma]. *)
+
+val log_beta : Ad.t -> Ad.t -> Ad.t
+(** [log_beta a b = lgamma a + lgamma b - lgamma (a + b)] for rank-0
+    nodes. *)

@@ -1,0 +1,47 @@
+type t = Real of Ad.t | Bool of bool | Int of int
+
+exception Type_error of string
+exception Smoothness_error of string
+
+let real x = Real (Ad.scalar x)
+let tensor x = Real (Ad.const x)
+
+let to_ad = function
+  | Real a -> a
+  | Bool _ -> raise (Type_error "expected a real value, got a boolean")
+  | Int _ -> raise (Type_error "expected a real value, got an integer")
+
+let to_float v = Tensor.to_scalar (Ad.value (to_ad v))
+
+let to_bool = function
+  | Bool b -> b
+  | Real _ -> raise (Type_error "expected a boolean, got a real value")
+  | Int _ -> raise (Type_error "expected a boolean, got an integer")
+
+let to_int = function
+  | Int i -> i
+  | Real _ -> raise (Type_error "expected an integer, got a real value")
+  | Bool _ -> raise (Type_error "expected an integer, got a boolean")
+
+let to_float_rigid = function
+  | Real a when Ad.is_leaf a -> Tensor.to_scalar (Ad.value a)
+  | Real _ ->
+    raise
+      (Smoothness_error
+         "a smooth (R-typed) sample was used non-smoothly; use a \
+          REINFORCE/MVD-annotated primitive or stop_grad")
+  | v -> to_float v
+
+let equal_primal a b =
+  match (a, b) with
+  | Real x, Real y -> Tensor.equal (Ad.value x) (Ad.value y)
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | _ -> false
+
+let pp ppf = function
+  | Real a -> Tensor.pp ppf (Ad.value a)
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,45 @@
+(** Heterogeneous values stored at trace addresses.
+
+    The paper's type system distinguishes smooth reals (R) from reals
+    that may be used non-smoothly (R star). In this embedding, a [Real]
+    carries an AD node: samples from REPARAM-annotated primitives arrive
+    as non-leaf nodes (gradients flow through them, so they must be used
+    smoothly), while samples from REINFORCE/MVD primitives arrive as
+    detached leaves (the R* discipline). {!to_float_rigid} is the runtime
+    analogue of the [<: R* x R* -> B] typing rule: it refuses values that
+    carry a gradient path. *)
+
+type t =
+  | Real of Ad.t  (** A (possibly tensor-valued) differentiable value. *)
+  | Bool of bool
+  | Int of int
+
+exception Type_error of string
+(** Raised when a value is used at the wrong type. *)
+
+exception Smoothness_error of string
+(** Raised when a smooth ([R]-typed) value is used non-smoothly. *)
+
+val real : float -> t
+val tensor : Tensor.t -> t
+
+val to_ad : t -> Ad.t
+(** @raise Type_error on [Bool] or [Int]. *)
+
+val to_float : t -> float
+(** Primal scalar, regardless of smoothness. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+
+val to_float_rigid : t -> float
+(** The primal value of a [Real], but only if it carries no gradient
+    path (it is a leaf of the AD graph) — the runtime analogue of
+    requiring type R*.
+    @raise Smoothness_error on a non-leaf (smooth) value. *)
+
+val equal_primal : t -> t -> bool
+(** Structural equality on primal content (no gradient comparison). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

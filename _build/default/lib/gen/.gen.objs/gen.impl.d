@@ -1,0 +1,1 @@
+lib/gen/gen.ml: Ad Adev Array Dist Float List Printf Prng Tensor Trace Value

@@ -1,0 +1,1 @@
+lib/gen/gen.mli: Ad Adev Dist Prng Trace

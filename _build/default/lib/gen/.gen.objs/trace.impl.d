@@ -1,0 +1,1 @@
+lib/gen/trace.ml: Format List Map String Value

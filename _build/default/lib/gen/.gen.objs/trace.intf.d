@@ -1,0 +1,1 @@
+lib/gen/trace.mli: Ad Format Value

@@ -1,0 +1,396 @@
+type _ t =
+  | Return : 'a -> 'a t
+  | Bind : 'b t * ('b -> 'a t) -> 'a t
+  | Sample : 'a Dist.t * string -> 'a t
+  | Observe : 'b Dist.t * 'b -> unit t
+  | Marginal : string list * 'b t * algorithm -> Trace.t t
+  | Normalize : 'a t * algorithm -> 'a t
+
+and packed = Packed : 'a t -> packed
+and algorithm = { proposal : Trace.t -> packed; particles : int }
+
+let return x = Return x
+let bind m f = Bind (m, f)
+let map f m = Bind (m, fun x -> Return (f x))
+let sample d name = Sample (d, name)
+let observe d v = Observe (d, v)
+
+let importance ?(particles = 1) proposal =
+  if particles < 1 then invalid_arg "Gen.importance: particles < 1";
+  { proposal; particles }
+
+let importance_prior ?particles packed =
+  importance ?particles (fun _ -> packed)
+
+let marginal ~keep prog alg = Marginal (keep, prog, alg)
+let normalize prog alg = Normalize (prog, alg)
+
+let primal a = Tensor.to_scalar (Ad.value a)
+let neg_inf = Ad.scalar Float.neg_infinity
+let rigid a = Value.to_float_rigid (Value.Real a)
+
+(* Run an Adev computation [n] times, collecting the results (each run
+   gets an independent key via the monad's splitting). *)
+let rec collect n f =
+  let open Adev.Syntax in
+  if n <= 0 then Adev.return []
+  else
+    let* x = f () in
+    let* rest = collect (n - 1) f in
+    Adev.return (x :: rest)
+
+(* Average of weights in log space: log ((1/n) sum_i exp lw_i), with a
+   uniform-probability fallback when every weight is zero. *)
+let log_mean_exp logws =
+  let n = List.length logws in
+  Ad.O.(Ad.logsumexp (Ad.stack0 logws) - Ad.scalar (Float.log (float_of_int n)))
+
+(* sim (Fig. 5, bottom): run the program through each primitive's
+   strategy, building the trace and its log density. *)
+let rec simulate : type a. a t -> (a * Trace.t * Ad.t) Adev.t =
+ fun prog ->
+  let open Adev.Syntax in
+  match prog with
+  | Return x -> Adev.return (x, Trace.empty, Ad.scalar 0.)
+  | Bind (m, f) ->
+    let* x, u1, w1 = simulate m in
+    let* y, u2, w2 = simulate (f x) in
+    Adev.return (y, Trace.union_disjoint u1 u2, Ad.add w1 w2)
+  | Sample (d, name) ->
+    let* x = Adev.sample d in
+    Adev.return (x, Trace.singleton name (d.Dist.inject x), d.Dist.log_density x)
+  | Observe (d, v) ->
+    let lw = d.Dist.log_density v in
+    let* () = Adev.score_log lw in
+    Adev.return ((), Trace.empty, lw)
+  | Marginal (keep, inner, alg) -> simulate_marginal keep inner alg
+  | Normalize (inner, alg) -> simulate_normalize inner alg
+
+(* density's xi helper (Fig. 5, top): consume trace values, accumulate
+   log density, return the remainder. *)
+and density_in : type a. a t -> Trace.t -> (Ad.t * a * Trace.t) Adev.t =
+ fun prog u ->
+  let open Adev.Syntax in
+  match prog with
+  | Return x -> Adev.return (Ad.scalar 0., x, u)
+  | Bind (m, f) ->
+    let* w1, x, u1 = density_in m u in
+    let* w2, y, u2 = density_in (f x) u1 in
+    Adev.return (Ad.add w1 w2, y, u2)
+  | Sample (d, name) -> begin
+    match Trace.find_opt name u with
+    | Some v -> begin
+      match d.Dist.project v with
+      | Some x -> Adev.return (d.Dist.log_density x, x, Trace.remove name u)
+      | None -> Adev.return (neg_inf, d.Dist.default, Trace.remove name u)
+    end
+    | None -> Adev.return (neg_inf, d.Dist.default, u)
+  end
+  | Observe (d, v) -> Adev.return (d.Dist.log_density v, (), u)
+  | Marginal (keep, inner, alg) -> density_marginal keep inner alg u
+  | Normalize (inner, alg) -> density_normalize inner alg u
+
+and log_density : type a. a t -> Trace.t -> Ad.t Adev.t =
+ fun prog u ->
+  let open Adev.Syntax in
+  let* w, _, remainder = density_in prog u in
+  if Trace.is_empty remainder then Adev.return w else Adev.return neg_inf
+
+and log_density_prefix : type a. a t -> Trace.t -> Ad.t Adev.t =
+ fun prog u ->
+  let open Adev.Syntax in
+  let* w, _, _ = density_in prog u in
+  Adev.return w
+
+(* Unbiased importance-sampling estimate of the log marginal density of
+   [kept] under [inner]'s trace marginal. When [actual_aux] is given,
+   conditional importance sampling: the actual auxiliary trace stands in
+   for one particle (Appendix A.3). *)
+and marginal_log_density_estimate :
+    type b.
+    b t -> algorithm -> kept:Trace.t -> actual_aux:Trace.t option ->
+    Ad.t Adev.t =
+ fun inner alg ~kept ~actual_aux ->
+  let open Adev.Syntax in
+  let (Packed proposal) = alg.proposal kept in
+  let fresh_particle () =
+    let* _, aux, logq = simulate proposal in
+    let* logp = log_density inner (Trace.union_disjoint kept aux) in
+    Adev.return Ad.O.(logp - logq)
+  in
+  let* particles =
+    match actual_aux with
+    | None -> collect alg.particles fresh_particle
+    | Some aux ->
+      let* logq = log_density proposal aux in
+      let* logp = log_density inner (Trace.union_disjoint kept aux) in
+      let actual = Ad.O.(logp - logq) in
+      let* rest = collect (alg.particles - 1) fresh_particle in
+      Adev.return (actual :: rest)
+  in
+  Adev.return (log_mean_exp particles)
+
+and simulate_marginal :
+    type b. string list -> b t -> algorithm -> (Trace.t * Trace.t * Ad.t) Adev.t
+    =
+ fun keep inner alg ->
+  let open Adev.Syntax in
+  let* _, t, _ = simulate inner in
+  List.iter
+    (fun name ->
+      if not (Trace.mem name t) then
+        invalid_arg
+          (Printf.sprintf "Gen.marginal: kept address %S was not sampled" name))
+    keep;
+  let kept = Trace.restrict keep t in
+  let aux = Trace.without keep t in
+  let* logp = marginal_log_density_estimate inner alg ~kept ~actual_aux:(Some aux) in
+  Adev.return (kept, kept, logp)
+
+and density_marginal :
+    type b.
+    string list -> b t -> algorithm -> Trace.t ->
+    (Ad.t * Trace.t * Trace.t) Adev.t =
+ fun keep inner alg u ->
+  let open Adev.Syntax in
+  if List.exists (fun name -> not (Trace.mem name u)) keep then
+    Adev.return (neg_inf, Trace.restrict keep u, Trace.without keep u)
+  else begin
+    let kept = Trace.restrict keep u in
+    let remainder = Trace.without keep u in
+    let* logp = marginal_log_density_estimate inner alg ~kept ~actual_aux:None in
+    Adev.return (logp, kept, remainder)
+  end
+
+and simulate_normalize : type a. a t -> algorithm -> (a * Trace.t * Ad.t) Adev.t
+    =
+ fun inner alg ->
+  let open Adev.Syntax in
+  let (Packed proposal) = alg.proposal Trace.empty in
+  let* particles =
+    collect alg.particles (fun () ->
+        let* _, t, logq = simulate proposal in
+        let* logp, value, remainder = density_in inner t in
+        let logp = if Trace.is_empty remainder then logp else neg_inf in
+        Adev.return (t, value, logp, Ad.O.(logp - logq)))
+  in
+  let logws = List.map (fun (_, _, _, lw) -> lw) particles in
+  let log_zhat = log_mean_exp logws in
+  let logw_vec = Ad.stack0 logws in
+  let probs =
+    if Float.is_finite (primal log_zhat) then Ad.exp (Ad.log_softmax logw_vec)
+    else begin
+      (* Every particle has zero weight: resample uniformly. *)
+      let n = List.length particles in
+      Ad.const (Tensor.full [| n |] (1. /. float_of_int n))
+    end
+  in
+  let* j = Adev.sample (Dist.categorical_enum probs) in
+  let t_j, value_j, logp_j, _ = List.nth particles j in
+  Adev.return (value_j, t_j, Ad.O.(logp_j - log_zhat))
+
+and density_normalize :
+    type a. a t -> algorithm -> Trace.t -> (Ad.t * a * Trace.t) Adev.t =
+ fun inner alg u ->
+  let open Adev.Syntax in
+  let (Packed proposal) = alg.proposal Trace.empty in
+  let* logp_u, value, remainder = density_in inner u in
+  let consumed = Trace.diff u remainder in
+  let* logq_u = log_density proposal consumed in
+  let logw_actual = Ad.O.(logp_u - logq_u) in
+  let* others =
+    collect (alg.particles - 1) (fun () ->
+        let* _, t, logq = simulate proposal in
+        let* logp = log_density inner t in
+        Adev.return Ad.O.(logp - logq))
+  in
+  let log_zhat = log_mean_exp (logw_actual :: others) in
+  Adev.return (Ad.O.(logp_u - log_zhat), value, remainder)
+
+(* Detached execution: every site just samples, every density is primal.
+   Mirrors [simulate] / [density_in] without the gradient machinery. *)
+let rec sample_prior : type a. a t -> Prng.key -> a * Trace.t * float =
+ fun prog key ->
+  match prog with
+  | Return x -> (x, Trace.empty, 0.)
+  | Bind (m, f) ->
+    let k1, k2 = Prng.split key in
+    let x, u1, w1 = sample_prior m k1 in
+    let y, u2, w2 = sample_prior (f x) k2 in
+    (y, Trace.union_disjoint u1 u2, w1 +. w2)
+  | Sample (d, name) ->
+    let x = d.Dist.sample key in
+    (x, Trace.singleton name (d.Dist.inject x), primal (d.Dist.log_density x))
+  | Observe (d, v) -> ((), Trace.empty, primal (d.Dist.log_density v))
+  | Marginal (keep, inner, alg) ->
+    let k1, k2 = Prng.split key in
+    let _, t, _ = sample_prior inner k1 in
+    List.iter
+      (fun name ->
+        if not (Trace.mem name t) then
+          invalid_arg
+            (Printf.sprintf "Gen.marginal: kept address %S was not sampled"
+               name))
+      keep;
+    let kept = Trace.restrict keep t in
+    let aux = Trace.without keep t in
+    let logp =
+      prior_marginal_estimate inner alg ~kept ~actual_aux:(Some aux) k2
+    in
+    (kept, kept, logp)
+  | Normalize (inner, alg) ->
+    let (Packed proposal) = alg.proposal Trace.empty in
+    let keys = Prng.split_many key (alg.particles + 1) in
+    let particles =
+      List.init alg.particles (fun i ->
+          let _, t, logq = sample_prior proposal keys.(i) in
+          let logp, value, remainder = prior_density inner t (Prng.fold_in keys.(i) 1) in
+          let logp = if Trace.is_empty remainder then logp else Float.neg_infinity in
+          (t, value, logp, logp -. logq))
+    in
+    let logws = List.map (fun (_, _, _, lw) -> lw) particles in
+    let log_zhat = prior_log_mean_exp logws in
+    let weights =
+      if Float.is_finite log_zhat then
+        List.map (fun lw -> Float.exp (lw -. log_zhat)) logws
+      else List.map (fun _ -> 1.) logws
+    in
+    let j = Prng.categorical keys.(alg.particles) (Array.of_list weights) in
+    let t_j, value_j, logp_j, _ = List.nth particles j in
+    (value_j, t_j, logp_j -. log_zhat)
+
+and prior_density : type a. a t -> Trace.t -> Prng.key -> float * a * Trace.t =
+ fun prog u key ->
+  match prog with
+  | Return x -> (0., x, u)
+  | Bind (m, f) ->
+    let k1, k2 = Prng.split key in
+    let w1, x, u1 = prior_density m u k1 in
+    let w2, y, u2 = prior_density (f x) u1 k2 in
+    (w1 +. w2, y, u2)
+  | Sample (d, name) -> begin
+    match Trace.find_opt name u with
+    | Some v -> begin
+      match d.Dist.project v with
+      | Some x -> (primal (d.Dist.log_density x), x, Trace.remove name u)
+      | None -> (Float.neg_infinity, d.Dist.default, Trace.remove name u)
+    end
+    | None -> (Float.neg_infinity, d.Dist.default, u)
+  end
+  | Observe (d, v) -> (primal (d.Dist.log_density v), (), u)
+  | Marginal (keep, inner, alg) ->
+    if List.exists (fun name -> not (Trace.mem name u)) keep then
+      (Float.neg_infinity, Trace.restrict keep u, Trace.without keep u)
+    else begin
+      let kept = Trace.restrict keep u in
+      let logp = prior_marginal_estimate inner alg ~kept ~actual_aux:None key in
+      (logp, kept, Trace.without keep u)
+    end
+  | Normalize (inner, alg) ->
+    let (Packed proposal) = alg.proposal Trace.empty in
+    let k1, k2 = Prng.split key in
+    let logp_u, value, remainder = prior_density inner u k1 in
+    let consumed = Trace.diff u remainder in
+    let logq_u, _, rem_q = prior_density proposal consumed (Prng.fold_in k1 7) in
+    let logq_u = if Trace.is_empty rem_q then logq_u else Float.neg_infinity in
+    let others =
+      List.init (alg.particles - 1) (fun i ->
+          let ki = Prng.fold_in k2 i in
+          let _, t, logq = sample_prior proposal ki in
+          let lp, _, rem = prior_density inner t (Prng.fold_in ki 1) in
+          let lp = if Trace.is_empty rem then lp else Float.neg_infinity in
+          lp -. logq)
+    in
+    let log_zhat = prior_log_mean_exp ((logp_u -. logq_u) :: others) in
+    (logp_u -. log_zhat, value, remainder)
+
+and prior_marginal_estimate :
+    type b.
+    b t -> algorithm -> kept:Trace.t -> actual_aux:Trace.t option ->
+    Prng.key -> float =
+ fun inner alg ~kept ~actual_aux key ->
+  let (Packed proposal) = alg.proposal kept in
+  let fresh i =
+    let ki = Prng.fold_in key i in
+    let _, aux, logq = sample_prior proposal ki in
+    let logp, _, rem =
+      prior_density inner (Trace.union_disjoint kept aux) (Prng.fold_in ki 1)
+    in
+    let logp = if Trace.is_empty rem then logp else Float.neg_infinity in
+    logp -. logq
+  in
+  let particles =
+    match actual_aux with
+    | None -> List.init alg.particles fresh
+    | Some aux ->
+      let k1, _ = Prng.split key in
+      let logq, _, rem_q = prior_density proposal aux k1 in
+      let logq = if Trace.is_empty rem_q then logq else Float.neg_infinity in
+      let logp, _, rem =
+        prior_density inner (Trace.union_disjoint kept aux) (Prng.fold_in k1 1)
+      in
+      let logp = if Trace.is_empty rem then logp else Float.neg_infinity in
+      (logp -. logq) :: List.init (alg.particles - 1) fresh
+  in
+  prior_log_mean_exp particles
+
+and prior_log_mean_exp logws =
+  let n = float_of_int (List.length logws) in
+  let m = List.fold_left Float.max Float.neg_infinity logws in
+  if m = Float.neg_infinity then Float.neg_infinity
+  else
+    m
+    +. Float.log
+         (List.fold_left (fun acc lw -> acc +. Float.exp (lw -. m)) 0. logws)
+    -. Float.log n
+
+let rec enumerate : type a. a t -> (a * Trace.t * float) list = function
+  | Return x -> [ (x, Trace.empty, 0.) ]
+  | Bind (m, f) ->
+    List.concat_map
+      (fun (x, u1, w1) ->
+        List.map
+          (fun (y, u2, w2) -> (y, Trace.union_disjoint u1 u2, w1 +. w2))
+          (enumerate (f x)))
+      (enumerate m)
+  | Sample (d, name) -> begin
+    match d.Dist.support with
+    | Some support ->
+      List.map
+        (fun v ->
+          ( v,
+            Trace.singleton name (d.Dist.inject v),
+            primal (d.Dist.log_density v) ))
+        support
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Gen.enumerate: site %S (%s) has no finite support"
+           name d.Dist.name)
+  end
+  | Observe (d, v) -> [ ((), Trace.empty, primal (d.Dist.log_density v)) ]
+  | Marginal (_, _, _) -> invalid_arg "Gen.enumerate: marginal"
+  | Normalize (_, _) -> invalid_arg "Gen.enumerate: normalize"
+
+let exact_log_marginal prog =
+  let ws = List.map (fun (_, _, w) -> w) (enumerate prog) in
+  prior_log_mean_exp ws +. Float.log (float_of_int (List.length ws))
+
+type _ view =
+  | View_return : 'a -> 'a view
+  | View_bind : 'b t * ('b -> 'a t) -> 'a view
+  | View_sample : 'v Dist.t * string -> 'v view
+  | View_observe : 'v Dist.t * 'v -> unit view
+  | View_unsupported : string -> 'a view
+
+let view : type a. a t -> a view = function
+  | Return x -> View_return x
+  | Bind (m, f) -> View_bind (m, f)
+  | Sample (d, name) -> View_sample (d, name)
+  | Observe (d, v) -> View_observe (d, v)
+  | Marginal (_, _, _) -> View_unsupported "marginal"
+  | Normalize (_, _) -> View_unsupported "normalize"
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end

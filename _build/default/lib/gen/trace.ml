@@ -1,0 +1,54 @@
+module Smap = Map.Make (String)
+
+type t = Value.t Smap.t
+
+exception Duplicate_address of string
+
+let empty = Smap.empty
+let is_empty = Smap.is_empty
+let singleton = Smap.singleton
+
+let add name v t =
+  if Smap.mem name t then raise (Duplicate_address name);
+  Smap.add name v t
+
+let find_opt = Smap.find_opt
+let get = Smap.find
+let remove = Smap.remove
+
+let union_disjoint a b =
+  Smap.union (fun name _ _ -> raise (Duplicate_address name)) a b
+
+let restrict names t =
+  List.fold_left
+    (fun acc name ->
+      match Smap.find_opt name t with
+      | Some v -> Smap.add name v acc
+      | None -> acc)
+    Smap.empty names
+
+let without names t = List.fold_left (fun acc name -> Smap.remove name acc) t names
+let diff a b = Smap.filter (fun name _ -> not (Smap.mem name b)) a
+let mem = Smap.mem
+let size = Smap.cardinal
+let keys t = List.map fst (Smap.bindings t)
+let bindings = Smap.bindings
+let of_list l = List.fold_left (fun acc (name, v) -> add name v acc) empty l
+let subset_keys a b = Smap.for_all (fun name _ -> Smap.mem name b) a
+
+let equal_primal a b =
+  Smap.equal Value.equal_primal a b
+
+let get_float name t = Value.to_float (get name t)
+let get_ad name t = Value.to_ad (get name t)
+let get_bool name t = Value.to_bool (get name t)
+let get_int name t = Value.to_int (get name t)
+
+let pp ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf (name, v) -> Format.fprintf ppf "%s -> %a" name Value.pp v))
+    (bindings t)
+
+let to_string t = Format.asprintf "%a" pp t

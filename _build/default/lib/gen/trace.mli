@@ -1,0 +1,59 @@
+(** Traces: finite dictionaries from string-valued addresses to sampled
+    values. A generative program denotes a measure over traces; [sim]
+    produces them and [density] consumes them. *)
+
+type t
+
+exception Duplicate_address of string
+(** Raised when a program uses the same address twice in one execution
+    (the paper's [disj] check; a runtime error with measure-zero
+    semantics). *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : string -> Value.t -> t
+
+val add : string -> Value.t -> t -> t
+(** @raise Duplicate_address if the address is already bound. *)
+
+val find_opt : string -> t -> Value.t option
+
+val get : string -> t -> Value.t
+(** @raise Not_found when the address is absent. *)
+
+val remove : string -> t -> t
+
+val union_disjoint : t -> t -> t
+(** Concatenation of traces with distinct address sets (the paper's
+    [++]). @raise Duplicate_address on overlap. *)
+
+val restrict : string list -> t -> t
+(** Keep only the given addresses (missing ones are simply absent). *)
+
+val without : string list -> t -> t
+(** Drop the given addresses. *)
+
+val diff : t -> t -> t
+(** [diff u v]: the bindings of [u] whose addresses are not in [v]. *)
+
+val mem : string -> t -> bool
+val size : t -> int
+val keys : t -> string list
+val bindings : t -> (string * Value.t) list
+val of_list : (string * Value.t) list -> t
+
+val subset_keys : t -> t -> bool
+(** [subset_keys u v]: every address of [u] is bound in [v]. *)
+
+val equal_primal : t -> t -> bool
+(** Same addresses, primal-equal values. *)
+
+(** {1 Typed accessors} *)
+
+val get_float : string -> t -> float
+val get_ad : string -> t -> Ad.t
+val get_bool : string -> t -> bool
+val get_int : string -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

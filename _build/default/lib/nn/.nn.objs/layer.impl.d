@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Ad Float Printf Prng Store Tensor

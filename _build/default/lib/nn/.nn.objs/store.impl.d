@@ -1,0 +1,1 @@
+lib/nn/store.ml: Ad Hashtbl List Tensor

@@ -1,0 +1,1 @@
+lib/nn/store.mli: Ad Tensor

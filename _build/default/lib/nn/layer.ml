@@ -1,0 +1,44 @@
+type activation = Linear | Relu | Tanh | Sigmoid | Softplus
+
+let apply_activation act x =
+  match act with
+  | Linear -> x
+  | Relu -> Ad.relu x
+  | Tanh -> Ad.tanh x
+  | Sigmoid -> Ad.sigmoid x
+  | Softplus -> Ad.softplus x
+
+let glorot key ~in_dim ~out_dim =
+  let limit = Float.sqrt (6. /. float_of_int (in_dim + out_dim)) in
+  Tensor.map
+    (fun u -> (2. *. limit *. u) -. limit)
+    (Prng.uniform_tensor key [| in_dim; out_dim |])
+
+let dense_register store ~name ~in_dim ~out_dim ~key =
+  Store.ensure store (name ^ ".w") (fun () -> glorot key ~in_dim ~out_dim);
+  Store.ensure store (name ^ ".b") (fun () -> Tensor.zeros [| out_dim |])
+
+let dense frame ~name ?(act = Linear) x =
+  let w = Store.Frame.get frame (name ^ ".w") in
+  let b = Store.Frame.get frame (name ^ ".b") in
+  apply_activation act (Ad.add (Ad.matmul x w) b)
+
+let mlp_register store ~name ~dims ~key =
+  let rec loop i = function
+    | a :: (b :: _ as rest) ->
+      dense_register store
+        ~name:(Printf.sprintf "%s.%d" name i)
+        ~in_dim:a ~out_dim:b ~key:(Prng.fold_in key i);
+      loop (i + 1) rest
+    | [ _ ] | [] -> ()
+  in
+  loop 0 dims
+
+let mlp frame ~name ~layers ?(hidden_act = Softplus) ?(final_act = Linear) x =
+  let rec loop i h =
+    if i >= layers then h
+    else
+      let act = if i = layers - 1 then final_act else hidden_act in
+      loop (i + 1) (dense frame ~name:(Printf.sprintf "%s.%d" name i) ~act h)
+  in
+  loop 0 x

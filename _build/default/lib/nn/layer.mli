@@ -1,0 +1,37 @@
+(** Neural-network building blocks over the AD engine.
+
+    Layers separate {e registration} (writing initial tensors into a
+    {!Store.t}, done once) from {e application} (pure functions over a
+    {!Store.Frame.t}, done every step). Inputs may be a single example
+    (rank 1) or a batch (rank 2, examples as rows). *)
+
+type activation = Linear | Relu | Tanh | Sigmoid | Softplus
+
+val apply_activation : activation -> Ad.t -> Ad.t
+
+val dense_register :
+  Store.t -> name:string -> in_dim:int -> out_dim:int -> key:Prng.key -> unit
+(** Register weights [name ^ ".w"] ([in_dim] x [out_dim], Glorot-
+    initialized) and bias [name ^ ".b"] (zeros). Idempotent. *)
+
+val dense : Store.Frame.t -> name:string -> ?act:activation -> Ad.t -> Ad.t
+(** Apply a registered dense layer: [act (x w + b)]. *)
+
+val mlp_register :
+  Store.t -> name:string -> dims:int list -> key:Prng.key -> unit
+(** Register a chain of dense layers [name ^ ".0"], [name ^ ".1"], ...
+    for consecutive dimension pairs in [dims]. *)
+
+val mlp :
+  Store.Frame.t ->
+  name:string ->
+  layers:int ->
+  ?hidden_act:activation ->
+  ?final_act:activation ->
+  Ad.t ->
+  Ad.t
+(** Apply a registered MLP: [hidden_act] (default [Softplus]) between
+    layers, [final_act] (default [Linear]) at the end. *)
+
+val glorot : Prng.key -> in_dim:int -> out_dim:int -> Tensor.t
+(** Glorot/Xavier-uniform initialization. *)

@@ -1,0 +1,58 @@
+type t = {
+  tensors : (string, Tensor.t) Hashtbl.t;
+  mutable order : string list;  (* reverse registration order *)
+}
+
+let create () = { tensors = Hashtbl.create 16; order = [] }
+
+let ensure t name init =
+  if not (Hashtbl.mem t.tensors name) then begin
+    Hashtbl.add t.tensors name (init ());
+    t.order <- name :: t.order
+  end
+
+let mem t name = Hashtbl.mem t.tensors name
+
+let tensor t name =
+  match Hashtbl.find_opt t.tensors name with
+  | Some x -> x
+  | None -> raise Not_found
+
+let set t name x =
+  if not (Hashtbl.mem t.tensors name) then raise Not_found;
+  Hashtbl.replace t.tensors name x
+
+let names t = List.rev t.order
+
+let parameter_count t =
+  Hashtbl.fold (fun _ x acc -> acc + Tensor.size x) t.tensors 0
+
+let copy t =
+  { tensors = Hashtbl.copy t.tensors; order = t.order }
+
+module Frame = struct
+  type store = t
+  type t = { store : store; leaves : (string, Ad.t) Hashtbl.t; detached : bool }
+
+  let make store = { store; leaves = Hashtbl.create 16; detached = false }
+  let make_detached store = { store; leaves = Hashtbl.create 16; detached = true }
+
+  let get f name =
+    if f.detached then Ad.const (tensor f.store name)
+    else
+      match Hashtbl.find_opt f.leaves name with
+      | Some leaf -> leaf
+      | None ->
+        let leaf = Ad.const (tensor f.store name) in
+        Hashtbl.add f.leaves name leaf;
+        leaf
+
+  let detach f = make_detached f.store
+  let get_detached f name = Ad.const (tensor f.store name)
+
+  let params f =
+    Hashtbl.fold (fun name leaf acc -> (name, leaf) :: acc) f.leaves []
+
+  let grads f =
+    List.map (fun (name, leaf) -> (name, Ad.grad leaf)) (params f)
+end

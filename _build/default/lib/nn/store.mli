@@ -1,0 +1,64 @@
+(** Mutable parameter stores and per-step parameter frames.
+
+    A {!t} owns the current tensor value of every learned parameter.
+    Each optimization step opens a {!Frame.t}, which hands out fresh AD
+    leaf nodes for the parameters an objective touches; after
+    [Ad.backward], the frame reports each leaf's accumulated gradient
+    and the optimizer writes updated tensors back into the store.
+    Rebuilding leaves every step keeps gradients from leaking across
+    steps (see [Ad]). *)
+
+type t
+
+val create : unit -> t
+
+val ensure : t -> string -> (unit -> Tensor.t) -> unit
+(** Register a parameter if absent (the initializer runs at most
+    once). *)
+
+val mem : t -> string -> bool
+val tensor : t -> string -> Tensor.t
+(** @raise Not_found on unregistered names. *)
+
+val set : t -> string -> Tensor.t -> unit
+(** @raise Not_found on unregistered names (register with {!ensure}). *)
+
+val names : t -> string list
+(** Registration order. *)
+
+val parameter_count : t -> int
+(** Total number of scalar parameters. *)
+
+val copy : t -> t
+(** Deep copy (for ablations that fork training). *)
+
+module Frame : sig
+  type store := t
+  type t
+
+  val make : store -> t
+
+  val make_detached : store -> t
+  (** A frame whose lookups all return constant (stop-gradient) views
+      and record nothing — for "old parameter" copies in wake-sleep
+      objectives. *)
+
+  val detach : t -> t
+  (** The detached view of an existing frame's store. *)
+
+  val get : t -> string -> Ad.t
+  (** The leaf node for a parameter — one node per name per frame, so
+      repeated lookups share gradients. @raise Not_found if
+      unregistered. *)
+
+  val get_detached : t -> string -> Ad.t
+  (** A constant (stop-gradient) view of the parameter — used for
+      "old parameters" in wake-sleep style objectives. *)
+
+  val params : t -> (string * Ad.t) list
+  (** Every leaf handed out by {!get} so far (for [Adev.grad]). *)
+
+  val grads : t -> (string * Tensor.t) list
+  (** Gradients accumulated in the frame's leaves (call after
+      [Ad.backward]). *)
+end

@@ -1,0 +1,412 @@
+type t = { shape : int array; data : float array }
+
+exception Shape_error of string
+
+let shape_error fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
+
+let shape_size shape = Array.fold_left ( * ) 1 shape
+
+let pp_shape ppf shape =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int shape)))
+
+(* Construction *)
+
+let of_array shape data =
+  let n = shape_size shape in
+  if Array.length data <> n then
+    shape_error "of_array: %d elements for shape %a" (Array.length data)
+      pp_shape shape;
+  { shape = Array.copy shape; data = Array.copy data }
+
+let scalar x = { shape = [||]; data = [| x |] }
+let zeros shape = { shape = Array.copy shape; data = Array.make (shape_size shape) 0. }
+let ones shape = { shape = Array.copy shape; data = Array.make (shape_size shape) 1. }
+let full shape x = { shape = Array.copy shape; data = Array.make (shape_size shape) x }
+
+let of_list1 xs = of_array [| List.length xs |] (Array.of_list xs)
+
+let of_list2 rows =
+  match rows with
+  | [] -> { shape = [| 0; 0 |]; data = [||] }
+  | first :: _ ->
+    let ncols = List.length first in
+    let nrows = List.length rows in
+    let data = Array.make (nrows * ncols) 0. in
+    List.iteri
+      (fun i row ->
+        if List.length row <> ncols then
+          shape_error "of_list2: ragged row %d" i;
+        List.iteri (fun j x -> data.((i * ncols) + j) <- x) row)
+      rows;
+    { shape = [| nrows; ncols |]; data }
+
+(* Row-major strides for a shape. *)
+let strides shape =
+  let r = Array.length shape in
+  let st = Array.make r 1 in
+  for i = r - 2 downto 0 do
+    st.(i) <- st.(i + 1) * shape.(i + 1)
+  done;
+  st
+
+let flat_index shape ix =
+  if Array.length ix <> Array.length shape then
+    shape_error "index rank %d for shape %a" (Array.length ix) pp_shape shape;
+  let st = strides shape in
+  let off = ref 0 in
+  Array.iteri
+    (fun d i ->
+      if i < 0 || i >= shape.(d) then
+        shape_error "index %d out of bounds in dim %d of %a" i d pp_shape shape;
+      off := !off + (i * st.(d)))
+    ix;
+  !off
+
+let init shape f =
+  let n = shape_size shape in
+  let r = Array.length shape in
+  let ix = Array.make r 0 in
+  let data = Array.make n 0. in
+  for flat = 0 to n - 1 do
+    data.(flat) <- f ix;
+    (* advance the multi-index, rightmost dimension fastest *)
+    let d = ref (r - 1) in
+    let carry = ref true in
+    while !carry && !d >= 0 do
+      ix.(!d) <- ix.(!d) + 1;
+      if ix.(!d) >= shape.(!d) then begin
+        ix.(!d) <- 0;
+        decr d
+      end
+      else carry := false
+    done
+  done;
+  { shape = Array.copy shape; data }
+
+let eye n = init [| n; n |] (fun ix -> if ix.(0) = ix.(1) then 1. else 0.)
+
+(* Inspection *)
+
+let shape t = Array.copy t.shape
+let rank t = Array.length t.shape
+let size t = Array.length t.data
+let get t ix = t.data.(flat_index t.shape ix)
+let get_flat t i = t.data.(i)
+
+let to_scalar t =
+  if Array.length t.data <> 1 then
+    shape_error "to_scalar: shape %a" pp_shape t.shape;
+  t.data.(0)
+
+let to_array t = Array.copy t.data
+let is_scalar t = Array.length t.data = 1 && Array.length t.shape = 0
+
+(* Elementwise *)
+
+let map f t = { t with data = Array.map f t.data }
+
+let broadcast_shapes a b =
+  let ra = Array.length a and rb = Array.length b in
+  let r = Stdlib.max ra rb in
+  Array.init r (fun i ->
+      let da = if i + ra - r >= 0 then a.(i + ra - r) else 1 in
+      let db = if i + rb - r >= 0 then b.(i + rb - r) else 1 in
+      if da = db then da
+      else if da = 1 then db
+      else if db = 1 then da
+      else shape_error "broadcast: %a vs %a" pp_shape a pp_shape b)
+
+(* Map a flat index in [out_shape] to the flat index in [shape] obtained by
+   broadcasting: broadcast dimensions contribute stride 0. *)
+let broadcast_strides shape out_shape =
+  let r = Array.length out_shape and rs = Array.length shape in
+  let st = strides shape in
+  Array.init r (fun i ->
+      let j = i + rs - r in
+      if j < 0 || shape.(j) = 1 then 0 else st.(j))
+
+let map2 f a b =
+  if a.shape = b.shape then
+    { shape = a.shape;
+      data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i))
+    }
+  else begin
+    let out_shape = broadcast_shapes a.shape b.shape in
+    let sa = broadcast_strides a.shape out_shape in
+    let sb = broadcast_strides b.shape out_shape in
+    let r = Array.length out_shape in
+    let n = shape_size out_shape in
+    let data = Array.make n 0. in
+    let ia = ref 0 and ib = ref 0 in
+    let ix = Array.make r 0 in
+    (* [ix] advances in row-major order, so the output flat index is just
+       the loop counter. *)
+    for flat = 0 to n - 1 do
+      data.(flat) <- f a.data.(!ia) b.data.(!ib);
+      let d = ref (r - 1) in
+      let carry = ref true in
+      while !carry && !d >= 0 do
+        ix.(!d) <- ix.(!d) + 1;
+        ia := !ia + sa.(!d);
+        ib := !ib + sb.(!d);
+        if ix.(!d) >= out_shape.(!d) then begin
+          ix.(!d) <- 0;
+          ia := !ia - (out_shape.(!d) * sa.(!d));
+          ib := !ib - (out_shape.(!d) * sb.(!d));
+          decr d
+        end
+        else carry := false
+      done
+    done;
+    { shape = out_shape; data }
+  end
+
+let broadcast_to t out_shape =
+  map2 (fun x _ -> x) t (zeros out_shape)
+
+(* Arithmetic *)
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let neg = map (fun x -> -.x)
+let scale c = map (fun x -> c *. x)
+let add_scalar c = map (fun x -> c +. x)
+let pow_scalar t p = map (fun x -> Float.pow x p) t
+let exp = map Float.exp
+let log = map Float.log
+let sqrt = map Float.sqrt
+let sigmoid = map (fun x -> 1. /. (1. +. Float.exp (-.x)))
+let tanh = map Float.tanh
+let relu = map (fun x -> if x > 0. then x else 0.)
+
+let softplus =
+  map (fun x -> if x > 30. then x else Float.log (1. +. Float.exp x))
+
+let clip ~min ~max t =
+  map (fun x -> if x < min then min else if x > max then max else x) t
+
+(* Reductions *)
+
+let sum t = Array.fold_left ( +. ) 0. t.data
+let mean t = sum t /. float_of_int (Stdlib.max 1 (Array.length t.data))
+let max_elt t = Array.fold_left Float.max Float.neg_infinity t.data
+let min_elt t = Array.fold_left Float.min Float.infinity t.data
+let sum_keep t = scalar (sum t)
+
+let sum_axis ax t =
+  let r = Array.length t.shape in
+  if ax < 0 || ax >= r then shape_error "sum_axis %d of %a" ax pp_shape t.shape;
+  let out_shape =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> ax) (Array.to_list t.shape))
+  in
+  let st = strides t.shape in
+  let out = zeros out_shape in
+  let n = Array.length t.data in
+  let inner = st.(ax) in
+  let axis_len = t.shape.(ax) in
+  let outer_stride = inner * axis_len in
+  for i = 0 to n - 1 do
+    let block = i / outer_stride in
+    let rem = i mod outer_stride in
+    let within = rem mod inner in
+    let j = (block * inner) + within in
+    out.data.(j) <- out.data.(j) +. t.data.(i)
+  done;
+  out
+
+let mean_axis ax t =
+  let len = float_of_int t.shape.(ax) in
+  scale (1. /. len) (sum_axis ax t)
+
+let argmax t =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > t.data.(!best) then best := i) t.data;
+  !best
+
+let logsumexp t =
+  let m = max_elt t in
+  if m = Float.neg_infinity then Float.neg_infinity
+  else
+    m
+    +. Float.log
+         (Array.fold_left (fun acc x -> acc +. Float.exp (x -. m)) 0. t.data)
+
+let softmax t =
+  let lse = logsumexp t in
+  map (fun x -> Float.exp (x -. lse)) t
+
+(* Linear algebra *)
+
+let matmul a b =
+  match (Array.length a.shape, Array.length b.shape) with
+  | 2, 2 ->
+    let m = a.shape.(0) and k = a.shape.(1) in
+    let k' = b.shape.(0) and n = b.shape.(1) in
+    if k <> k' then
+      shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
+    let data = Array.make (m * n) 0. in
+    for i = 0 to m - 1 do
+      for p = 0 to k - 1 do
+        let aip = a.data.((i * k) + p) in
+        if aip <> 0. then
+          let arow = i * n and brow = p * n in
+          for j = 0 to n - 1 do
+            data.(arow + j) <- data.(arow + j) +. (aip *. b.data.(brow + j))
+          done
+      done
+    done;
+    { shape = [| m; n |]; data }
+  | 2, 1 ->
+    let m = a.shape.(0) and k = a.shape.(1) in
+    if k <> b.shape.(0) then
+      shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
+    let data = Array.make m 0. in
+    for i = 0 to m - 1 do
+      let acc = ref 0. in
+      for p = 0 to k - 1 do
+        acc := !acc +. (a.data.((i * k) + p) *. b.data.(p))
+      done;
+      data.(i) <- !acc
+    done;
+    { shape = [| m |]; data }
+  | 1, 2 ->
+    let k = a.shape.(0) in
+    let k' = b.shape.(0) and n = b.shape.(1) in
+    if k <> k' then
+      shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
+    let data = Array.make n 0. in
+    for p = 0 to k - 1 do
+      let ap = a.data.(p) in
+      if ap <> 0. then
+        for j = 0 to n - 1 do
+          data.(j) <- data.(j) +. (ap *. b.data.((p * n) + j))
+        done
+    done;
+    { shape = [| n |]; data }
+  | ra, rb -> shape_error "matmul: ranks %d and %d" ra rb
+
+let transpose t =
+  match Array.length t.shape with
+  | 0 | 1 -> t
+  | 2 ->
+    let m = t.shape.(0) and n = t.shape.(1) in
+    let data = Array.make (m * n) 0. in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        data.((j * m) + i) <- t.data.((i * n) + j)
+      done
+    done;
+    { shape = [| n; m |]; data }
+  | r -> shape_error "transpose: rank %d" r
+
+let dot a b =
+  if Array.length a.data <> Array.length b.data then
+    shape_error "dot: sizes %d and %d" (Array.length a.data)
+      (Array.length b.data);
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.data.(i))) a.data;
+  !acc
+
+let outer a b =
+  if Array.length a.shape <> 1 || Array.length b.shape <> 1 then
+    shape_error "outer: ranks %d and %d" (Array.length a.shape)
+      (Array.length b.shape);
+  let m = a.shape.(0) and n = b.shape.(0) in
+  init [| m; n |] (fun ix -> a.data.(ix.(0)) *. b.data.(ix.(1)))
+
+(* Structural *)
+
+let reshape new_shape t =
+  if shape_size new_shape <> Array.length t.data then
+    shape_error "reshape %a to %a" pp_shape t.shape pp_shape new_shape;
+  { shape = Array.copy new_shape; data = t.data }
+
+let flatten t = reshape [| Array.length t.data |] t
+
+let concat0 ts =
+  match ts with
+  | [] -> shape_error "concat0: empty list"
+  | first :: rest ->
+    let tail_shape t = Array.sub t.shape 1 (Array.length t.shape - 1) in
+    if rank first = 0 then shape_error "concat0: rank-0 operand";
+    List.iter
+      (fun t ->
+        if tail_shape t <> tail_shape first then
+          shape_error "concat0: %a vs %a" pp_shape t.shape pp_shape first.shape)
+      rest;
+    let total0 = List.fold_left (fun acc t -> acc + t.shape.(0)) 0 ts in
+    let out_shape = Array.copy first.shape in
+    out_shape.(0) <- total0;
+    let data = Array.make (shape_size out_shape) 0. in
+    let off = ref 0 in
+    List.iter
+      (fun t ->
+        Array.blit t.data 0 data !off (Array.length t.data);
+        off := !off + Array.length t.data)
+      ts;
+    { shape = out_shape; data }
+
+let stack0 ts =
+  match ts with
+  | [] -> shape_error "stack0: empty list"
+  | first :: rest ->
+    List.iter
+      (fun t ->
+        if t.shape <> first.shape then
+          shape_error "stack0: %a vs %a" pp_shape t.shape pp_shape first.shape)
+      rest;
+    let out_shape = Array.append [| List.length ts |] first.shape in
+    let data = Array.make (shape_size out_shape) 0. in
+    List.iteri
+      (fun i t -> Array.blit t.data 0 data (i * Array.length t.data)
+          (Array.length t.data))
+      ts;
+    { shape = out_shape; data }
+
+let slice0 t i =
+  if rank t = 0 then shape_error "slice0: rank-0 tensor";
+  if i < 0 || i >= t.shape.(0) then
+    shape_error "slice0: index %d of %a" i pp_shape t.shape;
+  let sub_shape = Array.sub t.shape 1 (Array.length t.shape - 1) in
+  let n = shape_size sub_shape in
+  { shape = sub_shape; data = Array.sub t.data (i * n) n }
+
+let rows t = List.init t.shape.(0) (slice0 t)
+let take_rows t ixs = stack0 (List.map (slice0 t) ixs)
+
+(* Comparison and printing *)
+
+let equal a b = a.shape = b.shape && a.data = b.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.shape = b.shape
+  && Array.length a.data = Array.length b.data
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x -> if Float.abs (x -. b.data.(i)) > tol then ok := false)
+    a.data;
+  !ok
+
+let all_finite t = Array.for_all Float.is_finite t.data
+
+let pp ppf t =
+  match Array.length t.shape with
+  | 0 -> Format.fprintf ppf "%g" t.data.(0)
+  | 1 ->
+    Format.fprintf ppf "[%s]"
+      (String.concat " "
+         (Array.to_list (Array.map (Format.sprintf "%g") t.data)))
+  | _ ->
+    Format.fprintf ppf "tensor%a{%s%s}" pp_shape t.shape
+      (String.concat " "
+         (List.filteri
+            (fun i _ -> i < 8)
+            (Array.to_list (Array.map (Format.sprintf "%g") t.data))))
+      (if Array.length t.data > 8 then " ..." else "")
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,173 @@
+(** Dense row-major float tensors.
+
+    This is the numeric substrate for the whole system: rank-0 tensors act
+    as scalars, rank-1 as vectors, rank-2 as matrices. All operations are
+    pure (they allocate a fresh result) and support NumPy-style
+    right-aligned broadcasting where documented. *)
+
+type t
+(** A dense tensor of [float]s with an immutable shape. The underlying
+    buffer is not exposed; use {!get}, {!to_array}, or the iteration
+    helpers. *)
+
+exception Shape_error of string
+(** Raised when operand shapes are incompatible. *)
+
+(** {1 Construction} *)
+
+val scalar : float -> t
+(** [scalar x] is the rank-0 tensor holding [x]. *)
+
+val of_array : int array -> float array -> t
+(** [of_array shape data] wraps [data] (copied) as a tensor of [shape].
+    @raise Shape_error if [Array.length data] does not match the shape. *)
+
+val of_list1 : float list -> t
+(** Rank-1 tensor from a list. *)
+
+val of_list2 : float list list -> t
+(** Rank-2 tensor from rows; all rows must have equal length. *)
+
+val zeros : int array -> t
+val ones : int array -> t
+val full : int array -> float -> t
+
+val init : int array -> (int array -> float) -> t
+(** [init shape f] builds a tensor whose element at multi-index [ix] is
+    [f ix]. *)
+
+val eye : int -> t
+(** [eye n] is the [n] x [n] identity matrix. *)
+
+(** {1 Inspection} *)
+
+val shape : t -> int array
+val rank : t -> int
+val size : t -> int
+
+val get : t -> int array -> float
+(** [get t ix] reads the element at multi-index [ix]. *)
+
+val get_flat : t -> int -> float
+(** [get_flat t i] reads the [i]-th element in row-major order. *)
+
+val to_scalar : t -> float
+(** Extract the value of a rank-0 (or single-element) tensor.
+    @raise Shape_error on tensors with more than one element. *)
+
+val to_array : t -> float array
+(** Row-major copy of the contents. *)
+
+val is_scalar : t -> bool
+
+(** {1 Elementwise maps} *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Broadcasting binary map: shapes are aligned from the right; a
+    dimension of size 1 (or a missing dimension) broadcasts.
+    @raise Shape_error when shapes are not broadcast-compatible. *)
+
+val broadcast_shapes : int array -> int array -> int array
+(** The result shape of broadcasting two shapes.
+    @raise Shape_error when incompatible. *)
+
+val broadcast_to : t -> int array -> t
+(** Materialize a tensor broadcast to a larger shape. *)
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val pow_scalar : t -> float -> t
+
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+val sigmoid : t -> t
+val tanh : t -> t
+val relu : t -> t
+
+val softplus : t -> t
+(** Numerically stable [log (1 + exp x)]. *)
+
+val clip : min:float -> max:float -> t -> t
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val mean : t -> float
+val max_elt : t -> float
+val min_elt : t -> float
+
+val sum_keep : t -> t
+(** Full sum as a rank-0 tensor. *)
+
+val sum_axis : int -> t -> t
+(** [sum_axis ax t] sums out dimension [ax] (removing it). *)
+
+val mean_axis : int -> t -> t
+
+val argmax : t -> int
+(** Row-major index of the maximum element. *)
+
+val logsumexp : t -> float
+(** Numerically stable log of the sum of exponentials of all elements. *)
+
+val softmax : t -> t
+(** Softmax over all elements (stable). *)
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+(** Rank-2 x rank-2 matrix product, rank-2 x rank-1 matrix-vector
+    product, or rank-1 x rank-2 vector-matrix product.
+    @raise Shape_error on dimension mismatch. *)
+
+val transpose : t -> t
+(** Transpose of a rank-2 tensor (rank-0/1 returned unchanged). *)
+
+val dot : t -> t -> float
+(** Inner product of two equal-sized tensors (flattened). *)
+
+val outer : t -> t -> t
+(** Outer product of two rank-1 tensors. *)
+
+(** {1 Structural} *)
+
+val reshape : int array -> t -> t
+val flatten : t -> t
+
+val concat0 : t list -> t
+(** Concatenate along axis 0; all other dimensions must agree. *)
+
+val stack0 : t list -> t
+(** Stack equal-shaped tensors along a new leading axis. *)
+
+val slice0 : t -> int -> t
+(** [slice0 t i] is the [i]-th sub-tensor along axis 0 (rank drops 1). *)
+
+val rows : t -> t list
+(** All axis-0 slices of a tensor of rank >= 1. *)
+
+val take_rows : t -> int list -> t
+(** Gather the given axis-0 slices into a new tensor. *)
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+(** Exact structural equality (shape and elements). *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Same shape and all elements within [tol] (default [1e-9]). *)
+
+val all_finite : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

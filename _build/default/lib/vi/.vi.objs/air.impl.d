@@ -1,0 +1,1 @@
+lib/vi/air.ml: Ad Adev Array Baseline Data Dist Gen Hashtbl Layer Lazy List Objectives Printf Prng Stdlib Store String Tensor Trace Train Unix

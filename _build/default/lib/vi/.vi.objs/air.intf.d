@@ -1,0 +1,1 @@
+lib/vi/air.mli: Ad Adev Gen Optim Prng Store Tensor

@@ -1,0 +1,1 @@
+lib/vi/coin.ml: Ad Dist Float Fun Gen List Objectives Optim Store Tensor Train Unix

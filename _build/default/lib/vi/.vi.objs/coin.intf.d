@@ -1,0 +1,1 @@
+lib/vi/coin.mli: Gen Prng Store Train

@@ -1,0 +1,1 @@
+lib/vi/cone.ml: Ad Dist Float Gen List Objectives Optim Printf Prng Store Tensor Trace Train

@@ -1,0 +1,1 @@
+lib/vi/cone.mli: Ad Adev Gen Prng Store Trace Train

@@ -1,0 +1,1 @@
+lib/vi/cvae.ml: Ad Adev Array Data Dist Gen Layer List Objectives Prng Stdlib Store Tensor Train Unix

@@ -1,0 +1,1 @@
+lib/vi/cvae.mli: Ad Adev Gen Optim Prng Store Tensor

@@ -1,0 +1,1 @@
+lib/vi/grid.ml: Ad Adev Air Data List Printexc Printf Prng Store Tensor

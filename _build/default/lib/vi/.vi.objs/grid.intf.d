@@ -1,0 +1,1 @@
+lib/vi/grid.mli: Air Gen Prng

@@ -1,0 +1,1 @@
+lib/vi/mcvi.ml: Ad Cone Dist Float Gen List Objectives Optim Printf Prng Store Tensor Trace Train

@@ -1,0 +1,1 @@
+lib/vi/mcvi.mli: Ad Adev Gen Prng Store Trace Train

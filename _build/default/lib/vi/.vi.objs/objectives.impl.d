@@ -1,0 +1,1 @@
+lib/vi/objectives.ml: Ad Adev Float Gen

@@ -1,0 +1,1 @@
+lib/vi/objectives.mli: Ad Adev Gen Trace

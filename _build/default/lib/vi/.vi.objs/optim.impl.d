@@ -1,0 +1,1 @@
+lib/vi/optim.ml: Float Hashtbl List Store Tensor

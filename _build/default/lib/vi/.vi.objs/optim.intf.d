@@ -1,0 +1,1 @@
+lib/vi/optim.mli: Store Tensor

@@ -1,0 +1,1 @@
+lib/vi/regression.ml: Ad Array Data Dist Gen List Objectives Optim Prng Store Tensor Trace Train Unix

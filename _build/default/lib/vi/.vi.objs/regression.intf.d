@@ -1,0 +1,1 @@
+lib/vi/regression.mli: Data Gen Prng Store Train

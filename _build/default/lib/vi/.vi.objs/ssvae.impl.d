@@ -1,0 +1,1 @@
+lib/vi/ssvae.ml: Ad Adev Array Data Dist Gen Layer Lazy List Objectives Prng Stdlib Store Tensor Train Unix

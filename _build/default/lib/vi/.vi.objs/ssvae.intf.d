@@ -1,0 +1,1 @@
+lib/vi/ssvae.mli: Gen Optim Prng Store Tensor

@@ -1,0 +1,1 @@
+lib/vi/train.ml: Ad Adev List Optim Prng Stdlib Store Tensor

@@ -1,0 +1,1 @@
+lib/vi/train.mli: Ad Adev Optim Prng Store

@@ -1,0 +1,1 @@
+lib/vi/vae.ml: Ad Adev Array Data Dist Gen Layer Objectives Optim Prng Store Tensor Train Unix

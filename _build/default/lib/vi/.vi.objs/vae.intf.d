@@ -1,0 +1,1 @@
+lib/vi/vae.mli: Ad Adev Gen Prng Store Tensor Train

@@ -1,0 +1,56 @@
+let flips =
+  [ true; true; true; true; true; true; false; false; false; false ]
+
+let model =
+  let open Gen.Syntax in
+  let* f =
+    Gen.sample (Dist.beta_reinforce (Ad.scalar 10.) (Ad.scalar 10.)) "fairness"
+  in
+  let rec observe_all = function
+    | [] -> Gen.return ()
+    | b :: rest ->
+      let* () = Gen.observe (Dist.flip_reinforce f) b in
+      observe_all rest
+  in
+  observe_all flips
+
+let register store =
+  Store.ensure store "coin.alpha" (fun () -> Tensor.scalar 10.);
+  Store.ensure store "coin.beta" (fun () -> Tensor.scalar 10.)
+
+let pos x = Ad.add_scalar 1e-3 (Ad.softplus x)
+
+let guide frame =
+  let open Gen.Syntax in
+  let alpha = pos (Store.Frame.get frame "coin.alpha") in
+  let beta = pos (Store.Frame.get frame "coin.beta") in
+  let* _ = Gen.sample (Dist.beta_reinforce alpha beta) "fairness" in
+  Gen.return ()
+
+let heads = List.length (List.filter Fun.id flips)
+
+let exact_posterior_mean =
+  (10. +. float_of_int heads)
+  /. (20. +. float_of_int (List.length flips))
+
+let objective frame = Objectives.elbo ~model ~guide:(guide frame)
+
+let train ?(steps = 1500) ?(samples = 8) ?(lr = 0.02) key =
+  let store = Store.create () in
+  register store;
+  let optim = Optim.adam ~lr () in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    Train.fit ~store ~optim ~samples ~steps
+      ~objective:(fun frame _ -> objective frame)
+      key
+  in
+  (store, reports, Unix.gettimeofday () -. t0)
+
+let posterior_mean store =
+  let soft x = 1e-3 +. Float.log (1. +. Float.exp x) in
+  let a = soft (Tensor.to_scalar (Store.tensor store "coin.alpha")) in
+  let b = soft (Tensor.to_scalar (Store.tensor store "coin.beta")) in
+  a /. (a +. b)
+
+let final_elbo store key = Train.eval ~store ~samples:2000 ~objective key

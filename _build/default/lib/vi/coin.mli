@@ -1,0 +1,26 @@
+(** Fairness inference for a noisy coin (Appendix D.1).
+
+    Beta(10, 10) prior on the coin's weight, a sequence of observed
+    flips, and a Beta guide with learned concentration parameters. The
+    posterior is conjugate, so the learned posterior mean can be checked
+    against the exact answer — the Appendix D.1 table. *)
+
+val flips : bool list
+(** The observed dataset: 6 heads, 4 tails (mirroring the tutorial). *)
+
+val model : unit Gen.t
+val register : Store.t -> unit
+val guide : Store.Frame.t -> unit Gen.t
+
+val exact_posterior_mean : float
+(** (10 + heads) / (20 + flips). *)
+
+val train :
+  ?steps:int -> ?samples:int -> ?lr:float -> Prng.key ->
+  Store.t * Train.report list * float
+(** Returns the trained store, per-step reports, and wall seconds. *)
+
+val posterior_mean : Store.t -> float
+(** alpha / (alpha + beta) at the learned parameters. *)
+
+val final_elbo : Store.t -> Prng.key -> float

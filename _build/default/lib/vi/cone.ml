@@ -1,0 +1,150 @@
+open Gen.Syntax
+
+let two_pi = 2. *. Float.pi
+
+let model =
+  let* x = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 3.)) "x" in
+  let* y = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 3.)) "y" in
+  let r2 = Ad.add (Ad.mul x x) (Ad.mul y y) in
+  Gen.observe (Dist.normal_reparam r2 (Ad.scalar 0.5)) (Ad.scalar 5.)
+
+let register store key =
+  ignore key;
+  let scalar name v = Store.ensure store name (fun () -> Tensor.scalar v) in
+  scalar "cone.naive.mx" 0.5;
+  scalar "cone.naive.rx" 0.5;
+  scalar "cone.naive.my" 0.5;
+  scalar "cone.naive.ry" 0.5;
+  scalar "cone.joint.radius" 1.0;
+  scalar "cone.joint.spread" (-1.0);
+  scalar "cone.rev.a" 0.55;
+  scalar "cone.rev.b" 0.55
+
+(* softplus(rho) + eps keeps scales positive. *)
+let pos rho = Ad.add_scalar 1e-3 (Ad.softplus rho)
+
+let guide_naive frame =
+  let p = Store.Frame.get frame in
+  let* _ =
+    Gen.sample
+      (Dist.normal_reparam (p "cone.naive.mx") (pos (p "cone.naive.rx")))
+      "x"
+  in
+  let* _ =
+    Gen.sample
+      (Dist.normal_reparam (p "cone.naive.my") (pos (p "cone.naive.ry")))
+      "y"
+  in
+  Gen.return ()
+
+let guide_joint frame =
+  let p = Store.Frame.get frame in
+  let radius = pos (p "cone.joint.radius") in
+  let spread = pos (p "cone.joint.spread") in
+  let* v = Gen.sample (Dist.uniform 0. two_pi) "v" in
+  let vf = Gen.rigid v in
+  let* _ =
+    Gen.sample
+      (Dist.normal_reparam (Ad.scale (Float.cos vf) radius) spread)
+      "x"
+  in
+  let* _ =
+    Gen.sample
+      (Dist.normal_reparam (Ad.scale (Float.sin vf) radius) spread)
+      "y"
+  in
+  Gen.return ()
+
+(* The auxiliary angle's reverse kernel. A uniform kernel keeps the
+   importance weights finite everywhere on the angle's support; the
+   conditional structure is recovered by conditional importance
+   sampling inside [marginal]. *)
+let reverse_kernel _kept =
+  Gen.Packed (Gen.sample (Dist.uniform 0. two_pi) "v")
+
+(* Learnable concentrations: softplus keeps them positive; at a = b = 1
+   this degenerates to the uniform kernel above. *)
+let reverse_kernel_learned frame _kept =
+  let p = Store.Frame.get frame in
+  Gen.Packed
+    (Gen.sample
+       (Dist.scaled_beta_reinforce ~lo:0. ~hi:two_pi
+          (pos (p "cone.rev.a"))
+          (pos (p "cone.rev.b")))
+       "v")
+
+let guide_marginal ~aux_particles frame =
+  Gen.marginal ~keep:[ "x"; "y" ] (guide_joint frame)
+    (Gen.importance ~particles:aux_particles reverse_kernel)
+
+let guide_sir ~particles frame =
+  Gen.normalize model
+    (Gen.importance_prior ~particles (Gen.Packed (guide_naive frame)))
+
+type objective_kind =
+  | Elbo
+  | Iwelbo of int
+  | Hvi
+  | Iwhvi of int
+  | Iwhvi_learned of int
+  | Diwhvi of int * int
+
+let objective_name = function
+  | Elbo -> "ELBO"
+  | Iwelbo n -> Printf.sprintf "IWELBO(n=%d)" n
+  | Hvi -> "HVI"
+  | Iwhvi m -> Printf.sprintf "IWHVI(m=%d)" m
+  | Iwhvi_learned m -> Printf.sprintf "IWHVI+learned-rev(m=%d)" m
+  | Diwhvi (n, m) -> Printf.sprintf "DIWHVI(n=%d,m=%d)" n m
+
+let objective kind frame =
+  match kind with
+  | Elbo -> Objectives.elbo ~model ~guide:(guide_naive frame)
+  | Iwelbo n -> Objectives.iwelbo ~particles:n ~model ~guide:(guide_naive frame)
+  | Hvi ->
+    Objectives.hvi ~keep:[ "x"; "y" ] ~reverse:reverse_kernel ~model
+      ~guide_joint:(guide_joint frame) ()
+  | Iwhvi m ->
+    Objectives.hvi ~keep:[ "x"; "y" ] ~reverse:reverse_kernel ~aux_particles:m
+      ~model ~guide_joint:(guide_joint frame) ()
+  | Iwhvi_learned m ->
+    Objectives.hvi ~keep:[ "x"; "y" ]
+      ~reverse:(reverse_kernel_learned frame)
+      ~aux_particles:m ~model ~guide_joint:(guide_joint frame) ()
+  | Diwhvi (n, m) ->
+    Objectives.diwhvi ~particles:n ~keep:[ "x"; "y" ] ~reverse:reverse_kernel
+      ~aux_particles:m ~model ~guide_joint:(guide_joint frame)
+
+let train ?(steps = 1500) ?(lr = 0.05) kind key =
+  let store = Store.create () in
+  register store key;
+  let optim = Optim.adam ~lr () in
+  let reports =
+    Train.fit ~store ~optim ~steps
+      ~objective:(fun frame _step -> objective kind frame)
+      key
+  in
+  (store, reports)
+
+let final_value ?(samples = 2000) store kind key =
+  Train.eval ~store ~samples ~objective:(objective kind) key
+
+let trained_guide store kind frame =
+  match kind with
+  | Elbo | Iwelbo _ -> Gen.map (fun () -> ()) (guide_naive frame)
+  | Hvi -> Gen.map (fun _ -> ()) (guide_marginal ~aux_particles:1 frame)
+  | Iwhvi m | Diwhvi (_, m) ->
+    ignore store;
+    Gen.map (fun _ -> ()) (guide_marginal ~aux_particles:m frame)
+  | Iwhvi_learned m ->
+    Gen.map
+      (fun _ -> ())
+      (Gen.marginal ~keep:[ "x"; "y" ] (guide_joint frame)
+         (Gen.importance ~particles:m (reverse_kernel_learned frame)))
+
+let guide_samples store kind n key =
+  let frame = Store.Frame.make store in
+  let guide = trained_guide store kind frame in
+  List.init n (fun i ->
+      let _, trace, _ = Gen.sample_prior guide (Prng.fold_in key i) in
+      (Trace.get_float "x" trace, Trace.get_float "y" trace))

@@ -1,0 +1,69 @@
+(** The toy "cone" inference problem of Fig. 2 / Fig. 3 / Table 4.
+
+    The model generates a point (x, y) and observes that
+    [x^2 + y^2 = 5] (noisily), so the posterior concentrates on a circle
+    of radius sqrt 5. A mean-field Gaussian guide cannot represent the
+    circle; the programmable-VI strategies — importance weighting, SIR
+    guides via [normalize], and hierarchical guides via [marginal] —
+    progressively fix this. *)
+
+val model : unit Gen.t
+(** x ~ N(0, 3); y ~ N(0, 3); observe N(x^2 + y^2, 0.5) = 5. *)
+
+val register : Store.t -> Prng.key -> unit
+(** Register all guide parameters (idempotent). *)
+
+val guide_naive : Store.Frame.t -> unit Gen.t
+(** Mean-field Gaussian guide over "x" and "y" (REPARAM). *)
+
+val guide_joint : Store.Frame.t -> unit Gen.t
+(** Hierarchical guide: an angle v ~ U(0, 2 pi) places (x, y) near a
+    circle of learned radius and spread (Fig. 3, right). *)
+
+val reverse_kernel : Trace.t -> Gen.packed
+(** Reverse kernel proposing the auxiliary angle given (x, y); used to
+    marginalize [guide_joint]. *)
+
+val reverse_kernel_learned : Store.Frame.t -> Trace.t -> Gen.packed
+(** A {e learnable} reverse kernel (a scaled Beta over the angle with
+    trained concentrations) — Appendix A.1's point that density
+    estimators may carry parameters controlling their variance, which
+    are optimized jointly with the rest of the objective. *)
+
+val guide_marginal : aux_particles:int -> Store.Frame.t -> Trace.t Gen.t
+(** [guide_joint] marginalized onto x, y ([marginal]); HVI for 1
+    auxiliary particle, IWHVI for more. *)
+
+val guide_sir : particles:int -> Store.Frame.t -> unit Gen.t
+(** SIR posterior approximation built with [normalize] from
+    [guide_naive] (Fig. 3, left). *)
+
+type objective_kind =
+  | Elbo
+  | Iwelbo of int  (** particle count n *)
+  | Hvi
+  | Iwhvi of int  (** auxiliary particle count m *)
+  | Iwhvi_learned of int
+      (** IWHVI with the learnable reverse kernel trained jointly *)
+  | Diwhvi of int * int  (** (n, m) *)
+
+val objective_name : objective_kind -> string
+
+val objective : objective_kind -> Store.Frame.t -> Ad.t Adev.t
+(** The Table 4 objective programs. *)
+
+val train :
+  ?steps:int -> ?lr:float -> objective_kind -> Prng.key ->
+  Store.t * Train.report list
+(** Optimize one objective from a fresh parameter store with ADAM.
+    Defaults: 1500 steps, lr 0.05. *)
+
+val final_value :
+  ?samples:int -> Store.t -> objective_kind -> Prng.key -> float
+(** Monte Carlo estimate of the objective at the trained parameters
+    (the Table 4 statistic). *)
+
+val guide_samples :
+  Store.t -> objective_kind -> int -> Prng.key -> (float * float) list
+(** Draw (x, y) samples from the guide a given objective trains (for
+    the Fig. 2/3 scatter plots). *)

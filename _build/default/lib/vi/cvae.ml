@@ -1,0 +1,120 @@
+let latent_dim = 5
+let observed_quadrant = 2 (* bottom-left, as in the paper's Fig. 17 *)
+let hidden_dim = 48
+let input_dim = Data.sprite_side / 2 * (Data.sprite_side / 2)
+let output_dim = Data.sprite_dim - input_dim
+
+let register store key =
+  Layer.mlp_register store ~name:"cvae.baseline"
+    ~dims:[ input_dim; hidden_dim; output_dim ]
+    ~key:(Prng.fold_in key 0);
+  Layer.mlp_register store ~name:"cvae.prior.mu"
+    ~dims:[ input_dim; hidden_dim; latent_dim ]
+    ~key:(Prng.fold_in key 1);
+  Layer.mlp_register store ~name:"cvae.prior.rho"
+    ~dims:[ input_dim; hidden_dim; latent_dim ]
+    ~key:(Prng.fold_in key 2);
+  Layer.mlp_register store ~name:"cvae.gen"
+    ~dims:[ latent_dim + input_dim; hidden_dim; output_dim ]
+    ~key:(Prng.fold_in key 3);
+  Layer.mlp_register store ~name:"cvae.rec.mu"
+    ~dims:[ input_dim + output_dim; hidden_dim; latent_dim ]
+    ~key:(Prng.fold_in key 4);
+  Layer.mlp_register store ~name:"cvae.rec.rho"
+    ~dims:[ input_dim + output_dim; hidden_dim; latent_dim ]
+    ~key:(Prng.fold_in key 5)
+
+let baseline_loss frame inputs targets =
+  let logits = Layer.mlp frame ~name:"cvae.baseline" ~layers:2 (Ad.const inputs) in
+  let n = float_of_int (Tensor.shape inputs).(0) in
+  Ad.scale (-1. /. n)
+    (Dist.log_density_bernoulli_logits ~logits (Ad.const targets))
+
+let heads frame prefix input =
+  let mu = Layer.mlp frame ~name:(prefix ^ ".mu") ~layers:2 input in
+  let rho = Layer.mlp frame ~name:(prefix ^ ".rho") ~layers:2 input in
+  (mu, Ad.add_scalar 1e-3 (Ad.softplus rho))
+
+let model frame input target =
+  let open Gen.Syntax in
+  let mu, std = heads frame "cvae.prior" (Ad.const input) in
+  let* z = Gen.sample (Dist.mv_normal_diag_reparam mu std) "z" in
+  let logits =
+    Layer.mlp frame ~name:"cvae.gen" ~layers:2
+      (Ad.concat0 [ z; Ad.const input ])
+  in
+  Gen.observe (Dist.bernoulli_logits_vector logits) (Ad.const target)
+
+let guide frame input target =
+  let open Gen.Syntax in
+  let mu, std =
+    heads frame "cvae.rec" (Ad.const (Tensor.concat0 [ input; target ]))
+  in
+  let* _ = Gen.sample (Dist.mv_normal_diag_reparam mu std) "z" in
+  Gen.return ()
+
+let elbo frame input target =
+  Objectives.elbo ~model:(model frame input target)
+    ~guide:(guide frame input target)
+
+let split_image image =
+  let input = Tensor.flatten (Data.quadrant image observed_quadrant) in
+  let target = Data.without_quadrant image observed_quadrant in
+  (input, target)
+
+let train_epoch ~store ~optim ~images ~batch key =
+  let n = (Tensor.shape images).(0) in
+  let nbatches = n / batch in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    Train.fit_batch ~store ~optim ~steps:nbatches
+      ~objectives:(fun frame step ->
+        let datum i =
+          let image = Tensor.slice0 images ((step * batch) + i) in
+          let input, target = split_image image in
+          let open Adev.Syntax in
+          let* e = elbo frame input target in
+          (* Joint training: the deterministic baseline net learns from
+             the same pixels (negated: outer loop ascends). *)
+          let bl =
+            baseline_loss frame
+              (Tensor.stack0 [ input ])
+              (Tensor.stack0 [ target ])
+          in
+          Adev.return (Ad.sub e bl)
+        in
+        List.init batch datum)
+      key
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let mean =
+    List.fold_left (fun acc r -> acc +. r.Train.objective) 0. reports
+    /. float_of_int (Stdlib.max 1 nbatches)
+  in
+  (mean, dt)
+
+let reassemble input filled =
+  let side = Data.sprite_side in
+  let half = side / 2 in
+  let r0 = observed_quadrant / 2 * half
+  and c0 = observed_quadrant mod 2 * half in
+  let next = ref 0 in
+  Tensor.init [| side; side |] (fun ix ->
+      let r = ix.(0) and c = ix.(1) in
+      if r >= r0 && r < r0 + half && c >= c0 && c < c0 + half then
+        Tensor.get_flat input (((r - r0) * half) + (c - c0))
+      else begin
+        let v = Tensor.get_flat filled !next in
+        incr next;
+        v
+      end)
+
+let fill_in store image key =
+  let frame = Store.Frame.make store in
+  let input, _ = split_image image in
+  let mu, std = heads frame "cvae.prior" (Ad.const input) in
+  let z = Ad.const (Prng.normal_tensor_mean_std key (Ad.value mu) (Ad.value std)) in
+  let logits =
+    Layer.mlp frame ~name:"cvae.gen" ~layers:2 (Ad.concat0 [ z; Ad.const input ])
+  in
+  reassemble input (Tensor.sigmoid (Ad.value logits))

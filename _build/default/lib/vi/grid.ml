@@ -1,0 +1,75 @@
+type combo = { pres : Air.discrete_strategy; pos : Air.discrete_strategy }
+type objective = Elbo | Iwae | Rws
+
+let objective_name = function Elbo -> "ELBO" | Iwae -> "IWAE" | Rws -> "RWS"
+
+let combo_name { pres; pos } =
+  if pres = pos then Air.strategy_name pres
+  else
+    Printf.sprintf "%s+%s" (Air.strategy_name pres) (Air.strategy_name pos)
+
+let strategies = [ Air.RE; Air.EN; Air.RE_BL; Air.MV ]
+
+let rows =
+  let singles = List.map (fun s -> { pres = s; pos = s }) strategies in
+  let mixed =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a = b then None else Some { pres = a; pos = b })
+          strategies)
+      strategies
+  in
+  List.concat_map
+    (fun combo -> [ (combo, Elbo); (combo, Iwae) ])
+    (singles @ mixed)
+  @ [ ({ pres = Air.RE; pos = Air.RE }, Rws) ]
+
+type outcome = Supported | Failed of string
+
+let outcome_ok = function Supported -> true | Failed _ -> false
+
+let air_objective objective =
+  match objective with
+  | Elbo -> Air.Elbo
+  | Iwae -> Air.Iwelbo 2
+  | Rws -> Air.Rws 2
+
+let try_ours combo objective key =
+  let store = Store.create () in
+  Air.register store key;
+  let baselines = Air.make_baselines () in
+  let images, _ = Data.air_batch key 2 in
+  try
+    let frame = Store.Frame.make store in
+    let objs =
+      Air.batch_objectives ~pres:combo.pres ~pos:combo.pos ~baselines
+        (air_objective objective) frame images
+    in
+    let surrogates =
+      List.mapi (fun i o -> Adev.expectation o (Prng.fold_in key i)) objs
+    in
+    let total = Ad.add_list surrogates in
+    Ad.backward total;
+    let grads = Store.Frame.grads frame in
+    if List.for_all (fun (_, g) -> Tensor.all_finite g) grads then Supported
+    else Failed "non-finite gradient"
+  with
+  | Invalid_argument msg -> Failed msg
+  | Failure msg -> Failed msg
+
+let try_probe ~probe combo objective key =
+  let store = Store.create () in
+  Air.register store key;
+  let baselines = Air.make_baselines () in
+  let images, _ = Data.air_batch key 1 in
+  let image = Tensor.slice0 images 0 in
+  let frame = Store.Frame.make store in
+  let model = Air.model frame image in
+  let guide =
+    Air.guide ~pres:combo.pres ~pos:combo.pos ~baselines frame image
+  in
+  try
+    probe ~model ~guide ~objective ~pres:combo.pres ~pos:combo.pos key;
+    Supported
+  with exn -> Failed (Printexc.to_string exn)

@@ -1,0 +1,47 @@
+(** The Table 3 expressivity grid: which (gradient-strategy combination,
+    objective) pairs each system can run on the AIR model.
+
+    "Ours" attempts one real gradient step with the modular ADEV
+    pipeline and records success iff every parameter gradient is finite.
+    The baseline column is filled in by [lib/baseline]'s monolithic
+    engine via the probe hook below (the engine either produces a
+    surrogate or raises its [Unsupported] exception, exactly like a
+    fixed-menu PPL). *)
+
+type combo = {
+  pres : Air.discrete_strategy;  (** presence-flip strategy *)
+  pos : Air.discrete_strategy;  (** position-categorical strategy *)
+}
+
+type objective = Elbo | Iwae | Rws
+
+val objective_name : objective -> string
+val combo_name : combo -> string
+
+val rows : (combo * objective) list
+(** The grid: every single strategy and every mixed pair, under ELBO and
+    IWAE, plus the RWS row. *)
+
+type outcome = Supported | Failed of string
+
+val outcome_ok : outcome -> bool
+
+val try_ours : combo -> objective -> Prng.key -> outcome
+(** Run one gradient step of the modular system on a tiny AIR batch. *)
+
+val try_probe :
+  probe:
+    (model:unit Gen.t ->
+    guide:unit Gen.t ->
+    objective:objective ->
+    pres:Air.discrete_strategy ->
+    pos:Air.discrete_strategy ->
+    Prng.key ->
+    unit) ->
+  combo ->
+  objective ->
+  Prng.key ->
+  outcome
+(** Evaluate a baseline system: [probe] receives the AIR model/guide and
+    must either compute a gradient estimate or raise; the raise message
+    becomes [Failed]. *)

@@ -1,0 +1,136 @@
+let steps = 3
+
+(* Unnormalized log posterior of the cone model at a (rigid) point. *)
+let log_target x y =
+  let log_normal v mu sigma =
+    (-0.5 *. (((v -. mu) /. sigma) ** 2.))
+    -. Float.log sigma
+    -. (0.5 *. Float.log (2. *. Float.pi))
+  in
+  log_normal x 0. 3. +. log_normal y 0. 3.
+  +. log_normal 5. ((x *. x) +. (y *. y)) 0.5
+
+let register store =
+  let scalar name v = Store.ensure store name (fun () -> Tensor.scalar v) in
+  scalar "mcvi.init.mx" 0.5;
+  scalar "mcvi.init.my" 0.5;
+  scalar "mcvi.init.rho" 0.5;
+  scalar "mcvi.step.rho" (-0.5);
+  scalar "mcvi.smooth.rho" (-2.)
+
+let pos rho = Ad.add_scalar 1e-3 (Ad.softplus rho)
+
+let guide_joint frame =
+  let p = Store.Frame.get frame in
+  let init_std = pos (p "mcvi.init.rho") in
+  let step_std = pos (p "mcvi.step.rho") in
+  let smooth_std = pos (p "mcvi.smooth.rho") in
+  let open Gen.Syntax in
+  let* x0 =
+    Gen.sample (Dist.normal_reinforce (p "mcvi.init.mx") init_std) "x0"
+  in
+  let* y0 =
+    Gen.sample (Dist.normal_reinforce (p "mcvi.init.my") init_std) "y0"
+  in
+  (* Metropolis-Hastings chain over rigid states. The proposals are
+     trace addresses; the accept bit's probability is the usual MH
+     ratio, computed on primal values (a legal non-smooth use of
+     REINFORCE samples). *)
+  let rec chain k x y =
+    if k > steps then Gen.return (x, y)
+    else
+      let* px =
+        Gen.sample
+          (Dist.normal_reinforce (Ad.scalar x) step_std)
+          (Printf.sprintf "prop_x%d" k)
+      in
+      let* py =
+        Gen.sample
+          (Dist.normal_reinforce (Ad.scalar y) step_std)
+          (Printf.sprintf "prop_y%d" k)
+      in
+      let pxv = Gen.rigid px and pyv = Gen.rigid py in
+      let alpha =
+        Float.min 1. (Float.exp (log_target pxv pyv -. log_target x y))
+      in
+      let* accept =
+        Gen.sample
+          (Dist.flip_reinforce (Ad.scalar alpha))
+          (Printf.sprintf "accept%d" k)
+      in
+      if accept then chain (k + 1) pxv pyv else chain (k + 1) x y
+  in
+  let* xk, yk = chain 1 (Gen.rigid x0) (Gen.rigid y0) in
+  (* Smooth the final state so the marginal over (x, y) has a density. *)
+  let* _ = Gen.sample (Dist.normal_reinforce (Ad.scalar xk) smooth_std) "x" in
+  let* _ = Gen.sample (Dist.normal_reinforce (Ad.scalar yk) smooth_std) "y" in
+  Gen.return ()
+
+(* Reverse kernel over the chain auxiliaries given (x, y): replay an
+   independent chain from the learned initial distribution. All its
+   densities are finite everywhere, so importance weights are finite. *)
+let reverse frame _kept =
+  let p = Store.Frame.get frame in
+  let init_std = pos (p "mcvi.init.rho") in
+  let step_std = pos (p "mcvi.step.rho") in
+  let open Gen.Syntax in
+  let prog =
+    let* x0 =
+      Gen.sample (Dist.normal_reinforce (p "mcvi.init.mx") init_std) "x0"
+    in
+    let* y0 =
+      Gen.sample (Dist.normal_reinforce (p "mcvi.init.my") init_std) "y0"
+    in
+    let rec aux k x y =
+      if k > steps then Gen.return ()
+      else
+        let* px =
+          Gen.sample
+            (Dist.normal_reinforce (Ad.scalar x) step_std)
+            (Printf.sprintf "prop_x%d" k)
+        in
+        let* py =
+          Gen.sample
+            (Dist.normal_reinforce (Ad.scalar y) step_std)
+            (Printf.sprintf "prop_y%d" k)
+        in
+        let pxv = Gen.rigid px and pyv = Gen.rigid py in
+        let alpha =
+          Float.min 1. (Float.exp (log_target pxv pyv -. log_target x y))
+        in
+        let* accept =
+          Gen.sample
+            (Dist.flip_reinforce (Ad.scalar alpha))
+            (Printf.sprintf "accept%d" k)
+        in
+        if accept then aux (k + 1) pxv pyv else aux (k + 1) x y
+    in
+    aux 1 (Gen.rigid x0) (Gen.rigid y0)
+  in
+  Gen.Packed prog
+
+let guide ~aux_particles frame =
+  Gen.marginal ~keep:[ "x"; "y" ] (guide_joint frame)
+    (Gen.importance ~particles:aux_particles (reverse frame))
+
+let objective ~aux_particles frame =
+  Objectives.elbo ~model:Cone.model ~guide:(guide ~aux_particles frame)
+
+let train ?(train_steps = 1000) ?(lr = 0.03) ~aux_particles key =
+  let store = Store.create () in
+  register store;
+  let optim = Optim.adam ~lr () in
+  let reports =
+    Train.fit ~store ~optim ~steps:train_steps
+      ~objective:(fun frame _ -> objective ~aux_particles frame)
+      key
+  in
+  (store, reports)
+
+let guide_samples store n key =
+  let frame = Store.Frame.make store in
+  List.init n (fun i ->
+      let _, trace, _ =
+        Gen.sample_prior (guide ~aux_particles:1 frame) (Prng.fold_in key i)
+      in
+      (Trace.get_float "x" trace, Trace.get_float "y" trace))

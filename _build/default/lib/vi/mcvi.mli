@@ -1,0 +1,37 @@
+(** Markov chain variational inference (Salimans et al.), one of the
+    algorithm families Appendix A.1 says `marginal` unlocks: the
+    variational family is an initial distribution pushed through a few
+    Metropolis-Hastings steps targeting the model's unnormalized
+    posterior, with all chain intermediates marginalized out.
+
+    This module instantiates MCVI for the cone problem. The chain's
+    proposals and accept bits are ordinary trace addresses (REINFORCE /
+    rigid, because MH acceptance branches on density ratios — exactly
+    the non-smooth usage the R-star discipline permits); the kept
+    addresses "x" and "y" are a small Gaussian smoothing of the final
+    chain state, so the marginal guide is absolutely continuous. *)
+
+val steps : int
+(** MH steps in the chain (3). *)
+
+val register : Store.t -> unit
+(** Learnable: initial-distribution location/scale, proposal step size,
+    smoothing width. *)
+
+val guide_joint : Store.Frame.t -> unit Gen.t
+(** The full chain: initial state, per-step proposals and accept flips,
+    final smoothed (x, y). *)
+
+val guide : aux_particles:int -> Store.Frame.t -> Trace.t Gen.t
+(** The chain marginalized onto x, y. *)
+
+val objective : aux_particles:int -> Store.Frame.t -> Ad.t Adev.t
+(** ELBO of the cone model against the marginal MCVI guide. *)
+
+val train :
+  ?train_steps:int -> ?lr:float -> aux_particles:int -> Prng.key ->
+  Store.t * Train.report list
+
+val guide_samples : Store.t -> int -> Prng.key -> (float * float) list
+(** Draw (x, y) from the trained chain (for inspecting posterior
+    coverage). *)

@@ -1,0 +1,76 @@
+(** Variational objectives as lambda_ADEV programs.
+
+    Every objective here is an ordinary [Ad.t Adev.t] value built from
+    the compiled [Gen.simulate] / [Gen.log_density] of user model and
+    guide programs — the paper's Section 2 workflow. Users are not
+    limited to this menu: any composition of [Adev] and [Gen] evaluators
+    is a valid objective (the point of programmable VI); these are the
+    standard ones used by the experiments.
+
+    Conventions: the {e model} is a generative program whose [observe]
+    statements absorb the data, defined over exactly the addresses the
+    {e guide} samples. All objectives are to be {e maximized}
+    ([Optim.Ascend]) unless noted. *)
+
+val elbo : model:'a Gen.t -> guide:'b Gen.t -> Ad.t Adev.t
+(** The evidence lower bound,
+    [E_{z ~ guide} (log p(z, y) - log q(z))] (Eqn. 3). With [marginal] /
+    [normalize] in either program, densities are unbiased stochastic
+    estimates and the objective is the correspondingly looser bound of
+    Appendix A.2. *)
+
+val iwelbo : particles:int -> model:'a Gen.t -> guide:'b Gen.t -> Ad.t Adev.t
+(** The importance-weighted ELBO of Burda et al.:
+    [E log (1/N sum_i p(z_i, y) / q(z_i))]. *)
+
+val hvi :
+  keep:string list ->
+  reverse:(Trace.t -> Gen.packed) ->
+  ?aux_particles:int ->
+  model:'a Gen.t ->
+  guide_joint:'b Gen.t ->
+  unit ->
+  Ad.t Adev.t
+(** Hierarchical VI: the guide is [guide_joint] (which samples auxiliary
+    variables besides [keep]) marginalized onto [keep] with importance
+    sampling from the [reverse] kernel; [aux_particles] = 1 gives HVI,
+    [> 1] gives IWHVI (Sobolev and Vetrov). Then the ordinary ELBO is
+    applied to the marginal guide. *)
+
+val diwhvi :
+  particles:int ->
+  keep:string list ->
+  reverse:(Trace.t -> Gen.packed) ->
+  aux_particles:int ->
+  model:'a Gen.t ->
+  guide_joint:'b Gen.t ->
+  Ad.t Adev.t
+(** Doubly importance-weighted HVI: IWELBO over the marginalized guide
+    (SIR estimates of marginal densities inside the IWELBO objective). *)
+
+val qwake :
+  particles:int -> model:'a Gen.t -> proposal:'b Gen.t -> guide:'c Gen.t ->
+  Ad.t Adev.t
+(** The reweighted-wake-sleep wake-phase guide objective (Appendix B):
+    [E_{z ~ SIR(model, proposal)} (- log q(z))], with the SIR proposal
+    [proposal] held fixed (pass a detached-parameter guide) and [guide]
+    carrying the live parameters. Maximizing it minimizes an inclusive
+    (forward) KL surrogate. *)
+
+val pwake :
+  particles:int -> model:'a Gen.t -> proposal:'b Gen.t -> Ad.t Adev.t
+(** The wake-phase model objective (Appendix B):
+    [E_{(z, w) ~ SIR(model, proposal)} (log p(z, y) - log w)]. *)
+
+val forward_kl_sample : model_sample:Trace.t -> guide:'a Gen.t -> Ad.t Adev.t
+(** [- log q(z)] at a trace sampled from the true joint — the
+    wake-sleep "sleep" term, usable when the model can be forward
+    sampled. To be maximized. *)
+
+val symmetric_elbo :
+  particles:int -> model:'a Gen.t -> proposal:'b Gen.t -> guide:'c Gen.t ->
+  Ad.t Adev.t
+(** A symmetric-divergence objective in the style of Domke's diagnostic:
+    the average of the ELBO and the SIR-approximated forward-KL term
+    ([qwake]); exercises objective composition beyond the standard
+    menu. *)

@@ -1,0 +1,49 @@
+type spec =
+  | Sgd of { lr : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+type state = { mutable m : Tensor.t; mutable v : Tensor.t; mutable t : int }
+
+type t = { spec : spec; states : (string, state) Hashtbl.t }
+
+let sgd ~lr = { spec = Sgd { lr }; states = Hashtbl.create 16 }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
+  { spec = Adam { lr; beta1; beta2; eps }; states = Hashtbl.create 16 }
+
+type direction = Ascend | Descend
+
+let state_for t name shape =
+  match Hashtbl.find_opt t.states name with
+  | Some s -> s
+  | None ->
+    let s = { m = Tensor.zeros shape; v = Tensor.zeros shape; t = 0 } in
+    Hashtbl.add t.states name s;
+    s
+
+let step t direction store grads =
+  let sign = match direction with Ascend -> 1. | Descend -> -1. in
+  List.iter
+    (fun (name, g) ->
+      if Tensor.all_finite g then begin
+        let x = Store.tensor store name in
+        match t.spec with
+        | Sgd { lr } ->
+          Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) g))
+        | Adam { lr; beta1; beta2; eps } ->
+          let s = state_for t name (Tensor.shape g) in
+          s.t <- s.t + 1;
+          s.m <- Tensor.add (Tensor.scale beta1 s.m) (Tensor.scale (1. -. beta1) g);
+          s.v <-
+            Tensor.add (Tensor.scale beta2 s.v)
+              (Tensor.scale (1. -. beta2) (Tensor.mul g g));
+          let mhat = Tensor.scale (1. /. (1. -. (beta1 ** float_of_int s.t))) s.m in
+          let vhat = Tensor.scale (1. /. (1. -. (beta2 ** float_of_int s.t))) s.v in
+          let update =
+            Tensor.map2 (fun mi vi -> mi /. (Float.sqrt vi +. eps)) mhat vhat
+          in
+          Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) update))
+      end)
+    grads
+
+let reset t = Hashtbl.reset t.states

@@ -1,0 +1,21 @@
+(** Stochastic gradient optimizers over a parameter {!Store.t}. *)
+
+type t
+
+val sgd : lr:float -> t
+
+val adam :
+  ?beta1:float -> ?beta2:float -> ?eps:float -> lr:float -> unit -> t
+(** ADAM with the usual defaults (0.9, 0.999, 1e-8). *)
+
+type direction = Ascend | Descend
+
+val step :
+  t -> direction -> Store.t -> (string * Tensor.t) list -> unit
+(** Apply one update from named gradients. [Ascend] maximizes (variational
+    lower bounds), [Descend] minimizes (losses). Gradients whose tensors
+    contain non-finite entries are skipped for that parameter (a guard
+    against the occasional divergent REINFORCE sample). *)
+
+val reset : t -> unit
+(** Clear moment estimates and step counters. *)

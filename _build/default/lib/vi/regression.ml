@@ -1,0 +1,102 @@
+let data = Data.regression_data (Prng.key 8675309) 120
+
+let model =
+  let open Gen.Syntax in
+  let normal_site mu sigma addr =
+    Gen.sample (Dist.normal_reparam (Ad.scalar mu) (Ad.scalar sigma)) addr
+  in
+  let* a = normal_site 0. 10. "a" in
+  let* ba = normal_site 0. 1. "bA" in
+  let* br = normal_site 0. 1. "bR" in
+  let* bar = normal_site 0. 1. "bAR" in
+  let* sigma = Gen.sample (Dist.uniform 0.05 10.) "sigma" in
+  let rec observe_all i =
+    if i >= Array.length data then Gen.return ()
+    else begin
+      let d = data.(i) in
+      let c = if d.Data.in_africa then 1. else 0. in
+      let mean =
+        Ad.add_list
+          [ a; Ad.scale c ba; Ad.scale d.Data.ruggedness br;
+            Ad.scale (c *. d.Data.ruggedness) bar ]
+      in
+      let* () =
+        Gen.observe (Dist.normal_reparam mean sigma) (Ad.scalar d.Data.log_gdp)
+      in
+      observe_all (i + 1)
+    end
+  in
+  observe_all 0
+
+let sites = [ "a"; "bA"; "bR"; "bAR" ]
+
+let register store =
+  List.iter
+    (fun s ->
+      Store.ensure store ("reg." ^ s ^ ".loc") (fun () -> Tensor.scalar 0.);
+      Store.ensure store ("reg." ^ s ^ ".rho") (fun () -> Tensor.scalar 0.))
+    sites;
+  Store.ensure store "reg.sigma.loc" (fun () -> Tensor.scalar 1.)
+
+let pos x = Ad.add_scalar 1e-3 (Ad.softplus x)
+
+let guide frame =
+  let open Gen.Syntax in
+  let p = Store.Frame.get frame in
+  let rec go = function
+    | [] ->
+      (* The paper's guide: sigma ~ N(sl, 0.05), a narrow learned point
+         mass within the uniform prior's support. *)
+      let* _ =
+        Gen.sample
+          (Dist.normal_reparam (pos (p "reg.sigma.loc")) (Ad.scalar 0.05))
+          "sigma"
+      in
+      Gen.return ()
+    | s :: rest ->
+      let* _ =
+        Gen.sample
+          (Dist.normal_reparam (p ("reg." ^ s ^ ".loc")) (pos (p ("reg." ^ s ^ ".rho"))))
+          s
+      in
+      go rest
+  in
+  go sites
+
+let objective frame = Objectives.elbo ~model ~guide:(guide frame)
+
+let train ?(steps = 1200) ?(samples = 1) ?(lr = 0.05) key =
+  let store = Store.create () in
+  register store;
+  let optim = Optim.adam ~lr () in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    Train.fit ~store ~optim ~samples ~steps
+      ~objective:(fun frame _ -> objective frame)
+      key
+  in
+  (store, reports, Unix.gettimeofday () -. t0)
+
+let final_elbo_per_datum store key =
+  Train.eval ~store ~samples:400 ~objective key
+  /. float_of_int (Array.length data)
+
+let coefficient_means store =
+  let loc s = Tensor.to_scalar (Store.tensor store ("reg." ^ s ^ ".loc")) in
+  (loc "a", loc "bA", loc "bR", loc "bAR")
+
+let predict store ~ruggedness ~in_africa key =
+  let n = 3200 in
+  let frame = Store.Frame.make store in
+  let c = if in_africa then 1. else 0. in
+  let samples =
+    List.init n (fun i ->
+        let _, trace, _ = Gen.sample_prior (guide frame) (Prng.fold_in key i) in
+        let v s = Trace.get_float s trace in
+        v "a" +. (c *. v "bA") +. (ruggedness *. v "bR")
+        +. (c *. ruggedness *. v "bAR"))
+  in
+  let sorted = List.sort compare samples in
+  let nth q = List.nth sorted (int_of_float (q *. float_of_int (n - 1))) in
+  let mean = List.fold_left ( +. ) 0. samples /. float_of_int n in
+  (mean, nth 0.05, nth 0.95)

@@ -1,0 +1,30 @@
+(** Bayesian linear regression on synthetic terrain-ruggedness data
+    (Appendix D.2): log GDP as a function of ruggedness, an
+    is-in-Africa indicator, and their interaction, with a mean-field
+    Gaussian guide over the four coefficients and the noise scale. *)
+
+val data : Data.regression_datum array
+(** A fixed synthetic dataset of 120 countries (seeded). *)
+
+val model : unit Gen.t
+val register : Store.t -> unit
+val guide : Store.Frame.t -> unit Gen.t
+
+val train :
+  ?steps:int -> ?samples:int -> ?lr:float -> Prng.key ->
+  Store.t * Train.report list * float
+(** Returns the trained store, per-step reports, and wall seconds. *)
+
+val final_elbo_per_datum : Store.t -> Prng.key -> float
+(** Final ELBO divided by the dataset size (the Fig. 11 statistic). *)
+
+val coefficient_means : Store.t -> float * float * float * float
+(** Learned posterior means of (a, bA, bR, bAR), to compare with
+    [Data.regression_truth]. *)
+
+val predict :
+  Store.t -> ruggedness:float -> in_africa:bool -> Prng.key ->
+  float * float * float
+(** Posterior-predictive (mean, lo, hi) of the regression mean at one
+    input, from 3200 guide samples with a 90 percent credible interval
+    (the Fig. 12 series). *)

@@ -1,0 +1,146 @@
+let latent_dim = 8
+let num_classes = 10
+let hidden_dim = 48
+let image_dim = Data.sprite_dim
+
+let register store key =
+  Layer.mlp_register store ~name:"ssvae.classifier"
+    ~dims:[ image_dim; hidden_dim; num_classes ]
+    ~key:(Prng.fold_in key 0);
+  Layer.mlp_register store ~name:"ssvae.enc.mu"
+    ~dims:[ image_dim + num_classes; hidden_dim; latent_dim ]
+    ~key:(Prng.fold_in key 1);
+  Layer.mlp_register store ~name:"ssvae.enc.rho"
+    ~dims:[ image_dim + num_classes; hidden_dim; latent_dim ]
+    ~key:(Prng.fold_in key 2);
+  Layer.mlp_register store ~name:"ssvae.dec"
+    ~dims:[ latent_dim + num_classes; hidden_dim; image_dim ]
+    ~key:(Prng.fold_in key 3)
+
+let one_hot label =
+  Ad.const
+    (Tensor.init [| num_classes |] (fun ix ->
+         if ix.(0) = label then 1. else 0.))
+
+let uniform_label_probs =
+  lazy (Ad.const (Tensor.full [| num_classes |] (1. /. float_of_int num_classes)))
+
+let decode frame label z =
+  Layer.mlp frame ~name:"ssvae.dec" ~layers:2
+    (Ad.concat0 [ z; one_hot label ])
+
+let encode frame label image =
+  let input = Ad.concat0 [ image; one_hot label ] in
+  let mu = Layer.mlp frame ~name:"ssvae.enc.mu" ~layers:2 input in
+  let rho = Layer.mlp frame ~name:"ssvae.enc.rho" ~layers:2 input in
+  (mu, Ad.add_scalar 1e-3 (Ad.softplus rho))
+
+let latent_prior =
+  lazy
+    ( Ad.const (Tensor.zeros [| latent_dim |]),
+      Ad.const (Tensor.ones [| latent_dim |]) )
+
+let gen_body frame label image =
+  let open Gen.Syntax in
+  let zeros, ones = Lazy.force latent_prior in
+  let* z = Gen.sample (Dist.mv_normal_diag_reparam zeros ones) "latent" in
+  let logits = decode frame label z in
+  Gen.observe (Dist.bernoulli_logits_vector logits) (Ad.const image)
+
+let unsup_model frame image =
+  let open Gen.Syntax in
+  let* label =
+    Gen.sample
+      (Dist.categorical_reinforce (Lazy.force uniform_label_probs))
+      "label"
+  in
+  gen_body frame label image
+
+let sup_model frame label image =
+  let open Gen.Syntax in
+  let* () =
+    Gen.observe (Dist.categorical_reinforce (Lazy.force uniform_label_probs)) label
+  in
+  gen_body frame label image
+
+let guide_latent frame label image =
+  let open Gen.Syntax in
+  let mu, std = encode frame label (Ad.const image) in
+  let* _ = Gen.sample (Dist.mv_normal_diag_reparam mu std) "latent" in
+  Gen.return ()
+
+let classifier_logits frame image =
+  Layer.mlp frame ~name:"ssvae.classifier" ~layers:2 image
+
+let unsup_guide frame image =
+  let open Gen.Syntax in
+  let logits = classifier_logits frame (Ad.const image) in
+  let* label = Gen.sample (Dist.categorical_logits_enum logits) "label" in
+  guide_latent frame label image
+
+let sup_guide frame label image = guide_latent frame label image
+
+let classify store image =
+  let frame = Store.Frame.make store in
+  Tensor.argmax (Ad.value (classifier_logits frame (Ad.const image)))
+
+let classifier_accuracy store images labels =
+  let n = (Tensor.shape images).(0) in
+  let correct = ref 0 in
+  for i = 0 to n - 1 do
+    if classify store (Tensor.slice0 images i) = labels.(i) then incr correct
+  done;
+  float_of_int !correct /. float_of_int n
+
+(* The supervised objective includes the classifier cross-entropy term
+   (Kingma et al.'s alpha term), so labeled data also trains the
+   classifier head. *)
+let sup_objective frame label image =
+  let open Adev.Syntax in
+  let* e =
+    Objectives.elbo
+      ~model:(sup_model frame label image)
+      ~guide:(sup_guide frame label image)
+  in
+  let class_lp =
+    Ad.get (Ad.log_softmax (classifier_logits frame (Ad.const image))) [| label |]
+  in
+  Adev.return (Ad.add e (Ad.scale 5. class_lp))
+
+let unsup_objective frame image =
+  Objectives.elbo ~model:(unsup_model frame image)
+    ~guide:(unsup_guide frame image)
+
+let train_epoch ~store ~optim ~images ~labels ~batch ~supervised_every key =
+  let n = (Tensor.shape images).(0) in
+  let nbatches = n / batch in
+  let unsup_total = ref 0. and unsup_batches = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let (_ : Train.report list) =
+    Train.fit_batch ~store ~optim ~steps:nbatches
+      ~on_step:(fun _ -> ())
+      ~objectives:(fun frame step ->
+        let supervised = (step + 1) mod supervised_every = 0 in
+        List.init batch (fun i ->
+            let ix = (step * batch) + i in
+            let image = Tensor.slice0 images ix in
+            if supervised then sup_objective frame labels.(ix) image
+            else unsup_objective frame image))
+      key
+  in
+  (* Reporting pass: estimate the unsupervised ELBO on the first batch. *)
+  let frame = Store.Frame.make store in
+  for i = 0 to Stdlib.min (batch - 1) (n - 1) do
+    unsup_total :=
+      !unsup_total
+      +. Adev.estimate (unsup_objective frame (Tensor.slice0 images i))
+           (Prng.fold_in key (777 + i));
+    incr unsup_batches
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (!unsup_total /. float_of_int (Stdlib.max 1 !unsup_batches), dt)
+
+let generate store ~label key =
+  let frame = Store.Frame.make store in
+  let z = Ad.const (Prng.normal_tensor key [| latent_dim |]) in
+  Tensor.sigmoid (Ad.value (decode frame label z))

@@ -1,0 +1,39 @@
+(** Semi-supervised VAE (Kingma et al.; paper Appendix D.3).
+
+    Two model/guide pairs over digit sprites: the unsupervised pair
+    samples the class label as a latent (guided by a classifier network,
+    enumerated with categorical ENUM), the supervised pair observes it.
+    Training interleaves unsupervised batches with an occasional
+    supervised batch, as in the Pyro tutorial the paper benchmarks. *)
+
+val latent_dim : int
+val num_classes : int
+
+val register : Store.t -> Prng.key -> unit
+
+val unsup_model : Store.Frame.t -> Tensor.t -> unit Gen.t
+val sup_model : Store.Frame.t -> int -> Tensor.t -> unit Gen.t
+val unsup_guide : Store.Frame.t -> Tensor.t -> unit Gen.t
+val sup_guide : Store.Frame.t -> int -> Tensor.t -> unit Gen.t
+
+val classify : Store.t -> Tensor.t -> int
+(** Most probable label under the guide's classifier head. *)
+
+val classifier_accuracy : Store.t -> Tensor.t -> int array -> float
+
+val train_epoch :
+  store:Store.t ->
+  optim:Optim.t ->
+  images:Tensor.t ->
+  labels:int array ->
+  batch:int ->
+  supervised_every:int ->
+  Prng.key ->
+  float * float
+(** One pass over the data; every [supervised_every]-th minibatch uses
+    the supervised objective. Returns (mean unsupervised ELBO per datum,
+    wall seconds) — the Fig. 15 measurements. *)
+
+val generate : Store.t -> label:int -> Prng.key -> Tensor.t
+(** Conditional generation: decode a prior latent for a given class
+    (Fig. 16). *)

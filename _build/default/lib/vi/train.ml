@@ -1,0 +1,59 @@
+type report = { step : int; objective : float }
+
+let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1)
+    ?(on_step = fun _ -> ()) ~steps ~objective key =
+  let reports = ref [] in
+  for step = 0 to steps - 1 do
+    let frame = Store.Frame.make store in
+    let obj = objective frame step in
+    let key_step = Prng.fold_in key step in
+    let surrogate = Adev.expectation_mean ~samples obj key_step in
+    Ad.backward surrogate;
+    Optim.step optim direction store (Store.Frame.grads frame);
+    let report =
+      { step; objective = Tensor.to_scalar (Ad.value surrogate) }
+    in
+    on_step report;
+    reports := report :: !reports
+  done;
+  List.rev !reports
+
+let fit_batch ~store ~optim ?(direction = Optim.Ascend)
+    ?(on_step = fun _ -> ()) ~steps ~objectives key =
+  let reports = ref [] in
+  for step = 0 to steps - 1 do
+    let frame = Store.Frame.make store in
+    let objs = objectives frame step in
+    let key_step = Prng.fold_in key step in
+    let n = Stdlib.max 1 (List.length objs) in
+    let surrogates =
+      List.mapi
+        (fun i obj -> Adev.expectation obj (Prng.fold_in key_step i))
+        objs
+    in
+    let surrogate = Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates) in
+    Ad.backward surrogate;
+    Optim.step optim direction store (Store.Frame.grads frame);
+    let report = { step; objective = Tensor.to_scalar (Ad.value surrogate) } in
+    on_step report;
+    reports := report :: !reports
+  done;
+  List.rev !reports
+
+let fit_surrogate ~store ~optim ?(direction = Optim.Ascend)
+    ?(on_step = fun _ -> ()) ~steps ~surrogate key =
+  let reports = ref [] in
+  for step = 0 to steps - 1 do
+    let frame = Store.Frame.make store in
+    let s = surrogate frame step (Prng.fold_in key step) in
+    Ad.backward s;
+    Optim.step optim direction store (Store.Frame.grads frame);
+    let report = { step; objective = Tensor.to_scalar (Ad.value s) } in
+    on_step report;
+    reports := report :: !reports
+  done;
+  List.rev !reports
+
+let eval ~store ?(samples = 100) ~objective key =
+  let frame = Store.Frame.make store in
+  Adev.estimate ~samples (objective frame) key

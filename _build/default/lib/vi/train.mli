@@ -1,0 +1,60 @@
+(** Stochastic-optimization driver: repeatedly estimate an objective's
+    gradient with ADEV and apply an optimizer update. *)
+
+type report = {
+  step : int;
+  objective : float;  (** The (primal) objective estimate at this step. *)
+}
+
+val fit :
+  store:Store.t ->
+  optim:Optim.t ->
+  ?direction:Optim.direction ->
+  ?samples:int ->
+  ?on_step:(report -> unit) ->
+  steps:int ->
+  objective:(Store.Frame.t -> int -> Ad.t Adev.t) ->
+  Prng.key ->
+  report list
+(** [fit ~store ~optim ~steps ~objective key] runs [steps] updates. The
+    objective builder receives a fresh parameter frame and the step
+    index (for minibatching) and returns the lambda_ADEV objective;
+    [samples] (default 1) gradient estimates are averaged per step.
+    Direction defaults to [Ascend]. Returns one report per step, in
+    order. *)
+
+val fit_batch :
+  store:Store.t ->
+  optim:Optim.t ->
+  ?direction:Optim.direction ->
+  ?on_step:(report -> unit) ->
+  steps:int ->
+  objectives:(Store.Frame.t -> int -> Ad.t Adev.t list) ->
+  Prng.key ->
+  report list
+(** Like {!fit}, for per-datum objectives that must be estimated with
+    {e independent} randomness (so that e.g. an ENUM site in one datum
+    does not enumerate jointly with the next datum's sites): each
+    objective in the returned list gets its own surrogate and key, and
+    the update uses their average. *)
+
+val fit_surrogate :
+  store:Store.t ->
+  optim:Optim.t ->
+  ?direction:Optim.direction ->
+  ?on_step:(report -> unit) ->
+  steps:int ->
+  surrogate:(Store.Frame.t -> int -> Prng.key -> Ad.t) ->
+  Prng.key ->
+  report list
+(** Escape hatch for engines that build their own surrogate losses
+    (the monolithic baseline of [lib/baseline]). *)
+
+val eval :
+  store:Store.t ->
+  ?samples:int ->
+  objective:(Store.Frame.t -> Ad.t Adev.t) ->
+  Prng.key ->
+  float
+(** Monte Carlo estimate of an objective at the current parameters,
+    without updating them. *)

@@ -1,0 +1,77 @@
+let latent_dim = 10
+let hidden_dim = 64
+let image_dim = Data.sprite_dim
+
+let register store key =
+  Layer.dense_register store ~name:"vae.enc.trunk" ~in_dim:image_dim
+    ~out_dim:hidden_dim ~key:(Prng.fold_in key 0);
+  Layer.dense_register store ~name:"vae.enc.mu" ~in_dim:hidden_dim
+    ~out_dim:latent_dim ~key:(Prng.fold_in key 1);
+  Layer.dense_register store ~name:"vae.enc.rho" ~in_dim:hidden_dim
+    ~out_dim:latent_dim ~key:(Prng.fold_in key 2);
+  Layer.dense_register store ~name:"vae.dec.trunk" ~in_dim:latent_dim
+    ~out_dim:hidden_dim ~key:(Prng.fold_in key 3);
+  Layer.dense_register store ~name:"vae.dec.out" ~in_dim:hidden_dim
+    ~out_dim:image_dim ~key:(Prng.fold_in key 4)
+
+let encode frame images =
+  let h = Layer.dense frame ~name:"vae.enc.trunk" ~act:Layer.Softplus images in
+  let mu = Layer.dense frame ~name:"vae.enc.mu" h in
+  let rho = Layer.dense frame ~name:"vae.enc.rho" h in
+  (mu, Ad.add_scalar 1e-3 (Ad.softplus rho))
+
+let decode frame z =
+  let h = Layer.dense frame ~name:"vae.dec.trunk" ~act:Layer.Softplus z in
+  Layer.dense frame ~name:"vae.dec.out" h
+
+let model frame images =
+  let n = (Tensor.shape images).(0) in
+  let zeros = Ad.const (Tensor.zeros [| n; latent_dim |]) in
+  let ones = Ad.const (Tensor.ones [| n; latent_dim |]) in
+  let open Gen.Syntax in
+  let* z = Gen.sample (Dist.mv_normal_diag_reparam zeros ones) "latent" in
+  let logits = decode frame z in
+  Gen.observe (Dist.bernoulli_logits_vector logits) (Ad.const images)
+
+let guide frame images =
+  let mu, std = encode frame (Ad.const images) in
+  let open Gen.Syntax in
+  let* _ = Gen.sample (Dist.mv_normal_diag_reparam mu std) "latent" in
+  Gen.return ()
+
+let elbo_per_datum frame images =
+  let n = float_of_int (Tensor.shape images).(0) in
+  Adev.map
+    (Ad.scale (1. /. n))
+    (Objectives.elbo ~model:(model frame images) ~guide:(guide frame images))
+
+let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) key =
+  let store = Store.create () in
+  register store key;
+  let optim = Optim.adam ~lr () in
+  let reports =
+    Train.fit ~store ~optim ~steps
+      ~objective:(fun frame step ->
+        let images, _ = Data.digit_batch (Prng.fold_in key (10000 + step)) batch in
+        elbo_per_datum frame images)
+      key
+  in
+  (store, reports)
+
+let grad_step_time store ~batch ~repeats key =
+  let images, _ = Data.digit_batch key batch in
+  (* One warmup round, then time forward + backward. *)
+  let run i =
+    let frame = Store.Frame.make store in
+    let surrogate =
+      Adev.expectation (elbo_per_datum frame images) (Prng.fold_in key i)
+    in
+    Ad.backward surrogate;
+    ignore (Store.Frame.grads frame)
+  in
+  run 0;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to repeats do
+    run i
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int repeats

@@ -1,0 +1,41 @@
+(** Variational autoencoder on sprite digits (Table 1 / Fig. 10).
+
+    Batched: model and guide are defined over one vector-valued latent
+    address holding the whole minibatch (shape [batch x latent_dim]), so
+    a gradient step is a handful of tensor ops — the same vectorization
+    the paper gets from [vmap]. The hand-coded comparator for Table 1
+    lives in [lib/baseline/vae_hand.ml] and shares {!register}'s
+    parameters. *)
+
+val latent_dim : int
+val hidden_dim : int
+
+val register : Store.t -> Prng.key -> unit
+(** Register encoder (trunk + mu/rho heads) and decoder parameters. *)
+
+val encode : Store.Frame.t -> Ad.t -> Ad.t * Ad.t
+(** [encode frame images] (images: [n x 144]) = (mu, std), each
+    [n x latent_dim]. *)
+
+val decode : Store.Frame.t -> Ad.t -> Ad.t
+(** [decode frame z] = pixel logits, [n x 144]. *)
+
+val model : Store.Frame.t -> Tensor.t -> unit Gen.t
+(** Generative program for a batch of images: batched standard-normal
+    latent, decoder, Bernoulli pixel likelihood. *)
+
+val guide : Store.Frame.t -> Tensor.t -> unit Gen.t
+(** Amortized Gaussian posterior from the encoder. *)
+
+val elbo_per_datum : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
+(** The batch ELBO divided by the batch size. *)
+
+val train :
+  ?steps:int -> ?batch:int -> ?lr:float -> Prng.key ->
+  Store.t * Train.report list
+
+val grad_step_time :
+  Store.t -> batch:int -> repeats:int -> Prng.key -> float
+(** Mean seconds per gradient estimate (forward + backward) of the
+    automated estimator at the given batch size — the Table 1 "Ours"
+    column. *)

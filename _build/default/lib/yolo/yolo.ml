@@ -1,0 +1,393 @@
+type expr =
+  | Var of string
+  | Const of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Sin of expr
+  | Cos of expr
+  | Exp of expr
+
+type stmt =
+  | Let of string * expr
+  | Sample_normal of string * expr * expr
+
+type program = { params : string list; body : stmt list; result : string }
+type env = (string * float) list
+
+let rec expr_vars = function
+  | Var v -> [ v ]
+  | Const _ -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> expr_vars a @ expr_vars b
+  | Neg a | Sin a | Cos a | Exp a -> expr_vars a
+
+let validate prog =
+  let defined = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace defined p ()) prog.params;
+  let check_expr e =
+    List.find_opt (fun v -> not (Hashtbl.mem defined v)) (expr_vars e)
+  in
+  let rec go = function
+    | [] ->
+      if Hashtbl.mem defined prog.result then Ok ()
+      else Error (Printf.sprintf "result %S is not defined" prog.result)
+    | stmt :: rest ->
+      let dst, bad =
+        match stmt with
+        | Let (d, e) -> (d, check_expr e)
+        | Sample_normal (d, mu, sigma) ->
+          (d, match check_expr mu with Some v -> Some v | None -> check_expr sigma)
+      in
+      if Hashtbl.mem defined dst then
+        Error (Printf.sprintf "variable %S is defined twice" dst)
+      else begin
+        match bad with
+        | Some v -> Error (Printf.sprintf "variable %S used before definition" v)
+        | None ->
+          Hashtbl.replace defined dst ();
+          go rest
+      end
+  in
+  go prog.body
+
+(* Elementary (A-normal) form. *)
+
+type prim =
+  | Pconst of float
+  | Padd of string * string
+  | Psub of string * string
+  | Pmul of string * string
+  | Pneg of string
+  | Psin of string
+  | Pcos of string
+  | Pexp of string
+  | Pnormal of string * string
+
+type elementary = { dst : string; prim : prim }
+
+let anf prog =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%%t%d" !counter
+  in
+  let out = ref [] in
+  let emit dst prim = out := { dst; prim } :: !out in
+  (* Flatten an expression, returning the variable holding its value. *)
+  let rec flat = function
+    | Var v -> v
+    | Const c ->
+      let t = fresh () in
+      emit t (Pconst c);
+      t
+    | Add (a, b) -> binop (fun x y -> Padd (x, y)) a b
+    | Sub (a, b) -> binop (fun x y -> Psub (x, y)) a b
+    | Mul (a, b) -> binop (fun x y -> Pmul (x, y)) a b
+    | Neg a -> unop (fun x -> Pneg x) a
+    | Sin a -> unop (fun x -> Psin x) a
+    | Cos a -> unop (fun x -> Pcos x) a
+    | Exp a -> unop (fun x -> Pexp x) a
+  and binop mk a b =
+    let va = flat a in
+    let vb = flat b in
+    let t = fresh () in
+    emit t (mk va vb);
+    t
+  and unop mk a =
+    let va = flat a in
+    let t = fresh () in
+    emit t (mk va);
+    t
+  in
+  let assign dst src_expr =
+    match src_expr with
+    | Var v ->
+      (* Aliases still get their own elementary copy: dst = v + 0. *)
+      let z = fresh () in
+      emit z (Pconst 0.);
+      emit dst (Padd (v, z))
+    | e -> begin
+      (* Flatten subexpressions, then re-point the last temp at dst. *)
+      match flat e with
+      | t -> begin
+        match !out with
+        | { dst = t'; prim } :: rest when t' = t ->
+          out := { dst; prim } :: rest
+        | _ -> emit dst (Padd (t, t))
+      end
+    end
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Let (d, e) -> assign d e
+      | Sample_normal (d, mu, sigma) ->
+        let vmu = flat mu in
+        let vsigma = flat sigma in
+        emit d (Pnormal (vmu, vsigma)))
+    prog.body;
+  (List.rev !out, prog.result)
+
+(* Forward-mode (JVP) transformation. *)
+
+type lin_term = { coeff : string option; scale : float; src : string }
+type lin_stmt = { lhs : string; terms : lin_term list }
+
+type dual_program = {
+  nonlin : elementary list;
+  lin : lin_stmt list;
+  primal_result : string;
+  tangent_result : string;
+  tangent_params : (string * string) list;
+}
+
+let tangent v = "d/" ^ v
+let cotangent v = "c/" ^ v
+
+let forward prog =
+  let body, result = anf prog in
+  let nonlin = ref [] in
+  let lin = ref [] in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%%%s%d" prefix !counter
+  in
+  let emit_nl dst prim = nonlin := { dst; prim } :: !nonlin in
+  let emit_lin lhs terms = lin := { lhs; terms } :: !lin in
+  let t1 ?coeff ?(scale = 1.) src = { coeff; scale; src } in
+  List.iter
+    (fun { dst; prim } ->
+      let d = tangent dst in
+      match prim with
+      | Pconst c ->
+        emit_nl dst (Pconst c);
+        emit_lin d []
+      | Padd (a, b) ->
+        emit_nl dst prim;
+        emit_lin d [ t1 (tangent a); t1 (tangent b) ]
+      | Psub (a, b) ->
+        emit_nl dst prim;
+        emit_lin d [ t1 (tangent a); t1 ~scale:(-1.) (tangent b) ]
+      | Pmul (a, b) ->
+        emit_nl dst prim;
+        emit_lin d [ t1 ~coeff:b (tangent a); t1 ~coeff:a (tangent b) ]
+      | Pneg a ->
+        emit_nl dst prim;
+        emit_lin d [ t1 ~scale:(-1.) (tangent a) ]
+      | Psin a ->
+        emit_nl dst prim;
+        (* The derivative coefficient joins the nonlinear fragment —
+           this is what lands in the Fig. 9 trace. *)
+        let c = fresh "dcos" in
+        emit_nl c (Pcos a);
+        emit_lin d [ t1 ~coeff:c (tangent a) ]
+      | Pcos a ->
+        emit_nl dst prim;
+        let c = fresh "dsin" in
+        emit_nl c (Psin a);
+        emit_lin d [ t1 ~coeff:c ~scale:(-1.) (tangent a) ]
+      | Pexp a ->
+        emit_nl dst prim;
+        (* d exp = exp itself: reuse the primal output as coefficient. *)
+        emit_lin d [ t1 ~coeff:dst (tangent a) ]
+      | Pnormal (mu, sigma) ->
+        (* eps ~ N(0,1); dst = sigma * eps + mu (all nonlinear);
+           d dst = d mu + eps * d sigma. Sampling stays nonlinear: the
+           tangent never feeds a sampler. *)
+        let zero = fresh "zero" and one = fresh "one" in
+        emit_nl zero (Pconst 0.);
+        emit_nl one (Pconst 1.);
+        let eps = fresh "eps" in
+        emit_nl eps (Pnormal (zero, one));
+        let se = fresh "se" in
+        emit_nl se (Pmul (sigma, eps));
+        emit_nl dst (Padd (se, mu));
+        emit_lin d [ t1 (tangent mu); t1 ~coeff:eps (tangent sigma) ])
+    body;
+  { nonlin = List.rev !nonlin;
+    lin = List.rev !lin;
+    primal_result = result;
+    tangent_result = tangent result;
+    tangent_params = List.map (fun p -> (p, tangent p)) prog.params }
+
+let unzip dual =
+  let trace =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun s -> List.filter_map (fun t -> t.coeff) s.terms)
+         dual.lin)
+  in
+  (dual.nonlin, trace, dual.lin)
+
+(* Transposition: reverse the linear statements, scattering each
+   statement's cotangent into its sources'. *)
+
+type transposed = { seed : string; accums : lin_stmt list }
+
+let transpose lin ~output =
+  let accums =
+    List.concat_map
+      (fun { lhs; terms } ->
+        List.map
+          (fun { coeff; scale; src } ->
+            { lhs = cotangent src;
+              terms = [ { coeff; scale; src = cotangent lhs } ] })
+          terms)
+      (List.rev lin)
+  in
+  { seed = cotangent output; accums }
+
+(* Execution. *)
+
+let lookup env v =
+  match List.assoc_opt v env with
+  | Some x -> x
+  | None -> failwith (Printf.sprintf "Yolo: unbound variable %S" v)
+
+let rec eval_expr env = function
+  | Var v -> lookup env v
+  | Const c -> c
+  | Add (a, b) -> eval_expr env a +. eval_expr env b
+  | Sub (a, b) -> eval_expr env a -. eval_expr env b
+  | Mul (a, b) -> eval_expr env a *. eval_expr env b
+  | Neg a -> -.eval_expr env a
+  | Sin a -> Float.sin (eval_expr env a)
+  | Cos a -> Float.cos (eval_expr env a)
+  | Exp a -> Float.exp (eval_expr env a)
+
+let run_nonlin env key body =
+  let i = ref 0 in
+  List.fold_left
+    (fun env { dst; prim } ->
+      incr i;
+      let v =
+        match prim with
+        | Pconst c -> c
+        | Padd (a, b) -> lookup env a +. lookup env b
+        | Psub (a, b) -> lookup env a -. lookup env b
+        | Pmul (a, b) -> lookup env a *. lookup env b
+        | Pneg a -> -.lookup env a
+        | Psin a -> Float.sin (lookup env a)
+        | Pcos a -> Float.cos (lookup env a)
+        | Pexp a -> Float.exp (lookup env a)
+        | Pnormal (mu, sigma) ->
+          Prng.normal_mean_std (Prng.fold_in key !i) (lookup env mu)
+            (lookup env sigma)
+      in
+      (dst, v) :: env)
+    env body
+
+let term_value env tangents { coeff; scale; src } =
+  let c = match coeff with Some v -> lookup env v | None -> 1. in
+  scale *. c *. lookup tangents src
+
+let run_linear env ~tangents lin =
+  List.fold_left
+    (fun tangents { lhs; terms } ->
+      let v = List.fold_left (fun acc t -> acc +. term_value env tangents t) 0. terms in
+      (lhs, v) :: tangents)
+    tangents lin
+
+let run_transposed env { seed; accums } =
+  let get cot cots = Option.value ~default:0. (List.assoc_opt cot cots) in
+  List.fold_left
+    (fun cots { lhs; terms } ->
+      let v =
+        List.fold_left
+          (fun acc { coeff; scale; src } ->
+            let c = match coeff with Some v -> lookup env v | None -> 1. in
+            acc +. (scale *. c *. get src cots))
+          (get lhs cots) terms
+      in
+      (lhs, v) :: List.remove_assoc lhs cots)
+    [ (seed, 1.) ]
+    accums
+
+let jvp prog env ~direction key =
+  let dual = forward prog in
+  let nl_env = run_nonlin env key dual.nonlin in
+  let tangents =
+    List.map
+      (fun (p, dp) ->
+        (dp, Option.value ~default:0. (List.assoc_opt p direction)))
+      dual.tangent_params
+  in
+  let tans = run_linear nl_env ~tangents dual.lin in
+  (lookup nl_env dual.primal_result, lookup tans dual.tangent_result)
+
+let reverse_grad prog env key =
+  let dual = forward prog in
+  let nonlin, _trace, lin = unzip dual in
+  let nl_env = run_nonlin env key nonlin in
+  let transposed = transpose lin ~output:dual.tangent_result in
+  let cots = run_transposed nl_env transposed in
+  let grad =
+    List.map
+      (fun (p, dp) ->
+        (p, Option.value ~default:0. (List.assoc_opt (cotangent dp) cots)))
+      dual.tangent_params
+  in
+  (lookup nl_env dual.primal_result, grad)
+
+(* Printing. *)
+
+let rec pp_expr ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Format.fprintf ppf "%g" c
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp_expr a
+  | Sin a -> Format.fprintf ppf "sin %a" pp_expr a
+  | Cos a -> Format.fprintf ppf "cos %a" pp_expr a
+  | Exp a -> Format.fprintf ppf "exp %a" pp_expr a
+
+let pp_program ppf prog =
+  Format.fprintf ppf "@[<v>params %s@,"
+    (String.concat ", " prog.params);
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Let (d, e) -> Format.fprintf ppf "let %s = %a@," d pp_expr e
+      | Sample_normal (d, mu, sigma) ->
+        Format.fprintf ppf "let %s ~ normal(%a, %a)@," d pp_expr mu pp_expr
+          sigma)
+    prog.body;
+  Format.fprintf ppf "return %s@]" prog.result
+
+let pp_prim ppf = function
+  | Pconst c -> Format.fprintf ppf "%g" c
+  | Padd (a, b) -> Format.fprintf ppf "%s + %s" a b
+  | Psub (a, b) -> Format.fprintf ppf "%s - %s" a b
+  | Pmul (a, b) -> Format.fprintf ppf "%s * %s" a b
+  | Pneg a -> Format.fprintf ppf "- %s" a
+  | Psin a -> Format.fprintf ppf "sin %s" a
+  | Pcos a -> Format.fprintf ppf "cos %s" a
+  | Pexp a -> Format.fprintf ppf "exp %s" a
+  | Pnormal (mu, sigma) -> Format.fprintf ppf "normal(%s, %s)" mu sigma
+
+let pp_term ppf { coeff; scale; src } =
+  match (coeff, scale) with
+  | None, 1. -> Format.pp_print_string ppf src
+  | None, s -> Format.fprintf ppf "%g %s" s src
+  | Some c, 1. -> Format.fprintf ppf "%s %s" c src
+  | Some c, s -> Format.fprintf ppf "%g %s %s" s c src
+
+let pp_dual ppf dual =
+  Format.fprintf ppf "@[<v>nonlinear:@,";
+  List.iter
+    (fun { dst; prim } -> Format.fprintf ppf "  %s = %a@," dst pp_prim prim)
+    dual.nonlin;
+  Format.fprintf ppf "linear:@,";
+  List.iter
+    (fun { lhs; terms } ->
+      Format.fprintf ppf "  %s = %a@," lhs
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+           pp_term)
+        terms)
+    dual.lin;
+  Format.fprintf ppf "return (%s, %s)@]" dual.primal_result
+    dual.tangent_result

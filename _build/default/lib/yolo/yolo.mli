@@ -1,0 +1,152 @@
+(** "You Only Linearize Once": deriving a reverse-mode gradient
+    estimator from forward-mode transformations, as in the paper's
+    Fig. 9 (Appendix A.4) and Radul et al.
+
+    The main system (lib/adev) implements reverse mode directly as a
+    surrogate-loss construction. This module is the {e compiler-style}
+    derivation the genjax.vi implementation rides on top of JAX: a tiny
+    first-order straight-line language with REPARAM sampling, and four
+    program transformations —
+
+    + {!anf}: flatten expressions to elementary assignments;
+    + {!forward}: the dual-number (JVP) transformation; sampling
+      primitives stay in the nonlinear fragment, per the paper's
+      observation that this is safe for strategies whose samples do not
+      depend on tangents;
+    + {!unzip}: split the dual program into a nonlinear program (primal
+      values + a {e trace} of the intermediates the linear part needs)
+      and a purely linear tangent program over that trace;
+    + {!transpose}: run the linear program backwards, turning the JVP
+      into a VJP — reverse mode, without ever writing a reverse-mode AD.
+
+    {!reverse_grad} composes all four and estimates
+    [d/dtheta_i E (program)] for every parameter in one pass.
+    [test/test_yolo.ml] checks each pass and the composition against
+    finite differences and against the main ADEV implementation. *)
+
+(** {1 Source language} *)
+
+type expr =
+  | Var of string
+  | Const of float
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Sin of expr
+  | Cos of expr
+  | Exp of expr
+
+type stmt =
+  | Let of string * expr
+  | Sample_normal of string * expr * expr
+      (** [x ~ normal_REPARAM (mu, sigma)]. *)
+
+type program = {
+  params : string list;  (** differentiable inputs *)
+  body : stmt list;
+  result : string;  (** the scalar loss variable *)
+}
+
+type env = (string * float) list
+(** Variable environments for evaluation. *)
+
+val validate : program -> (unit, string) result
+(** Scope-check: every variable is defined before use, exactly once, and
+    the result is defined. *)
+
+(** {1 Elementary form} *)
+
+type prim =
+  | Pconst of float
+  | Padd of string * string
+  | Psub of string * string
+  | Pmul of string * string
+  | Pneg of string
+  | Psin of string
+  | Pcos of string
+  | Pexp of string
+  | Pnormal of string * string  (** mu, sigma *)
+
+type elementary = { dst : string; prim : prim }
+
+val anf : program -> elementary list * string
+(** Administrative-normal-form pass: each statement applies one
+    primitive to variables. Returns the flattened body and the result
+    variable. Generated temporaries are prefixed ["%"]. *)
+
+(** {1 The dual (forward-mode) program} *)
+
+type lin_term = {
+  coeff : string option;  (** nonlinear variable scaling this term; [None] = 1 *)
+  scale : float;  (** constant multiplier (e.g. -1 for subtraction) *)
+  src : string;  (** a tangent variable *)
+}
+
+type lin_stmt = { lhs : string; terms : lin_term list }
+
+type dual_program = {
+  nonlin : elementary list;  (** primal + derivative-coefficient code *)
+  lin : lin_stmt list;  (** straight-line linear code over tangents *)
+  primal_result : string;
+  tangent_result : string;
+  tangent_params : (string * string) list;
+      (** parameter -> its input tangent variable *)
+}
+
+val forward : program -> dual_program
+(** The JVP transformation (Fig. 9 (b)/(c)): primal statements plus
+    linear tangent statements whose coefficients are nonlinear
+    variables. [Sample_normal] contributes [eps] to the nonlinear
+    fragment and [x_dot = mu_dot + eps * sigma_dot] to the linear one. *)
+
+val unzip : dual_program -> elementary list * string list * lin_stmt list
+(** Fig. 9 (d): the nonlinear program, the {e trace} (the nonlinear
+    variables the linear fragment reads), and the linear program. *)
+
+type transposed = {
+  seed : string;  (** the output cotangent variable, seeded to 1 *)
+  accums : lin_stmt list;
+      (** accumulation statements, [lhs += sum terms], in execution
+          order *)
+}
+
+val transpose : lin_stmt list -> output:string -> transposed
+(** Fig. 9 (e): reverse the linear program — each forward statement
+    [t = sum_i scale_i c_i s_i] scatters [t]'s cotangent into the
+    [s_i]'s cotangents. Cotangent variables are named ["c/" ^ tangent]. *)
+
+val cotangent : string -> string
+(** The cotangent variable of a tangent variable. *)
+
+val tangent : string -> string
+(** The tangent variable of a source variable (["d/" ^ name]). *)
+
+val run_transposed : env -> transposed -> env
+(** Execute the accumulation statements given the trace environment;
+    returns the cotangent environment. *)
+
+(** {1 Execution} *)
+
+val eval_expr : env -> expr -> float
+val run_nonlin : env -> Prng.key -> elementary list -> env
+(** Execute the nonlinear fragment (sampling with the key). *)
+
+val run_linear : env -> tangents:env -> lin_stmt list -> env
+(** Execute the linear fragment given the trace environment and input
+    tangents. *)
+
+val jvp :
+  program -> env -> direction:env -> Prng.key -> float * float
+(** One stochastic (value, directional-derivative) sample via
+    forward mode. *)
+
+val reverse_grad :
+  program -> env -> Prng.key -> float * (string * float) list
+(** One stochastic (value, full-gradient) sample via
+    forward -> unzip -> transpose: the YOLO reverse mode. *)
+
+val pp_program : Format.formatter -> program -> unit
+val pp_dual : Format.formatter -> dual_program -> unit
+(** Printers used by the Fig. 9 walkthrough in the test suite and
+    documentation. *)

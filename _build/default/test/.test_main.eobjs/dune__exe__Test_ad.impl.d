@@ -1,0 +1,1 @@
+test/test_ad.ml: Ad Alcotest List QCheck QCheck_alcotest Tensor

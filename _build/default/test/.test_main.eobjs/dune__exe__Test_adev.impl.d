@@ -1,0 +1,1 @@
+test/test_adev.ml: Ad Adev Alcotest Array Baseline Dist Float Forward List Printf Prng QCheck QCheck_alcotest Tensor

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Ad Adev Air Alcotest Data Dist Float Gen Grid Hashtbl List Objectives Option Prng Store Svi Tensor Vae Vae_hand

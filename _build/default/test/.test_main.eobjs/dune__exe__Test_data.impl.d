@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Data List Prng Stdlib String Tensor

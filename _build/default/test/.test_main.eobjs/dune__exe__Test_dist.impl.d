@@ -1,0 +1,1 @@
+test/test_dist.ml: Ad Alcotest Array Baseline Dist Float List Option Prng QCheck QCheck_alcotest Special Tensor Value

@@ -1,0 +1,1 @@
+test/test_dist_extra.ml: Ad Adev Alcotest Array Dist Float Gen List Option Prng Tensor Trace

@@ -1,0 +1,1 @@
+test/test_estimated.ml: Ad Adev Alcotest Dist Estimated Float Prng Tensor

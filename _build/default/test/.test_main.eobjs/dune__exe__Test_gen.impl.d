@@ -1,0 +1,1 @@
+test/test_gen.ml: Ad Adev Alcotest Array Dist Float Gen List Option Printf Prng QCheck QCheck_alcotest Tensor Trace Value

@@ -1,0 +1,1 @@
+test/test_gen_exact.ml: Ad Adev Alcotest Array Dist Float Gen List Objectives Optim Option Printf Prng QCheck QCheck_alcotest Store Tensor Trace Train Value

@@ -1,0 +1,1 @@
+test/test_misc.ml: Ad Adev Alcotest Dist Float Forward Gen List Objectives Optim Printf Prng Store Tensor Train

@@ -1,0 +1,1 @@
+test/test_nn.ml: Ad Alcotest Float Fun Layer List Prng Store Tensor

@@ -1,0 +1,1 @@
+test/test_static_checks.ml: Ad Adev Alcotest Array Dist Float Gen List Printf Prng Store Tensor Trace Value

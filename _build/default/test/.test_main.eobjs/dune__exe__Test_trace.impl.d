@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest List Printf QCheck QCheck_alcotest String Trace Value

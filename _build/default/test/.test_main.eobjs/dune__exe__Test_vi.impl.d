@@ -1,0 +1,1 @@
+test/test_vi.ml: Ad Adev Air Alcotest Coin Cone Cvae Data Dist Float Gen Grid List Mcvi Objectives Optim Printf Prng Regression Ssvae Store Tensor Train Vae

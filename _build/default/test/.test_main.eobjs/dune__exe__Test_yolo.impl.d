@@ -1,0 +1,1 @@
+test/test_yolo.ml: Ad Adev Alcotest Dist Float List Printf Prng QCheck QCheck_alcotest String Tensor Yolo

@@ -1,0 +1,133 @@
+(* Tests for the synthetic datasets. *)
+
+let k0 = Prng.key 404
+
+let test_glyphs_distinct () =
+  let glyphs = List.init 10 Data.digit_glyph in
+  List.iteri
+    (fun i gi ->
+      List.iteri
+        (fun j gj ->
+          if i < j && Tensor.equal gi gj then
+            Alcotest.failf "digits %d and %d render identically" i j)
+        glyphs)
+    glyphs;
+  List.iter
+    (fun g ->
+      Alcotest.(check (array int)) "12x12"
+        [| Data.sprite_side; Data.sprite_side |]
+        (Tensor.shape g);
+      Alcotest.(check bool) "binary" true
+        (Array.for_all (fun x -> x = 0. || x = 1.) (Tensor.to_array g)))
+    glyphs
+
+let test_sprite_jitter () =
+  let a = Data.sprite k0 3 in
+  let b = Data.sprite (Prng.fold_in k0 1) 3 in
+  Alcotest.(check bool) "jitter varies" true (not (Tensor.equal a b));
+  Alcotest.(check bool) "deterministic" true
+    (Tensor.equal (Data.sprite k0 3) (Data.sprite k0 3))
+
+let test_digit_batch () =
+  let images, labels = Data.digit_batch k0 20 in
+  Alcotest.(check (array int)) "shape" [| 20; Data.sprite_dim |]
+    (Tensor.shape images);
+  Alcotest.(check bool) "labels in range" true
+    (Array.for_all (fun l -> l >= 0 && l < 10) labels)
+
+let test_position_offsets_disjoint () =
+  let cells =
+    List.init Data.num_positions (fun p ->
+        let r0, c0 = Data.position_offset p in
+        Alcotest.(check bool) "fits on canvas" true
+          (r0 + Data.patch_side <= Data.canvas_side
+          && c0 + Data.patch_side <= Data.canvas_side);
+        (r0, c0))
+  in
+  List.iteri
+    (fun i (r1, c1) ->
+      List.iteri
+        (fun j (r2, c2) ->
+          if i < j then
+            Alcotest.(check bool) "cells disjoint" true
+              (Stdlib.abs (r1 - r2) >= Data.patch_side
+              || Stdlib.abs (c1 - c2) >= Data.patch_side))
+        cells)
+    cells
+
+let test_render_scene_mass () =
+  let empty = Data.render_scene [] in
+  Alcotest.(check (float 0.)) "empty canvas" 0. (Tensor.sum empty);
+  let one = Data.render_scene [ (8, 0) ] in
+  let two = Data.render_scene [ (8, 0); (8, 3) ] in
+  Alcotest.(check bool) "mass grows with objects" true
+    (Tensor.sum two > Tensor.sum one && Tensor.sum one > 4.);
+  Alcotest.(check bool) "in [0,1]" true
+    (Tensor.max_elt two <= 1. && Tensor.min_elt two >= 0.)
+
+let test_air_batch_counts () =
+  let _, counts = Data.air_batch k0 300 in
+  Array.iter
+    (fun c ->
+      if c < 0 || c > Data.max_objects then Alcotest.failf "count %d" c)
+    counts;
+  (* Counts are roughly uniform. *)
+  let freq c =
+    float_of_int (Array.length (Array.of_list (List.filter (( = ) c) (Array.to_list counts))))
+    /. 300.
+  in
+  List.iter
+    (fun c ->
+      let f = freq c in
+      if f < 0.2 || f > 0.5 then
+        Alcotest.failf "count %d frequency %.2f not near uniform" c f)
+    [ 0; 1; 2 ]
+
+let test_quadrants () =
+  let img = Data.digit_glyph 5 in
+  let q = Data.quadrant img 2 in
+  Alcotest.(check (array int)) "6x6" [| 6; 6 |] (Tensor.shape q);
+  let rest = Data.without_quadrant img 2 in
+  Alcotest.(check int) "complement size" 108 (Tensor.size rest);
+  (* Pixel mass is partitioned. *)
+  Alcotest.(check (float 1e-9)) "partition" (Tensor.sum img)
+    (Tensor.sum q +. Tensor.sum rest)
+
+let test_regression_data () =
+  let data = Data.regression_data k0 500 in
+  let a, ba, br, bar = Data.regression_truth in
+  (* Least-squares on noiseless features should sit near the truth:
+     check the subgroup means differ in the documented direction. *)
+  let mean_gdp pred =
+    let xs = List.filter pred (Array.to_list data) in
+    List.fold_left (fun acc d -> acc +. d.Data.log_gdp) 0. xs
+    /. float_of_int (List.length xs)
+  in
+  let africa = mean_gdp (fun d -> d.Data.in_africa) in
+  let other = mean_gdp (fun d -> not d.Data.in_africa) in
+  Alcotest.(check bool) "bA < 0 visible in data" true (africa < other);
+  ignore (a, ba, br, bar);
+  Array.iter
+    (fun d ->
+      if d.Data.ruggedness < 0. || d.Data.ruggedness > 6. then
+        Alcotest.failf "ruggedness out of range")
+    data
+
+let test_ascii () =
+  let s = Data.ascii (Data.digit_glyph 1) in
+  Alcotest.(check bool) "contains strokes" true (String.contains s '#');
+  Alcotest.(check int) "12 lines" 12
+    (List.length (String.split_on_char '\n' (String.trim s)))
+
+let suites =
+  [ ( "data",
+      [ Alcotest.test_case "glyphs distinct" `Quick test_glyphs_distinct;
+        Alcotest.test_case "sprite jitter" `Quick test_sprite_jitter;
+        Alcotest.test_case "digit batch" `Quick test_digit_batch;
+        Alcotest.test_case "positions disjoint" `Quick
+          test_position_offsets_disjoint;
+        Alcotest.test_case "render scene" `Quick test_render_scene_mass;
+        Alcotest.test_case "air batch counts" `Quick test_air_batch_counts;
+        Alcotest.test_case "quadrants" `Quick test_quadrants;
+        Alcotest.test_case "regression data" `Quick test_regression_data;
+        Alcotest.test_case "ascii" `Quick test_ascii ] ) ]

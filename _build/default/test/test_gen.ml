@@ -1,0 +1,384 @@
+(* Tests for the generative language: the sim and density
+   transformations (Theorems 4.2 / 4.4), trace semantics, the runtime
+   smoothness guard, and the full-system marginal / normalize constructs
+   (Appendix A). *)
+
+let k0 = Prng.key 2024
+
+let check_close name ~tol expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %g, got %g (tol %g)" name expected actual tol
+
+let primal a = Tensor.to_scalar (Ad.value a)
+
+(* Extract a deterministic Adev value (programs without stochastic
+   densities and without enumeration). *)
+let run_det m key =
+  let result = ref None in
+  let (_ : Ad.t) =
+    Adev.run m key (fun x ->
+        result := Some x;
+        Ad.scalar 0.)
+  in
+  Option.get !result
+
+let log_normal x mu sigma =
+  (-0.5 *. (((x -. mu) /. sigma) ** 2.))
+  -. Float.log sigma
+  -. (0.5 *. Float.log (2. *. Float.pi))
+
+(* A two-site program: x ~ N(0,1); b ~ flip(0.5 + 0.1 tanh x)... keep it
+   simple: b ~ flip(0.3); observe N(x, 1) at 0.7. *)
+let simple_prog =
+  let open Gen.Syntax in
+  let* x = Gen.sample (Dist.normal_reinforce (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+  let* b = Gen.sample (Dist.flip_reinforce (Ad.scalar 0.3)) "b" in
+  let* () = Gen.observe (Dist.normal_reinforce x (Ad.scalar 1.)) (Ad.scalar 0.7) in
+  Gen.return (x, b)
+
+let test_sample_prior_trace () =
+  let (x, b), trace, logd = Gen.sample_prior simple_prog k0 in
+  Alcotest.(check (list string)) "addresses" [ "b"; "x" ] (Trace.keys trace);
+  Alcotest.(check (float 0.)) "return matches trace" (primal x)
+    (Trace.get_float "x" trace);
+  Alcotest.(check bool) "bool stored" true (Trace.get_bool "b" trace = b);
+  (* Log density = prior terms + likelihood. *)
+  let xv = primal x in
+  let expected =
+    log_normal xv 0. 1.
+    +. Float.log (if b then 0.3 else 0.7)
+    +. log_normal 0.7 xv 1.
+  in
+  check_close "prior log density" ~tol:1e-9 expected logd
+
+let test_simulate_weight_matches_density () =
+  (* sim's reported density equals density re-evaluated at its trace
+     (the spec of Theorem 4.4). *)
+  let (_, trace, w) = run_det (Gen.simulate simple_prog) k0 in
+  let w' = run_det (Gen.log_density simple_prog trace) (Prng.key 5) in
+  check_close "sim weight = density of trace" ~tol:1e-9 (primal w) (primal w')
+
+let test_density_closed_form () =
+  let trace =
+    Trace.of_list
+      [ ("x", Value.real 0.4); ("b", Value.Bool true) ]
+  in
+  let w = run_det (Gen.log_density simple_prog trace) k0 in
+  let expected =
+    log_normal 0.4 0. 1. +. Float.log 0.3 +. log_normal 0.7 0.4 1.
+  in
+  check_close "density closed form" ~tol:1e-9 expected (primal w)
+
+let test_density_missing_address () =
+  let trace = Trace.of_list [ ("x", Value.real 0.4) ] in
+  let w = run_det (Gen.log_density simple_prog trace) k0 in
+  Alcotest.(check bool) "missing address -> -inf" true
+    (primal w = Float.neg_infinity)
+
+let test_density_extra_address () =
+  let trace =
+    Trace.of_list
+      [ ("x", Value.real 0.4); ("b", Value.Bool true);
+        ("junk", Value.real 1.) ]
+  in
+  let w = run_det (Gen.log_density simple_prog trace) k0 in
+  Alcotest.(check bool) "leftover remainder -> -inf" true
+    (primal w = Float.neg_infinity);
+  (* But the prefix variant ignores the leftover. *)
+  let w' = run_det (Gen.log_density_prefix simple_prog trace) k0 in
+  Alcotest.(check bool) "prefix ignores remainder" true
+    (Float.is_finite (primal w'))
+
+let test_density_wrong_type () =
+  let trace =
+    Trace.of_list [ ("x", Value.Bool true); ("b", Value.Bool true) ]
+  in
+  let w = run_det (Gen.log_density simple_prog trace) k0 in
+  Alcotest.(check bool) "type mismatch -> -inf" true
+    (primal w = Float.neg_infinity)
+
+let test_duplicate_address_raises () =
+  let open Gen.Syntax in
+  let bad =
+    let* _ = Gen.sample (Dist.normal_reinforce (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+    let* y = Gen.sample (Dist.normal_reinforce (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+    Gen.return y
+  in
+  Alcotest.(check bool) "duplicate raises" true
+    (try
+       ignore (Gen.sample_prior bad k0);
+       false
+     with Trace.Duplicate_address "x" -> true)
+
+let test_observe_scores () =
+  (* E (sim prog >> return 1) where prog observes likelihood w gives w:
+     scoring reweights the expectation. *)
+  let prog =
+    Gen.observe (Dist.flip_reinforce (Ad.scalar 0.25)) true
+  in
+  let obj = Adev.map (fun (_, _, _) -> Ad.scalar 1.) (Gen.simulate prog) in
+  check_close "observe reweights E" ~tol:1e-9 0.25 (Adev.estimate obj k0)
+
+let test_rigid_guard () =
+  let open Gen.Syntax in
+  let smooth_branching =
+    let* x = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+    Gen.return (Gen.rigid x > 0.)
+  in
+  Alcotest.(check bool) "branching on REPARAM sample rejected" true
+    (try
+       ignore (run_det (Gen.simulate smooth_branching) k0);
+       false
+     with Value.Smoothness_error _ -> true);
+  let rigid_branching =
+    let* x = Gen.sample (Dist.normal_reinforce (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+    Gen.return (Gen.rigid x > 0.)
+  in
+  let b, _, _ = run_det (Gen.simulate rigid_branching) k0 in
+  Alcotest.(check bool) "branching on REINFORCE sample allowed" true
+    (b = true || b = false)
+
+let test_stochastic_control_flow () =
+  (* Trace shape depends on a discrete choice; densities select the
+     right branch. *)
+  let open Gen.Syntax in
+  let prog =
+    let* b = Gen.sample (Dist.flip_reinforce (Ad.scalar 0.5)) "b" in
+    if b then
+      let* x = Gen.sample (Dist.normal_reinforce (Ad.scalar 5.) (Ad.scalar 1.)) "x" in
+      Gen.return x
+    else
+      let* y = Gen.sample (Dist.uniform 0. 1.) "y" in
+      Gen.return y
+  in
+  let trace_t = Trace.of_list [ ("b", Value.Bool true); ("x", Value.real 5.2) ] in
+  let trace_f = Trace.of_list [ ("b", Value.Bool false); ("y", Value.real 0.5) ] in
+  let w_t = primal (run_det (Gen.log_density prog trace_t) k0) in
+  let w_f = primal (run_det (Gen.log_density prog trace_f) k0) in
+  check_close "branch true" ~tol:1e-9
+    (Float.log 0.5 +. log_normal 5.2 5. 1.)
+    w_t;
+  check_close "branch false" ~tol:1e-9 (Float.log 0.5) w_f;
+  (* Mismatched shape: b = true but trace has y. *)
+  let bad = Trace.of_list [ ("b", Value.Bool true); ("y", Value.real 0.5) ] in
+  Alcotest.(check bool) "mismatched shape -> -inf" true
+    (primal (run_det (Gen.log_density prog bad) k0) = Float.neg_infinity)
+
+(* marginal: inner model v ~ N(0,1); x ~ N(v,1). Marginal on x is
+   N(0, sqrt 2). With the exact posterior as proposal the importance
+   weight is constant, so even 1 particle gives the exact density. *)
+let marginal_inner =
+  let open Gen.Syntax in
+  let* v = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "v" in
+  let* _ = Gen.sample (Dist.normal_reparam v (Ad.scalar 1.)) "x" in
+  Gen.return ()
+
+let exact_posterior_proposal kept =
+  let x = Trace.get_float "x" kept in
+  Gen.Packed
+    (Gen.sample
+       (Dist.normal_reparam
+          (Ad.scalar (x /. 2.))
+          (Ad.scalar (1. /. Float.sqrt 2.)))
+       "v")
+
+let test_marginal_exact_proposal () =
+  let prog =
+    Gen.marginal ~keep:[ "x" ] marginal_inner
+      (Gen.importance ~particles:1 exact_posterior_proposal)
+  in
+  let trace = Trace.of_list [ ("x", Value.real 0.3) ] in
+  let w = run_det (Gen.log_density prog trace) k0 in
+  check_close "marginal density exact" ~tol:1e-9
+    (log_normal 0.3 0. (Float.sqrt 2.))
+    (primal w)
+
+let test_marginal_prior_proposal_unbiased () =
+  (* With the prior as proposal, exp of the estimate is unbiased for the
+     true marginal density: average many estimates in weight space. *)
+  let prior_proposal _ =
+    Gen.Packed
+      (Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "v")
+  in
+  let prog =
+    Gen.marginal ~keep:[ "x" ] marginal_inner
+      (Gen.importance ~particles:1 prior_proposal)
+  in
+  let trace = Trace.of_list [ ("x", Value.real 0.3) ] in
+  let n = 20000 in
+  let total = ref 0. in
+  Array.iter
+    (fun key ->
+      let w = run_det (Gen.log_density prog trace) key in
+      total := !total +. Float.exp (primal w))
+    (Prng.split_many k0 n);
+  let mean = !total /. float_of_int n in
+  check_close "marginal estimate unbiased" ~tol:0.01
+    (Float.exp (log_normal 0.3 0. (Float.sqrt 2.)))
+    mean
+
+let test_marginal_sim_trace_shape () =
+  let prog =
+    Gen.marginal ~keep:[ "x" ] marginal_inner
+      (Gen.importance ~particles:3 exact_posterior_proposal)
+  in
+  let kept, trace, logd = Gen.sample_prior prog k0 in
+  Alcotest.(check (list string)) "kept addresses" [ "x" ] (Trace.keys trace);
+  Alcotest.(check bool) "value is kept trace" true
+    (Trace.equal_primal kept trace);
+  (* Exact proposal: reported density is the true marginal. *)
+  check_close "sim density exact" ~tol:1e-9
+    (log_normal (Trace.get_float "x" trace) 0. (Float.sqrt 2.))
+    logd
+
+(* normalize: model x ~ N(0,1) with observe N(x,1) at y. Posterior is
+   N(y/2, 1/sqrt 2). SIR with the exact posterior as proposal samples
+   the posterior exactly. *)
+let normalize_target y =
+  let open Gen.Syntax in
+  let* x = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+  let* () = Gen.observe (Dist.normal_reparam x (Ad.scalar 1.)) (Ad.scalar y) in
+  Gen.return x
+
+let test_normalize_exact_proposal_samples_posterior () =
+  let y = 1.0 in
+  let proposal _ =
+    Gen.Packed
+      (Gen.sample
+         (Dist.normal_reparam
+            (Ad.scalar (y /. 2.))
+            (Ad.scalar (1. /. Float.sqrt 2.)))
+         "x")
+  in
+  let prog =
+    Gen.normalize (normalize_target y) (Gen.importance ~particles:1 proposal)
+  in
+  let n = 4000 in
+  let total = ref 0. in
+  Array.iter
+    (fun key ->
+      let x, _, _ = Gen.sample_prior prog key in
+      total := !total +. primal x)
+    (Prng.split_many k0 n);
+  check_close "SIR posterior mean" ~tol:0.05 (y /. 2.)
+    (!total /. float_of_int n)
+
+let test_normalize_sir_improves_with_particles () =
+  (* With a broad prior proposal, more particles should move the SIR
+     output distribution closer to the posterior mean. *)
+  let y = 2.0 in
+  let proposal _ =
+    Gen.Packed
+      (Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "x")
+  in
+  let mean_with particles seed =
+    let prog =
+      Gen.normalize (normalize_target y) (Gen.importance ~particles proposal)
+    in
+    let n = 3000 in
+    let total = ref 0. in
+    Array.iter
+      (fun key ->
+        let x, _, _ = Gen.sample_prior prog key in
+        total := !total +. primal x)
+      (Prng.split_many (Prng.key seed) n);
+    !total /. float_of_int n
+  in
+  let m1 = mean_with 1 11 in
+  let m30 = mean_with 30 12 in
+  let posterior_mean = y /. 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "SIR-30 (%.3f) closer to %.1f than SIR-1 (%.3f)" m30
+       posterior_mean m1)
+    true
+    (Float.abs (m30 -. posterior_mean) < Float.abs (m1 -. posterior_mean))
+
+let test_normalize_density_estimate () =
+  (* With the exact posterior proposal and 1 particle the density
+     estimate is exact: log posterior density at x. *)
+  let y = 1.0 in
+  let proposal _ =
+    Gen.Packed
+      (Gen.sample
+         (Dist.normal_reparam
+            (Ad.scalar (y /. 2.))
+            (Ad.scalar (1. /. Float.sqrt 2.)))
+         "x")
+  in
+  let prog =
+    Gen.normalize (normalize_target y) (Gen.importance ~particles:1 proposal)
+  in
+  let x = 0.8 in
+  let trace = Trace.of_list [ ("x", Value.real x) ] in
+  let w = run_det (Gen.log_density prog trace) k0 in
+  check_close "normalize density" ~tol:1e-9
+    (log_normal x (y /. 2.) (1. /. Float.sqrt 2.))
+    (primal w)
+
+(* Property: for programs without marginal/normalize, sim's weight always
+   equals density re-evaluated at the produced trace. *)
+let prop_sim_density_roundtrip =
+  QCheck.Test.make ~name:"sim weight = density at trace" ~count:100
+    QCheck.(pair small_int (float_range 0.05 0.95))
+    (fun (seed, p) ->
+      let open Gen.Syntax in
+      let prog =
+        let* b = Gen.sample (Dist.flip_reinforce (Ad.scalar p)) "b" in
+        let mu = if b then 1. else -1. in
+        let* x =
+          Gen.sample (Dist.normal_reinforce (Ad.scalar mu) (Ad.scalar 0.5)) "x"
+        in
+        let* () =
+          Gen.observe (Dist.normal_reinforce x (Ad.scalar 1.)) (Ad.scalar 0.2)
+        in
+        Gen.return x
+      in
+      let key = Prng.key seed in
+      let _, trace, w = run_det (Gen.simulate prog) key in
+      let w' = run_det (Gen.log_density prog trace) (Prng.key (seed + 1)) in
+      Float.abs (primal w -. primal w') < 1e-9)
+
+(* Property: sample_prior log density agrees with log_density at the
+   same trace. *)
+let prop_prior_density_agrees =
+  QCheck.Test.make ~name:"sample_prior density agrees" ~count:100
+    QCheck.small_int (fun seed ->
+      let _, trace, logd = Gen.sample_prior simple_prog (Prng.key seed) in
+      let w = run_det (Gen.log_density simple_prog trace) (Prng.key 1) in
+      Float.abs (logd -. primal w) < 1e-9)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sim_density_roundtrip; prop_prior_density_agrees ]
+
+let suites =
+  [ ( "gen",
+      [ Alcotest.test_case "sample_prior trace" `Quick test_sample_prior_trace;
+        Alcotest.test_case "sim weight = density" `Quick
+          test_simulate_weight_matches_density;
+        Alcotest.test_case "density closed form" `Quick
+          test_density_closed_form;
+        Alcotest.test_case "density missing address" `Quick
+          test_density_missing_address;
+        Alcotest.test_case "density extra address" `Quick
+          test_density_extra_address;
+        Alcotest.test_case "density wrong type" `Quick test_density_wrong_type;
+        Alcotest.test_case "duplicate address" `Quick
+          test_duplicate_address_raises;
+        Alcotest.test_case "observe scores" `Quick test_observe_scores;
+        Alcotest.test_case "rigid guard" `Quick test_rigid_guard;
+        Alcotest.test_case "stochastic control flow" `Quick
+          test_stochastic_control_flow;
+        Alcotest.test_case "marginal exact proposal" `Quick
+          test_marginal_exact_proposal;
+        Alcotest.test_case "marginal unbiased" `Slow
+          test_marginal_prior_proposal_unbiased;
+        Alcotest.test_case "marginal sim shape" `Quick
+          test_marginal_sim_trace_shape;
+        Alcotest.test_case "normalize exact proposal" `Slow
+          test_normalize_exact_proposal_samples_posterior;
+        Alcotest.test_case "normalize more particles" `Slow
+          test_normalize_sir_improves_with_particles;
+        Alcotest.test_case "normalize density" `Quick
+          test_normalize_density_estimate ]
+      @ qcheck_cases ) ]

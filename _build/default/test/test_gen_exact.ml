@@ -1,0 +1,248 @@
+(* Exact-oracle tests: on finitely-supported programs, [Gen.enumerate]
+   computes the full measure over traces in closed form, which lets us
+   check sim frequencies, density evaluation, normalize's posterior,
+   marginal's marginals, and trained ENUM guides against exact answers
+   rather than statistical tolerances alone. *)
+
+let k0 = Prng.key 6060
+
+let check_close name ~tol expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %g, got %g (tol %g)" name expected actual tol
+
+let primal a = Tensor.to_scalar (Ad.value a)
+
+let run_det m key =
+  let result = ref None in
+  let (_ : Ad.t) =
+    Adev.run m key (fun x ->
+        result := Some x;
+        Ad.scalar 0.)
+  in
+  Option.get !result
+
+(* A small discrete "burglary" network: burglary ~ flip 0.1;
+   alarm | b ~ flip (0.9 / 0.05); observe call given alarm. *)
+let burglary =
+  let open Gen.Syntax in
+  let* b = Gen.sample (Dist.flip_reinforce (Ad.scalar 0.1)) "burglary" in
+  let* a =
+    Gen.sample (Dist.flip_reinforce (Ad.scalar (if b then 0.9 else 0.05))) "alarm"
+  in
+  let* () =
+    Gen.observe (Dist.flip_reinforce (Ad.scalar (if a then 0.8 else 0.01))) true
+  in
+  Gen.return b
+
+(* Closed forms. *)
+let joint b a =
+  (if b then 0.1 else 0.9)
+  *. (if a then if b then 0.9 else 0.05 else if b then 0.1 else 0.95)
+  *. (if a then 0.8 else 0.01)
+
+let evidence =
+  joint true true +. joint true false +. joint false true +. joint false false
+
+let posterior_burglary = (joint true true +. joint true false) /. evidence
+
+let test_enumerate_weights () =
+  let traces = Gen.enumerate burglary in
+  Alcotest.(check int) "four traces" 4 (List.length traces);
+  List.iter
+    (fun (b, trace, logw) ->
+      let a = Trace.get_bool "alarm" trace in
+      check_close
+        (Printf.sprintf "weight b=%b a=%b" b a)
+        ~tol:1e-12
+        (Float.log (joint b a))
+        logw;
+      Alcotest.(check bool) "return value matches trace" true
+        (Trace.get_bool "burglary" trace = b))
+    traces
+
+let test_exact_log_marginal () =
+  check_close "evidence" ~tol:1e-12 (Float.log evidence)
+    (Gen.exact_log_marginal burglary)
+
+let test_density_matches_enumerate () =
+  List.iter
+    (fun (_, trace, logw) ->
+      let d = run_det (Gen.log_density burglary trace) k0 in
+      check_close "density = enumerate weight" ~tol:1e-12 logw (primal d))
+    (Gen.enumerate burglary)
+
+let test_sim_frequencies_match_enumerate () =
+  (* sim samples the prior part; observe reweights only the measure. The
+     trace frequency of (b, a) under sim is prior(b) prior(a | b). *)
+  let n = 40000 in
+  let count_bb = ref 0 in
+  Array.iter
+    (fun k ->
+      let _, trace, _ = Gen.sample_prior burglary k in
+      if Trace.get_bool "burglary" trace && Trace.get_bool "alarm" trace then
+        incr count_bb)
+    (Prng.split_many k0 n);
+  check_close "prior freq of (T,T)" ~tol:0.005 (0.1 *. 0.9)
+    (float_of_int !count_bb /. float_of_int n)
+
+let test_normalize_matches_exact_posterior () =
+  (* SIR with enough particles approaches the exact posterior over
+     burglary; with the prior proposal and 64 particles the bias is
+     small. *)
+  let proposal =
+    let open Gen.Syntax in
+    let* b = Gen.sample (Dist.flip_reinforce (Ad.scalar 0.1)) "burglary" in
+    let* _ =
+      Gen.sample
+        (Dist.flip_reinforce (Ad.scalar (if b then 0.9 else 0.05)))
+        "alarm"
+    in
+    Gen.return ()
+  in
+  let sir =
+    Gen.normalize burglary (Gen.importance_prior ~particles:64 (Gen.Packed proposal))
+  in
+  let n = 3000 in
+  let hits = ref 0 in
+  Array.iter
+    (fun k ->
+      let b, _, _ = Gen.sample_prior sir k in
+      if b then incr hits)
+    (Prng.split_many k0 n);
+  check_close "SIR posterior P(burglary | call)" ~tol:0.03
+    posterior_burglary
+    (float_of_int !hits /. float_of_int n)
+
+let test_marginal_matches_exact_marginal () =
+  (* Marginalize the alarm out of the prior-only network; the exact
+     marginal of burglary is its prior. Density estimates at the kept
+     trace must average (in probability space) to the exact marginal. *)
+  let prior_net =
+    let open Gen.Syntax in
+    let* b = Gen.sample (Dist.flip_reinforce (Ad.scalar 0.1)) "burglary" in
+    let* _ =
+      Gen.sample
+        (Dist.flip_reinforce (Ad.scalar (if b then 0.9 else 0.05)))
+        "alarm"
+    in
+    Gen.return ()
+  in
+  let reverse kept =
+    let b = Trace.get_bool "burglary" kept in
+    Gen.Packed
+      (Gen.sample
+         (Dist.flip_reinforce (Ad.scalar (if b then 0.9 else 0.05)))
+         "alarm")
+  in
+  (* The reverse kernel here IS the exact conditional, so a single
+     particle gives the exact marginal. *)
+  let marg =
+    Gen.marginal ~keep:[ "burglary" ] prior_net
+      (Gen.importance ~particles:1 reverse)
+  in
+  let trace = Trace.of_list [ ("burglary", Value.Bool true) ] in
+  let d = run_det (Gen.log_density marg trace) k0 in
+  check_close "exact discrete marginal" ~tol:1e-12 (Float.log 0.1) (primal d)
+
+let test_enum_guide_converges_to_exact_posterior () =
+  (* Train a flip guide with ENUM gradients: the ELBO over a discrete
+     family is exactly computable, so ADAM should drive the guide's
+     probability to the true posterior quickly. *)
+  (* The fully-learnable discrete family (q(b), q(a | b = T),
+     q(a | b = F)) contains the exact posterior, so the ELBO optimum is
+     the posterior itself. *)
+  let store = Store.create () in
+  List.iter
+    (fun name -> Store.ensure store name (fun () -> Tensor.scalar 0.))
+    [ "qb"; "qa_t"; "qa_f" ];
+  let guide frame =
+    let p name = Ad.sigmoid (Store.Frame.get frame name) in
+    let open Gen.Syntax in
+    let* b = Gen.sample (Dist.flip_enum (p "qb")) "burglary" in
+    let* _ = Gen.sample (Dist.flip_enum (p (if b then "qa_t" else "qa_f"))) "alarm" in
+    Gen.return ()
+  in
+  let optim = Optim.adam ~lr:0.1 () in
+  let (_ : Train.report list) =
+    Train.fit ~store ~optim ~steps:400
+      ~objective:(fun frame _ ->
+        Objectives.elbo ~model:burglary ~guide:(guide frame))
+      k0
+  in
+  let learned =
+    1. /. (1. +. Float.exp (-.Tensor.to_scalar (Store.tensor store "qb")))
+  in
+  check_close "guide matches exact posterior" ~tol:0.02 posterior_burglary
+    learned
+
+let test_enum_elbo_is_exact_evidence_at_posterior () =
+  (* With the guide set exactly to the posterior, the ELBO equals the
+     log evidence, and because every site is enumerated, a SINGLE
+     estimate is exact (zero variance). *)
+  let guide =
+    let open Gen.Syntax in
+    let* b =
+      Gen.sample (Dist.flip_enum (Ad.scalar posterior_burglary)) "burglary"
+    in
+    (* exact conditional posterior of the alarm given burglary *)
+    let pa =
+      if b then joint true true /. (joint true true +. joint true false)
+      else joint false true /. (joint false true +. joint false false)
+    in
+    let* _ = Gen.sample (Dist.flip_enum (Ad.scalar pa)) "alarm" in
+    Gen.return ()
+  in
+  let one_estimate =
+    primal (Adev.expectation (Objectives.elbo ~model:burglary ~guide) k0)
+  in
+  check_close "single ENUM ELBO estimate = log Z" ~tol:1e-9
+    (Float.log evidence) one_estimate
+
+let test_enumerate_rejects_continuous () =
+  let prog = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+  Alcotest.(check bool) "continuous rejected" true
+    (try
+       ignore (Gen.enumerate prog);
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: on random two-flip programs, exact_log_marginal agrees with
+   direct summation of the four branch weights. *)
+let prop_marginal_consistent =
+  QCheck.Test.make ~name:"exact marginal consistent" ~count:100
+    QCheck.(pair (float_range 0.05 0.95) (float_range 0.05 0.95))
+    (fun (p1, p2) ->
+      let open Gen.Syntax in
+      let prog =
+        let* a = Gen.sample (Dist.flip_reinforce (Ad.scalar p1)) "a" in
+        let* () =
+          Gen.observe
+            (Dist.flip_reinforce (Ad.scalar (if a then p2 else 1. -. p2)))
+            true
+        in
+        Gen.return a
+      in
+      let direct = (p1 *. p2) +. ((1. -. p1) *. (1. -. p2)) in
+      Float.abs (Gen.exact_log_marginal prog -. Float.log direct) < 1e-9)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_marginal_consistent ]
+
+let suites =
+  [ ( "gen-exact",
+      [ Alcotest.test_case "enumerate weights" `Quick test_enumerate_weights;
+        Alcotest.test_case "exact log marginal" `Quick test_exact_log_marginal;
+        Alcotest.test_case "density = enumerate" `Quick
+          test_density_matches_enumerate;
+        Alcotest.test_case "sim frequencies" `Slow
+          test_sim_frequencies_match_enumerate;
+        Alcotest.test_case "normalize = exact posterior" `Slow
+          test_normalize_matches_exact_posterior;
+        Alcotest.test_case "marginal = exact marginal" `Quick
+          test_marginal_matches_exact_marginal;
+        Alcotest.test_case "enum guide converges exactly" `Slow
+          test_enum_guide_converges_to_exact_posterior;
+        Alcotest.test_case "enum elbo = log Z at posterior" `Quick
+          test_enum_elbo_is_exact_evidence_at_posterior;
+        Alcotest.test_case "enumerate rejects continuous" `Quick
+          test_enumerate_rejects_continuous ]
+      @ qcheck_cases ) ]

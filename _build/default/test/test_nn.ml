@@ -1,0 +1,113 @@
+(* Tests for parameter stores, frames, and neural layers. *)
+
+let key = Prng.key 31
+
+let test_store_basic () =
+  let store = Store.create () in
+  Store.ensure store "w" (fun () -> Tensor.of_list1 [ 1.; 2. ]);
+  Store.ensure store "w" (fun () -> failwith "initializer must not rerun");
+  Alcotest.(check bool) "mem" true (Store.mem store "w");
+  Alcotest.(check (list string)) "names" [ "w" ] (Store.names store);
+  Alcotest.(check int) "parameter count" 2 (Store.parameter_count store);
+  Store.set store "w" (Tensor.of_list1 [ 3.; 4. ]);
+  Alcotest.(check (float 0.)) "set" 3. (Tensor.get_flat (Store.tensor store "w") 0);
+  Alcotest.(check bool) "unregistered raises" true
+    (try
+       ignore (Store.tensor store "nope");
+       false
+     with Not_found -> true)
+
+let test_frame_shares_leaves () =
+  let store = Store.create () in
+  Store.ensure store "x" (fun () -> Tensor.scalar 2.);
+  let frame = Store.Frame.make store in
+  let a = Store.Frame.get frame "x" in
+  let b = Store.Frame.get frame "x" in
+  (* Same leaf: gradients from two uses accumulate in one node. *)
+  let y = Ad.mul a b in
+  Ad.backward y;
+  Alcotest.(check (float 1e-9)) "d(x*x)/dx" 4.
+    (Tensor.to_scalar (Tensor.of_array [||] (Tensor.to_array (Ad.grad a))));
+  Alcotest.(check int) "one tracked param" 1
+    (List.length (Store.Frame.params frame))
+
+let test_detached_frame () =
+  let store = Store.create () in
+  Store.ensure store "x" (fun () -> Tensor.scalar 2.);
+  let frame = Store.Frame.make_detached store in
+  let a = Store.Frame.get frame "x" in
+  Alcotest.(check bool) "detached leaf" true (Ad.is_leaf a);
+  Alcotest.(check int) "records nothing" 0
+    (List.length (Store.Frame.params frame))
+
+let test_store_copy_isolated () =
+  let store = Store.create () in
+  Store.ensure store "x" (fun () -> Tensor.scalar 1.);
+  let fork = Store.copy store in
+  Store.set fork "x" (Tensor.scalar 9.);
+  Alcotest.(check (float 0.)) "original untouched" 1.
+    (Tensor.to_scalar (Store.tensor store "x"))
+
+let test_dense_shapes () =
+  let store = Store.create () in
+  Layer.dense_register store ~name:"l" ~in_dim:3 ~out_dim:2 ~key;
+  let frame = Store.Frame.make store in
+  let y = Layer.dense frame ~name:"l" (Ad.const (Tensor.of_list1 [ 1.; 2.; 3. ])) in
+  Alcotest.(check (array int)) "vector out" [| 2 |] (Ad.shape y);
+  let batch = Ad.const (Tensor.of_list2 [ [ 1.; 2.; 3. ]; [ 0.; 0.; 0. ] ]) in
+  let yb = Layer.dense frame ~name:"l" batch in
+  Alcotest.(check (array int)) "batch out" [| 2; 2 |] (Ad.shape yb);
+  (* Zero input row gives exactly the bias. *)
+  let bias = Store.tensor store "l.b" in
+  Alcotest.(check bool) "bias row" true
+    (Tensor.approx_equal (Tensor.slice0 (Ad.value yb) 1) bias)
+
+let test_mlp_grad_flows () =
+  let store = Store.create () in
+  Layer.mlp_register store ~name:"net" ~dims:[ 3; 4; 1 ] ~key;
+  let frame = Store.Frame.make store in
+  let y =
+    Ad.sum
+      (Layer.mlp frame ~name:"net" ~layers:2
+         (Ad.const (Tensor.of_list1 [ 0.5; -0.5; 1. ])))
+  in
+  Ad.backward y;
+  let grads = Store.Frame.grads frame in
+  Alcotest.(check int) "4 tensors (2 layers x w,b)" 4 (List.length grads);
+  List.iter
+    (fun (name, g) ->
+      if not (Tensor.all_finite g) then Alcotest.failf "grad %s not finite" name;
+      if Tensor.sum (Tensor.map Float.abs g) = 0. then
+        Alcotest.failf "grad %s identically zero" name)
+    grads
+
+let test_glorot_range () =
+  let w = Layer.glorot key ~in_dim:10 ~out_dim:10 in
+  let limit = Float.sqrt (6. /. 20.) in
+  Alcotest.(check bool) "within limits" true
+    (Tensor.max_elt w <= limit && Tensor.min_elt w >= -.limit);
+  Alcotest.(check bool) "not constant" true (Tensor.max_elt w > Tensor.min_elt w)
+
+let test_activations () =
+  let x = Ad.const (Tensor.of_list1 [ -1.; 0.; 1. ]) in
+  let check act f =
+    let y = Ad.value (Layer.apply_activation act x) in
+    let expected = Tensor.map f (Ad.value x) in
+    Alcotest.(check bool) "activation" true (Tensor.approx_equal ~tol:1e-9 y expected)
+  in
+  check Layer.Linear Fun.id;
+  check Layer.Relu (fun v -> Float.max v 0.);
+  check Layer.Sigmoid (fun v -> 1. /. (1. +. Float.exp (-.v)));
+  check Layer.Tanh Float.tanh
+
+let suites =
+  [ ( "nn",
+      [ Alcotest.test_case "store basics" `Quick test_store_basic;
+        Alcotest.test_case "frame shares leaves" `Quick
+          test_frame_shares_leaves;
+        Alcotest.test_case "detached frame" `Quick test_detached_frame;
+        Alcotest.test_case "store copy" `Quick test_store_copy_isolated;
+        Alcotest.test_case "dense shapes" `Quick test_dense_shapes;
+        Alcotest.test_case "mlp grads flow" `Quick test_mlp_grad_flows;
+        Alcotest.test_case "glorot range" `Quick test_glorot_range;
+        Alcotest.test_case "activations" `Quick test_activations ] ) ]

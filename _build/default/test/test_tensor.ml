@@ -1,0 +1,233 @@
+(* Unit and property tests for the tensor substrate. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let tensor_eq msg a b =
+  Alcotest.(check bool) msg true (Tensor.approx_equal ~tol:1e-9 a b)
+
+let test_scalar () =
+  check_float "scalar roundtrip" 3.5 (Tensor.to_scalar (Tensor.scalar 3.5));
+  Alcotest.(check bool) "is_scalar" true (Tensor.is_scalar (Tensor.scalar 1.))
+
+let test_of_array_shape_mismatch () =
+  Alcotest.check_raises "shape mismatch"
+    (Tensor.Shape_error "of_array: 3 elements for shape [2; 2]") (fun () ->
+      ignore (Tensor.of_array [| 2; 2 |] [| 1.; 2.; 3. |]))
+
+let test_init_and_get () =
+  let t = Tensor.init [| 2; 3 |] (fun ix -> float_of_int ((ix.(0) * 10) + ix.(1))) in
+  check_float "get [0;0]" 0. (Tensor.get t [| 0; 0 |]);
+  check_float "get [1;2]" 12. (Tensor.get t [| 1; 2 |]);
+  check_float "get_flat 4" 11. (Tensor.get_flat t 4)
+
+let test_eye () =
+  let t = Tensor.eye 3 in
+  check_float "diag" 1. (Tensor.get t [| 1; 1 |]);
+  check_float "offdiag" 0. (Tensor.get t [| 0; 2 |]);
+  check_float "trace-ish sum" 3. (Tensor.sum t)
+
+let test_add_same_shape () =
+  let a = Tensor.of_list1 [ 1.; 2.; 3. ] in
+  let b = Tensor.of_list1 [ 10.; 20.; 30. ] in
+  tensor_eq "add" (Tensor.of_list1 [ 11.; 22.; 33. ]) (Tensor.add a b)
+
+let test_broadcast_scalar () =
+  let a = Tensor.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let r = Tensor.mul a (Tensor.scalar 2.) in
+  tensor_eq "scalar broadcast" (Tensor.of_list2 [ [ 2.; 4. ]; [ 6.; 8. ] ]) r
+
+let test_broadcast_row () =
+  let a = Tensor.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let row = Tensor.of_array [| 1; 2 |] [| 10.; 20. |] in
+  let r = Tensor.add a row in
+  tensor_eq "row broadcast" (Tensor.of_list2 [ [ 11.; 22. ]; [ 13.; 24. ] ]) r
+
+let test_broadcast_col () =
+  let a = Tensor.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let col = Tensor.of_array [| 2; 1 |] [| 10.; 20. |] in
+  let r = Tensor.add a col in
+  tensor_eq "col broadcast" (Tensor.of_list2 [ [ 11.; 12. ]; [ 23.; 24. ] ]) r
+
+let test_broadcast_vec_vs_matrix () =
+  (* A missing leading dim broadcasts: [2] + [3;2]. *)
+  let v = Tensor.of_list1 [ 1.; 2. ] in
+  let m = Tensor.of_list2 [ [ 0.; 0. ]; [ 1.; 1. ]; [ 2.; 2. ] ] in
+  let r = Tensor.add v m in
+  tensor_eq "vec vs matrix"
+    (Tensor.of_list2 [ [ 1.; 2. ]; [ 2.; 3. ]; [ 3.; 4. ] ])
+    r
+
+let test_broadcast_incompatible () =
+  let a = Tensor.of_list1 [ 1.; 2.; 3. ] in
+  let b = Tensor.of_list1 [ 1.; 2. ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Tensor.add a b);
+       false
+     with Tensor.Shape_error _ -> true)
+
+let test_matmul_2x2 () =
+  let a = Tensor.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Tensor.of_list2 [ [ 5.; 6. ]; [ 7.; 8. ] ] in
+  tensor_eq "matmul"
+    (Tensor.of_list2 [ [ 19.; 22. ]; [ 43.; 50. ] ])
+    (Tensor.matmul a b)
+
+let test_matmul_mat_vec () =
+  let a = Tensor.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let v = Tensor.of_list1 [ 1.; 1. ] in
+  tensor_eq "mat-vec" (Tensor.of_list1 [ 3.; 7. ]) (Tensor.matmul a v);
+  tensor_eq "vec-mat" (Tensor.of_list1 [ 4.; 6. ]) (Tensor.matmul v a)
+
+let test_transpose () =
+  let a = Tensor.of_list2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  let at = Tensor.transpose a in
+  Alcotest.(check (array int)) "shape" [| 3; 2 |] (Tensor.shape at);
+  check_float "element" 6. (Tensor.get at [| 2; 1 |])
+
+let test_sum_axis () =
+  let a = Tensor.of_list2 [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  tensor_eq "axis 0" (Tensor.of_list1 [ 5.; 7.; 9. ]) (Tensor.sum_axis 0 a);
+  tensor_eq "axis 1" (Tensor.of_list1 [ 6.; 15. ]) (Tensor.sum_axis 1 a);
+  tensor_eq "mean axis 0" (Tensor.of_list1 [ 2.5; 3.5; 4.5 ])
+    (Tensor.mean_axis 0 a)
+
+let test_logsumexp_stability () =
+  let a = Tensor.of_list1 [ 1000.; 1000. ] in
+  check_float "lse large" (1000. +. Float.log 2.) (Tensor.logsumexp a);
+  let b = Tensor.of_list1 [ Float.neg_infinity; Float.neg_infinity ] in
+  Alcotest.(check bool) "lse -inf" true
+    (Tensor.logsumexp b = Float.neg_infinity)
+
+let test_softmax () =
+  let a = Tensor.of_list1 [ 1.; 2.; 3. ] in
+  let s = Tensor.softmax a in
+  check_float "sums to one" 1. (Tensor.sum s);
+  Alcotest.(check bool) "monotone" true
+    (Tensor.get_flat s 0 < Tensor.get_flat s 1
+    && Tensor.get_flat s 1 < Tensor.get_flat s 2)
+
+let test_structural () =
+  let a = Tensor.of_list2 [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Tensor.of_list2 [ [ 5.; 6. ] ] in
+  let c = Tensor.concat0 [ a; b ] in
+  Alcotest.(check (array int)) "concat shape" [| 3; 2 |] (Tensor.shape c);
+  tensor_eq "slice" (Tensor.of_list1 [ 5.; 6. ]) (Tensor.slice0 c 2);
+  let s = Tensor.stack0 [ Tensor.of_list1 [ 1.; 2. ]; Tensor.of_list1 [ 3.; 4. ] ] in
+  Alcotest.(check (array int)) "stack shape" [| 2; 2 |] (Tensor.shape s);
+  tensor_eq "take_rows" (Tensor.of_list2 [ [ 5.; 6. ]; [ 1.; 2. ] ])
+    (Tensor.take_rows c [ 2; 0 ])
+
+let test_reshape () =
+  let a = Tensor.of_list1 [ 1.; 2.; 3.; 4. ] in
+  let m = Tensor.reshape [| 2; 2 |] a in
+  check_float "reshaped elt" 3. (Tensor.get m [| 1; 0 |]);
+  tensor_eq "flatten roundtrip" a (Tensor.flatten m)
+
+let test_clip_and_finite () =
+  let a = Tensor.of_list1 [ -5.; 0.5; 5. ] in
+  tensor_eq "clip" (Tensor.of_list1 [ 0.; 0.5; 1. ])
+    (Tensor.clip ~min:0. ~max:1. a);
+  Alcotest.(check bool) "finite" true (Tensor.all_finite a);
+  Alcotest.(check bool) "nan detected" false
+    (Tensor.all_finite (Tensor.of_list1 [ 1.; Float.nan ]))
+
+let test_dot_outer () =
+  let a = Tensor.of_list1 [ 1.; 2.; 3. ] in
+  let b = Tensor.of_list1 [ 4.; 5.; 6. ] in
+  check_float "dot" 32. (Tensor.dot a b);
+  tensor_eq "outer"
+    (Tensor.of_list2 [ [ 4.; 5.; 6. ]; [ 8.; 10.; 12. ]; [ 12.; 15.; 18. ] ])
+    (Tensor.outer a b)
+
+let test_argmax () =
+  Alcotest.(check int) "argmax" 2
+    (Tensor.argmax (Tensor.of_list1 [ 1.; 0.; 7.; 3. ]))
+
+(* Property tests *)
+
+let small_shape =
+  QCheck.Gen.(oneofl [ [||]; [| 3 |]; [| 2; 3 |]; [| 2; 2; 2 |] ])
+
+let tensor_gen =
+  QCheck.Gen.(
+    small_shape >>= fun shape ->
+    let n = Array.fold_left ( * ) 1 shape in
+    array_size (return n) (float_range (-10.) 10.) >|= fun data ->
+    Tensor.of_array shape data)
+
+let arb_tensor =
+  QCheck.make ~print:Tensor.to_string tensor_gen
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:100
+    (QCheck.pair arb_tensor arb_tensor)
+    (fun (a, b) ->
+      try Tensor.approx_equal (Tensor.add a b) (Tensor.add b a)
+      with Tensor.Shape_error _ -> QCheck.assume_fail ())
+
+let prop_sum_axis_total =
+  QCheck.Test.make ~name:"sum_axis preserves total" ~count:100 arb_tensor
+    (fun t ->
+      if Tensor.rank t = 0 then true
+      else
+        Float.abs (Tensor.sum (Tensor.sum_axis 0 t) -. Tensor.sum t) < 1e-6)
+
+let prop_reshape_roundtrip =
+  QCheck.Test.make ~name:"reshape flat roundtrip" ~count:100 arb_tensor
+    (fun t -> Tensor.approx_equal (Tensor.reshape (Tensor.shape t) (Tensor.flatten t)) t)
+
+let prop_logsumexp_vs_naive =
+  QCheck.Test.make ~name:"logsumexp matches naive" ~count:100 arb_tensor
+    (fun t ->
+      if Tensor.size t = 0 then true
+      else
+        let naive = Float.log (Tensor.sum (Tensor.exp t)) in
+        Float.abs (Tensor.logsumexp t -. naive) < 1e-6)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involution" ~count:100 arb_tensor
+    (fun t ->
+      if Tensor.rank t <> 2 then true
+      else Tensor.approx_equal (Tensor.transpose (Tensor.transpose t)) t)
+
+let prop_matmul_identity =
+  QCheck.Test.make ~name:"matmul by identity" ~count:100 arb_tensor (fun t ->
+      if Tensor.rank t <> 2 then true
+      else
+        let n = (Tensor.shape t).(1) in
+        Tensor.approx_equal ~tol:1e-9 (Tensor.matmul t (Tensor.eye n)) t)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_commutative; prop_sum_axis_total; prop_reshape_roundtrip;
+      prop_logsumexp_vs_naive; prop_transpose_involution; prop_matmul_identity ]
+
+let suites =
+  [ ( "tensor",
+      [ Alcotest.test_case "scalar" `Quick test_scalar;
+        Alcotest.test_case "of_array mismatch" `Quick
+          test_of_array_shape_mismatch;
+        Alcotest.test_case "init/get" `Quick test_init_and_get;
+        Alcotest.test_case "eye" `Quick test_eye;
+        Alcotest.test_case "add same shape" `Quick test_add_same_shape;
+        Alcotest.test_case "broadcast scalar" `Quick test_broadcast_scalar;
+        Alcotest.test_case "broadcast row" `Quick test_broadcast_row;
+        Alcotest.test_case "broadcast col" `Quick test_broadcast_col;
+        Alcotest.test_case "broadcast vec vs matrix" `Quick
+          test_broadcast_vec_vs_matrix;
+        Alcotest.test_case "broadcast incompatible" `Quick
+          test_broadcast_incompatible;
+        Alcotest.test_case "matmul 2x2" `Quick test_matmul_2x2;
+        Alcotest.test_case "matmul mat-vec" `Quick test_matmul_mat_vec;
+        Alcotest.test_case "transpose" `Quick test_transpose;
+        Alcotest.test_case "sum_axis" `Quick test_sum_axis;
+        Alcotest.test_case "logsumexp stability" `Quick
+          test_logsumexp_stability;
+        Alcotest.test_case "softmax" `Quick test_softmax;
+        Alcotest.test_case "structural" `Quick test_structural;
+        Alcotest.test_case "reshape" `Quick test_reshape;
+        Alcotest.test_case "clip/finite" `Quick test_clip_and_finite;
+        Alcotest.test_case "dot/outer" `Quick test_dot_outer;
+        Alcotest.test_case "argmax" `Quick test_argmax ]
+      @ qcheck_cases ) ]

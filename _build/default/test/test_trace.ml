@@ -1,0 +1,100 @@
+(* Property tests for the trace algebra: the laws the sim/density
+   transformations rely on (disjoint union, restrict/without
+   partitioning, subset/diff coherence). *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun f -> Value.real f) (float_range (-5.) 5.);
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) small_int ])
+
+let addr_gen = QCheck.Gen.(map (Printf.sprintf "a%d") (int_range 0 12))
+
+let trace_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 8) (pair addr_gen value_gen) >|= fun kvs ->
+    (* Deduplicate addresses (add raises on duplicates by design). *)
+    List.fold_left
+      (fun acc (k, v) -> if Trace.mem k acc then acc else Trace.add k v acc)
+      Trace.empty kvs)
+
+let arb_trace = QCheck.make ~print:Trace.to_string trace_gen
+
+let prop_union_disjoint_size =
+  QCheck.Test.make ~name:"disjoint union adds sizes" ~count:200
+    (QCheck.pair arb_trace arb_trace) (fun (a, b) ->
+      let b' = Trace.diff b a in
+      Trace.size (Trace.union_disjoint a b') = Trace.size a + Trace.size b')
+
+let prop_union_overlap_raises =
+  QCheck.Test.make ~name:"overlapping union raises" ~count:200 arb_trace
+    (fun t ->
+      if Trace.is_empty t then true
+      else
+        try
+          ignore (Trace.union_disjoint t t);
+          false
+        with Trace.Duplicate_address _ -> true)
+
+let prop_restrict_without_partition =
+  QCheck.Test.make ~name:"restrict + without partition the trace" ~count:200
+    (QCheck.pair arb_trace (QCheck.make QCheck.Gen.(list_size (int_range 0 5) addr_gen)))
+    (fun (t, names) ->
+      let kept = Trace.restrict names t in
+      let rest = Trace.without names t in
+      Trace.size kept + Trace.size rest = Trace.size t
+      && Trace.equal_primal (Trace.union_disjoint kept rest) t)
+
+let prop_diff_subset =
+  QCheck.Test.make ~name:"diff produces disjoint subsets" ~count:200
+    (QCheck.pair arb_trace arb_trace) (fun (a, b) ->
+      let d = Trace.diff a b in
+      Trace.subset_keys d a
+      && List.for_all (fun k -> not (Trace.mem k b)) (Trace.keys d))
+
+let prop_add_remove_roundtrip =
+  QCheck.Test.make ~name:"add then remove is identity" ~count:200 arb_trace
+    (fun t ->
+      let fresh = "zz_fresh" in
+      if Trace.mem fresh t then true
+      else
+        let t' = Trace.remove fresh (Trace.add fresh (Value.real 1.) t) in
+        Trace.equal_primal t t')
+
+let prop_of_list_bindings_roundtrip =
+  QCheck.Test.make ~name:"of_list / bindings roundtrip" ~count:200 arb_trace
+    (fun t -> Trace.equal_primal (Trace.of_list (Trace.bindings t)) t)
+
+let test_typed_accessors () =
+  let t =
+    Trace.of_list
+      [ ("f", Value.real 2.5); ("b", Value.Bool true); ("i", Value.Int 7) ]
+  in
+  Alcotest.(check (float 0.)) "float" 2.5 (Trace.get_float "f" t);
+  Alcotest.(check bool) "bool" true (Trace.get_bool "b" t);
+  Alcotest.(check int) "int" 7 (Trace.get_int "i" t);
+  Alcotest.(check bool) "wrong type raises" true
+    (try
+       ignore (Trace.get_bool "f" t);
+       false
+     with Value.Type_error _ -> true);
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Trace.get "nope" t);
+       false
+     with Not_found -> true)
+
+let test_pp () =
+  let t = Trace.of_list [ ("x", Value.real 1.) ] in
+  Alcotest.(check bool) "printable" true
+    (String.length (Trace.to_string t) > 0)
+
+let suites =
+  [ ( "trace",
+      [ Alcotest.test_case "typed accessors" `Quick test_typed_accessors;
+        Alcotest.test_case "pp" `Quick test_pp ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [ prop_union_disjoint_size; prop_union_overlap_raises;
+            prop_restrict_without_partition; prop_diff_subset;
+            prop_add_remove_roundtrip; prop_of_list_bindings_roundtrip ] ) ]
