@@ -24,6 +24,100 @@ let print_series csv reports =
       reports
   end
 
+(* Resilience options, shared by every training command: guard policy,
+   gradient clipping, and checkpoint/resume paths. *)
+
+type resilience = {
+  guard : Guard.t;
+  checkpoint : string option;
+  resume : string option;
+}
+
+let policy_conv =
+  let parse s =
+    match Guard.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown guard policy %S (expected fail-fast|skip-step|rollback-retry)"
+             s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Guard.policy_name p))
+
+let positive_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some x when x > 0. && Float.is_finite x -> Ok x
+    | Some _ -> Error (`Msg "expected a positive finite number")
+    | None -> Error (`Msg (Printf.sprintf "invalid number %S" s))
+  in
+  Arg.conv (parse, fun ppf x -> Format.fprintf ppf "%g" x)
+
+let resilience_term =
+  let make policy clip_norm max_retries checkpoint resume =
+    { guard = Guard.create ~policy ?clip_norm ~max_retries (); checkpoint; resume }
+  in
+  Term.(
+    const make
+    $ Arg.(
+        value
+        & opt policy_conv Guard.Skip_step
+        & info [ "guard-policy" ]
+            ~doc:
+              "What to do when a NaN/Inf objective or gradient is detected: \
+               $(b,fail-fast), $(b,skip-step), or $(b,rollback-retry).")
+    $ Arg.(
+        value
+        & opt (some positive_float_conv) None
+        & info [ "clip-norm" ]
+            ~doc:"Clip gradients jointly to this global L2 norm.")
+    $ Arg.(
+        value & opt int 3
+        & info [ "max-retries" ]
+            ~doc:"Rollback budget under --guard-policy=rollback-retry.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "checkpoint" ] ~docv:"FILE"
+            ~doc:"Save the trained parameters to $(docv) when done.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "resume" ] ~docv:"FILE"
+            ~doc:"Load parameters from $(docv) and continue training."))
+
+let initial_store r =
+  Option.map
+    (fun path ->
+      try Store.load path with
+      | Sys_error msg ->
+        Printf.eprintf "ppvi: cannot resume: %s\n" msg;
+        exit 1
+      | Store.Corrupt_checkpoint msg ->
+        Printf.eprintf "ppvi: cannot resume: corrupt checkpoint: %s\n" msg;
+        exit 1)
+    r.resume
+
+let finish_run r store =
+  (match r.checkpoint with
+  | Some path -> (
+    try
+      Store.save store path;
+      Printf.printf "checkpoint saved to %s (%d parameters)\n" path
+        (Store.parameter_count store)
+    with Sys_error msg ->
+      Printf.eprintf "ppvi: cannot save checkpoint: %s\n" msg;
+      exit 1)
+  | None -> ());
+  let g = r.guard in
+  if Guard.anomaly_count g > 0 || Guard.retry_count g > 0 then
+    Printf.printf
+      "guard [%s]: %d anomalies, %d skipped steps, %d rollbacks\n"
+      (Guard.policy_name (Guard.policy g))
+      (Guard.anomaly_count g) (Guard.skip_count g) (Guard.retry_count g)
+
 (* cone *)
 
 let cone_objective_conv =
@@ -38,13 +132,17 @@ let cone_objective_conv =
   Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Cone.objective_name k))
 
 let cone_cmd =
-  let run objective steps seed csv =
-    let store, reports = Cone.train ~steps objective (Prng.key seed) in
+  let run objective steps seed csv resilience =
+    let store, reports =
+      Cone.train ~steps ~guard:resilience.guard ?store:(initial_store resilience)
+        objective (Prng.key seed)
+    in
     Printf.printf "%s after %d steps: %.3f\n"
       (Cone.objective_name objective)
       steps
       (Cone.final_value store objective (Prng.key (seed + 1)));
-    print_series csv reports
+    print_series csv reports;
+    finish_run resilience store
   in
   Cmd.v
     (Cmd.info "cone" ~doc:"Train a guide on the ring posterior (Fig. 2/3).")
@@ -54,57 +152,69 @@ let cone_cmd =
           value
           & opt cone_objective_conv Cone.Elbo
           & info [ "objective" ] ~doc:"elbo|iwelbo|hvi|iwhvi|diwhvi")
-      $ steps_arg 1500 $ seed_arg $ csv_arg)
+      $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
 
 (* coin *)
 
 let coin_cmd =
-  let run steps seed csv =
-    let store, reports, seconds = Coin.train ~steps (Prng.key seed) in
+  let run steps seed csv resilience =
+    let store, reports, seconds =
+      Coin.train ~steps ~guard:resilience.guard
+        ?store:(initial_store resilience) (Prng.key seed)
+    in
     Printf.printf
       "posterior mean %.3f (exact %.3f), final ELBO %.2f, %.2f s\n"
       (Coin.posterior_mean store) Coin.exact_posterior_mean
       (Coin.final_elbo store (Prng.key (seed + 1)))
       seconds;
-    print_series csv reports
+    print_series csv reports;
+    finish_run resilience store
   in
   Cmd.v
     (Cmd.info "coin" ~doc:"Beta-Bernoulli coin fairness (Appendix D.1).")
-    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg)
+    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
 
 (* regression *)
 
 let regression_cmd =
-  let run steps seed csv =
-    let store, reports, seconds = Regression.train ~steps (Prng.key seed) in
+  let run steps seed csv resilience =
+    let store, reports, seconds =
+      Regression.train ~steps ~guard:resilience.guard
+        ?store:(initial_store resilience) (Prng.key seed)
+    in
     let a, ba, br, bar = Regression.coefficient_means store in
     Printf.printf "a=%.2f bA=%.2f bR=%.2f bAR=%.2f  (%.2f s)\n" a ba br bar
       seconds;
     Printf.printf "ELBO/datum %.3f\n"
       (Regression.final_elbo_per_datum store (Prng.key (seed + 1)));
-    print_series csv reports
+    print_series csv reports;
+    finish_run resilience store
   in
   Cmd.v
     (Cmd.info "regression"
        ~doc:"Bayesian linear regression (Appendix D.2).")
-    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg)
+    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
 
 (* vae *)
 
 let vae_cmd =
-  let run steps batch seed csv =
-    let _, reports = Vae.train ~steps ~batch (Prng.key seed) in
+  let run steps batch seed csv resilience =
+    let store, reports =
+      Vae.train ~steps ~batch ~guard:resilience.guard
+        ?store:(initial_store resilience) (Prng.key seed)
+    in
     let last = (List.nth reports (steps - 1)).Train.objective in
     Printf.printf "final ELBO/datum %.2f after %d steps (batch %d)\n" last
       steps batch;
-    print_series csv reports
+    print_series csv reports;
+    finish_run resilience store
   in
   Cmd.v
     (Cmd.info "vae" ~doc:"Sprite-digit VAE (Table 1 workload).")
     Term.(
       const run $ steps_arg 300
       $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.")
-      $ seed_arg $ csv_arg)
+      $ seed_arg $ csv_arg $ resilience_term)
 
 (* air *)
 
@@ -120,17 +230,22 @@ let strategy_conv =
     (parse, fun ppf s -> Format.pp_print_string ppf (Air.strategy_name s))
 
 let air_cmd =
-  let run strategy epochs images seed =
+  let run strategy epochs images seed resilience =
     let data_images, _ = Data.air_batch (Prng.key (seed + 10)) images in
     let eval_images, eval_counts = Data.air_batch (Prng.key (seed + 11)) 64 in
-    let store = Store.create () in
+    let store =
+      match initial_store resilience with
+      | Some s -> s
+      | None -> Store.create ()
+    in
     Air.register store (Prng.key seed);
     let optim = Optim.adam ~lr:1e-3 () in
     let baselines = Air.make_baselines () in
     for epoch = 1 to epochs do
       let obj, dt =
-        Air.train_epoch ~pres:strategy ~pos:strategy ~store ~optim ~baselines
-          ~objective:Air.Elbo ~images:data_images ~batch:16
+        Air.train_epoch ~pres:strategy ~pos:strategy ~guard:resilience.guard
+          ~store ~optim ~baselines ~objective:Air.Elbo ~images:data_images
+          ~batch:16
           (Prng.fold_in (Prng.key seed) epoch)
       in
       let acc =
@@ -139,7 +254,8 @@ let air_cmd =
       in
       Printf.printf "epoch %d: ELBO %8.2f  acc %.2f  %.2f s\n%!" epoch obj acc
         dt
-    done
+    done;
+    finish_run resilience store
   in
   Cmd.v
     (Cmd.info "air" ~doc:"Attend-Infer-Repeat scenes (Table 2 workload).")
@@ -150,7 +266,7 @@ let air_cmd =
           & info [ "strategy" ] ~doc:"re|bl|enum|mvd")
       $ Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Training epochs.")
       $ Arg.(value & opt int 192 & info [ "images" ] ~doc:"Training scenes.")
-      $ seed_arg)
+      $ seed_arg $ resilience_term)
 
 (* info *)
 

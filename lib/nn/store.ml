@@ -27,8 +27,109 @@ let names t = List.rev t.order
 let parameter_count t =
   Hashtbl.fold (fun _ x acc -> acc + Tensor.size x) t.tensors 0
 
+(* Rebuild each tensor from its raw contents so the copy shares no
+   buffers with the original — checkpoint snapshots must stay intact
+   even if a backend with in-place tensor mutation is plugged in. *)
+let deep_copy_tensor x = Tensor.of_array (Tensor.shape x) (Tensor.to_array x)
+
 let copy t =
-  { tensors = Hashtbl.copy t.tensors; order = t.order }
+  let tensors = Hashtbl.create (Hashtbl.length t.tensors) in
+  Hashtbl.iter (fun name x -> Hashtbl.add tensors name (deep_copy_tensor x)) t.tensors;
+  { tensors; order = t.order }
+
+let restore t ~from =
+  List.iter
+    (fun name ->
+      let x = deep_copy_tensor (tensor from name) in
+      if Hashtbl.mem t.tensors name then Hashtbl.replace t.tensors name x
+      else begin
+        Hashtbl.add t.tensors name x;
+        t.order <- name :: t.order
+      end)
+    (names from)
+
+(* On-disk format (all integers big-endian):
+     magic "PPVISTOR" | version u32 | count u32
+     then per tensor, in registration order:
+     name_len u32 | name bytes | rank u32 | dims u32* | elems f64*
+   Floats are stored as their IEEE-754 bit patterns, so a round-trip is
+   bit-exact (including NaNs and infinities). *)
+
+let magic = "PPVISTOR"
+let format_version = 1
+
+exception Corrupt_checkpoint of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt_checkpoint s)) fmt
+
+let write_u32 oc n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  output_bytes oc b
+
+let write_f64 oc x =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.bits_of_float x);
+  output_bytes oc b
+
+let read_u32 ic =
+  let b = Bytes.create 4 in
+  really_input ic b 0 4;
+  Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFFFFFF
+
+let read_f64 ic =
+  let b = Bytes.create 8 in
+  really_input ic b 0 8;
+  Int64.float_of_bits (Bytes.get_int64_be b 0)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      write_u32 oc format_version;
+      let order = names t in
+      write_u32 oc (List.length order);
+      List.iter
+        (fun name ->
+          let x = tensor t name in
+          write_u32 oc (String.length name);
+          output_string oc name;
+          let shape = Tensor.shape x in
+          write_u32 oc (Array.length shape);
+          Array.iter (write_u32 oc) shape;
+          Array.iter (write_f64 oc) (Tensor.to_array x))
+        order)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = Bytes.create (String.length magic) in
+      (try really_input ic m 0 (String.length magic)
+       with End_of_file -> corrupt "%s: truncated header" path);
+      if Bytes.to_string m <> magic then
+        corrupt "%s: bad magic (not a ppvi checkpoint)" path;
+      let v = read_u32 ic in
+      if v <> format_version then
+        corrupt "%s: unsupported checkpoint version %d (expected %d)" path v
+          format_version;
+      let t = create () in
+      let count = read_u32 ic in
+      (try
+         for _ = 1 to count do
+           let name_len = read_u32 ic in
+           let name = really_input_string ic name_len in
+           let rank = read_u32 ic in
+           let shape = Array.init rank (fun _ -> read_u32 ic) in
+           let n = Array.fold_left ( * ) 1 shape in
+           let data = Array.init n (fun _ -> read_f64 ic) in
+           ensure t name (fun () -> Tensor.of_array shape data)
+         done
+       with End_of_file -> corrupt "%s: truncated tensor data" path);
+      t)
 
 module Frame = struct
   type store = t

@@ -30,7 +30,32 @@ val parameter_count : t -> int
 (** Total number of scalar parameters. *)
 
 val copy : t -> t
-(** Deep copy (for ablations that fork training). *)
+(** Deep copy: the copied tensors share no buffers with the original,
+    so mutating either store (or, with an in-place backend, either
+    tensor) leaves the other intact. Used for checkpoint snapshots and
+    for ablations that fork training. *)
+
+val restore : t -> from:t -> unit
+(** [restore t ~from] writes every parameter of [from] back into [t]
+    (deep-copied), registering any name [t] lacks. Parameters of [t]
+    absent from [from] are left at their current values. *)
+
+(** {1 Persistence}
+
+    Binary checkpoints with a versioned header ("PPVISTOR", format
+    version 1). Floats are stored as IEEE-754 bit patterns, so a
+    save/load round-trip is bit-exact. *)
+
+exception Corrupt_checkpoint of string
+(** Raised by {!load} on bad magic, version mismatch, or truncation. *)
+
+val save : t -> string -> unit
+(** Write all parameters, in registration order, to a file. *)
+
+val load : string -> t
+(** Read a checkpoint written by {!save} into a fresh store.
+    @raise Corrupt_checkpoint if the file is not a valid checkpoint.
+    @raise Sys_error if the file cannot be opened. *)
 
 module Frame : sig
   type store := t

@@ -48,8 +48,18 @@ let exponential k = -.Float.log (Float.max (uniform k) 1e-300)
 let bernoulli k p = uniform k < p
 
 let categorical k weights =
+  if Array.length weights = 0 then
+    invalid_arg "Prng.categorical: empty weight vector";
+  Array.iteri
+    (fun i w ->
+      if Float.is_nan w then
+        invalid_arg (Printf.sprintf "Prng.categorical: NaN weight at index %d" i);
+      if w < 0. then
+        invalid_arg
+          (Printf.sprintf "Prng.categorical: negative weight %g at index %d" w i))
+    weights;
   let total = Array.fold_left ( +. ) 0. weights in
-  if total <= 0. || Array.length weights = 0 then
+  if total <= 0. then
     invalid_arg "Prng.categorical: nonpositive total weight";
   let u = uniform k *. total in
   let acc = ref 0. in

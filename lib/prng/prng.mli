@@ -47,7 +47,8 @@ val bernoulli : key -> float -> bool
 val categorical : key -> float array -> int
 (** Sample an index proportionally to the (unnormalized, nonnegative)
     weights. @raise Invalid_argument on an all-zero or empty weight
-    vector. *)
+    vector, and on any NaN or negative weight (anywhere in the vector,
+    even if the total happens to be positive). *)
 
 val categorical_logits : key -> float array -> int
 (** Sample an index from unnormalized log-weights (Gumbel-max). *)

@@ -188,6 +188,39 @@ let softplus =
 let clip ~min ~max t =
   map (fun x -> if x < min then min else if x > max then max else x) t
 
+let global_norm ts =
+  (* Scale by the largest magnitude so the sum of squares cannot
+     overflow for norms near the float range. *)
+  let peak =
+    List.fold_left
+      (fun acc t ->
+        Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) acc t.data)
+      0. ts
+  in
+  if peak = 0. then 0.
+  else if not (Float.is_finite peak) then peak
+  else begin
+    let total = ref 0. in
+    List.iter
+      (fun t ->
+        Array.iter
+          (fun x ->
+            let r = x /. peak in
+            total := !total +. (r *. r))
+          t.data)
+      ts;
+    peak *. Float.sqrt !total
+  end
+
+let clip_by_global_norm ~max_norm ts =
+  if max_norm <= 0. then invalid_arg "Tensor.clip_by_global_norm: max_norm <= 0";
+  let norm = global_norm ts in
+  if norm <= max_norm || not (Float.is_finite norm) then ts
+  else begin
+    let s = max_norm /. norm in
+    List.map (fun t -> { t with data = Array.map (fun x -> x *. s) t.data }) ts
+  end
+
 (* Reductions *)
 
 let sum t = Array.fold_left ( +. ) 0. t.data

@@ -99,6 +99,18 @@ val softplus : t -> t
 
 val clip : min:float -> max:float -> t -> t
 
+val global_norm : t list -> float
+(** The L2 norm of all elements of all tensors, viewed as one flat
+    vector. Computed with a scaled sum of squares, so it does not
+    overflow for representable norms; non-finite entries propagate
+    (the result is [nan] or [infinity]). *)
+
+val clip_by_global_norm : max_norm:float -> t list -> t list
+(** Rescale the tensors jointly so their {!global_norm} is at most
+    [max_norm]; lists whose joint norm is already within the bound
+    (or is non-finite) are returned unchanged. Never increases the
+    global norm. @raise Invalid_argument if [max_norm <= 0]. *)
+
 (** {1 Reductions} *)
 
 val sum : t -> float

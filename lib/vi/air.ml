@@ -184,13 +184,13 @@ let batch_objectives ?(pres = RE) ?(pos = RE) ~baselines objective frame images
       | Rws n -> rws_objective ~particles:n ~baselines frame image)
     rows
 
-let train_epoch ?(pres = RE) ?(pos = RE) ~store ~optim ~baselines ~objective
-    ~images ~batch key =
+let train_epoch ?(pres = RE) ?(pos = RE) ?guard ~store ~optim ~baselines
+    ~objective ~images ~batch key =
   let n = (Tensor.shape images).(0) in
   let nbatches = n / batch in
   let t0 = Unix.gettimeofday () in
   let reports =
-    Train.fit_batch ~store ~optim ~steps:nbatches
+    Train.fit_batch ~store ~optim ?guard ~steps:nbatches
       ~objectives:(fun frame step ->
         let rows = List.init batch (fun i -> (step * batch) + i) in
         let minibatch = Tensor.take_rows images rows in

@@ -59,6 +59,7 @@ val batch_objectives :
 val train_epoch :
   ?pres:discrete_strategy ->
   ?pos:discrete_strategy ->
+  ?guard:Guard.t ->
   store:Store.t ->
   optim:Optim.t ->
   baselines:baselines ->

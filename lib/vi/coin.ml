@@ -35,13 +35,13 @@ let exact_posterior_mean =
 
 let objective frame = Objectives.elbo ~model ~guide:(guide frame)
 
-let train ?(steps = 1500) ?(samples = 8) ?(lr = 0.02) key =
-  let store = Store.create () in
+let train ?(steps = 1500) ?(samples = 8) ?(lr = 0.02) ?guard ?store key =
+  let store = match store with Some s -> s | None -> Store.create () in
   register store;
   let optim = Optim.adam ~lr () in
   let t0 = Unix.gettimeofday () in
   let reports =
-    Train.fit ~store ~optim ~samples ~steps
+    Train.fit ~store ~optim ~samples ?guard ~steps
       ~objective:(fun frame _ -> objective frame)
       key
   in

@@ -16,9 +16,12 @@ val exact_posterior_mean : float
 (** (10 + heads) / (20 + flips). *)
 
 val train :
-  ?steps:int -> ?samples:int -> ?lr:float -> Prng.key ->
+  ?steps:int -> ?samples:int -> ?lr:float -> ?guard:Guard.t ->
+  ?store:Store.t -> Prng.key ->
   Store.t * Train.report list * float
-(** Returns the trained store, per-step reports, and wall seconds. *)
+(** Returns the trained store, per-step reports, and wall seconds.
+    [?guard] configures resilience (see {!Guard}); [?store] continues
+    training from an existing (e.g. checkpoint-loaded) store. *)
 
 val posterior_mean : Store.t -> float
 (** alpha / (alpha + beta) at the learned parameters. *)

@@ -53,10 +53,13 @@ val objective : objective_kind -> Store.Frame.t -> Ad.t Adev.t
 (** The Table 4 objective programs. *)
 
 val train :
-  ?steps:int -> ?lr:float -> objective_kind -> Prng.key ->
+  ?steps:int -> ?lr:float -> ?guard:Guard.t -> ?store:Store.t ->
+  objective_kind -> Prng.key ->
   Store.t * Train.report list
 (** Optimize one objective from a fresh parameter store with ADAM.
-    Defaults: 1500 steps, lr 0.05. *)
+    Defaults: 1500 steps, lr 0.05. [?guard] configures resilience;
+    [?store] continues from an existing (e.g. checkpoint-loaded)
+    store. *)
 
 val final_value :
   ?samples:int -> Store.t -> objective_kind -> Prng.key -> float

@@ -62,12 +62,12 @@ let split_image image =
   let target = Data.without_quadrant image observed_quadrant in
   (input, target)
 
-let train_epoch ~store ~optim ~images ~batch key =
+let train_epoch ?guard ~store ~optim ~images ~batch key =
   let n = (Tensor.shape images).(0) in
   let nbatches = n / batch in
   let t0 = Unix.gettimeofday () in
   let reports =
-    Train.fit_batch ~store ~optim ~steps:nbatches
+    Train.fit_batch ~store ~optim ?guard ~steps:nbatches
       ~objectives:(fun frame step ->
         let datum i =
           let image = Tensor.slice0 images ((step * batch) + i) in

@@ -30,6 +30,7 @@ val guide : Store.Frame.t -> Tensor.t -> Tensor.t -> unit Gen.t
 val elbo : Store.Frame.t -> Tensor.t -> Tensor.t -> Ad.t Adev.t
 
 val train_epoch :
+  ?guard:Guard.t ->
   store:Store.t ->
   optim:Optim.t ->
   images:Tensor.t ->

@@ -1,0 +1,162 @@
+type kind = Nan | Inf
+
+let kind_name = function Nan -> "nan" | Inf -> "inf"
+
+type anomaly = {
+  step : int;
+  name : string;
+  kind : kind;
+  grad_norm : float;
+}
+
+let pp_anomaly ppf a =
+  Format.fprintf ppf "step %d: %s is %s (grad norm %g)" a.step a.name
+    (kind_name a.kind) a.grad_norm
+
+type policy = Fail_fast | Skip_step | Rollback_retry
+
+let policy_name = function
+  | Fail_fast -> "fail-fast"
+  | Skip_step -> "skip-step"
+  | Rollback_retry -> "rollback-retry"
+
+let policy_of_string = function
+  | "fail-fast" | "fail_fast" | "fail" -> Some Fail_fast
+  | "skip-step" | "skip_step" | "skip" -> Some Skip_step
+  | "rollback-retry" | "rollback_retry" | "rollback" -> Some Rollback_retry
+  | _ -> None
+
+exception
+  Diverged of { step : int; anomalies : anomaly list; retries : int }
+
+let () =
+  Printexc.register_printer (function
+    | Diverged { step; anomalies; retries } ->
+      Some
+        (Format.asprintf
+           "Guard.Diverged at step %d after %d retries: %a" step retries
+           (Format.pp_print_list ~pp_sep:(fun ppf () ->
+                Format.pp_print_string ppf "; ")
+              pp_anomaly)
+           anomalies)
+    | _ -> None)
+
+type checkpoint = {
+  at_step : int;
+  params : Store.t;  (* deep copy *)
+  optim_state : Optim.snapshot;
+}
+
+type t = {
+  policy : policy;
+  clip_norm : float option;
+  snapshot_every : int;
+  max_retries : int;
+  mutable log : anomaly list;  (* newest first *)
+  mutable skips : int;  (* steps whose update was (partly) skipped *)
+  mutable retries : int;  (* rollbacks performed so far *)
+  mutable last_good : checkpoint option;
+}
+
+let create ?(policy = Skip_step) ?clip_norm ?(snapshot_every = 10)
+    ?(max_retries = 3) () =
+  if snapshot_every <= 0 then invalid_arg "Guard.create: snapshot_every <= 0";
+  if max_retries < 0 then invalid_arg "Guard.create: max_retries < 0";
+  {
+    policy;
+    clip_norm;
+    snapshot_every;
+    max_retries;
+    log = [];
+    skips = 0;
+    retries = 0;
+    last_good = None;
+  }
+
+let policy t = t.policy
+let clip_norm t = t.clip_norm
+let anomalies t = List.rev t.log
+let anomaly_count t = List.length t.log
+let skip_count t = t.skips
+let retry_count t = t.retries
+
+(* Classification *)
+
+let classify_float x =
+  if Float.is_nan x then Some Nan
+  else if Float.is_finite x then None
+  else Some Inf
+
+let classify_tensor g =
+  let n = Tensor.size g in
+  let rec scan i worst =
+    if i >= n then worst
+    else
+      match classify_float (Tensor.get_flat g i) with
+      | Some Nan -> Some Nan (* NaN dominates Inf in the report *)
+      | Some Inf -> scan (i + 1) (Some Inf)
+      | None -> scan (i + 1) worst
+  in
+  scan 0 None
+
+let scan ~step ~objective ~grads =
+  let objective_anomalies =
+    match classify_float objective with
+    | Some kind -> [ { step; name = "objective"; kind; grad_norm = objective } ]
+    | None -> []
+  in
+  let grad_anomalies =
+    List.filter_map
+      (fun (name, g) ->
+        match classify_tensor g with
+        | Some kind ->
+          Some { step; name; kind; grad_norm = Tensor.global_norm [ g ] }
+        | None -> None)
+      grads
+  in
+  objective_anomalies @ grad_anomalies
+
+(* Checkpoints *)
+
+let take_snapshot t ~step ~store ~optim =
+  t.last_good <-
+    Some
+      { at_step = step; params = Store.copy store; optim_state = Optim.snapshot optim }
+
+let due_snapshot t ~step =
+  t.last_good = None || step mod t.snapshot_every = 0
+
+(* The key actually driving the run: pristine until the first rollback,
+   then deterministically re-derived per retry so a replayed step sees
+   fresh randomness while the whole run stays a pure function of the
+   initial key. *)
+let active_key t key =
+  if t.retries = 0 then key else Prng.fold_in key t.retries
+
+type verdict =
+  | Proceed  (** step is clean; apply the update *)
+  | Skip  (** apply what is finite, count the rest as skipped *)
+  | Restart_from of int  (** rolled back; resume at this step *)
+
+let observe t ~step ~store ~optim anomalies =
+  match anomalies with
+  | [] -> Proceed
+  | _ :: _ -> begin
+    t.log <- List.rev_append anomalies t.log;
+    match t.policy with
+    | Fail_fast -> raise (Diverged { step; anomalies; retries = t.retries })
+    | Skip_step ->
+      t.skips <- t.skips + 1;
+      Skip
+    | Rollback_retry -> begin
+      match t.last_good with
+      | None -> raise (Diverged { step; anomalies; retries = t.retries })
+      | Some cp ->
+        if t.retries >= t.max_retries then
+          raise (Diverged { step; anomalies; retries = t.retries });
+        t.retries <- t.retries + 1;
+        Store.restore store ~from:cp.params;
+        Optim.restore optim cp.optim_state;
+        Restart_from cp.at_step
+    end
+  end

@@ -1,0 +1,132 @@
+(** Training resilience: anomaly detection, gradient hygiene, and
+    checkpoint/rollback for every stochastic-optimization loop.
+
+    The composed gradient estimators this system builds (REPARAM,
+    REINFORCE, ENUM, MVD, baselines) are provably {e unbiased}, but
+    unbiased estimators can be heavy-tailed: an occasional divergent
+    sample yields a NaN/Inf objective or gradient that would otherwise
+    silently corrupt or stall a run. A [Guard.t] rides along with a
+    training loop (see [Train]) and, after each backward pass,
+    classifies the objective and every per-parameter gradient as
+    finite / NaN / Inf. What happens next is the guard's {!policy}:
+
+    - [Fail_fast]: raise {!Diverged} immediately, carrying the step
+      and the offending parameter names;
+    - [Skip_step] (the default — matches the historical behavior,
+      except the event is now counted and logged): apply whatever part
+      of the update is finite and move on;
+    - [Rollback_retry]: restore the parameters {e and} optimizer state
+      from the last periodic snapshot, re-derive the run's PRNG key
+      deterministically ([Prng.fold_in key retry_count]), and replay
+      from the snapshot step; after [max_retries] rollbacks the guard
+      gives up and raises {!Diverged}.
+
+    Guards also carry the gradient-hygiene knob [clip_norm], applied
+    by [Optim.step] via {!Tensor.clip_by_global_norm} before each
+    update. *)
+
+type kind = Nan | Inf
+
+val kind_name : kind -> string
+
+type anomaly = {
+  step : int;  (** Step at which the anomaly was detected. *)
+  name : string;  (** Parameter name, or ["objective"]. *)
+  kind : kind;
+  grad_norm : float;
+      (** Global norm of the offending gradient (NaN/Inf when the
+          anomaly contaminates the norm), or the objective value
+          itself for objective anomalies. *)
+}
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+type policy = Fail_fast | Skip_step | Rollback_retry
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+(** Accepts ["fail-fast"], ["skip-step"], ["rollback-retry"] (and
+    underscore / short spellings). *)
+
+exception
+  Diverged of { step : int; anomalies : anomaly list; retries : int }
+(** Training diverged beyond what the policy could absorb. A printer
+    is registered, so uncaught escapes render readably. *)
+
+type t
+(** Mutable per-run guard state: configuration, the anomaly log,
+    counters, and the last good checkpoint. One guard should drive at
+    most one training loop at a time. *)
+
+val create :
+  ?policy:policy ->
+  ?clip_norm:float ->
+  ?snapshot_every:int ->
+  ?max_retries:int ->
+  unit ->
+  t
+(** Defaults: [Skip_step], no clipping, snapshot every 10 steps,
+    3 retries. @raise Invalid_argument on a nonpositive
+    [snapshot_every] or negative [max_retries]. *)
+
+val policy : t -> policy
+val clip_norm : t -> float option
+
+val anomalies : t -> anomaly list
+(** Every anomaly observed so far, in chronological order (including
+    ones absorbed by rollbacks). *)
+
+val anomaly_count : t -> int
+
+val skip_count : t -> int
+(** Steps whose update was partly or fully skipped under
+    [Skip_step]. *)
+
+val retry_count : t -> int
+(** Rollbacks performed so far under [Rollback_retry]. *)
+
+(** {1 Driver API}
+
+    Used by [Train]; exposed so custom loops (e.g. the baseline
+    engines, or user-written epochs) can be guarded the same way. *)
+
+val classify_float : float -> kind option
+val classify_tensor : Tensor.t -> kind option
+(** [None] when every element is finite; NaN dominates Inf. *)
+
+val scan :
+  step:int ->
+  objective:float ->
+  grads:(string * Tensor.t) list ->
+  anomaly list
+(** Classify one backward pass: the objective first, then each
+    gradient, preserving gradient order. Empty when the step is
+    clean. *)
+
+val due_snapshot : t -> step:int -> bool
+(** Whether the loop should snapshot before executing [step]: true on
+    the first call and every [snapshot_every] steps. *)
+
+val take_snapshot : t -> step:int -> store:Store.t -> optim:Optim.t -> unit
+(** Record a deep copy of the parameters and optimizer state as the
+    rollback target, tagged with the step about to execute. *)
+
+val active_key : t -> Prng.key -> Prng.key
+(** The key the loop should currently run under: the caller's key
+    before any rollback, [Prng.fold_in key retry_count] after — so
+    retries resample while the run remains a deterministic function of
+    the initial key. *)
+
+type verdict =
+  | Proceed  (** step is clean; apply the update *)
+  | Skip  (** apply what is finite, count the rest as skipped *)
+  | Restart_from of int  (** rolled back; resume at this step *)
+
+val observe :
+  t -> step:int -> store:Store.t -> optim:Optim.t -> anomaly list -> verdict
+(** Feed one step's {!scan} result through the policy. On
+    [Rollback_retry] this mutates [store] and [optim] back to the last
+    snapshot before returning [Restart_from].
+    @raise Diverged per the policy (immediately under [Fail_fast]; on
+    exhausted retries, or an anomaly before any snapshot exists, under
+    [Rollback_retry]). *)

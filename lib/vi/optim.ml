@@ -4,12 +4,16 @@ type spec =
 
 type state = { mutable m : Tensor.t; mutable v : Tensor.t; mutable t : int }
 
-type t = { spec : spec; states : (string, state) Hashtbl.t }
+type t = {
+  spec : spec;
+  states : (string, state) Hashtbl.t;
+  mutable skipped : int;
+}
 
-let sgd ~lr = { spec = Sgd { lr }; states = Hashtbl.create 16 }
+let sgd ~lr = { spec = Sgd { lr }; states = Hashtbl.create 16; skipped = 0 }
 
 let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
-  { spec = Adam { lr; beta1; beta2; eps }; states = Hashtbl.create 16 }
+  { spec = Adam { lr; beta1; beta2; eps }; states = Hashtbl.create 16; skipped = 0 }
 
 type direction = Ascend | Descend
 
@@ -21,29 +25,63 @@ let state_for t name shape =
     Hashtbl.add t.states name s;
     s
 
-let step t direction store grads =
+let skipped t = t.skipped
+
+let step ?clip_norm ?(on_skip = fun _ _ -> ()) t direction store grads =
   let sign = match direction with Ascend -> 1. | Descend -> -1. in
+  let finite, bad =
+    List.partition (fun (_, g) -> Tensor.all_finite g) grads
+  in
   List.iter
     (fun (name, g) ->
-      if Tensor.all_finite g then begin
-        let x = Store.tensor store name in
-        match t.spec with
-        | Sgd { lr } ->
-          Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) g))
-        | Adam { lr; beta1; beta2; eps } ->
-          let s = state_for t name (Tensor.shape g) in
-          s.t <- s.t + 1;
-          s.m <- Tensor.add (Tensor.scale beta1 s.m) (Tensor.scale (1. -. beta1) g);
-          s.v <-
-            Tensor.add (Tensor.scale beta2 s.v)
-              (Tensor.scale (1. -. beta2) (Tensor.mul g g));
-          let mhat = Tensor.scale (1. /. (1. -. (beta1 ** float_of_int s.t))) s.m in
-          let vhat = Tensor.scale (1. /. (1. -. (beta2 ** float_of_int s.t))) s.v in
-          let update =
-            Tensor.map2 (fun mi vi -> mi /. (Float.sqrt vi +. eps)) mhat vhat
-          in
-          Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) update))
-      end)
-    grads
+      t.skipped <- t.skipped + 1;
+      on_skip name g)
+    bad;
+  let finite =
+    match clip_norm with
+    | None -> finite
+    | Some max_norm ->
+      let clipped =
+        Tensor.clip_by_global_norm ~max_norm (List.map snd finite)
+      in
+      List.map2 (fun (name, _) g -> (name, g)) finite clipped
+  in
+  List.iter
+    (fun (name, g) ->
+      let x = Store.tensor store name in
+      match t.spec with
+      | Sgd { lr } ->
+        Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) g))
+      | Adam { lr; beta1; beta2; eps } ->
+        let s = state_for t name (Tensor.shape g) in
+        s.t <- s.t + 1;
+        s.m <- Tensor.add (Tensor.scale beta1 s.m) (Tensor.scale (1. -. beta1) g);
+        s.v <-
+          Tensor.add (Tensor.scale beta2 s.v)
+            (Tensor.scale (1. -. beta2) (Tensor.mul g g));
+        let mhat = Tensor.scale (1. /. (1. -. (beta1 ** float_of_int s.t))) s.m in
+        let vhat = Tensor.scale (1. /. (1. -. (beta2 ** float_of_int s.t))) s.v in
+        let update =
+          Tensor.map2 (fun mi vi -> mi /. (Float.sqrt vi +. eps)) mhat vhat
+        in
+        Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) update)))
+    finite
 
-let reset t = Hashtbl.reset t.states
+let reset t =
+  Hashtbl.reset t.states;
+  t.skipped <- 0
+
+type snapshot = (string * state) list * int
+
+let snapshot t : snapshot =
+  ( Hashtbl.fold
+      (fun name s acc -> (name, { m = s.m; v = s.v; t = s.t }) :: acc)
+      t.states [],
+    t.skipped )
+
+let restore t ((states, skipped) : snapshot) =
+  Hashtbl.reset t.states;
+  List.iter
+    (fun (name, s) -> Hashtbl.add t.states name { m = s.m; v = s.v; t = s.t })
+    states;
+  t.skipped <- skipped

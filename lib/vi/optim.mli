@@ -11,11 +11,45 @@ val adam :
 type direction = Ascend | Descend
 
 val step :
-  t -> direction -> Store.t -> (string * Tensor.t) list -> unit
-(** Apply one update from named gradients. [Ascend] maximizes (variational
-    lower bounds), [Descend] minimizes (losses). Gradients whose tensors
-    contain non-finite entries are skipped for that parameter (a guard
-    against the occasional divergent REINFORCE sample). *)
+  ?clip_norm:float ->
+  ?on_skip:(string -> Tensor.t -> unit) ->
+  t ->
+  direction ->
+  Store.t ->
+  (string * Tensor.t) list ->
+  unit
+(** Apply one update from named gradients. [Ascend] maximizes
+    (variational lower bounds), [Descend] minimizes (losses).
+
+    Gradients whose tensors contain non-finite entries are never
+    applied (a guard against the occasional divergent REINFORCE
+    sample) — but the skip is {e reported}: [on_skip] fires once per
+    skipped parameter with its name and raw gradient, and the
+    optimizer's {!skipped} counter is incremented, so callers (and the
+    [Guard] layer) can see exactly what was dropped.
+
+    [clip_norm], when given, rescales the remaining (finite) gradients
+    jointly so their {!Tensor.global_norm} is at most [clip_norm],
+    before any moment accumulation. *)
+
+val skipped : t -> int
+(** Total number of per-parameter gradient skips since creation (or
+    the last {!reset}/{!restore}). *)
 
 val reset : t -> unit
-(** Clear moment estimates and step counters. *)
+(** Clear moment estimates, step counters, and the skip counter. *)
+
+(** {1 Snapshots}
+
+    Deep snapshots of optimizer state (ADAM moments, step counters,
+    skip count), used by the [Guard] checkpoint/rollback machinery so
+    a retried step replays with the exact optimizer state it had at
+    the snapshot. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite the optimizer's state with the snapshot's. The snapshot
+    may be restored any number of times. *)

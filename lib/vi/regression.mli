@@ -11,9 +11,12 @@ val register : Store.t -> unit
 val guide : Store.Frame.t -> unit Gen.t
 
 val train :
-  ?steps:int -> ?samples:int -> ?lr:float -> Prng.key ->
+  ?steps:int -> ?samples:int -> ?lr:float -> ?guard:Guard.t ->
+  ?store:Store.t -> Prng.key ->
   Store.t * Train.report list * float
-(** Returns the trained store, per-step reports, and wall seconds. *)
+(** Returns the trained store, per-step reports, and wall seconds.
+    [?guard] configures resilience (see {!Guard}); [?store] continues
+    training from an existing (e.g. checkpoint-loaded) store. *)
 
 val final_elbo_per_datum : Store.t -> Prng.key -> float
 (** Final ELBO divided by the dataset size (the Fig. 11 statistic). *)

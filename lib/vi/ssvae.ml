@@ -111,13 +111,14 @@ let unsup_objective frame image =
   Objectives.elbo ~model:(unsup_model frame image)
     ~guide:(unsup_guide frame image)
 
-let train_epoch ~store ~optim ~images ~labels ~batch ~supervised_every key =
+let train_epoch ?guard ~store ~optim ~images ~labels ~batch ~supervised_every
+    key =
   let n = (Tensor.shape images).(0) in
   let nbatches = n / batch in
   let unsup_total = ref 0. and unsup_batches = ref 0 in
   let t0 = Unix.gettimeofday () in
   let (_ : Train.report list) =
-    Train.fit_batch ~store ~optim ~steps:nbatches
+    Train.fit_batch ~store ~optim ?guard ~steps:nbatches
       ~on_step:(fun _ -> ())
       ~objectives:(fun frame step ->
         let supervised = (step + 1) mod supervised_every = 0 in

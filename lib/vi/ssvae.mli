@@ -22,6 +22,7 @@ val classify : Store.t -> Tensor.t -> int
 val classifier_accuracy : Store.t -> Tensor.t -> int array -> float
 
 val train_epoch :
+  ?guard:Guard.t ->
   store:Store.t ->
   optim:Optim.t ->
   images:Tensor.t ->

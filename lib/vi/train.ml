@@ -1,58 +1,78 @@
-type report = { step : int; objective : float }
+type report = {
+  step : int;
+  objective : float;
+  anomalies : int;
+  retries : int;
+}
 
-let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1)
+(* Shared guarded driver. [make_surrogate frame step key] builds the
+   differentiable surrogate for one step; everything else — backward
+   pass, anomaly scan, policy dispatch, snapshots, the optimizer update
+   — is common to all loop flavors. On rollback the step counter jumps
+   back to the snapshot step and already-collected reports past it are
+   discarded (so the returned series is the committed trajectory). *)
+let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
+    key =
+  let g = match guard with Some g -> g | None -> Guard.create () in
+  let reports = ref [] in
+  let step = ref 0 in
+  while !step < steps do
+    if Guard.due_snapshot g ~step:!step then
+      Guard.take_snapshot g ~step:!step ~store ~optim;
+    let key_run = Guard.active_key g key in
+    let frame = Store.Frame.make store in
+    let surrogate = make_surrogate frame !step (Prng.fold_in key_run !step) in
+    Ad.backward surrogate;
+    let objective = Tensor.to_scalar (Ad.value surrogate) in
+    let grads = Store.Frame.grads frame in
+    let anomalies = Guard.scan ~step:!step ~objective ~grads in
+    match Guard.observe g ~step:!step ~store ~optim anomalies with
+    | Guard.Restart_from resume ->
+      reports := List.filter (fun r -> r.step < resume) !reports;
+      step := resume
+    | Guard.Proceed | Guard.Skip ->
+      (* Under [Skip] the non-finite gradients are dropped (and counted)
+         inside [Optim.step]; the finite remainder still applies, which
+         preserves the historical skip-and-continue behavior. *)
+      Optim.step ?clip_norm:(Guard.clip_norm g) optim direction store grads;
+      let report =
+        { step = !step;
+          objective;
+          anomalies = Guard.anomaly_count g;
+          retries = Guard.retry_count g }
+      in
+      on_step report;
+      reports := report :: !reports;
+      incr step
+  done;
+  List.rev !reports
+
+let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1) ?guard
     ?(on_step = fun _ -> ()) ~steps ~objective key =
-  let reports = ref [] in
-  for step = 0 to steps - 1 do
-    let frame = Store.Frame.make store in
-    let obj = objective frame step in
-    let key_step = Prng.fold_in key step in
-    let surrogate = Adev.expectation_mean ~samples obj key_step in
-    Ad.backward surrogate;
-    Optim.step optim direction store (Store.Frame.grads frame);
-    let report =
-      { step; objective = Tensor.to_scalar (Ad.value surrogate) }
-    in
-    on_step report;
-    reports := report :: !reports
-  done;
-  List.rev !reports
+  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+    ~make_surrogate:(fun frame step key_step ->
+      Adev.expectation_mean ~samples (objective frame step) key_step)
+    key
 
-let fit_batch ~store ~optim ?(direction = Optim.Ascend)
+let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard
     ?(on_step = fun _ -> ()) ~steps ~objectives key =
-  let reports = ref [] in
-  for step = 0 to steps - 1 do
-    let frame = Store.Frame.make store in
-    let objs = objectives frame step in
-    let key_step = Prng.fold_in key step in
-    let n = Stdlib.max 1 (List.length objs) in
-    let surrogates =
-      List.mapi
-        (fun i obj -> Adev.expectation obj (Prng.fold_in key_step i))
-        objs
-    in
-    let surrogate = Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates) in
-    Ad.backward surrogate;
-    Optim.step optim direction store (Store.Frame.grads frame);
-    let report = { step; objective = Tensor.to_scalar (Ad.value surrogate) } in
-    on_step report;
-    reports := report :: !reports
-  done;
-  List.rev !reports
+  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+    ~make_surrogate:(fun frame step key_step ->
+      let objs = objectives frame step in
+      let n = Stdlib.max 1 (List.length objs) in
+      let surrogates =
+        List.mapi
+          (fun i obj -> Adev.expectation obj (Prng.fold_in key_step i))
+          objs
+      in
+      Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates))
+    key
 
-let fit_surrogate ~store ~optim ?(direction = Optim.Ascend)
+let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard
     ?(on_step = fun _ -> ()) ~steps ~surrogate key =
-  let reports = ref [] in
-  for step = 0 to steps - 1 do
-    let frame = Store.Frame.make store in
-    let s = surrogate frame step (Prng.fold_in key step) in
-    Ad.backward s;
-    Optim.step optim direction store (Store.Frame.grads frame);
-    let report = { step; objective = Tensor.to_scalar (Ad.value s) } in
-    on_step report;
-    reports := report :: !reports
-  done;
-  List.rev !reports
+  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+    ~make_surrogate:(fun frame step key_step -> surrogate frame step key_step)
+    key
 
 let eval ~store ?(samples = 100) ~objective key =
   let frame = Store.Frame.make store in

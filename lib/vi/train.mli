@@ -1,9 +1,21 @@
 (** Stochastic-optimization driver: repeatedly estimate an objective's
-    gradient with ADEV and apply an optimizer update. *)
+    gradient with ADEV and apply an optimizer update.
+
+    Every loop flavor is guarded (see [Guard]): after each backward
+    pass the objective and gradients are scanned for NaN/Inf, and the
+    guard's policy decides whether to proceed, skip, roll back to the
+    last snapshot, or raise [Guard.Diverged]. When no [?guard] is
+    passed, a fresh default guard ([Skip_step], no clipping) is used,
+    which reproduces the historical behavior exactly — same updates,
+    same PRNG stream — while still counting anomalies. *)
 
 type report = {
   step : int;
   objective : float;  (** The (primal) objective estimate at this step. *)
+  anomalies : int;
+      (** Cumulative anomalies observed by the guard so far (including
+          ones absorbed by skips or rollbacks). *)
+  retries : int;  (** Cumulative rollbacks performed so far. *)
 }
 
 val fit :
@@ -11,6 +23,7 @@ val fit :
   optim:Optim.t ->
   ?direction:Optim.direction ->
   ?samples:int ->
+  ?guard:Guard.t ->
   ?on_step:(report -> unit) ->
   steps:int ->
   objective:(Store.Frame.t -> int -> Ad.t Adev.t) ->
@@ -21,12 +34,16 @@ val fit :
     index (for minibatching) and returns the lambda_ADEV objective;
     [samples] (default 1) gradient estimates are averaged per step.
     Direction defaults to [Ascend]. Returns one report per step, in
-    order. *)
+    order — the {e committed} trajectory: steps undone by a rollback
+    are replayed and reported once, though [on_step] may fire more
+    than once per index while retrying.
+    @raise Guard.Diverged per the guard's policy. *)
 
 val fit_batch :
   store:Store.t ->
   optim:Optim.t ->
   ?direction:Optim.direction ->
+  ?guard:Guard.t ->
   ?on_step:(report -> unit) ->
   steps:int ->
   objectives:(Store.Frame.t -> int -> Ad.t Adev.t list) ->
@@ -42,13 +59,15 @@ val fit_surrogate :
   store:Store.t ->
   optim:Optim.t ->
   ?direction:Optim.direction ->
+  ?guard:Guard.t ->
   ?on_step:(report -> unit) ->
   steps:int ->
   surrogate:(Store.Frame.t -> int -> Prng.key -> Ad.t) ->
   Prng.key ->
   report list
 (** Escape hatch for engines that build their own surrogate losses
-    (the monolithic baseline of [lib/baseline]). *)
+    (the monolithic baseline of [lib/baseline]); guarded like the
+    others. *)
 
 val eval :
   store:Store.t ->

@@ -45,12 +45,12 @@ let elbo_per_datum frame images =
     (Ad.scale (1. /. n))
     (Objectives.elbo ~model:(model frame images) ~guide:(guide frame images))
 
-let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) key =
-  let store = Store.create () in
+let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?guard ?store key =
+  let store = match store with Some s -> s | None -> Store.create () in
   register store key;
   let optim = Optim.adam ~lr () in
   let reports =
-    Train.fit ~store ~optim ~steps
+    Train.fit ~store ~optim ?guard ~steps
       ~objective:(fun frame step ->
         let images, _ = Data.digit_batch (Prng.fold_in key (10000 + step)) batch in
         elbo_per_datum frame images)

@@ -31,8 +31,11 @@ val elbo_per_datum : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
 (** The batch ELBO divided by the batch size. *)
 
 val train :
-  ?steps:int -> ?batch:int -> ?lr:float -> Prng.key ->
+  ?steps:int -> ?batch:int -> ?lr:float -> ?guard:Guard.t ->
+  ?store:Store.t -> Prng.key ->
   Store.t * Train.report list
+(** [?guard] configures resilience (see {!Guard}); [?store] continues
+    training from an existing (e.g. checkpoint-loaded) store. *)
 
 val grad_step_time :
   Store.t -> batch:int -> repeats:int -> Prng.key -> float

@@ -229,6 +229,80 @@ let test_new_dists_in_gen_programs () =
   Alcotest.(check int) "three sites" 3 (Trace.size trace);
   Alcotest.(check bool) "finite density" true (Float.is_finite logd)
 
+(* Property: every primitive's log density is finite at in-support
+   samples drawn from the primitive itself — the contract the Guard
+   anomaly detector relies on (a clean model/guide pair can only go
+   non-finite through estimator variance, not through the primitives'
+   own densities). *)
+
+let finite_logpdf_cases (seed, (a, b)) =
+  (* a in (0.2, 5), b in (0.2, 5): generic positive shape/scale/rate
+     material; derived quantities below keep every parameter in its
+     legal range. *)
+  let k = Prng.key seed in
+  let p = a /. (a +. b) (* in (0, 1) *) in
+  let n = 1 + (seed mod 9) in
+  let probs =
+    Ad.const (Tensor.of_list1 [ a; b; a +. b ]) (* unnormalized, positive *)
+  in
+  let logits = Ad.const (Tensor.of_list1 [ a; -.b; b -. a ]) in
+  let vec_mean = Ad.const (Tensor.of_list1 [ a; -.b ]) in
+  let vec_std = Ad.const (Tensor.of_list1 [ b; a ]) in
+  let vec_p = Ad.const (Tensor.of_list1 [ p; 1. -. p ]) in
+  let scalar x = Ad.scalar x in
+  let check : type a. string -> a Dist.t -> unit =
+   fun name d ->
+    let x = d.Dist.sample k in
+    let lp = primal (d.Dist.log_density x) in
+    if not (Float.is_finite lp) then
+      QCheck.Test.fail_reportf
+        "%s: log density %g not finite at its own sample (seed %d, a=%g, b=%g)"
+        name lp seed a b
+  in
+  check "normal_reparam" (Dist.normal_reparam (scalar a) (scalar b));
+  check "normal_reinforce" (Dist.normal_reinforce (scalar a) (scalar b));
+  check "normal_mvd" (Dist.normal_mvd (scalar a) (scalar b));
+  check "uniform" (Dist.uniform (-.a) b);
+  check "beta_reinforce" (Dist.beta_reinforce (scalar a) (scalar b));
+  check "gamma_reinforce" (Dist.gamma_reinforce (scalar a));
+  check "laplace_reparam" (Dist.laplace_reparam (scalar a) (scalar b));
+  check "logistic_reparam" (Dist.logistic_reparam (scalar a) (scalar b));
+  check "lognormal_reparam" (Dist.lognormal_reparam (scalar (a -. b)) (scalar b));
+  check "exponential_reparam" (Dist.exponential_reparam (scalar a));
+  check "student_t_reinforce" (Dist.student_t_reinforce (scalar (a +. 0.5)));
+  check "scaled_beta_reinforce"
+    (Dist.scaled_beta_reinforce ~lo:(-.a) ~hi:b (scalar a) (scalar b));
+  check "flip_enum" (Dist.flip_enum (scalar p));
+  check "flip_reinforce" (Dist.flip_reinforce (scalar p));
+  check "flip_mvd" (Dist.flip_mvd (scalar p));
+  check "categorical_enum" (Dist.categorical_enum probs);
+  check "categorical_reinforce" (Dist.categorical_reinforce probs);
+  check "categorical_logits_enum" (Dist.categorical_logits_enum logits);
+  check "categorical_logits_reinforce"
+    (Dist.categorical_logits_reinforce logits);
+  check "categorical_logits_mvd" (Dist.categorical_logits_mvd logits);
+  check "poisson_reinforce" (Dist.poisson_reinforce (scalar a));
+  check "poisson_mvd" (Dist.poisson_mvd (scalar a));
+  check "geometric_reinforce" (Dist.geometric_reinforce (scalar p));
+  check "binomial_reinforce" (Dist.binomial_reinforce n (scalar p));
+  check "binomial_enum" (Dist.binomial_enum n (scalar p));
+  check "discrete_uniform_enum" (Dist.discrete_uniform_enum n);
+  check "mv_normal_diag_reparam" (Dist.mv_normal_diag_reparam vec_mean vec_std);
+  check "mv_normal_diag_reinforce"
+    (Dist.mv_normal_diag_reinforce vec_mean vec_std);
+  check "bernoulli_vector" (Dist.bernoulli_vector vec_p);
+  check "bernoulli_logits_vector" (Dist.bernoulli_logits_vector logits);
+  true
+
+let prop_finite_logpdf_on_own_samples =
+  QCheck.Test.make ~name:"all primitives: finite log density at own samples"
+    ~count:150
+    QCheck.(pair small_int (pair (float_range 0.2 5.) (float_range 0.2 5.)))
+    finite_logpdf_cases
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_finite_logpdf_on_own_samples ]
+
 let suites =
   [ ( "dist-extra",
       [ Alcotest.test_case "laplace" `Slow test_laplace;
@@ -251,4 +325,5 @@ let suites =
           test_binomial_enum_gradient;
         Alcotest.test_case "discrete uniform" `Quick test_discrete_uniform;
         Alcotest.test_case "compose in gen" `Quick
-          test_new_dists_in_gen_programs ] ) ]
+          test_new_dists_in_gen_programs ]
+      @ qcheck_cases ) ]

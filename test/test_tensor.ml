@@ -198,10 +198,24 @@ let prop_matmul_identity =
         let n = (Tensor.shape t).(1) in
         Tensor.approx_equal ~tol:1e-9 (Tensor.matmul t (Tensor.eye n)) t)
 
+let prop_clip_never_increases_norm =
+  QCheck.Test.make ~name:"clip_by_global_norm never increases norm" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 5) arb_tensor)
+        (float_range 0.01 20.))
+    (fun (ts, max_norm) ->
+      let before = Tensor.global_norm ts in
+      let clipped = Tensor.clip_by_global_norm ~max_norm ts in
+      let after = Tensor.global_norm clipped in
+      (* Never increases, and lands within max_norm (up to rounding). *)
+      after <= before +. 1e-9 && after <= max_norm *. (1. +. 1e-9))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_add_commutative; prop_sum_axis_total; prop_reshape_roundtrip;
-      prop_logsumexp_vs_naive; prop_transpose_involution; prop_matmul_identity ]
+      prop_logsumexp_vs_naive; prop_transpose_involution; prop_matmul_identity;
+      prop_clip_never_increases_norm ]
 
 let suites =
   [ ( "tensor",

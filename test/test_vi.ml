@@ -30,8 +30,13 @@ let test_sgd_skips_nonfinite () =
   let store = Store.create () in
   Store.ensure store "x" (fun () -> Tensor.scalar 1.);
   let opt = Optim.sgd ~lr:0.1 in
-  Optim.step opt Optim.Ascend store [ ("x", Tensor.scalar Float.nan) ];
-  check_close "nan skipped" ~tol:0. 1. (Tensor.to_scalar (Store.tensor store "x"))
+  let reported = ref [] in
+  Optim.step opt ~on_skip:(fun name _ -> reported := name :: !reported)
+    Optim.Ascend store
+    [ ("x", Tensor.scalar Float.nan) ];
+  check_close "nan skipped" ~tol:0. 1. (Tensor.to_scalar (Store.tensor store "x"));
+  Alcotest.(check int) "skip counted" 1 (Optim.skipped opt);
+  Alcotest.(check (list string)) "skip reported" [ "x" ] !reported
 
 let test_adam_minimizes_quadratic () =
   let store = Store.create () in
