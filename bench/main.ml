@@ -629,6 +629,121 @@ let bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark pipeline: `json` times the tensor kernels
+   and the full VAE gradient step with bechamel's monotonic clock and
+   writes BENCH_tensor.json / BENCH_vae.json (schema documented in
+   EXPERIMENTS.md). *)
+
+let bech_samples ~quota ~limit f =
+  let open Bechamel in
+  let test = Test.make ~name:"sample" (Staged.stage f) in
+  let elt = List.hd (Test.elements test) in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
+  let { Benchmark.lr; _ } =
+    Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt
+  in
+  let label = Measure.label Toolkit.Instance.monotonic_clock in
+  (* Per-sample wall time in milliseconds: total ns over the sample's
+     runs, divided by the run count. *)
+  Array.to_list lr
+  |> List.map (fun r ->
+         Measurement_raw.get ~label r /. Measurement_raw.run r /. 1e6)
+
+type json_entry = {
+  e_name : string;
+  e_pkey : string;  (* "size" for tensor entries, "batch" for VAE *)
+  e_pval : int;
+  e_samples : float list;
+}
+
+let write_json path ~domains entries =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema_version\": 1,\n  \"domains\": %d,\n  \"entries\": [\n"
+    domains;
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"%s\": %d, \"mean_ms\": %.6f, \"stddev_ms\": \
+         %.6f, \"domains\": %d }%s\n"
+        e.e_name e.e_pkey e.e_pval (mean e.e_samples) (std e.e_samples) domains
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" path n
+
+let json ~quick () =
+  hr "Machine-readable benchmarks -> BENCH_tensor.json, BENCH_vae.json";
+  let domains = Parallel.domains () in
+  let quota = if quick then 0.25 else 1.0 in
+  let limit = if quick then 1 else 300 in
+  let run f = bech_samples ~quota ~limit f in
+  let mat n key = Tensor.map (fun u -> u -. 0.5) (Prng.uniform_tensor (Prng.key key) [| n; n |]) in
+  let tensor_entries =
+    let sizes = if quick then [ 64; 128; 256 ] else [ 64; 128; 256; 512 ] in
+    let matmuls =
+      List.map
+        (fun n ->
+          let a = mat n 100 and b = mat n 101 in
+          { e_name = "matmul"; e_pkey = "size"; e_pval = n;
+            e_samples = run (fun () -> ignore (Sys.opaque_identity (Tensor.matmul a b))) })
+        sizes
+    in
+    let a256 = mat 256 102 and b256 = mat 256 103 in
+    let transposed =
+      [ { e_name = "matmul_t"; e_pkey = "size"; e_pval = 256;
+          e_samples = run (fun () -> ignore (Sys.opaque_identity (Tensor.matmul_t a256 b256))) };
+        { e_name = "t_matmul"; e_pkey = "size"; e_pval = 256;
+          e_samples = run (fun () -> ignore (Sys.opaque_identity (Tensor.t_matmul a256 b256))) } ]
+    in
+    let rows =
+      Tensor.map (fun u -> u -. 0.5) (Prng.uniform_tensor (Prng.key 104) [| 256; 144 |])
+    and bias =
+      Tensor.map (fun u -> u -. 0.5) (Prng.uniform_tensor (Prng.key 105) [| 144 |])
+    in
+    let big = Tensor.map (fun u -> u -. 0.5) (Prng.uniform_tensor (Prng.key 106) [| 512; 512 |]) in
+    let elementwise =
+      [ { e_name = "map2_row_broadcast"; e_pkey = "size"; e_pval = 256 * 144;
+          e_samples = run (fun () -> ignore (Sys.opaque_identity (Tensor.add rows bias))) };
+        { e_name = "map_softplus"; e_pkey = "size"; e_pval = 512 * 512;
+          e_samples = run (fun () -> ignore (Sys.opaque_identity (Tensor.softplus big))) } ]
+    in
+    matmuls @ transposed @ elementwise
+  in
+  write_json "BENCH_tensor.json" ~domains tensor_entries;
+  let store = Store.create () in
+  Vae.register store (Prng.key 1);
+  let batches = [ 64; 128; 256 ] in
+  let vae_entries =
+    List.concat_map
+      (fun batch ->
+        let images, _ = Data.digit_batch (Prng.key 2) batch in
+        let ours =
+          run (fun () ->
+              let frame = Store.Frame.make store in
+              let s =
+                Adev.expectation (Vae.elbo_per_datum frame images) (Prng.key 3)
+              in
+              Ad.backward s;
+              ignore (Sys.opaque_identity (Store.Frame.grads frame)))
+        in
+        let hand =
+          run (fun () ->
+              let frame = Store.Frame.make store in
+              let s = Vae_hand.elbo_surrogate frame images (Prng.key 3) in
+              Ad.backward s;
+              ignore (Sys.opaque_identity (Store.Frame.grads frame)))
+        in
+        [ { e_name = "vae_grad_step"; e_pkey = "batch"; e_pval = batch;
+            e_samples = ours };
+          { e_name = "vae_grad_step_hand"; e_pkey = "batch"; e_pval = batch;
+            e_samples = hand } ])
+      batches
+  in
+  write_json "BENCH_vae.json" ~domains vae_entries
+
+(* ------------------------------------------------------------------ *)
 
 let all ~quick () =
   t1 ~quick ();
@@ -649,8 +764,26 @@ open Cmdliner
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes for smoke runs.")
 
+let domains_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~env:(Cmd.Env.info "PPVI_DOMAINS")
+        ~docv:"N"
+        ~doc:
+          "Number of OCaml domains for parallel tensor kernels (default \
+           \\$(env) or 1). Results are bit-identical for every value.")
+
+let apply_domains = function Some n -> Parallel.set_domains n | None -> ()
+
 let subcommand name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun quick -> f ~quick ()) $ quick_flag)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun quick domains ->
+          apply_domains domains;
+          f ~quick ())
+      $ quick_flag $ domains_flag)
 
 let () =
   let cmds =
@@ -668,10 +801,21 @@ let () =
       subcommand "ablations" "Design-choice ablations" ablations;
       Cmd.v
         (Cmd.info "bechamel" ~doc:"Bechamel microbenchmarks")
-        Term.(const bechamel $ const ());
+        Term.(
+          const (fun domains ->
+              apply_domains domains;
+              bechamel ())
+          $ domains_flag);
+      subcommand "json" "Machine-readable kernel + VAE benchmarks" json;
       subcommand "all" "Everything" all ]
   in
-  let default = Term.(const (fun quick -> all ~quick ()) $ quick_flag) in
+  let default =
+    Term.(
+      const (fun quick domains ->
+          apply_domains domains;
+          all ~quick ())
+      $ quick_flag $ domains_flag)
+  in
   exit
     (Cmd.eval
        (Cmd.group ~default

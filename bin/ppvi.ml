@@ -16,6 +16,23 @@ let csv_arg =
     value & flag
     & info [ "csv" ] ~doc:"Print the per-step objective series as CSV.")
 
+(* Shared by every command: configure the tensor-kernel domain pool
+   before the workload runs. Results are bit-identical for any value. *)
+let domains_term =
+  let apply = function Some n -> Parallel.set_domains n | None -> () in
+  Term.(
+    const apply
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "domains" ]
+            ~env:(Cmd.Env.info "PPVI_DOMAINS")
+            ~docv:"N"
+            ~doc:
+              "Number of OCaml domains for parallel tensor kernels (default \
+               \\$(env) or 1). Every domain count produces bit-identical \
+               results."))
+
 let print_series csv reports =
   if csv then begin
     print_endline "step,objective";
@@ -147,7 +164,8 @@ let cone_cmd =
   Cmd.v
     (Cmd.info "cone" ~doc:"Train a guide on the ring posterior (Fig. 2/3).")
     Term.(
-      const run
+      const (fun () -> run)
+      $ domains_term
       $ Arg.(
           value
           & opt cone_objective_conv Cone.Elbo
@@ -172,7 +190,9 @@ let coin_cmd =
   in
   Cmd.v
     (Cmd.info "coin" ~doc:"Beta-Bernoulli coin fairness (Appendix D.1).")
-    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
+    Term.(
+      const (fun () -> run)
+      $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
 
 (* regression *)
 
@@ -193,7 +213,9 @@ let regression_cmd =
   Cmd.v
     (Cmd.info "regression"
        ~doc:"Bayesian linear regression (Appendix D.2).")
-    Term.(const run $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
+    Term.(
+      const (fun () -> run)
+      $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
 
 (* vae *)
 
@@ -212,7 +234,8 @@ let vae_cmd =
   Cmd.v
     (Cmd.info "vae" ~doc:"Sprite-digit VAE (Table 1 workload).")
     Term.(
-      const run $ steps_arg 300
+      const (fun () -> run)
+      $ domains_term $ steps_arg 300
       $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.")
       $ seed_arg $ csv_arg $ resilience_term)
 
@@ -260,7 +283,8 @@ let air_cmd =
   Cmd.v
     (Cmd.info "air" ~doc:"Attend-Infer-Repeat scenes (Table 2 workload).")
     Term.(
-      const run
+      const (fun () -> run)
+      $ domains_term
       $ Arg.(
           value & opt strategy_conv Air.MV
           & info [ "strategy" ] ~doc:"re|bl|enum|mvd")

@@ -2,6 +2,11 @@ type t = {
   id : int;
   v : Tensor.t;
   mutable g : Tensor.t option;
+  (* Whether [g] is a buffer this node owns exclusively (safe to mutate
+     in place). The first delta is shared, not copied — most nodes only
+     ever receive one — and a private buffer is made lazily when a
+     second delta arrives. *)
+  mutable g_owned : bool;
   parents : (t * (Tensor.t -> Tensor.t)) array;
 }
 
@@ -9,7 +14,7 @@ let counter = ref 0
 
 let node v parents =
   incr counter;
-  { id = !counter; v; g = None; parents = Array.of_list parents }
+  { id = !counter; v; g = None; g_owned = false; parents = Array.of_list parents }
 
 let const v = node v []
 let scalar x = const (Tensor.scalar x)
@@ -20,23 +25,52 @@ let is_leaf t = Array.length t.parents = 0
 
 let accumulate t delta =
   match t.g with
-  | None -> t.g <- Some delta
-  | Some g -> t.g <- Some (Tensor.add g delta)
+  | None ->
+    t.g <- Some delta;
+    t.g_owned <- false
+  | Some g when t.g_owned && Tensor.same_shape g delta -> Tensor.add_ g delta
+  | Some g when Tensor.same_shape g delta ->
+    let h = Tensor.copy g in
+    Tensor.add_ h delta;
+    t.g <- Some h;
+    t.g_owned <- true
+  | Some g ->
+    (* Mismatched shapes (a broadcasting custom vjp): fall back to the
+       allocating broadcast add. *)
+    t.g <- Some (Tensor.add g delta);
+    t.g_owned <- true
 
 let backward root =
   if not (Tensor.is_scalar root.v || Tensor.size root.v = 1) then
     invalid_arg "Ad.backward: root is not a scalar";
-  (* Topological order by DFS, then reverse sweep. *)
+  (* Topological order by DFS with an explicit stack — deep tapes (long
+     training unrolls, large AIR step counts) must not overflow the
+     OCaml call stack — then reverse sweep. Visits parents in the same
+     order as the recursive formulation, so the gradient accumulation
+     order (and hence every bit of the result) is unchanged. *)
   let visited = Hashtbl.create 64 in
   let order = ref [] in
-  let rec visit n =
-    if not (Hashtbl.mem visited n.id) then begin
-      Hashtbl.add visited n.id ();
-      Array.iter (fun (p, _) -> visit p) n.parents;
-      order := n :: !order
-    end
+  let stack = ref [] in
+  let push n =
+    Hashtbl.add visited n.id ();
+    stack := (n, ref 0) :: !stack
   in
-  visit root;
+  push root;
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (n, next_parent) :: rest ->
+      if !next_parent < Array.length n.parents then begin
+        let p, _ = n.parents.(!next_parent) in
+        incr next_parent;
+        if not (Hashtbl.mem visited p.id) then push p
+      end
+      else begin
+        stack := rest;
+        order := n :: !order
+      end
+  done;
   accumulate root (Tensor.ones (Tensor.shape root.v));
   List.iter
     (fun n ->
@@ -154,12 +188,12 @@ let matmul a b =
   match (ra, rb) with
   | 2, 2 ->
     node v
-      [ (a, fun g -> Tensor.matmul g (Tensor.transpose b.v));
-        (b, fun g -> Tensor.matmul (Tensor.transpose a.v) g) ]
+      [ (a, fun g -> Tensor.matmul_t g b.v);
+        (b, fun g -> Tensor.t_matmul a.v g) ]
   | 2, 1 ->
     node v
       [ (a, fun g -> Tensor.outer g b.v);
-        (b, fun g -> Tensor.matmul (Tensor.transpose a.v) g) ]
+        (b, fun g -> Tensor.t_matmul a.v g) ]
   | 1, 2 ->
     node v
       [ (a, fun g -> Tensor.matmul b.v g);

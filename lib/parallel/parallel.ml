@@ -1,0 +1,110 @@
+let max_domains = 128
+
+let clamp n = if n < 1 then 1 else if n > max_domains then max_domains else n
+
+let env_domains () =
+  match Sys.getenv_opt "PPVI_DOMAINS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n -> clamp n
+    | None -> 1)
+
+(* Pool state, all guarded by [mutex]. A job is a closure plus a shared
+   block counter: workers (and the submitting domain) claim block indices
+   one at a time until none remain. *)
+
+let mutex = Mutex.create ()
+let work = Condition.create () (* a job was posted, or quit was set *)
+let donec = Condition.create () (* the last block of a job finished *)
+let configured = ref (env_domains ())
+let quit = ref false
+let job : (int -> unit) option ref = ref None
+let next = ref 0
+let blocks = ref 0
+let unfinished = ref 0
+let first_exn : exn option ref = ref None
+let workers : unit Domain.t list ref = ref []
+
+(* Workers must never re-enter the pool: kernels called from inside a
+   block run their loops inline. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let domains () = !configured
+
+let record_exn e =
+  Mutex.lock mutex;
+  if !first_exn = None then first_exn := Some e;
+  Mutex.unlock mutex
+
+(* Claim and execute blocks until none are left. Called with [mutex]
+   held; returns with [mutex] held. *)
+let drain f =
+  while !next < !blocks do
+    let i = !next in
+    incr next;
+    Mutex.unlock mutex;
+    (try f i with e -> record_exn e);
+    Mutex.lock mutex;
+    decr unfinished;
+    if !unfinished = 0 then Condition.broadcast donec
+  done
+
+let worker_loop () =
+  Domain.DLS.set in_worker true;
+  Mutex.lock mutex;
+  let rec loop () =
+    if !quit then Mutex.unlock mutex
+    else begin
+      (match !job with Some f when !next < !blocks -> drain f | _ -> Condition.wait work mutex);
+      loop ()
+    end
+  in
+  loop ()
+
+let join_workers () =
+  Mutex.lock mutex;
+  quit := true;
+  Condition.broadcast work;
+  Mutex.unlock mutex;
+  List.iter Domain.join !workers;
+  workers := [];
+  quit := false
+
+let () = Stdlib.at_exit (fun () -> join_workers ())
+
+let set_domains n =
+  let n = clamp n in
+  if n <> !configured || List.length !workers > n - 1 then join_workers ();
+  configured := n
+
+let ensure_workers () =
+  let missing = !configured - 1 - List.length !workers in
+  for _ = 1 to missing do
+    workers := Domain.spawn worker_loop :: !workers
+  done
+
+let run ~blocks:nb f =
+  if nb > 0 then
+    if nb = 1 || !configured <= 1 || Domain.DLS.get in_worker then
+      for i = 0 to nb - 1 do
+        f i
+      done
+    else begin
+      ensure_workers ();
+      Mutex.lock mutex;
+      job := Some f;
+      next := 0;
+      blocks := nb;
+      unfinished := nb;
+      first_exn := None;
+      Condition.broadcast work;
+      drain f;
+      while !unfinished > 0 do
+        Condition.wait donec mutex
+      done;
+      job := None;
+      let e = !first_exn in
+      first_exn := None;
+      Mutex.unlock mutex;
+      match e with Some e -> raise e | None -> ()
+    end

@@ -1,0 +1,36 @@
+(** A dependency-free domain pool for data-parallel kernels.
+
+    The pool runs [blocks] independent closures across a fixed number of
+    OCaml 5 domains. Work is partitioned by the {e caller} into blocks
+    whose boundaries do not depend on the domain count, and each block
+    writes to a disjoint region of the output, so results are bit-for-bit
+    identical whether the pool runs with 1 domain or many.
+
+    The domain count defaults to the [PPVI_DOMAINS] environment variable
+    (clamped to [1 .. max_domains]) and can be overridden at runtime with
+    {!set_domains} — both executables expose it as [--domains].
+
+    Worker domains are spawned lazily on the first parallel {!run} and
+    torn down on {!set_domains} or at exit. {!set_domains} must not be
+    called concurrently with {!run}. *)
+
+val max_domains : int
+(** Upper bound accepted by {!set_domains} (128). *)
+
+val domains : unit -> int
+(** The configured domain count (>= 1). A value of 1 means every {!run}
+    executes inline on the calling domain. *)
+
+val set_domains : int -> unit
+(** [set_domains n] reconfigures the pool to [n] domains (clamped to
+    [1 .. max_domains]), joining any existing workers first. Safe to call
+    repeatedly; cheap when the count does not change. *)
+
+val run : blocks:int -> (int -> unit) -> unit
+(** [run ~blocks f] executes [f 0 .. f (blocks - 1)], possibly in
+    parallel on the pool's domains (the calling domain participates).
+    Each call [f i] must only write state disjoint from every other
+    block. Runs inline, in order, when [blocks <= 1], when the pool has
+    one domain, or when called from inside a worker (no nested
+    parallelism). If one or more blocks raise, every block is still
+    executed and the first recorded exception is re-raised. *)

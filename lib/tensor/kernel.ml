@@ -1,0 +1,298 @@
+(* Raw row-major kernels. Two invariants keep every kernel bit-identical
+   to its naive reference loop, for any domain count:
+
+   - partitioning is by fixed-size blocks (constants below), never by
+     the number of domains, and each block writes a disjoint slice of
+     the output;
+   - within one output element, terms accumulate in the same order as
+     the reference loop (ascending inner index), and zero left-operand
+     elements are skipped exactly where the reference skipped them.
+
+   Blocks only pay off above a size threshold; below it everything runs
+   as a plain inline loop. *)
+
+(* Elements per parallel block for elementwise kernels. *)
+let elt_block = 16_384
+
+(* Minimum elements before an elementwise kernel fans out. *)
+let elt_min = 32_768
+
+(* Output rows per matrix-kernel block. *)
+let row_block = 16
+
+(* Column tile for cache blocking of [matmul]: one [k x col_tile] panel
+   of B stays resident while a row block of A streams past. *)
+let col_tile = 128
+
+(* Minimum multiply-adds before a matrix kernel fans out. *)
+let work_min = 1 lsl 15
+
+let elt_blocks n = if n < elt_min then 1 else (n + elt_block - 1) / elt_block
+
+let elt_range n nb bi =
+  if nb = 1 then (0, n)
+  else
+    let lo = bi * elt_block in
+    (lo, Stdlib.min n (lo + elt_block))
+
+let row_blocks m work =
+  if work < work_min || m <= row_block then 1 else (m + row_block - 1) / row_block
+
+let row_range m nb bi =
+  if nb = 1 then (0, m)
+  else
+    let lo = bi * row_block in
+    (lo, Stdlib.min m (lo + row_block))
+
+(* Elementwise *)
+
+let map_into f src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (f (Array.unsafe_get src i))
+      done)
+
+let map2_into f a b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (f (Array.unsafe_get a i) (Array.unsafe_get b i))
+      done)
+
+let fill dst x =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      Array.fill dst lo (hi - lo) x)
+
+let scale_into c dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (c *. Array.unsafe_get dst i)
+      done)
+
+let add_into dst src =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get dst i +. Array.unsafe_get src i)
+      done)
+
+let axpy_into alpha x y =
+  let n = Array.length y in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set y i (Array.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
+      done)
+
+(* Broadcast map. Each block re-derives its starting operand offsets
+   from its flat output index, then walks forward with the same
+   rightmost-fastest carry loop as the sequential reference. *)
+
+let walk_range f a sa b sb out_shape dst lo hi =
+  if hi <= lo then ()  (* empty range; shapes may contain 0 dims *)
+  else begin
+  let r = Array.length out_shape in
+  let ix = Array.make r 0 in
+  let ia = ref 0 and ib = ref 0 in
+  let rem = ref lo in
+  for d = r - 1 downto 0 do
+    let i = !rem mod out_shape.(d) in
+    rem := !rem / out_shape.(d);
+    ix.(d) <- i;
+    ia := !ia + (i * sa.(d));
+    ib := !ib + (i * sb.(d))
+  done;
+  for flat = lo to hi - 1 do
+    Array.unsafe_set dst flat
+      (f (Array.unsafe_get a !ia) (Array.unsafe_get b !ib));
+    let d = ref (r - 1) in
+    let carry = ref true in
+    while !carry && !d >= 0 do
+      ix.(!d) <- ix.(!d) + 1;
+      ia := !ia + sa.(!d);
+      ib := !ib + sb.(!d);
+      if ix.(!d) >= out_shape.(!d) then begin
+        ix.(!d) <- 0;
+        ia := !ia - (out_shape.(!d) * sa.(!d));
+        ib := !ib - (out_shape.(!d) * sb.(!d));
+        decr d
+      end
+      else carry := false
+    done
+  done
+  end
+
+let broadcast_map2_into f a sa b sb out_shape dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      walk_range f a sa b sb out_shape dst lo hi)
+
+let broadcast_copy_into src sst out_shape dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      (* Reuse the pair walker with the source on both legs. *)
+      walk_range (fun x _ -> x) src sst src sst out_shape dst lo hi)
+
+(* Matrix products.
+
+   Inner loops are unrolled 4x by hand (the non-flambda compiler does
+   not unroll). Unrolling is bit-transparent: every output element
+   still receives exactly the same operations in the same order, the
+   loop merely does four of them per iteration. *)
+
+(* [y.(ybase+jlo..jhi-1) += s * v.(vbase+jlo..jhi-1)], 4x unrolled.
+   Distinct output elements, so the unroll does not reorder anything. *)
+let saxpy_row s v vbase y ybase jlo jhi =
+  let j = ref jlo in
+  let j4 = jhi - 3 in
+  while !j < j4 do
+    let j0 = !j in
+    let yj = ybase + j0 and vj = vbase + j0 in
+    Array.unsafe_set y yj (Array.unsafe_get y yj +. (s *. Array.unsafe_get v vj));
+    Array.unsafe_set y (yj + 1)
+      (Array.unsafe_get y (yj + 1) +. (s *. Array.unsafe_get v (vj + 1)));
+    Array.unsafe_set y (yj + 2)
+      (Array.unsafe_get y (yj + 2) +. (s *. Array.unsafe_get v (vj + 2)));
+    Array.unsafe_set y (yj + 3)
+      (Array.unsafe_get y (yj + 3) +. (s *. Array.unsafe_get v (vj + 3)));
+    j := j0 + 4
+  done;
+  while !j < jhi do
+    let yj = ybase + !j and vj = vbase + !j in
+    Array.unsafe_set y yj (Array.unsafe_get y yj +. (s *. Array.unsafe_get v vj));
+    incr j
+  done
+
+let matmul ~m ~k ~n a b c =
+  let nb = row_blocks m (m * k * n) in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = row_range m nb bi in
+      let jt = ref 0 in
+      while !jt < n do
+        let jlo = !jt in
+        let jhi = Stdlib.min n (jlo + col_tile) in
+        for i = lo to hi - 1 do
+          let arow = i * k and crow = i * n in
+          for p = 0 to k - 1 do
+            let aip = Array.unsafe_get a (arow + p) in
+            if aip <> 0. then saxpy_row aip b (p * n) c crow jlo jhi
+          done
+        done;
+        jt := jhi
+      done)
+
+let matmul_t ~m ~k ~n a b c =
+  let nb = row_blocks m (m * k * n) in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = row_range m nb bi in
+      for i = lo to hi - 1 do
+        let arow = i * k and crow = i * n in
+        for j = 0 to n - 1 do
+          let brow = j * k in
+          let acc = ref 0. in
+          let p = ref 0 in
+          let k4 = k - 3 in
+          (* Sequential accumulation into one register: the unrolled
+             terms are added in the same order as the rolled loop. *)
+          while !p < k4 do
+            let p0 = !p in
+            let a0 = Array.unsafe_get a (arow + p0) in
+            if a0 <> 0. then acc := !acc +. (a0 *. Array.unsafe_get b (brow + p0));
+            let a1 = Array.unsafe_get a (arow + p0 + 1) in
+            if a1 <> 0. then
+              acc := !acc +. (a1 *. Array.unsafe_get b (brow + p0 + 1));
+            let a2 = Array.unsafe_get a (arow + p0 + 2) in
+            if a2 <> 0. then
+              acc := !acc +. (a2 *. Array.unsafe_get b (brow + p0 + 2));
+            let a3 = Array.unsafe_get a (arow + p0 + 3) in
+            if a3 <> 0. then
+              acc := !acc +. (a3 *. Array.unsafe_get b (brow + p0 + 3));
+            p := p0 + 4
+          done;
+          while !p < k do
+            let aip = Array.unsafe_get a (arow + !p) in
+            if aip <> 0. then
+              acc := !acc +. (aip *. Array.unsafe_get b (brow + !p));
+            incr p
+          done;
+          Array.unsafe_set c (crow + j) !acc
+        done
+      done)
+
+let t_matmul ~m ~k ~n a b c =
+  (* Output is k x n: block over the k output rows. For each input row
+     [i], the A segment [a.(i*k + plo .. phi-1)] is contiguous and the B
+     row is reused across the whole block. *)
+  let nb = row_blocks k (m * k * n) in
+  Parallel.run ~blocks:nb (fun bi ->
+      let plo, phi = row_range k nb bi in
+      for i = 0 to m - 1 do
+        let arow = i * k and brow = i * n in
+        for p = plo to phi - 1 do
+          let aip = Array.unsafe_get a (arow + p) in
+          if aip <> 0. then saxpy_row aip b brow c (p * n) 0 n
+        done
+      done)
+
+let matvec ~m ~k a x y =
+  let nb = row_blocks m (m * k) in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = row_range m nb bi in
+      for i = lo to hi - 1 do
+        let arow = i * k in
+        let acc = ref 0. in
+        let p = ref 0 in
+        let k4 = k - 3 in
+        while !p < k4 do
+          let p0 = !p in
+          acc := !acc +. (Array.unsafe_get a (arow + p0) *. Array.unsafe_get x p0);
+          acc :=
+            !acc +. (Array.unsafe_get a (arow + p0 + 1) *. Array.unsafe_get x (p0 + 1));
+          acc :=
+            !acc +. (Array.unsafe_get a (arow + p0 + 2) *. Array.unsafe_get x (p0 + 2));
+          acc :=
+            !acc +. (Array.unsafe_get a (arow + p0 + 3) *. Array.unsafe_get x (p0 + 3));
+          p := p0 + 4
+        done;
+        while !p < k do
+          acc := !acc +. (Array.unsafe_get a (arow + !p) *. Array.unsafe_get x !p);
+          incr p
+        done;
+        Array.unsafe_set y i !acc
+      done)
+
+let t_matvec ~m ~k a x y =
+  let nb = row_blocks k (m * k) in
+  Parallel.run ~blocks:nb (fun bi ->
+      let plo, phi = row_range k nb bi in
+      for i = 0 to m - 1 do
+        let xi = Array.unsafe_get x i in
+        saxpy_row xi a (i * k) y 0 plo phi
+      done)
+
+let vecmat ~k ~n x b y =
+  let nb = row_blocks n (k * n) in
+  Parallel.run ~blocks:nb (fun bi ->
+      let jlo, jhi = row_range n nb bi in
+      for p = 0 to k - 1 do
+        let xp = Array.unsafe_get x p in
+        if xp <> 0. then saxpy_row xp b (p * n) y 0 jlo jhi
+      done)

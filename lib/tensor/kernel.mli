@@ -1,0 +1,80 @@
+(** Dense float-array kernels behind [Tensor]'s public API.
+
+    All kernels operate on row-major [float array] buffers and are
+    deterministic by construction: work is split into fixed-size blocks
+    (independent of the domain count), every block writes a disjoint
+    output region, and per-element accumulation order never crosses a
+    block boundary. Results are therefore bit-for-bit identical to the
+    naive sequential loops, with any number of domains.
+
+    Matrix kernels keep the reference semantics of the original naive
+    implementations, including the skip of zero left-operand elements
+    (which affects [nan]/[infinity] propagation), so the rewrite is
+    observationally identical on every input. *)
+
+(** {1 Elementwise} *)
+
+val map_into : (float -> float) -> float array -> float array -> unit
+(** [map_into f src dst] sets [dst.(i) <- f src.(i)] for every index.
+    [src] and [dst] must have equal length; [src == dst] is allowed. *)
+
+val map2_into :
+  (float -> float -> float) -> float array -> float array -> float array -> unit
+(** [map2_into f a b dst] sets [dst.(i) <- f a.(i) b.(i)]. All three
+    arrays must have equal length; [dst] may alias [a] or [b]. *)
+
+val fill : float array -> float -> unit
+val scale_into : float -> float array -> unit
+val add_into : float array -> float array -> unit
+(** [add_into dst src]: [dst.(i) <- dst.(i) +. src.(i)]. *)
+
+val axpy_into : float -> float array -> float array -> unit
+(** [axpy_into alpha x y]: [y.(i) <- y.(i) +. alpha *. x.(i)]. *)
+
+(** {1 Broadcast map} *)
+
+val broadcast_map2_into :
+  (float -> float -> float) ->
+  float array -> int array ->
+  float array -> int array ->
+  int array -> float array -> unit
+(** [broadcast_map2_into f a sa b sb out_shape dst] computes the
+    NumPy-style broadcast binary map: [sa]/[sb] are broadcast strides of
+    [a]/[b] aligned to [out_shape] (0 on broadcast dimensions), [dst]
+    has [out_shape]'s size. *)
+
+val broadcast_copy_into :
+  float array -> int array -> int array -> float array -> unit
+(** [broadcast_copy_into src sst out_shape dst] materializes [src]
+    broadcast to [out_shape] into [dst] without touching a second
+    operand. *)
+
+(** {1 Matrix products} *)
+
+val matmul :
+  m:int -> k:int -> n:int -> float array -> float array -> float array -> unit
+(** [matmul ~m ~k ~n a b c]: [c] ([m*n], zeroed by the caller) gets
+    [A (m x k) * B (k x n)], cache-blocked over column tiles and
+    parallelized over row blocks. *)
+
+val matmul_t :
+  m:int -> k:int -> n:int -> float array -> float array -> float array -> unit
+(** [matmul_t ~m ~k ~n a b c]: [c] ([m*n]) gets [A (m x k) * B^T] where
+    [B] is [n x k] — no transpose is materialized. *)
+
+val t_matmul :
+  m:int -> k:int -> n:int -> float array -> float array -> float array -> unit
+(** [t_matmul ~m ~k ~n a b c]: [c] ([k*n], zeroed by the caller) gets
+    [A^T * B] where [A] is [m x k] and [B] is [m x n]. *)
+
+val matvec : m:int -> k:int -> float array -> float array -> float array -> unit
+(** [matvec ~m ~k a x y]: [y] ([m]) gets [A (m x k) * x (k)]. *)
+
+val t_matvec :
+  m:int -> k:int -> float array -> float array -> float array -> unit
+(** [t_matvec ~m ~k a x y]: [y] ([k], zeroed by the caller) gets
+    [A^T * x] where [A] is [m x k] and [x] is [m]. *)
+
+val vecmat : k:int -> n:int -> float array -> float array -> float array -> unit
+(** [vecmat ~k ~n x b y]: [y] ([n], zeroed by the caller) gets
+    [x (k) * B (k x n)]. *)

@@ -1,4 +1,7 @@
-type t = { shape : int array; data : float array }
+(* Row-major strides are computed once per tensor and cached in the
+   record, so indexed access and broadcast planning never recompute
+   them. All construction funnels through [mk]. *)
+type t = { shape : int array; data : float array; st : int array }
 
 exception Shape_error of string
 
@@ -10,6 +13,17 @@ let pp_shape ppf shape =
   Format.fprintf ppf "[%s]"
     (String.concat "; " (Array.to_list (Array.map string_of_int shape)))
 
+(* Row-major strides for a shape. *)
+let strides shape =
+  let r = Array.length shape in
+  let st = Array.make r 1 in
+  for i = r - 2 downto 0 do
+    st.(i) <- st.(i + 1) * shape.(i + 1)
+  done;
+  st
+
+let mk shape data = { shape; data; st = strides shape }
+
 (* Construction *)
 
 let of_array shape data =
@@ -17,18 +31,18 @@ let of_array shape data =
   if Array.length data <> n then
     shape_error "of_array: %d elements for shape %a" (Array.length data)
       pp_shape shape;
-  { shape = Array.copy shape; data = Array.copy data }
+  mk (Array.copy shape) (Array.copy data)
 
-let scalar x = { shape = [||]; data = [| x |] }
-let zeros shape = { shape = Array.copy shape; data = Array.make (shape_size shape) 0. }
-let ones shape = { shape = Array.copy shape; data = Array.make (shape_size shape) 1. }
-let full shape x = { shape = Array.copy shape; data = Array.make (shape_size shape) x }
+let scalar x = mk [||] [| x |]
+let zeros shape = mk (Array.copy shape) (Array.make (shape_size shape) 0.)
+let ones shape = mk (Array.copy shape) (Array.make (shape_size shape) 1.)
+let full shape x = mk (Array.copy shape) (Array.make (shape_size shape) x)
 
 let of_list1 xs = of_array [| List.length xs |] (Array.of_list xs)
 
 let of_list2 rows =
   match rows with
-  | [] -> { shape = [| 0; 0 |]; data = [||] }
+  | [] -> mk [| 0; 0 |] [||]
   | first :: _ ->
     let ncols = List.length first in
     let nrows = List.length rows in
@@ -39,21 +53,11 @@ let of_list2 rows =
           shape_error "of_list2: ragged row %d" i;
         List.iteri (fun j x -> data.((i * ncols) + j) <- x) row)
       rows;
-    { shape = [| nrows; ncols |]; data }
+    mk [| nrows; ncols |] data
 
-(* Row-major strides for a shape. *)
-let strides shape =
-  let r = Array.length shape in
-  let st = Array.make r 1 in
-  for i = r - 2 downto 0 do
-    st.(i) <- st.(i + 1) * shape.(i + 1)
-  done;
-  st
-
-let flat_index shape ix =
+let flat_index shape st ix =
   if Array.length ix <> Array.length shape then
     shape_error "index rank %d for shape %a" (Array.length ix) pp_shape shape;
-  let st = strides shape in
   let off = ref 0 in
   Array.iteri
     (fun d i ->
@@ -82,7 +86,7 @@ let init shape f =
       else carry := false
     done
   done;
-  { shape = Array.copy shape; data }
+  mk (Array.copy shape) data
 
 let eye n = init [| n; n |] (fun ix -> if ix.(0) = ix.(1) then 1. else 0.)
 
@@ -91,7 +95,8 @@ let eye n = init [| n; n |] (fun ix -> if ix.(0) = ix.(1) then 1. else 0.)
 let shape t = Array.copy t.shape
 let rank t = Array.length t.shape
 let size t = Array.length t.data
-let get t ix = t.data.(flat_index t.shape ix)
+let same_shape a b = a.shape = b.shape
+let get t ix = t.data.(flat_index t.shape t.st ix)
 let get_flat t i = t.data.(i)
 
 let to_scalar t =
@@ -102,9 +107,37 @@ let to_scalar t =
 let to_array t = Array.copy t.data
 let is_scalar t = Array.length t.data = 1 && Array.length t.shape = 0
 
+(* In-place operations. These mutate the tensor's buffer directly; the
+   caller must own that buffer exclusively. Beware that [reshape] and
+   [flatten] share buffers with their argument. *)
+
+let copy t = { t with data = Array.copy t.data }
+
+let fill_ t x = Kernel.fill t.data x
+let scale_ c t = Kernel.scale_into c t.data
+
+let require_same_shape name dst src =
+  if dst.shape <> src.shape then
+    shape_error "%s: %a vs %a" name pp_shape dst.shape pp_shape src.shape
+
+let add_ dst src =
+  require_same_shape "add_" dst src;
+  Kernel.add_into dst.data src.data
+
+let axpy ~alpha ~x y =
+  require_same_shape "axpy" y x;
+  Kernel.axpy_into alpha x.data y.data
+
+let map2_ f dst src =
+  require_same_shape "map2_" dst src;
+  Kernel.map2_into f dst.data src.data dst.data
+
 (* Elementwise *)
 
-let map f t = { t with data = Array.map f t.data }
+let map f t =
+  let out = Array.make (Array.length t.data) 0. in
+  Kernel.map_into f t.data out;
+  { t with data = out }
 
 let broadcast_shapes a b =
   let ra = Array.length a and rb = Array.length b in
@@ -117,53 +150,106 @@ let broadcast_shapes a b =
       else if db = 1 then da
       else shape_error "broadcast: %a vs %a" pp_shape a pp_shape b)
 
-(* Map a flat index in [out_shape] to the flat index in [shape] obtained by
-   broadcasting: broadcast dimensions contribute stride 0. *)
-let broadcast_strides shape out_shape =
+(* Map a flat index in [out_shape] to the flat index in [shape] obtained
+   by broadcasting: broadcast dimensions contribute stride 0. *)
+let broadcast_strides_of shape st out_shape =
   let r = Array.length out_shape and rs = Array.length shape in
-  let st = strides shape in
   Array.init r (fun i ->
       let j = i + rs - r in
       if j < 0 || shape.(j) = 1 then 0 else st.(j))
 
-let map2 f a b =
-  if a.shape = b.shape then
-    { shape = a.shape;
-      data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i))
-    }
-  else begin
+(* Broadcast plans — the output shape and both operands' broadcast
+   strides — are memoized per shape pair, so repeated binary maps over
+   the same shapes (each training step replays the same graph) skip the
+   planning arithmetic. Guarded by a mutex: plans may be requested while
+   worker domains exist, and the table is shared. *)
+
+type bplan = { out_shape : int array; sa : int array; sb : int array }
+
+let plan_table : (int array * int array, bplan) Hashtbl.t = Hashtbl.create 64
+let plan_mutex = Mutex.create ()
+
+let broadcast_plan a b =
+  Mutex.lock plan_mutex;
+  let found = Hashtbl.find_opt plan_table (a.shape, b.shape) in
+  Mutex.unlock plan_mutex;
+  match found with
+  | Some p -> p
+  | None ->
+    (* Built outside the lock: [broadcast_shapes] raises on incompatible
+       shapes, and an exception must not leave the mutex held. *)
     let out_shape = broadcast_shapes a.shape b.shape in
-    let sa = broadcast_strides a.shape out_shape in
-    let sb = broadcast_strides b.shape out_shape in
-    let r = Array.length out_shape in
-    let n = shape_size out_shape in
-    let data = Array.make n 0. in
-    let ia = ref 0 and ib = ref 0 in
-    let ix = Array.make r 0 in
-    (* [ix] advances in row-major order, so the output flat index is just
-       the loop counter. *)
-    for flat = 0 to n - 1 do
-      data.(flat) <- f a.data.(!ia) b.data.(!ib);
-      let d = ref (r - 1) in
-      let carry = ref true in
-      while !carry && !d >= 0 do
-        ix.(!d) <- ix.(!d) + 1;
-        ia := !ia + sa.(!d);
-        ib := !ib + sb.(!d);
-        if ix.(!d) >= out_shape.(!d) then begin
-          ix.(!d) <- 0;
-          ia := !ia - (out_shape.(!d) * sa.(!d));
-          ib := !ib - (out_shape.(!d) * sb.(!d));
-          decr d
-        end
-        else carry := false
+    let p =
+      { out_shape;
+        sa = broadcast_strides_of a.shape a.st out_shape;
+        sb = broadcast_strides_of b.shape b.st out_shape }
+    in
+    Mutex.lock plan_mutex;
+    if Hashtbl.length plan_table > 1024 then Hashtbl.reset plan_table;
+    Hashtbl.add plan_table (Array.copy a.shape, Array.copy b.shape) p;
+    Mutex.unlock plan_mutex;
+    p
+
+(* The last dimensions coincide and every other dimension of [b] is
+   missing: [b] tiles along rows of [a]. *)
+let row_broadcast a b =
+  let ra = Array.length a.shape in
+  Array.length b.shape = 1 && ra >= 1
+  && a.shape.(ra - 1) = b.shape.(0)
+  && Array.length b.data > 0
+
+let map2 f a b =
+  if a.shape = b.shape then begin
+    let out = Array.make (Array.length a.data) 0. in
+    Kernel.map2_into f a.data b.data out;
+    { a with data = out }
+  end
+  else if Array.length b.data = 1 && Array.length b.shape <= Array.length a.shape
+  then begin
+    (* [b] broadcasts as a scalar over [a]. *)
+    let c = b.data.(0) in
+    let out = Array.make (Array.length a.data) 0. in
+    Kernel.map_into (fun x -> f x c) a.data out;
+    { a with data = out }
+  end
+  else if Array.length a.data = 1 && Array.length a.shape <= Array.length b.shape
+  then begin
+    let c = a.data.(0) in
+    let out = Array.make (Array.length b.data) 0. in
+    Kernel.map_into (fun y -> f c y) b.data out;
+    { b with data = out }
+  end
+  else if row_broadcast a b then begin
+    (* Common bias-add pattern: [| ...; n |] (+) [| n |]. *)
+    let n = b.shape.(0) in
+    let out = Array.make (Array.length a.data) 0. in
+    let rows = Array.length a.data / n in
+    for r = 0 to rows - 1 do
+      let base = r * n in
+      for j = 0 to n - 1 do
+        out.(base + j) <- f a.data.(base + j) b.data.(j)
       done
     done;
-    { shape = out_shape; data }
+    { a with data = out }
+  end
+  else begin
+    let { out_shape; sa; sb } = broadcast_plan a b in
+    let data = Array.make (shape_size out_shape) 0. in
+    Kernel.broadcast_map2_into f a.data sa b.data sb out_shape data;
+    mk out_shape data
   end
 
 let broadcast_to t out_shape =
-  map2 (fun x _ -> x) t (zeros out_shape)
+  (* Like the historical [map2 (fun x _ -> x) t (zeros out_shape)], but
+     without materializing (or walking) a throwaway zero tensor: only
+     broadcast strides of [t] are needed. Shapes must be
+     broadcast-compatible; dimensions of [t] exceeding [out_shape]
+     survive into the result, as with [map2]. *)
+  let bshape = broadcast_shapes t.shape out_shape in
+  let sst = broadcast_strides_of t.shape t.st bshape in
+  let data = Array.make (shape_size bshape) 0. in
+  Kernel.broadcast_copy_into t.data sst bshape data;
+  mk bshape data
 
 (* Arithmetic *)
 
@@ -236,18 +322,25 @@ let sum_axis ax t =
     Array.of_list
       (List.filteri (fun i _ -> i <> ax) (Array.to_list t.shape))
   in
-  let st = strides t.shape in
   let out = zeros out_shape in
   let n = Array.length t.data in
-  let inner = st.(ax) in
+  let inner = t.st.(ax) in
   let axis_len = t.shape.(ax) in
   let outer_stride = inner * axis_len in
-  for i = 0 to n - 1 do
-    let block = i / outer_stride in
-    let rem = i mod outer_stride in
-    let within = rem mod inner in
-    let j = (block * inner) + within in
-    out.data.(j) <- out.data.(j) +. t.data.(i)
+  let nblocks = if outer_stride = 0 then 0 else n / outer_stride in
+  (* Nested loops visit flat indices in ascending order, so each output
+     element accumulates its terms in the same order as the historical
+     div/mod formulation — only the index arithmetic changed. *)
+  let src = t.data and dst = out.data in
+  for block = 0 to nblocks - 1 do
+    let ibase = block * outer_stride and jbase = block * inner in
+    for a = 0 to axis_len - 1 do
+      let arow = ibase + (a * inner) in
+      for w = 0 to inner - 1 do
+        Array.unsafe_set dst (jbase + w)
+          (Array.unsafe_get dst (jbase + w) +. Array.unsafe_get src (arow + w))
+      done
+    done
   done;
   out
 
@@ -282,45 +375,55 @@ let matmul a b =
     if k <> k' then
       shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
     let data = Array.make (m * n) 0. in
-    for i = 0 to m - 1 do
-      for p = 0 to k - 1 do
-        let aip = a.data.((i * k) + p) in
-        if aip <> 0. then
-          let arow = i * n and brow = p * n in
-          for j = 0 to n - 1 do
-            data.(arow + j) <- data.(arow + j) +. (aip *. b.data.(brow + j))
-          done
-      done
-    done;
-    { shape = [| m; n |]; data }
+    Kernel.matmul ~m ~k ~n a.data b.data data;
+    mk [| m; n |] data
   | 2, 1 ->
     let m = a.shape.(0) and k = a.shape.(1) in
     if k <> b.shape.(0) then
       shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
     let data = Array.make m 0. in
-    for i = 0 to m - 1 do
-      let acc = ref 0. in
-      for p = 0 to k - 1 do
-        acc := !acc +. (a.data.((i * k) + p) *. b.data.(p))
-      done;
-      data.(i) <- !acc
-    done;
-    { shape = [| m |]; data }
+    Kernel.matvec ~m ~k a.data b.data data;
+    mk [| m |] data
   | 1, 2 ->
     let k = a.shape.(0) in
     let k' = b.shape.(0) and n = b.shape.(1) in
     if k <> k' then
       shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
     let data = Array.make n 0. in
-    for p = 0 to k - 1 do
-      let ap = a.data.(p) in
-      if ap <> 0. then
-        for j = 0 to n - 1 do
-          data.(j) <- data.(j) +. (ap *. b.data.((p * n) + j))
-        done
-    done;
-    { shape = [| n |]; data }
+    Kernel.vecmat ~k ~n a.data b.data data;
+    mk [| n |] data
   | ra, rb -> shape_error "matmul: ranks %d and %d" ra rb
+
+let matmul_t a b =
+  match (Array.length a.shape, Array.length b.shape) with
+  | 2, 2 ->
+    let m = a.shape.(0) and k = a.shape.(1) in
+    let n = b.shape.(0) and k' = b.shape.(1) in
+    if k <> k' then
+      shape_error "matmul_t: %a x %a^T" pp_shape a.shape pp_shape b.shape;
+    let data = Array.make (m * n) 0. in
+    Kernel.matmul_t ~m ~k ~n a.data b.data data;
+    mk [| m; n |] data
+  | ra, rb -> shape_error "matmul_t: ranks %d and %d" ra rb
+
+let t_matmul a b =
+  match (Array.length a.shape, Array.length b.shape) with
+  | 2, 2 ->
+    let m = a.shape.(0) and k = a.shape.(1) in
+    let m' = b.shape.(0) and n = b.shape.(1) in
+    if m <> m' then
+      shape_error "t_matmul: %a^T x %a" pp_shape a.shape pp_shape b.shape;
+    let data = Array.make (k * n) 0. in
+    Kernel.t_matmul ~m ~k ~n a.data b.data data;
+    mk [| k; n |] data
+  | 2, 1 ->
+    let m = a.shape.(0) and k = a.shape.(1) in
+    if m <> b.shape.(0) then
+      shape_error "t_matmul: %a^T x %a" pp_shape a.shape pp_shape b.shape;
+    let data = Array.make k 0. in
+    Kernel.t_matvec ~m ~k a.data b.data data;
+    mk [| k |] data
+  | ra, rb -> shape_error "t_matmul: ranks %d and %d" ra rb
 
 let transpose t =
   match Array.length t.shape with
@@ -333,7 +436,7 @@ let transpose t =
         data.((j * m) + i) <- t.data.((i * n) + j)
       done
     done;
-    { shape = [| n; m |]; data }
+    mk [| n; m |] data
   | r -> shape_error "transpose: rank %d" r
 
 let dot a b =
@@ -356,7 +459,7 @@ let outer a b =
 let reshape new_shape t =
   if shape_size new_shape <> Array.length t.data then
     shape_error "reshape %a to %a" pp_shape t.shape pp_shape new_shape;
-  { shape = Array.copy new_shape; data = t.data }
+  mk (Array.copy new_shape) t.data
 
 let flatten t = reshape [| Array.length t.data |] t
 
@@ -381,7 +484,7 @@ let concat0 ts =
         Array.blit t.data 0 data !off (Array.length t.data);
         off := !off + Array.length t.data)
       ts;
-    { shape = out_shape; data }
+    mk out_shape data
 
 let stack0 ts =
   match ts with
@@ -398,7 +501,7 @@ let stack0 ts =
       (fun i t -> Array.blit t.data 0 data (i * Array.length t.data)
           (Array.length t.data))
       ts;
-    { shape = out_shape; data }
+    mk out_shape data
 
 let slice0 t i =
   if rank t = 0 then shape_error "slice0: rank-0 tensor";
@@ -406,7 +509,7 @@ let slice0 t i =
     shape_error "slice0: index %d of %a" i pp_shape t.shape;
   let sub_shape = Array.sub t.shape 1 (Array.length t.shape - 1) in
   let n = shape_size sub_shape in
-  { shape = sub_shape; data = Array.sub t.data (i * n) n }
+  mk sub_shape (Array.sub t.data (i * n) n)
 
 let rows t = List.init t.shape.(0) (slice0 t)
 let take_rows t ixs = stack0 (List.map (slice0 t) ixs)

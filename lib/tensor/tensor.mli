@@ -6,9 +6,18 @@
     right-aligned broadcasting where documented. *)
 
 type t
-(** A dense tensor of [float]s with an immutable shape. The underlying
-    buffer is not exposed; use {!get}, {!to_array}, or the iteration
-    helpers. *)
+(** A dense tensor of [float]s with an immutable shape and cached
+    row-major strides. The underlying buffer is not exposed; use {!get},
+    {!to_array}, or the iteration helpers. An explicit in-place API
+    ({!add_}, {!axpy}, {!scale_}, {!fill_}, {!map2_}) exists for owners
+    of a buffer — see the section below for the aliasing rules.
+
+    Large elementwise maps and all matrix products run on the [Parallel]
+    domain pool when it is configured with more than one domain
+    ([PPVI_DOMAINS] / [--domains]). Kernels partition work into
+    fixed-size blocks independent of the domain count and never
+    reassociate floating-point accumulation across blocks, so every
+    result is bit-for-bit identical to sequential execution. *)
 
 exception Shape_error of string
 (** Raised when operand shapes are incompatible. *)
@@ -59,6 +68,39 @@ val to_array : t -> float array
 (** Row-major copy of the contents. *)
 
 val is_scalar : t -> bool
+
+val same_shape : t -> t -> bool
+(** Structural equality of the two shapes, without allocating. *)
+
+(** {1 In-place operations}
+
+    These mutate the tensor's buffer directly and are the backbone of
+    the AD engine's gradient accumulation and the optimizer's moment
+    updates. The caller must own the buffer exclusively: in particular,
+    {!reshape} and {!flatten} return tensors {e sharing} their
+    argument's buffer, and [Ad] may hand out tensors that alias graph
+    internals — {!copy} first when in doubt. *)
+
+val copy : t -> t
+(** A deep copy (fresh buffer, same shape). *)
+
+val fill_ : t -> float -> unit
+(** [fill_ t x] overwrites every element of [t] with [x]. *)
+
+val scale_ : float -> t -> unit
+(** [scale_ c t] multiplies every element of [t] by [c] in place. *)
+
+val add_ : t -> t -> unit
+(** [add_ dst src] adds [src] into [dst] elementwise. Shapes must be
+    equal (no broadcasting). @raise Shape_error otherwise. *)
+
+val axpy : alpha:float -> x:t -> t -> unit
+(** [axpy ~alpha ~x y] performs [y <- y + alpha * x] elementwise.
+    Shapes must be equal. @raise Shape_error otherwise. *)
+
+val map2_ : (float -> float -> float) -> t -> t -> unit
+(** [map2_ f dst src] sets [dst_i <- f dst_i src_i]. Shapes must be
+    equal. @raise Shape_error otherwise. *)
 
 (** {1 Elementwise maps} *)
 
@@ -139,8 +181,23 @@ val softmax : t -> t
 
 val matmul : t -> t -> t
 (** Rank-2 x rank-2 matrix product, rank-2 x rank-1 matrix-vector
-    product, or rank-1 x rank-2 vector-matrix product.
+    product, or rank-1 x rank-2 vector-matrix product. Cache-blocked
+    and parallelized over row blocks above a size threshold, with
+    results bit-identical to the naive sequential triple loop.
     @raise Shape_error on dimension mismatch. *)
+
+val matmul_t : t -> t -> t
+(** [matmul_t a b] is [a * transpose b] for [a : m x k] and [b : n x k],
+    computed directly from [b]'s rows — no transpose is materialized.
+    Used by the dense-layer backward pass. Bit-identical to
+    [matmul a (transpose b)]. @raise Shape_error on rank or dimension
+    mismatch (rank-2 operands only). *)
+
+val t_matmul : t -> t -> t
+(** [t_matmul a b] is [transpose a * b] for [a : m x k] and [b] either
+    [m x n] (result [k x n]) or a length-[m] vector (result length [k]),
+    again without materializing the transpose. Bit-identical to
+    [matmul (transpose a) b]. @raise Shape_error on mismatch. *)
 
 val transpose : t -> t
 (** Transpose of a rank-2 tensor (rank-0/1 returned unchanged). *)

@@ -51,20 +51,29 @@ let step ?clip_norm ?(on_skip = fun _ _ -> ()) t direction store grads =
       let x = Store.tensor store name in
       match t.spec with
       | Sgd { lr } ->
-        Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) g))
+        let slr = sign *. lr in
+        Store.set store name (Tensor.map2 (fun xi gi -> xi +. (slr *. gi)) x g)
       | Adam { lr; beta1; beta2; eps } ->
         let s = state_for t name (Tensor.shape g) in
         s.t <- s.t + 1;
-        s.m <- Tensor.add (Tensor.scale beta1 s.m) (Tensor.scale (1. -. beta1) g);
-        s.v <-
-          Tensor.add (Tensor.scale beta2 s.v)
-            (Tensor.scale (1. -. beta2) (Tensor.mul g g));
-        let mhat = Tensor.scale (1. /. (1. -. (beta1 ** float_of_int s.t))) s.m in
-        let vhat = Tensor.scale (1. /. (1. -. (beta2 ** float_of_int s.t))) s.v in
+        (* Moments are updated in place (the state owns them; snapshots
+           deep-copy) and the bias-corrected update is fused into one
+           map2 — the per-element expressions match the former
+           scale/add/mul chain operation for operation, so every result
+           bit is unchanged. *)
+        let c1 = 1. -. beta1 and c2 = 1. -. beta2 in
+        Tensor.map2_ (fun mi gi -> (beta1 *. mi) +. (c1 *. gi)) s.m g;
+        Tensor.map2_ (fun vi gi -> (beta2 *. vi) +. (c2 *. (gi *. gi))) s.v g;
+        let cm = 1. /. (1. -. (beta1 ** float_of_int s.t)) in
+        let cv = 1. /. (1. -. (beta2 ** float_of_int s.t)) in
         let update =
-          Tensor.map2 (fun mi vi -> mi /. (Float.sqrt vi +. eps)) mhat vhat
+          Tensor.map2
+            (fun mi vi -> (cm *. mi) /. (Float.sqrt (cv *. vi) +. eps))
+            s.m s.v
         in
-        Store.set store name (Tensor.add x (Tensor.scale (sign *. lr) update)))
+        let slr = sign *. lr in
+        Store.set store name
+          (Tensor.map2 (fun xi ui -> xi +. (slr *. ui)) x update))
     finite
 
 let reset t =
@@ -73,15 +82,21 @@ let reset t =
 
 type snapshot = (string * state) list * int
 
+(* Both directions deep-copy the moment tensors: [step] mutates them in
+   place, so a shared reference would let later steps corrupt a saved
+   snapshot (and a restored state corrupt the snapshot it came from). *)
 let snapshot t : snapshot =
   ( Hashtbl.fold
-      (fun name s acc -> (name, { m = s.m; v = s.v; t = s.t }) :: acc)
+      (fun name s acc ->
+        (name, { m = Tensor.copy s.m; v = Tensor.copy s.v; t = s.t }) :: acc)
       t.states [],
     t.skipped )
 
 let restore t ((states, skipped) : snapshot) =
   Hashtbl.reset t.states;
   List.iter
-    (fun (name, s) -> Hashtbl.add t.states name { m = s.m; v = s.v; t = s.t })
+    (fun (name, s) ->
+      Hashtbl.add t.states name
+        { m = Tensor.copy s.m; v = Tensor.copy s.v; t = s.t })
     states;
   t.skipped <- skipped
