@@ -105,6 +105,50 @@ let resilience_term =
         & info [ "resume" ] ~docv:"FILE"
             ~doc:"Load parameters from $(docv) and continue training."))
 
+(* Opt-in static pre-flight shared by the training commands: analyze
+   this workload's registry targets before training. Warnings by
+   default; --preflight-strict turns error-severity diagnostics into a
+   non-zero exit. *)
+let preflight_term =
+  let make enabled strict = (enabled || strict, strict) in
+  Term.(
+    const make
+    $ Arg.(
+        value & flag
+        & info [ "preflight" ]
+            ~doc:
+              "Statically analyze this workload's model/guide programs \
+               before training (see $(b,ppvi check)); diagnostics are \
+               printed to stderr.")
+    $ Arg.(
+        value & flag
+        & info [ "preflight-strict" ]
+            ~doc:
+              "Like $(b,--preflight), but exit with an error when the \
+               analyzer reports error-severity diagnostics."))
+
+let run_preflight (enabled, strict) filter =
+  if enabled then begin
+    let results = Preflight.run_all ~filter () in
+    let clean = List.filter (fun (e, _) -> e.Preflight.expect = []) results in
+    List.iter
+      (fun (e, r) ->
+        List.iter
+          (fun d ->
+            Format.eprintf "[preflight %s] %a@." e.Preflight.name
+              Check.pp_diagnostic d)
+          r.Check.diagnostics)
+      clean;
+    let bad = List.filter (fun (_, r) -> Check.has_errors r) clean in
+    if bad <> [] then begin
+      Printf.eprintf
+        "preflight: %d of %d target(s) have error-severity diagnostics\n"
+        (List.length bad) (List.length clean);
+      if strict then exit 1
+    end
+    else Printf.eprintf "preflight: %d target(s) clean\n" (List.length clean)
+  end
+
 let initial_store r =
   Option.map
     (fun path ->
@@ -149,7 +193,8 @@ let cone_objective_conv =
   Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Cone.objective_name k))
 
 let cone_cmd =
-  let run objective steps seed csv resilience =
+  let run objective steps seed csv resilience pf =
+    run_preflight pf "cone/";
     let store, reports =
       Cone.train ~steps ~guard:resilience.guard ?store:(initial_store resilience)
         objective (Prng.key seed)
@@ -170,12 +215,14 @@ let cone_cmd =
           value
           & opt cone_objective_conv Cone.Elbo
           & info [ "objective" ] ~doc:"elbo|iwelbo|hvi|iwhvi|diwhvi")
-      $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
+      $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term
+      $ preflight_term)
 
 (* coin *)
 
 let coin_cmd =
-  let run steps seed csv resilience =
+  let run steps seed csv resilience pf =
+    run_preflight pf "coin";
     let store, reports, seconds =
       Coin.train ~steps ~guard:resilience.guard
         ?store:(initial_store resilience) (Prng.key seed)
@@ -192,12 +239,14 @@ let coin_cmd =
     (Cmd.info "coin" ~doc:"Beta-Bernoulli coin fairness (Appendix D.1).")
     Term.(
       const (fun () -> run)
-      $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
+      $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term
+      $ preflight_term)
 
 (* regression *)
 
 let regression_cmd =
-  let run steps seed csv resilience =
+  let run steps seed csv resilience pf =
+    run_preflight pf "regression";
     let store, reports, seconds =
       Regression.train ~steps ~guard:resilience.guard
         ?store:(initial_store resilience) (Prng.key seed)
@@ -215,12 +264,14 @@ let regression_cmd =
        ~doc:"Bayesian linear regression (Appendix D.2).")
     Term.(
       const (fun () -> run)
-      $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term)
+      $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term
+      $ preflight_term)
 
 (* vae *)
 
 let vae_cmd =
-  let run steps batch seed csv resilience =
+  let run steps batch seed csv resilience pf =
+    run_preflight pf "vae";
     let store, reports =
       Vae.train ~steps ~batch ~guard:resilience.guard
         ?store:(initial_store resilience) (Prng.key seed)
@@ -237,7 +288,7 @@ let vae_cmd =
       const (fun () -> run)
       $ domains_term $ steps_arg 300
       $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.")
-      $ seed_arg $ csv_arg $ resilience_term)
+      $ seed_arg $ csv_arg $ resilience_term $ preflight_term)
 
 (* air *)
 
@@ -253,7 +304,8 @@ let strategy_conv =
     (parse, fun ppf s -> Format.pp_print_string ppf (Air.strategy_name s))
 
 let air_cmd =
-  let run strategy epochs images seed resilience =
+  let run strategy epochs images seed resilience pf =
+    run_preflight pf "air";
     let data_images, _ = Data.air_batch (Prng.key (seed + 10)) images in
     let eval_images, eval_counts = Data.air_batch (Prng.key (seed + 11)) 64 in
     let store =
@@ -290,7 +342,47 @@ let air_cmd =
           & info [ "strategy" ] ~doc:"re|bl|enum|mvd")
       $ Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Training epochs.")
       $ Arg.(value & opt int 192 & info [ "images" ] ~doc:"Training scenes.")
-      $ seed_arg $ resilience_term)
+      $ seed_arg $ resilience_term $ preflight_term)
+
+(* check *)
+
+let check_cmd =
+  let run () json fuel width filter =
+    let results = Preflight.run_all ~fuel ~max_width:width ~filter () in
+    if json then print_endline (Preflight.results_to_json results)
+    else begin
+      Preflight.print_human Format.std_formatter results;
+      let failed = List.filter (fun (e, r) -> not (Preflight.entry_ok e r)) results in
+      Printf.printf "%d/%d targets ok\n"
+        (List.length results - List.length failed)
+        (List.length results)
+    end;
+    if not (Preflight.all_ok results) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze the built-in generative programs: strategy \
+          validity, address discipline, and support/shape pre-flight lints \
+          (see docs/DIAGNOSTICS.md for the code catalogue).")
+    Term.(
+      const run
+      $ domains_term
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Emit a JSON array of reports on stdout.")
+      $ Arg.(
+          value & opt int 20000
+          & info [ "fuel" ] ~docv:"N"
+            ~doc:"Exploration budget (program nodes visited per target).")
+      $ Arg.(
+          value & opt int 4
+          & info [ "width" ] ~docv:"N"
+            ~doc:"Maximum probe values per sample site.")
+      $ Arg.(
+          value & opt string ""
+          & info [ "target" ] ~docv:"SUBSTR"
+            ~doc:"Only analyze registry targets whose name contains $(docv)."))
 
 (* info *)
 
@@ -322,4 +414,5 @@ let () =
        (Cmd.group
           (Cmd.info "ppvi" ~version:"1.0.0"
              ~doc:"Programmable variational inference workloads.")
-          [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; info_cmd ]))
+          [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; check_cmd;
+            info_cmd ]))

@@ -22,6 +22,7 @@ let value t = t.v
 let to_float t = Tensor.to_scalar t.v
 let shape t = Tensor.shape t.v
 let is_leaf t = Array.length t.parents = 0
+let id t = t.id
 
 let accumulate t delta =
   match t.g with

@@ -35,6 +35,11 @@ val is_leaf : t -> bool
     {!const}, {!scalar}, or {!stop_grad}). Used by [Value.to_float_rigid]
     to enforce the paper's R / R* smoothness discipline at runtime. *)
 
+val id : t -> int
+(** A unique, stable identifier for this node (graph-construction
+    order). Used to key side tables — e.g. the provenance registry that
+    lets smoothness errors name the sample site a value came from. *)
+
 (** {1 Differentiation} *)
 
 val backward : t -> unit

@@ -34,7 +34,14 @@ let sample (d : 'a Dist.t) : 'a t =
   match d.strategy with
   | Dist.Reparam -> begin
     match d.reparam with
-    | Some r -> k (r key)
+    | Some r ->
+      let x = r key in
+      (* Record where this smooth sample came from, so a later
+         non-smooth use can report the offending strategy (and, once
+         [Gen.simulate] adds it, the trace address). *)
+      Value.register_origin_value (d.inject x)
+        ~strategy:(Dist.strategy_name d.strategy) ();
+      k x
     | None ->
       invalid_arg
         (Printf.sprintf "Adev.sample: %s has no reparameterized sampler"

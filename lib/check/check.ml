@@ -1,0 +1,645 @@
+(* Pre-flight static analysis of generative programs.
+
+   The analyzer abstractly interprets the free-monad structure exposed
+   by [Gen.reflect]: every [Sample] site is expanded into a small set of
+   representative probe values (full support for enumerable primitives,
+   interval-straddling floats for continuous ones, a single *tainted*
+   non-leaf AD node for REPARAM sites), and the continuation is run once
+   per probe. Because the probes for a rigid-guarded branch straddle the
+   guard, both sides of data-dependent control flow are visited; because
+   the REPARAM probe is a registered non-leaf node, any non-smooth use
+   of it raises the same attributed [Value.Smoothness_error] the runtime
+   would, which the exploration converts into a diagnostic instead of a
+   crash. Exploration is bounded by a fuel counter so recursive programs
+   terminate (with [truncated = true] and coverage findings demoted to
+   warnings). *)
+
+type severity = Info | Warning | Error
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  address : string option;
+  message : string;
+}
+
+type report = { diagnostics : diagnostic list; truncated : bool }
+
+type target =
+  | Program of Gen.packed
+  | Pair of { model : Gen.packed; guide : Gen.packed }
+
+exception Preflight_error of string
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* ------------------------------------------------------------------ *)
+(* Exploration state                                                   *)
+
+type carrier = Real_carrier | Bool_carrier | Int_carrier
+
+let carrier_name = function
+  | Real_carrier -> "real"
+  | Bool_carrier -> "bool"
+  | Int_carrier -> "int"
+
+type site = {
+  s_dist : string;
+  s_strategy : string;
+  s_carrier : carrier;
+  s_meta : Dist.meta;
+  s_value : Value.t;  (* The probe value bound on this path. *)
+}
+
+type path = { seen : (string * site) list }
+
+type ctx = {
+  mutable diags : diagnostic list;
+  mutable fuel : int;
+  mutable truncated : bool;
+  max_width : int;
+}
+
+exception Out_of_fuel
+
+let burn ctx =
+  if ctx.fuel <= 0 then raise Out_of_fuel;
+  ctx.fuel <- ctx.fuel - 1
+
+let emit ctx code severity ?address message =
+  let d = { code; severity; address; message } in
+  if not (List.mem d ctx.diags) then ctx.diags <- d :: ctx.diags
+
+(* Convert exceptions escaping one exploration path into diagnostics;
+   sibling paths keep going. *)
+let guarded : type b. ctx -> (unit -> b list) -> b list =
+ fun ctx thunk ->
+  try thunk () with
+  | Out_of_fuel ->
+    ctx.truncated <- true;
+    []
+  | Value.Smoothness_error info ->
+    emit ctx "PV101" Error ?address:info.Value.address
+      (Value.smoothness_message info);
+    []
+  | Trace.Duplicate_address addr ->
+    emit ctx "PV201" Error ~address:addr
+      (Printf.sprintf "address %S is bound more than once" addr);
+    []
+  | Tensor.Shape_error msg ->
+    emit ctx "PV310" Error ("tensor shape error: " ^ msg);
+    []
+  | Value.Type_error msg ->
+    emit ctx "PV204" Error ("value used at the wrong carrier type: " ^ msg);
+    []
+  | Stack_overflow ->
+    ctx.truncated <- true;
+    emit ctx "PV401" Warning "exploration overflowed the stack";
+    []
+  | exn ->
+    emit ctx "PV390" Warning
+      ("exception during exploration: " ^ Printexc.to_string exn);
+    []
+
+(* ------------------------------------------------------------------ *)
+(* Probe values per sample site                                        *)
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+(* Up to [n] elements spread across [xs] (always includes both ends). *)
+let spread n xs =
+  let len = List.length xs in
+  if len <= n then xs
+  else
+    List.init n (fun i -> List.nth xs (i * (len - 1) / Stdlib.max 1 (n - 1)))
+
+let interval_probes lo hi =
+  let finite = Float.is_finite in
+  if finite lo && finite hi then
+    [ lo +. (0.25 *. (hi -. lo)); lo +. (0.75 *. (hi -. lo)) ]
+  else if finite lo then [ lo +. 0.5; lo +. 2. ]
+  else if finite hi then [ hi -. 2.; hi -. 0.5 ]
+  else [ -1.; 1. ] (* Straddle the usual [x < k] thresholds around 0. *)
+
+let carrier_of : type a. a Dist.t -> carrier =
+ fun d ->
+  match d.Dist.inject d.Dist.default with
+  | Value.Real _ -> Real_carrier
+  | Value.Bool _ -> Bool_carrier
+  | Value.Int _ -> Int_carrier
+
+(* A non-leaf probe for REPARAM sites, registered in the provenance
+   table so a [rigid] use raises an error naming this address. *)
+let tainted_probe : type a. a Dist.t -> address:string -> a option =
+ fun d ~address ->
+  match d.Dist.inject d.Dist.default with
+  | Value.Real base ->
+    let t = Ad.add_scalar 0. (Ad.const (Ad.value base)) in
+    Value.register_smooth_origin t ~address
+      ~strategy:(Dist.strategy_name d.Dist.strategy) ();
+    d.Dist.project (Value.Real t)
+  | _ -> None
+
+let probes : type a. ctx -> address:string -> a Dist.t -> a list =
+ fun ctx ~address d ->
+  let real_probe v =
+    match d.Dist.inject d.Dist.default with
+    | Value.Real base ->
+      d.Dist.project (Value.Real (Ad.const (Tensor.full (Ad.shape base) v)))
+    | _ -> None
+  in
+  let candidates =
+    match d.Dist.strategy with
+    | Dist.Reparam when Option.is_some d.Dist.reparam -> begin
+      match tainted_probe d ~address with
+      | Some x -> [ x ]
+      | None -> [ d.Dist.default ]
+    end
+    | _ -> begin
+      match d.Dist.support with
+      | Some xs -> spread ctx.max_width xs
+      | None -> begin
+        match d.Dist.meta.Dist.static_support with
+        | Dist.Real_interval { lo; hi } ->
+          List.filter_map real_probe (interval_probes lo hi)
+        | Dist.Unit_hypercube -> List.filter_map real_probe [ 0.; 1. ]
+        | Dist.Int_range { lo; hi } ->
+          let vs =
+            match hi with
+            | Some h -> List.sort_uniq compare [ lo; Stdlib.min (lo + 1) h; h ]
+            | None -> [ lo; lo + 1; lo + 7 ]
+          in
+          List.filter_map (fun i -> d.Dist.project (Value.Int i)) vs
+        | Dist.Finite_support | Dist.Unknown_support -> []
+      end
+    end
+  in
+  match take ctx.max_width candidates with
+  | [] -> [ d.Dist.default ]
+  | l -> l
+
+(* ------------------------------------------------------------------ *)
+(* Per-site static checks                                              *)
+
+let check_site : type a. ctx -> address:string -> a Dist.t -> unit =
+ fun ctx ~address d ->
+  match d.Dist.strategy with
+  | Dist.Enum ->
+    if d.Dist.meta.Dist.continuous then
+      emit ctx "PV102" Error ~address
+        (Printf.sprintf
+           "ENUM strategy on continuous primitive %s: enumeration needs a \
+            finite support"
+           d.Dist.name)
+    else if Option.is_none d.Dist.support then
+      emit ctx "PV102" Error ~address
+        (Printf.sprintf "ENUM strategy on %s, which declares no finite support"
+           d.Dist.name)
+  | Dist.Mvd ->
+    if Option.is_none d.Dist.mvd then
+      emit ctx "PV103" Error ~address
+        (Printf.sprintf
+           "MVD strategy on %s, which provides no weak-derivative couplings"
+           d.Dist.name)
+  | Dist.Reparam ->
+    if Option.is_none d.Dist.reparam then
+      emit ctx "PV104" Error ~address
+        (Printf.sprintf
+           "REPARAM strategy on %s, which provides no reparameterized sampler"
+           d.Dist.name)
+  | Dist.Reinforce | Dist.Reinforce_baseline _ -> ()
+
+let check_observe : type v. ctx -> v Dist.t -> v -> unit =
+ fun ctx d v ->
+  let describe x = Printf.sprintf "%g" x in
+  (match d.Dist.inject v with
+  | Value.Real a ->
+    let arr = Tensor.to_array (Ad.value a) in
+    if Array.exists Float.is_nan arr then
+      emit ctx "PV302" Error
+        (Printf.sprintf "observed value for %s contains NaN" d.Dist.name)
+    else begin
+      match d.Dist.meta.Dist.static_support with
+      | Dist.Real_interval { lo; hi } ->
+        Array.iter
+          (fun x ->
+            if x < lo || x > hi then
+              emit ctx "PV301" Error
+                (Printf.sprintf
+                   "observed value %s lies outside the support [%g, %g] of %s"
+                   (describe x) lo hi d.Dist.name))
+          arr
+      | Dist.Unit_hypercube ->
+        if Array.exists (fun x -> x < 0. || x > 1.) arr then
+          emit ctx "PV301" Error
+            (Printf.sprintf
+               "observed tensor for %s has components outside [0, 1]"
+               d.Dist.name)
+      | _ -> ()
+    end
+  | Value.Int i -> begin
+    match d.Dist.meta.Dist.static_support with
+    | Dist.Int_range { lo; hi } ->
+      let above = match hi with Some h -> i > h | None -> false in
+      if i < lo || above then
+        emit ctx "PV301" Error
+          (Printf.sprintf "observed value %d lies outside the support of %s" i
+             d.Dist.name)
+    | _ -> ()
+  end
+  | Value.Bool _ -> ());
+  (* Evaluate the likelihood once so shape mismatches between the
+     observed tensor and the distribution's parameters surface here
+     (caught by [guarded] and reported as PV310). *)
+  ignore (d.Dist.log_density v : Ad.t)
+
+(* ------------------------------------------------------------------ *)
+(* Address-set summaries over explored paths                           *)
+
+(* Addresses reachable on at least one completed path, first site wins. *)
+let may_addrs paths =
+  List.fold_left
+    (fun acc path ->
+      List.fold_left
+        (fun acc (name, site) ->
+          if List.mem_assoc name acc then acc else (name, site) :: acc)
+        acc (List.rev path.seen))
+    [] paths
+
+(* Addresses bound on every completed path. *)
+let must_addrs paths =
+  match paths with
+  | [] -> []
+  | _ ->
+    List.filter
+      (fun (name, _) ->
+        List.for_all (fun p -> List.mem_assoc name p.seen) paths)
+      (may_addrs paths)
+
+(* ------------------------------------------------------------------ *)
+(* The exploration engine                                              *)
+
+let rec explore : type a. ctx -> path -> a Gen.t -> (a * path) list =
+ fun ctx path prog ->
+  burn ctx;
+  match Gen.reflect prog with
+  | Gen.Node_return x -> [ (x, path) ]
+  | Gen.Node_bind (m, f) ->
+    let firsts = guarded ctx (fun () -> explore ctx path m) in
+    List.concat_map
+      (fun (x, path') -> guarded ctx (fun () -> explore ctx path' (f x)))
+      firsts
+  | Gen.Node_sample (d, name) ->
+    check_site ctx ~address:name d;
+    if List.mem_assoc name path.seen then
+      emit ctx "PV201" Error ~address:name
+        (Printf.sprintf "address %S is sampled more than once on a single path"
+           name);
+    let mk x =
+      let site =
+        { s_dist = d.Dist.name;
+          s_strategy = Dist.strategy_name d.Dist.strategy;
+          s_carrier = carrier_of d;
+          s_meta = d.Dist.meta;
+          s_value = d.Dist.inject x }
+      in
+      (x, { seen = (name, site) :: path.seen })
+    in
+    List.map mk (probes ctx ~address:name d)
+  | Gen.Node_observe (d, v) ->
+    check_observe ctx d v;
+    [ ((), path) ]
+  | Gen.Node_marginal (keep, inner, alg) ->
+    explore_marginal ctx path keep inner alg
+  | Gen.Node_normalize (inner, alg) -> explore_normalize ctx path inner alg
+
+(* [marginal ~keep inner alg] contributes the kept addresses to the
+   enclosing trace; its auxiliary addresses must be covered by the
+   algorithm's proposal (otherwise every density estimate is -inf). *)
+and explore_marginal :
+    type b.
+    ctx -> path -> string list -> b Gen.t -> Gen.algorithm ->
+    (Trace.t * path) list =
+ fun ctx path keep inner alg ->
+  let inner_results = guarded ctx (fun () -> explore ctx { seen = [] } inner) in
+  let inner_paths = List.map snd inner_results in
+  let may = may_addrs inner_paths in
+  let must = must_addrs inner_paths in
+  let coverage_sev = if ctx.truncated then Warning else Error in
+  if inner_paths <> [] then
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k may) then
+          emit ctx "PV205" coverage_sev ~address:k
+            "marginal: kept address is never sampled by the inner program"
+        else if not (List.mem_assoc k must) then
+          emit ctx "PV205" Warning ~address:k
+            "marginal: kept address is only sampled on some paths of the \
+             inner program")
+      keep;
+  match inner_paths with
+  | [] -> []
+  | _ ->
+    (* Check the proposal against one representative kept trace. *)
+    let rep =
+      try List.find (fun p -> List.for_all (fun k -> List.mem_assoc k p.seen) keep)
+            inner_paths
+      with Not_found -> List.hd inner_paths
+    in
+    let kept_bindings =
+      List.filter_map
+        (fun k ->
+          Option.map (fun s -> (k, s.s_value)) (List.assoc_opt k rep.seen))
+        keep
+    in
+    let kept_trace = Trace.of_list kept_bindings in
+    let aux = List.filter (fun (n, _) -> not (List.mem n keep)) must in
+    (ignore
+       (guarded ctx (fun () ->
+            let (Gen.Packed proposal) = Gen.algorithm_proposal alg kept_trace in
+            let prop_paths = List.map snd (explore ctx { seen = [] } proposal) in
+            if prop_paths <> [] then begin
+              let prop_may = may_addrs prop_paths in
+              List.iter
+                (fun (n, _) ->
+                  if not (List.mem_assoc n prop_may) then
+                    emit ctx "PV206" coverage_sev ~address:n
+                      "marginal: auxiliary address is never proposed by the \
+                       inference algorithm's proposal (density estimates \
+                       would be -inf)")
+                aux;
+              List.iter
+                (fun (n, _) ->
+                  if List.mem n keep then
+                    emit ctx "PV206" coverage_sev ~address:n
+                      "marginal: proposal re-proposes a kept address \
+                       (duplicate at density evaluation)"
+                  else if not (List.mem_assoc n may) then
+                    emit ctx "PV206" coverage_sev ~address:n
+                      "marginal: proposal proposes an address the inner \
+                       program never samples (leftover at density \
+                       evaluation)")
+                prop_may
+            end;
+            [])
+        : (unit * path) list);
+     (* One outer continuation per representative inner path: the kept
+        addresses (and their probe values) join the enclosing trace. *)
+     let continue_with p =
+       let bindings =
+         List.filter_map
+           (fun k ->
+             Option.map (fun s -> (k, s)) (List.assoc_opt k p.seen))
+           keep
+       in
+       let trace =
+         Trace.of_list (List.map (fun (k, s) -> (k, s.s_value)) bindings)
+       in
+       let path' =
+         List.fold_left
+           (fun acc (k, s) ->
+             if List.mem_assoc k acc.seen then begin
+               emit ctx "PV201" Error ~address:k
+                 (Printf.sprintf
+                    "address %S from marginal collides with an enclosing \
+                     sample" k);
+               acc
+             end
+             else { seen = (k, s) :: acc.seen })
+           path bindings
+       in
+       (trace, path')
+     in
+     List.map continue_with (take ctx.max_width inner_paths))
+
+(* [normalize inner alg]: the chosen particle's proposal trace joins the
+   enclosing trace; the proposal must propose exactly the addresses the
+   inner program samples. *)
+and explore_normalize :
+    type a. ctx -> path -> a Gen.t -> Gen.algorithm -> (a * path) list =
+ fun ctx path inner alg ->
+  let inner_results = guarded ctx (fun () -> explore ctx { seen = [] } inner) in
+  let inner_paths = List.map snd inner_results in
+  let inner_may = may_addrs inner_paths in
+  let inner_must = must_addrs inner_paths in
+  let coverage_sev = if ctx.truncated then Warning else Error in
+  let prop_paths =
+    guarded ctx (fun () ->
+        let (Gen.Packed proposal) = Gen.algorithm_proposal alg Trace.empty in
+        List.map snd (explore ctx { seen = [] } proposal))
+  in
+  (if inner_paths <> [] && prop_paths <> [] then begin
+     let prop_may = may_addrs prop_paths in
+     List.iter
+       (fun (n, _) ->
+         if not (List.mem_assoc n prop_may) then
+           emit ctx "PV207" coverage_sev ~address:n
+             "normalize: address sampled by the target is never proposed \
+              (every particle would have weight zero)")
+       inner_must;
+     List.iter
+       (fun (n, _) ->
+         if not (List.mem_assoc n inner_may) then
+           emit ctx "PV207" coverage_sev ~address:n
+             "normalize: proposal proposes an address the target never \
+              samples (leftover mass; every particle would have weight \
+              zero)")
+       prop_may
+   end);
+  match (inner_results, prop_paths) with
+  | [], _ -> []
+  | _, [] ->
+    (* No usable proposal paths: continue with the inner return values
+       and an unchanged enclosing path. *)
+    List.map (fun (x, _) -> (x, path)) (take ctx.max_width inner_results)
+  | _ ->
+    let prop_rep = List.hd prop_paths in
+    let path' =
+      List.fold_left
+        (fun acc (k, s) ->
+          if List.mem_assoc k acc.seen then begin
+            emit ctx "PV201" Error ~address:k
+              (Printf.sprintf
+                 "address %S from normalize collides with an enclosing sample"
+                 k);
+            acc
+          end
+          else { seen = (k, s) :: acc.seen })
+        path (List.rev prop_rep.seen)
+    in
+    List.map (fun (x, _) -> (x, path')) (take ctx.max_width inner_results)
+
+let paths_of ctx (Gen.Packed p) : path list =
+  guarded ctx (fun () -> List.map snd (explore ctx { seen = [] } p))
+
+(* ------------------------------------------------------------------ *)
+(* Model/guide pair analysis                                           *)
+
+(* Is [g]'s support contained in [m]'s? [None] = cannot tell. *)
+let support_leq g m =
+  let open Dist in
+  match (g, m) with
+  | _, Real_interval { lo; hi }
+    when Float.is_finite lo = false && Float.is_finite hi = false ->
+    Some true
+  | Real_interval a, Real_interval b -> Some (a.lo >= b.lo && a.hi <= b.hi)
+  | Real_interval a, Unit_hypercube -> Some (a.lo >= 0. && a.hi <= 1.)
+  | Unit_hypercube, Real_interval b -> Some (b.lo <= 0. && b.hi >= 1.)
+  | Unit_hypercube, Unit_hypercube -> Some true
+  | Int_range a, Int_range b ->
+    let below = a.lo >= b.lo in
+    let above =
+      match (a.hi, b.hi) with
+      | _, None -> true
+      | None, Some _ -> false
+      | Some ah, Some bh -> ah <= bh
+    in
+    Some (below && above)
+  | Finite_support, Finite_support -> Some true
+  | _ -> None
+
+let analyze_pair ctx (Gen.Packed model) (Gen.Packed guide) =
+  let model_paths = paths_of ctx (Gen.Packed model) in
+  let guide_paths = paths_of ctx (Gen.Packed guide) in
+  match (model_paths, guide_paths) with
+  | [], _ | _, [] ->
+    emit ctx "PV401" Info
+      "exploration produced no complete paths; model/guide coverage checks \
+       skipped"
+  | _ ->
+    let m_may = may_addrs model_paths and m_must = must_addrs model_paths in
+    let g_may = may_addrs guide_paths in
+    let sev = if ctx.truncated then Warning else Error in
+    List.iter
+      (fun (n, site) ->
+        match List.assoc_opt n g_may with
+        | None ->
+          let always = List.mem_assoc n m_must in
+          emit ctx "PV202"
+            (if always then sev else Warning)
+            ~address:n
+            (Printf.sprintf
+               "guide never samples latent %S (%s), which the model %s \
+                samples — its density against guide traces would be -inf"
+               n site.s_dist
+               (if always then "always" else "sometimes"))
+        | Some gsite ->
+          if gsite.s_carrier <> site.s_carrier then
+            emit ctx "PV204" Error ~address:n
+              (Printf.sprintf
+                 "carrier mismatch at %S: model %s samples a %s, guide %s \
+                  samples a %s" n site.s_dist
+                 (carrier_name site.s_carrier)
+                 gsite.s_dist
+                 (carrier_name gsite.s_carrier))
+          else begin
+            match
+              support_leq gsite.s_meta.Dist.static_support
+                site.s_meta.Dist.static_support
+            with
+            | Some false ->
+              emit ctx "PV208" Warning ~address:n
+                (Printf.sprintf
+                   "guide support at %S (%s) exceeds the model's (%s): \
+                    guide samples can fall outside the model's support" n
+                   gsite.s_dist site.s_dist)
+            | _ -> ()
+          end)
+      m_may;
+    List.iter
+      (fun (n, gsite) ->
+        if not (List.mem_assoc n m_may) then
+          emit ctx "PV203" sev ~address:n
+            (Printf.sprintf
+               "guide samples address %S (%s), which the model never binds — \
+                the model density of guide traces would be -inf" n
+               gsite.s_dist))
+      g_may
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let default_fuel = 20_000
+
+let analyze ?(fuel = default_fuel) ?(max_width = 4) target =
+  let ctx = { diags = []; fuel; truncated = false; max_width } in
+  (match target with
+  | Program p -> ignore (paths_of ctx p : path list)
+  | Pair { model; guide } -> analyze_pair ctx model guide);
+  if ctx.truncated then
+    emit ctx "PV401" Info
+      "exploration budget exhausted; analysis may be incomplete";
+  let diags =
+    List.stable_sort
+      (fun a b ->
+        match compare (severity_rank a.severity) (severity_rank b.severity) with
+        | 0 -> compare (a.code, a.address) (b.code, b.address)
+        | c -> c)
+      (List.rev ctx.diags)
+  in
+  { diagnostics = diags; truncated = ctx.truncated }
+
+let errors report =
+  List.filter (fun d -> d.severity = Error) report.diagnostics
+
+let has_errors report = errors report <> []
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s %s%s: %s"
+    (String.uppercase_ascii (severity_name d.severity))
+    d.code
+    (match d.address with
+    | Some a -> Printf.sprintf " at %S" a
+    | None -> "")
+    d.message
+
+let pp_report ppf r =
+  if r.diagnostics = [] then Format.fprintf ppf "no diagnostics@."
+  else
+    List.iter (fun d -> Format.fprintf ppf "%a@." pp_diagnostic d) r.diagnostics;
+  if r.truncated then
+    Format.fprintf ppf "(exploration truncated: analysis may be incomplete)@."
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diagnostic_to_json d =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"address\":%s,\"message\":\"%s\"}"
+    (json_escape d.code)
+    (severity_name d.severity)
+    (match d.address with
+    | Some a -> Printf.sprintf "\"%s\"" (json_escape a)
+    | None -> "null")
+    (json_escape d.message)
+
+let report_to_json ?name (r : report) =
+  let name_field =
+    match name with
+    | Some n -> Printf.sprintf "\"name\":\"%s\"," (json_escape n)
+    | None -> ""
+  in
+  Printf.sprintf "{%s\"truncated\":%b,\"diagnostics\":[%s]}" name_field
+    r.truncated
+    (String.concat "," (List.map diagnostic_to_json r.diagnostics))

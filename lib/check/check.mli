@@ -1,0 +1,74 @@
+(** Pre-flight static analysis of generative programs.
+
+    [analyze] abstractly interprets a program's free-monad structure
+    (via [Gen.reflect]) without running inference: each sample site is
+    expanded into a small set of representative probe values — the full
+    support for enumerable primitives, interval-straddling floats for
+    continuous ones (so both sides of [rigid]-guarded branches are
+    visited), and a single tainted non-leaf AD node for REPARAM sites
+    (so non-smooth uses raise the same attributed error the runtime
+    would). The result is a list of structured diagnostics:
+
+    - {b PV1xx — strategy validity}: PV101 a REPARAM sample flows into a
+      branch/comparison; PV102 ENUM on a continuous primitive or one
+      without finite support; PV103 MVD without couplings; PV104 REPARAM
+      without a reparameterized sampler.
+    - {b PV2xx — address discipline}: PV201 duplicate address reachable
+      on some path; PV202 guide misses a model latent; PV203 guide
+      samples an address the model cannot consume; PV204 carrier
+      mismatch; PV205/PV206 [marginal] kept/proposal coverage; PV207
+      [normalize] proposal coverage; PV208 guide support exceeds the
+      model's (warning).
+    - {b PV3xx — values and shapes}: PV301 observed value outside the
+      primitive's static support; PV302 observed NaN; PV310 tensor shape
+      error (e.g. through [Layer] applications); PV390 other exception
+      during exploration (warning).
+    - {b PV401 — analysis budget}: exploration truncated (info).
+
+    Exploration is fuel-bounded, so recursive programs terminate; when
+    the budget runs out, coverage findings are demoted to warnings and
+    the report is marked [truncated]. *)
+
+type severity = Info | Warning | Error
+
+type diagnostic = {
+  code : string;  (** Stable identifier, e.g. ["PV101"]. *)
+  severity : severity;
+  address : string option;
+      (** The trace address the finding is about, when site-specific. *)
+  message : string;
+}
+
+type report = { diagnostics : diagnostic list; truncated : bool }
+
+(** What to analyze: a single program, or a model/guide pair as passed
+    to the [Objectives.*] estimators (coverage is checked in both
+    directions). *)
+type target =
+  | Program of Gen.packed
+  | Pair of { model : Gen.packed; guide : Gen.packed }
+
+exception Preflight_error of string
+(** Raised by strict pre-flight gates (e.g. [Train.fit
+    ~preflight_strict:true]) when a target has error-severity
+    diagnostics. *)
+
+val analyze : ?fuel:int -> ?max_width:int -> target -> report
+(** [fuel] bounds the number of program nodes visited (default 20000);
+    [max_width] bounds the probe values per sample site (default 4). *)
+
+val errors : report -> diagnostic list
+(** The error-severity diagnostics of a report. *)
+
+val has_errors : report -> bool
+
+val severity_name : severity -> string
+(** ["info"], ["warning"], or ["error"]. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val diagnostic_to_json : diagnostic -> string
+val report_to_json : ?name:string -> report -> string
+(** Single-line JSON objects (no external dependency); [name] labels
+    the report in aggregated output. *)

@@ -5,7 +5,42 @@ type strategy =
   | Enum
   | Mvd
 
+let strategy_name = function
+  | Reparam -> "REPARAM"
+  | Reinforce -> "REINFORCE"
+  | Reinforce_baseline _ -> "REINFORCE+baseline"
+  | Enum -> "ENUM"
+  | Mvd -> "MVD"
+
 type 'a coupling = { param : Ad.t; weight : float; plus : 'a; minus : 'a }
+
+type static_support =
+  | Real_interval of { lo : float; hi : float }
+  | Finite_support
+  | Int_range of { lo : int; hi : int option }
+  | Unit_hypercube
+  | Unknown_support
+
+type meta = { continuous : bool; static_support : static_support }
+
+let unknown_meta = { continuous = false; static_support = Unknown_support }
+
+let real_line =
+  { continuous = true;
+    static_support =
+      Real_interval { lo = Float.neg_infinity; hi = Float.infinity } }
+
+let real_interval lo hi =
+  { continuous = true; static_support = Real_interval { lo; hi } }
+
+let nonneg_reals = real_interval 0. Float.infinity
+let finite_meta = { continuous = false; static_support = Finite_support }
+
+let nonneg_ints =
+  { continuous = false; static_support = Int_range { lo = 0; hi = None } }
+
+let int_range lo hi =
+  { continuous = false; static_support = Int_range { lo; hi = Some hi } }
 
 type 'a t = {
   name : string;
@@ -18,12 +53,13 @@ type 'a t = {
   support : 'a list option;
   reparam : (Prng.key -> 'a) option;
   mvd : (Prng.key -> 'a * 'a coupling list) option;
+  meta : meta;
 }
 
 let make ~name ~strategy ~sample ~log_density ~default ~inject ~project
-    ?support ?reparam ?mvd () =
+    ?support ?reparam ?mvd ?(meta = unknown_meta) () =
   { name; strategy; sample; log_density; default; inject; project; support;
-    reparam; mvd }
+    reparam; mvd; meta }
 
 (* Injection helpers per carrier type. *)
 
@@ -59,7 +95,7 @@ let normal_base ~strategy ?support ?reparam ?mvd mu sigma =
       Ad.scalar (Prng.normal_mean_std key (primal mu) (primal sigma)))
     ~log_density:(log_density_normal ~mu ~sigma)
     ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
-    ?support ?reparam ?mvd ()
+    ?support ?reparam ?mvd ~meta:real_line ()
 
 let normal_reparam mu sigma =
   normal_base ~strategy:Reparam
@@ -112,7 +148,8 @@ let uniform lo hi =
       let v = primal x in
       if v >= lo && v <= hi then Ad.scalar logd
       else Ad.scalar Float.neg_infinity)
-    ~default:(Ad.scalar lo) ~inject:inject_real ~project:project_real ()
+    ~default:(Ad.scalar lo) ~inject:inject_real ~project:project_real
+    ~meta:(real_interval lo hi) ()
 
 (* Beta / Gamma *)
 
@@ -126,7 +163,8 @@ let beta_reinforce a b =
       ((a - Ad.scalar 1.) * Ad.log x)
       + ((b - Ad.scalar 1.) * Ad.log (Ad.scalar 1. - x))
       - Special.log_beta a b)
-    ~default:(Ad.scalar 0.5) ~inject:inject_real ~project:project_real ()
+    ~default:(Ad.scalar 0.5) ~inject:inject_real ~project:project_real
+    ~meta:(real_interval 0. 1.) ()
 
 let gamma_reinforce shape =
   make ~name:"gamma" ~strategy:Reinforce
@@ -136,7 +174,8 @@ let gamma_reinforce shape =
       let xv = Float.max (primal x) 1e-12 in
       let x = Ad.scalar xv in
       ((shape - Ad.scalar 1.) * Ad.log x) - x - Special.lgamma_ad shape)
-    ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real ()
+    ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real
+    ~meta:nonneg_reals ()
 
 (* Location-scale families with inverse-CDF reparameterizations. *)
 
@@ -160,7 +199,7 @@ let laplace_reparam loc scale =
       let u = Prng.uniform key -. 0.5 in
       let m = if u < 0. then Float.log (1. +. (2. *. u)) else -.Float.log (1. -. (2. *. u)) in
       Ad.O.(loc + (scale * Ad.scalar m)))
-    ()
+    ~meta:real_line ()
 
 let logistic_reparam loc scale =
   let logit u = Float.log (u /. (1. -. u)) in
@@ -176,7 +215,7 @@ let logistic_reparam loc scale =
     ~reparam:(fun key ->
       let u = Float.min (Float.max (Prng.uniform key) 1e-12) (1. -. 1e-12) in
       Ad.O.(loc + (scale * Ad.scalar (logit u))))
-    ()
+    ~meta:real_line ()
 
 let lognormal_reparam mu sigma =
   make ~name:"lognormal" ~strategy:Reparam
@@ -190,7 +229,7 @@ let lognormal_reparam mu sigma =
     ~reparam:(fun key ->
       let eps = Ad.scalar (Prng.normal key) in
       Ad.exp Ad.O.(mu + (sigma * eps)))
-    ()
+    ~meta:nonneg_reals ()
 
 let exponential_reparam rate =
   make ~name:"exponential" ~strategy:Reparam
@@ -198,7 +237,7 @@ let exponential_reparam rate =
     ~log_density:(fun x -> Ad.O.(Ad.log rate - (rate * x)))
     ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real
     ~reparam:(fun key -> Ad.div (Ad.scalar (Prng.exponential key)) rate)
-    ()
+    ~meta:nonneg_reals ()
 
 let student_t_reinforce df =
   make ~name:"student_t" ~strategy:Reinforce
@@ -218,7 +257,8 @@ let student_t_reinforce df =
       - (half1
         * Ad.log (Ad.add_scalar 1. (Ad.scale (xv *. xv) (Ad.pow_scalar df (-1.)))))
       )
-    ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real ()
+    ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
+    ~meta:real_line ()
 
 let scaled_beta_reinforce ~lo ~hi a b =
   if hi <= lo then invalid_arg "Dist.scaled_beta_reinforce: hi <= lo";
@@ -236,7 +276,7 @@ let scaled_beta_reinforce ~lo ~hi a b =
       - Special.log_beta a b
       - Ad.scalar (Float.log width))
     ~default:(Ad.scalar ((lo +. hi) /. 2.)) ~inject:inject_real
-    ~project:project_real ()
+    ~project:project_real ~meta:(real_interval lo hi) ()
 
 (* Flip *)
 
@@ -247,7 +287,7 @@ let flip_base ~strategy ?mvd p =
   make ~name:"flip" ~strategy
     ~sample:(fun key -> Prng.bernoulli key (primal p))
     ~log_density:(log_density_flip p) ~default:false ~inject:inject_bool
-    ~project:project_bool ~support:[ true; false ] ?mvd ()
+    ~project:project_bool ~support:[ true; false ] ?mvd ~meta:finite_meta ()
 
 let flip_enum p = flip_base ~strategy:Enum p
 let flip_reinforce p = flip_base ~strategy:Reinforce p
@@ -271,7 +311,7 @@ let categorical_base ~name ~strategy ~probs_of ~log_density_of param =
       else log_density_of param i)
     ~default:0 ~inject:inject_int ~project:project_int
     ~support:(List.init n (fun i -> i))
-    ()
+    ~meta:finite_meta ()
 
 let categorical_with ~strategy probs =
   categorical_base ~name:"categorical" ~strategy
@@ -329,7 +369,7 @@ let poisson_reinforce rate =
         (Ad.scale (float_of_int k) (Ad.log rate))
         - rate
         - Ad.scalar (Special.lgamma (float_of_int k +. 1.)))
-    ~default:0 ~inject:inject_int ~project:project_int ()
+    ~default:0 ~inject:inject_int ~project:project_int ~meta:nonneg_ints ()
 
 let poisson_mvd rate =
   let base = poisson_reinforce rate in
@@ -353,7 +393,7 @@ let geometric_reinforce p =
         Ad.O.(
           Ad.scale (float_of_int k) (log_stable (Ad.scalar 1. - p))
           + log_stable p))
-    ~default:0 ~inject:inject_int ~project:project_int ()
+    ~default:0 ~inject:inject_int ~project:project_int ~meta:nonneg_ints ()
 
 let binomial_log_density n p k =
   if k < 0 || k > n then Ad.scalar Float.neg_infinity
@@ -379,7 +419,8 @@ let binomial_base ~strategy ?support n p =
         (Prng.split_many key n);
       !count)
     ~log_density:(binomial_log_density n p)
-    ~default:0 ~inject:inject_int ~project:project_int ?support ()
+    ~default:0 ~inject:inject_int ~project:project_int ?support
+    ~meta:(int_range 0 n) ()
 
 let binomial_reinforce n p = binomial_base ~strategy:Reinforce n p
 
@@ -394,7 +435,7 @@ let discrete_uniform_enum n =
     ~log_density:(fun i ->
       if i >= 0 && i < n then Ad.scalar logp else Ad.scalar Float.neg_infinity)
     ~default:0 ~inject:inject_int ~project:project_int
-    ~support:(List.init n Fun.id) ()
+    ~support:(List.init n Fun.id) ~meta:finite_meta ()
 
 (* Diagonal multivariate normal *)
 
@@ -412,7 +453,7 @@ let mv_normal_diag_base ~strategy ?reparam mean std =
       Ad.const (Prng.normal_tensor_mean_std key (Ad.value mean) (Ad.value std)))
     ~log_density:(log_density_mv_normal_diag ~mean ~std)
     ~default:(Ad.const (Tensor.zeros (Ad.shape mean)))
-    ~inject:inject_real ~project:project_real ?reparam ()
+    ~inject:inject_real ~project:project_real ?reparam ~meta:real_line ()
 
 let mv_normal_diag_reparam mean std =
   mv_normal_diag_base ~strategy:Reparam
@@ -439,7 +480,8 @@ let bernoulli_vector probs =
         ((x * log_stable probs)
         + ((Ad.scalar 1. - x) * log_stable (Ad.scalar 1. - probs))))
     ~default:(Ad.const (Tensor.zeros (Ad.shape probs)))
-    ~inject:inject_real ~project:project_real ()
+    ~inject:inject_real ~project:project_real
+    ~meta:{ continuous = false; static_support = Unit_hypercube } ()
 
 let log_density_bernoulli_logits ~logits x =
   let open Ad.O in
@@ -456,4 +498,5 @@ let bernoulli_logits_vector logits =
       Ad.const (Tensor.map2 (fun ui pi -> if ui < pi then 1. else 0.) u probs))
     ~log_density:(log_density_bernoulli_logits ~logits)
     ~default:(Ad.const (Tensor.zeros (Ad.shape logits)))
-    ~inject:inject_real ~project:project_real ()
+    ~inject:inject_real ~project:project_real
+    ~meta:{ continuous = false; static_support = Unit_hypercube } ()

@@ -34,10 +34,51 @@ type strategy =
   | Enum
   | Mvd
 
+val strategy_name : strategy -> string
+(** Short human-readable name ("REPARAM", "ENUM", ...), shared by
+    runtime error messages and the static analyzer's diagnostics. *)
+
 (** One weak-derivative coupling for MVD: contributes
     [weight * (f plus - f minus)] to the derivative with respect to
     [param]. *)
 type 'a coupling = { param : Ad.t; weight : float; plus : 'a; minus : 'a }
+
+(** {1 Static metadata}
+
+    Machine-checkable facts about a primitive that hold for {e every}
+    parameter value — what the static analyzer ([Check]) consumes. The
+    support description is deliberately coarse: it over-approximates the
+    true support, so "observed value outside [static_support]" is always
+    a genuine error. *)
+
+type static_support =
+  | Real_interval of { lo : float; hi : float }
+      (** Real values in [\[lo, hi\]] (possibly infinite endpoints). *)
+  | Finite_support  (** Enumerable via the [support] field. *)
+  | Int_range of { lo : int; hi : int option }
+      (** Integers in [\[lo, hi\]]; [hi = None] means unbounded above. *)
+  | Unit_hypercube
+      (** Tensor with every component in [\[0, 1\]] (e.g. independent
+          Bernoullis encoded as a 0/1-valued tensor). *)
+  | Unknown_support  (** No static information (custom primitives). *)
+
+type meta = {
+  continuous : bool;
+      (** Whether the distribution is continuous (so ENUM cannot apply
+          and samples may carry pathwise gradients). *)
+  static_support : static_support;
+}
+
+val unknown_meta : meta
+(** [{ continuous = false; static_support = Unknown_support }] — the
+    default for custom primitives built without [?meta]. *)
+
+val real_line : meta
+val real_interval : float -> float -> meta
+val nonneg_reals : meta
+val finite_meta : meta
+val nonneg_ints : meta
+val int_range : int -> int -> meta
 
 type 'a t = {
   name : string;
@@ -55,6 +96,7 @@ type 'a t = {
       (** Differentiable sampler, required by REPARAM. *)
   mvd : (Prng.key -> 'a * 'a coupling list) option;
       (** Primal sample plus couplings, required by MVD. *)
+  meta : meta;  (** Static metadata for pre-flight checks. *)
 }
 
 val make :
@@ -68,6 +110,7 @@ val make :
   ?support:'a list ->
   ?reparam:(Prng.key -> 'a) ->
   ?mvd:(Prng.key -> 'a * 'a coupling list) ->
+  ?meta:meta ->
   unit ->
   'a t
 

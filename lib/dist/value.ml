@@ -1,7 +1,51 @@
 type t = Real of Ad.t | Bool of bool | Int of int
 
+type smoothness_info = {
+  reason : string;
+  address : string option;
+  strategy : string option;
+}
+
 exception Type_error of string
-exception Smoothness_error of string
+exception Smoothness_error of smoothness_info
+
+let smoothness_message { reason; address; strategy } =
+  let at =
+    match (address, strategy) with
+    | Some a, Some s -> Printf.sprintf " (sampled at address %S with %s)" a s
+    | Some a, None -> Printf.sprintf " (sampled at address %S)" a
+    | None, Some s -> Printf.sprintf " (sampled with %s)" s
+    | None, None -> ""
+  in
+  reason ^ at
+
+let () =
+  Printexc.register_printer (function
+    | Smoothness_error info ->
+      Some (Printf.sprintf "Value.Smoothness_error: %s" (smoothness_message info))
+    | _ -> None)
+
+(* Provenance registry: maps AD node ids of smooth (REPARAM-style)
+   samples to the site that produced them, so a later smoothness error
+   can name the same address the static analyzer would flag. The table
+   is bounded: when it grows past [max_origins] it is cleared (lookups
+   then miss and the error is simply un-attributed), so long training
+   runs cannot leak memory through it. *)
+
+let max_origins = 65536
+let origins : (int, string option * string) Hashtbl.t = Hashtbl.create 256
+
+let register_smooth_origin node ?address ~strategy () =
+  if Hashtbl.length origins >= max_origins then Hashtbl.reset origins;
+  Hashtbl.replace origins (Ad.id node) (address, strategy)
+
+let register_origin_value v ?address ~strategy () =
+  match v with
+  | Real a when not (Ad.is_leaf a) ->
+    register_smooth_origin a ?address ~strategy ()
+  | Real _ | Bool _ | Int _ -> ()
+
+let smooth_origin node = Hashtbl.find_opt origins (Ad.id node)
 
 let real x = Real (Ad.scalar x)
 let tensor x = Real (Ad.const x)
@@ -25,11 +69,19 @@ let to_int = function
 
 let to_float_rigid = function
   | Real a when Ad.is_leaf a -> Tensor.to_scalar (Ad.value a)
-  | Real _ ->
+  | Real a ->
+    let address, strategy =
+      match smooth_origin a with
+      | Some (addr, strat) -> (addr, Some strat)
+      | None -> (None, None)
+    in
     raise
       (Smoothness_error
-         "a smooth (R-typed) sample was used non-smoothly; use a \
-          REINFORCE/MVD-annotated primitive or stop_grad")
+         { reason =
+             "a smooth (R-typed) sample was used non-smoothly; use a \
+              REINFORCE/MVD-annotated primitive or stop_grad";
+           address;
+           strategy })
   | v -> to_float v
 
 let equal_primal a b =

@@ -58,7 +58,12 @@ let rec simulate : type a. a t -> (a * Trace.t * Ad.t) Adev.t =
     Adev.return (y, Trace.union_disjoint u1 u2, Ad.add w1 w2)
   | Sample (d, name) ->
     let* x = Adev.sample d in
-    Adev.return (x, Trace.singleton name (d.Dist.inject x), d.Dist.log_density x)
+    let v = d.Dist.inject x in
+    (* Attach the trace address to the provenance entry [Adev.sample]
+       made, so smoothness errors can name the sample site. *)
+    Value.register_origin_value v
+      ~address:name ~strategy:(Dist.strategy_name d.Dist.strategy) ();
+    Adev.return (x, Trace.singleton name v, d.Dist.log_density x)
   | Observe (d, v) ->
     let lw = d.Dist.log_density v in
     let* () = Adev.score_log lw in
@@ -389,6 +394,25 @@ let view : type a. a t -> a view = function
   | Observe (d, v) -> View_observe (d, v)
   | Marginal (_, _, _) -> View_unsupported "marginal"
   | Normalize (_, _) -> View_unsupported "normalize"
+
+type _ node =
+  | Node_return : 'a -> 'a node
+  | Node_bind : 'b t * ('b -> 'a t) -> 'a node
+  | Node_sample : 'v Dist.t * string -> 'v node
+  | Node_observe : 'v Dist.t * 'v -> unit node
+  | Node_marginal : string list * 'b t * algorithm -> Trace.t node
+  | Node_normalize : 'a t * algorithm -> 'a node
+
+let reflect : type a. a t -> a node = function
+  | Return x -> Node_return x
+  | Bind (m, f) -> Node_bind (m, f)
+  | Sample (d, name) -> Node_sample (d, name)
+  | Observe (d, v) -> Node_observe (d, v)
+  | Marginal (keep, inner, alg) -> Node_marginal (keep, inner, alg)
+  | Normalize (inner, alg) -> Node_normalize (inner, alg)
+
+let algorithm_proposal alg = alg.proposal
+let algorithm_particles alg = alg.particles
 
 module Syntax = struct
   let ( let* ) = bind

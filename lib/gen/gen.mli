@@ -134,6 +134,31 @@ type _ view =
 
 val view : 'a t -> 'a view
 
+(** {1 Reflection}
+
+    A complete first-order view of the program syntax, including the
+    full-system constructs — what the static analyzer ([Check]) walks.
+    Unlike {!view}, nothing is hidden: [marginal] / [normalize] expose
+    their inner program, kept addresses, and inference algorithm so the
+    analyzer can check address coverage across sub-inference
+    boundaries. *)
+
+type _ node =
+  | Node_return : 'a -> 'a node
+  | Node_bind : 'b t * ('b -> 'a t) -> 'a node
+  | Node_sample : 'v Dist.t * string -> 'v node
+  | Node_observe : 'v Dist.t * 'v -> unit node
+  | Node_marginal : string list * 'b t * algorithm -> Trace.t node
+  | Node_normalize : 'a t * algorithm -> 'a node
+
+val reflect : 'a t -> 'a node
+
+val algorithm_proposal : algorithm -> Trace.t -> packed
+(** The proposal program of an inference algorithm (receives the
+    conditioning trace). *)
+
+val algorithm_particles : algorithm -> int
+
 (** {1 Syntax} *)
 
 module Syntax : sig

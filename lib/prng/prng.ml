@@ -35,7 +35,15 @@ let to_unit_float bits =
   Int64.to_float mant *. (1. /. 9007199254740992.)
 
 let uniform k = to_unit_float (mix64 (Int64.add k 1L))
-let uniform_range k lo hi = lo +. ((hi -. lo) *. uniform k)
+
+let uniform_range k lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg
+      (Printf.sprintf "Prng.uniform_range: non-finite bounds [%g, %g]" lo hi);
+  if lo > hi then
+    invalid_arg
+      (Printf.sprintf "Prng.uniform_range: empty range [%g, %g]" lo hi);
+  lo +. ((hi -. lo) *. uniform k)
 
 let normal k =
   let k1, k2 = split k in
@@ -45,7 +53,10 @@ let normal k =
 
 let normal_mean_std k mu sigma = mu +. (sigma *. normal k)
 let exponential k = -.Float.log (Float.max (uniform k) 1e-300)
-let bernoulli k p = uniform k < p
+
+let bernoulli k p =
+  if Float.is_nan p then invalid_arg "Prng.bernoulli: NaN probability";
+  uniform k < p
 
 let categorical k weights =
   if Array.length weights = 0 then
@@ -77,6 +88,16 @@ let categorical k weights =
   !chosen
 
 let categorical_logits k logits =
+  if Array.length logits = 0 then
+    invalid_arg "Prng.categorical_logits: empty logit vector";
+  Array.iteri
+    (fun i l ->
+      if Float.is_nan l then
+        invalid_arg
+          (Printf.sprintf "Prng.categorical_logits: NaN logit at index %d" i))
+    logits;
+  if Array.for_all (fun l -> l = Float.neg_infinity) logits then
+    invalid_arg "Prng.categorical_logits: all logits are -inf";
   let best = ref 0 and best_v = ref Float.neg_infinity in
   Array.iteri
     (fun i l ->
@@ -91,6 +112,8 @@ let categorical_logits k logits =
 
 (* Marsaglia-Tsang, boosted for shape < 1. *)
 let rec gamma k shape =
+  if not (shape > 0. && Float.is_finite shape) then
+    invalid_arg (Printf.sprintf "Prng.gamma: shape %g not positive finite" shape);
   if shape < 1. then begin
     let k1, k2 = split k in
     let u = Float.max (uniform k1) 1e-300 in
@@ -128,6 +151,9 @@ let beta k a b =
   x /. (x +. y)
 
 let poisson k rate =
+  if Float.is_nan rate then invalid_arg "Prng.poisson: NaN rate";
+  if rate < 0. then
+    invalid_arg (Printf.sprintf "Prng.poisson: negative rate %g" rate);
   if rate <= 0. then 0
   else if rate < 30. then begin
     (* Knuth's multiplication method. *)
@@ -147,6 +173,12 @@ let poisson k rate =
   end
 
 let weibull k ~shape ~scale =
+  if not (shape > 0. && Float.is_finite shape) then
+    invalid_arg
+      (Printf.sprintf "Prng.weibull: shape %g not positive finite" shape);
+  if not (scale > 0. && Float.is_finite scale) then
+    invalid_arg
+      (Printf.sprintf "Prng.weibull: scale %g not positive finite" scale);
   let u = Float.max (uniform k) 1e-300 in
   scale *. Float.pow (-.Float.log u) (1. /. shape)
 

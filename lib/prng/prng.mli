@@ -31,7 +31,8 @@ val uniform : key -> float
 (** Uniform on the half-open interval [\[0, 1)]. *)
 
 val uniform_range : key -> float -> float -> float
-(** [uniform_range k lo hi] is uniform on [\[lo, hi)]. *)
+(** [uniform_range k lo hi] is uniform on [\[lo, hi)].
+    @raise Invalid_argument on non-finite bounds or [lo > hi]. *)
 
 val normal : key -> float
 (** Standard normal (Box-Muller). *)
@@ -42,7 +43,8 @@ val exponential : key -> float
 (** Rate-1 exponential. *)
 
 val bernoulli : key -> float -> bool
-(** [bernoulli k p] is [true] with probability [p]. *)
+(** [bernoulli k p] is [true] with probability [p].
+    @raise Invalid_argument on a NaN probability. *)
 
 val categorical : key -> float array -> int
 (** Sample an index proportionally to the (unnormalized, nonnegative)
@@ -51,21 +53,27 @@ val categorical : key -> float array -> int
     even if the total happens to be positive). *)
 
 val categorical_logits : key -> float array -> int
-(** Sample an index from unnormalized log-weights (Gumbel-max). *)
+(** Sample an index from unnormalized log-weights (Gumbel-max).
+    @raise Invalid_argument on an empty vector, any NaN logit, or when
+    every logit is [-inf] (no mass anywhere). *)
 
 val gamma : key -> float -> float
 (** [gamma k shape] samples a Gamma(shape, 1) variate
-    (Marsaglia-Tsang; valid for any [shape > 0]). *)
+    (Marsaglia-Tsang; valid for any [shape > 0]).
+    @raise Invalid_argument unless [shape] is positive and finite. *)
 
 val beta : key -> float -> float -> float
 (** [beta k a b] samples a Beta(a, b) variate. *)
 
 val poisson : key -> float -> int
-(** [poisson k rate] samples a Poisson(rate) count. *)
+(** [poisson k rate] samples a Poisson(rate) count; [rate = 0.] yields 0.
+    @raise Invalid_argument on a NaN or negative rate. *)
 
 val weibull : key -> shape:float -> scale:float -> float
 (** Weibull variate via inverse transform. The measure-valued derivative
-    of the normal's mean uses Weibull(shape=2, scale=sqrt 2). *)
+    of the normal's mean uses Weibull(shape=2, scale=sqrt 2).
+    @raise Invalid_argument unless [shape] and [scale] are positive and
+    finite. *)
 
 val maxwell : key -> float
 (** Magnitude of a standard Maxwell variate (density proportional to

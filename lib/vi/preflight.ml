@@ -1,0 +1,319 @@
+(* The pre-flight target registry: every shipped case study (and a
+   mirror of each example program) as a [Check.target], plus a family of
+   deliberately broken demonstration programs whose expected diagnostic
+   codes are recorded alongside. [ppvi check] and the CI lint job run
+   the whole registry: clean targets must produce no error-severity
+   diagnostics, demo targets must produce their expected codes. *)
+
+open Gen.Syntax
+
+type entry = {
+  name : string;
+  expect : string list;
+      (* Diagnostic codes this target is expected to produce; empty for
+         targets that must analyze clean. *)
+  make : unit -> Check.target;
+}
+
+let pair model guide = Check.Pair { model; guide }
+
+(* ------------------------------------------------------------------ *)
+(* Deliberately broken demonstration programs                          *)
+
+let demo_branchy_reparam () =
+  let prog =
+    let* x = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "x" in
+    if Gen.rigid x > 0. then
+      let* _ =
+        Gen.sample (Dist.normal_reinforce (Ad.scalar 1.) (Ad.scalar 1.)) "pos"
+      in
+      Gen.return ()
+    else Gen.return ()
+  in
+  Check.Program (Gen.Packed prog)
+
+let demo_enum_on_continuous () =
+  let d = Dist.normal_reinforce (Ad.scalar 0.) (Ad.scalar 1.) in
+  let d = { d with Dist.strategy = Dist.Enum } in
+  Check.Program (Gen.Packed (Gen.sample d "z"))
+
+let demo_mvd_uncoupled () =
+  let d = Dist.normal_reinforce (Ad.scalar 0.) (Ad.scalar 1.) in
+  let d = { d with Dist.strategy = Dist.Mvd } in
+  Check.Program (Gen.Packed (Gen.sample d "z"))
+
+let demo_guide_mismatch () =
+  let model =
+    let* mu = Gen.sample (Dist.normal_reinforce (Ad.scalar 0.) (Ad.scalar 1.)) "mu" in
+    Gen.observe (Dist.normal_reparam mu (Ad.scalar 1.)) (Ad.scalar 0.5)
+  in
+  let guide =
+    let* _ =
+      Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "sigma"
+    in
+    Gen.return ()
+  in
+  pair (Gen.Packed model) (Gen.Packed guide)
+
+let demo_duplicate_address () =
+  let prog =
+    let* _ = Gen.sample (Dist.flip_enum (Ad.scalar 0.4)) "coin" in
+    let* _ = Gen.sample (Dist.flip_enum (Ad.scalar 0.6)) "coin" in
+    Gen.return ()
+  in
+  Check.Program (Gen.Packed prog)
+
+let demo_observe_outside_support () =
+  let prog =
+    let* _ = Gen.sample (Dist.flip_enum (Ad.scalar 0.5)) "b" in
+    Gen.observe (Dist.uniform 0. 1.) (Ad.scalar 2.)
+  in
+  Check.Program (Gen.Packed prog)
+
+(* ------------------------------------------------------------------ *)
+(* Example-program mirrors                                             *)
+
+let quickstart_target () =
+  let model =
+    let* x = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 3.)) "x" in
+    let* y = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 3.)) "y" in
+    let r2 = Ad.add (Ad.mul x x) (Ad.mul y y) in
+    Gen.observe (Dist.normal_reparam r2 (Ad.scalar 0.5)) (Ad.scalar 5.)
+  in
+  let guide =
+    let std rho = Ad.add_scalar 1e-3 (Ad.softplus rho) in
+    let* _ =
+      Gen.sample (Dist.normal_reparam (Ad.scalar 0.5) (std (Ad.scalar 0.5))) "x"
+    in
+    let* _ =
+      Gen.sample (Dist.normal_reparam (Ad.scalar 0.5) (std (Ad.scalar 0.5))) "y"
+    in
+    Gen.return ()
+  in
+  pair (Gen.Packed model) (Gen.Packed guide)
+
+(* The custom-primitive example, with the optional [?meta] static
+   metadata a user can attach so the analyzer knows the support. *)
+let custom_primitive_target () =
+  let exponential_reparam rate =
+    Dist.make ~name:"exponential" ~strategy:Dist.Reparam
+      ~sample:(fun key ->
+        Ad.scalar (Prng.exponential key /. Tensor.to_scalar (Ad.value rate)))
+      ~log_density:(fun x -> Ad.O.(Ad.log rate - (rate * x)))
+      ~default:(Ad.scalar 1.)
+      ~inject:(fun a -> Value.Real a)
+      ~project:(function Value.Real a -> Some a | _ -> None)
+      ~reparam:(fun key ->
+        let e = Prng.exponential key in
+        Ad.div (Ad.scalar e) rate)
+      ~meta:Dist.nonneg_reals ()
+  in
+  let model =
+    let* x = Gen.sample (exponential_reparam (Ad.scalar 1.)) "x" in
+    Gen.observe (Dist.normal_reparam x (Ad.scalar 0.5)) (Ad.scalar 2.)
+  in
+  let guide = Gen.map (fun _ -> ()) (Gen.sample (exponential_reparam (Ad.scalar 1.2)) "x") in
+  pair (Gen.Packed model) (Gen.Packed guide)
+
+(* ------------------------------------------------------------------ *)
+(* Case studies                                                        *)
+
+let cone_frame () =
+  let store = Store.create () in
+  Cone.register store (Prng.key 0);
+  Store.Frame.make store
+
+let entries =
+  [ { name = "cone/elbo";
+      expect = [];
+      make =
+        (fun () ->
+          pair (Gen.Packed Cone.model) (Gen.Packed (Cone.guide_naive (cone_frame ())))) };
+    { name = "cone/hvi";
+      expect = [];
+      make =
+        (fun () ->
+          pair (Gen.Packed Cone.model)
+            (Gen.Packed (Cone.guide_marginal ~aux_particles:2 (cone_frame ())))) };
+    { name = "cone/sir";
+      expect = [];
+      make =
+        (fun () ->
+          pair (Gen.Packed Cone.model)
+            (Gen.Packed (Cone.guide_sir ~particles:2 (cone_frame ())))) };
+    { name = "cone/learned-reverse";
+      expect = [];
+      make =
+        (fun () ->
+          let frame = cone_frame () in
+          let guide =
+            Gen.marginal ~keep:[ "x"; "y" ] (Cone.guide_joint frame)
+              (Gen.importance ~particles:2 (Cone.reverse_kernel_learned frame))
+          in
+          pair (Gen.Packed Cone.model) (Gen.Packed guide)) };
+    { name = "coin";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Coin.register store;
+          let frame = Store.Frame.make store in
+          pair (Gen.Packed Coin.model) (Gen.Packed (Coin.guide frame))) };
+    { name = "regression";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Regression.register store;
+          let frame = Store.Frame.make store in
+          pair (Gen.Packed Regression.model) (Gen.Packed (Regression.guide frame))) };
+    { name = "mcvi";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Mcvi.register store;
+          let frame = Store.Frame.make store in
+          pair (Gen.Packed Cone.model)
+            (Gen.Packed (Mcvi.guide ~aux_particles:2 frame))) };
+    { name = "vae";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Vae.register store (Prng.key 11);
+          let frame = Store.Frame.make store in
+          let images, _ = Data.digit_batch (Prng.key 12) 2 in
+          pair
+            (Gen.Packed (Vae.model frame images))
+            (Gen.Packed (Vae.guide frame images))) };
+    { name = "ssvae/unsup";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Ssvae.register store (Prng.key 21);
+          let frame = Store.Frame.make store in
+          let images, _ = Data.digit_batch (Prng.key 22) 1 in
+          let image = Tensor.slice0 images 0 in
+          pair
+            (Gen.Packed (Ssvae.unsup_model frame image))
+            (Gen.Packed (Ssvae.unsup_guide frame image))) };
+    { name = "ssvae/sup";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Ssvae.register store (Prng.key 23);
+          let frame = Store.Frame.make store in
+          let images, _ = Data.digit_batch (Prng.key 24) 1 in
+          let image = Tensor.slice0 images 0 in
+          pair
+            (Gen.Packed (Ssvae.sup_model frame 3 image))
+            (Gen.Packed (Ssvae.sup_guide frame 3 image))) };
+    { name = "cvae";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Cvae.register store (Prng.key 31);
+          let frame = Store.Frame.make store in
+          let images, _ = Data.digit_batch (Prng.key 32) 1 in
+          let image = Tensor.slice0 images 0 in
+          let input = Tensor.flatten (Data.quadrant image Cvae.observed_quadrant) in
+          let target = Data.without_quadrant image Cvae.observed_quadrant in
+          pair
+            (Gen.Packed (Cvae.model frame input target))
+            (Gen.Packed (Cvae.guide frame input target))) };
+    { name = "air";
+      expect = [];
+      make =
+        (fun () ->
+          let store = Store.create () in
+          Air.register store (Prng.key 41);
+          let frame = Store.Frame.make store in
+          let baselines = Air.make_baselines () in
+          let image, _ = Data.air_scene (Prng.key 42) in
+          pair
+            (Gen.Packed (Air.model frame image))
+            (Gen.Packed (Air.guide ~baselines frame image))) };
+    { name = "examples/quickstart"; expect = []; make = quickstart_target };
+    { name = "examples/custom-primitive";
+      expect = [];
+      make = custom_primitive_target };
+    { name = "demo/branchy-reparam";
+      expect = [ "PV101" ];
+      make = demo_branchy_reparam };
+    { name = "demo/enum-on-continuous";
+      expect = [ "PV102" ];
+      make = demo_enum_on_continuous };
+    { name = "demo/mvd-uncoupled"; expect = [ "PV103" ]; make = demo_mvd_uncoupled };
+    { name = "demo/guide-mismatch";
+      expect = [ "PV202"; "PV203" ];
+      make = demo_guide_mismatch };
+    { name = "demo/duplicate-address";
+      expect = [ "PV201" ];
+      make = demo_duplicate_address };
+    { name = "demo/observe-outside-support";
+      expect = [ "PV301" ];
+      make = demo_observe_outside_support } ]
+
+(* ------------------------------------------------------------------ *)
+(* Running the registry                                                *)
+
+let run ?fuel ?max_width entry =
+  match entry.make () with
+  | target -> Check.analyze ?fuel ?max_width target
+  | exception exn ->
+    { Check.diagnostics =
+        [ { Check.code = "PV390";
+            severity = Check.Warning;
+            address = None;
+            message = "target construction failed: " ^ Printexc.to_string exn } ];
+      truncated = false }
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let run_all ?fuel ?max_width ?(filter = "") () =
+  let selected = List.filter (fun e -> contains_substring e.name filter) entries in
+  List.map (fun e -> (e, run ?fuel ?max_width e)) selected
+
+(* A clean target passes when it has no error-severity diagnostics; a
+   demo target passes when every expected code shows up. *)
+let entry_ok entry report =
+  match entry.expect with
+  | [] -> not (Check.has_errors report)
+  | expected ->
+    List.for_all
+      (fun code ->
+        List.exists (fun d -> d.Check.code = code) report.Check.diagnostics)
+      expected
+
+let all_ok results = List.for_all (fun (e, r) -> entry_ok e r) results
+
+let results_to_json results =
+  "["
+  ^ String.concat ","
+      (List.map (fun (e, r) -> Check.report_to_json ~name:e.name r) results)
+  ^ "]"
+
+let print_human ppf results =
+  List.iter
+    (fun (e, r) ->
+      let status =
+        if entry_ok e r then "ok"
+        else if e.expect = [] then "FAIL"
+        else "MISSING-EXPECTED"
+      in
+      Format.fprintf ppf "%-32s %s@." e.name status;
+      List.iter
+        (fun d -> Format.fprintf ppf "    %a@." Check.pp_diagnostic d)
+        r.Check.diagnostics;
+      if r.Check.truncated then
+        Format.fprintf ppf "    (exploration truncated)@.")
+    results

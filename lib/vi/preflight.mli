@@ -1,0 +1,43 @@
+(** The pre-flight target registry behind [ppvi check].
+
+    Every shipped case study (and a mirror of each example program) is
+    listed as a named [Check.target], together with a family of
+    deliberately broken demonstration programs whose expected diagnostic
+    codes are recorded alongside ([expect]). The CLI and the CI lint job
+    run the whole registry: clean targets must produce no error-severity
+    diagnostics, demo targets must produce every expected code — so the
+    analyzer is exercised against both kinds of ground truth on every
+    run. *)
+
+type entry = {
+  name : string;  (** e.g. ["cone/elbo"], ["demo/branchy-reparam"]. *)
+  expect : string list;
+      (** Diagnostic codes this target must produce; empty for targets
+          that must analyze clean. *)
+  make : unit -> Check.target;
+      (** Builds the target (registers parameter stores, synthesizes
+          small data batches). *)
+}
+
+val entries : entry list
+
+val run : ?fuel:int -> ?max_width:int -> entry -> Check.report
+(** Analyze one entry; target-construction failures become a PV390
+    warning rather than an exception. *)
+
+val run_all :
+  ?fuel:int -> ?max_width:int -> ?filter:string -> unit ->
+  (entry * Check.report) list
+(** Analyze every entry whose name contains [filter] (all by
+    default). *)
+
+val entry_ok : entry -> Check.report -> bool
+(** Clean targets: no error-severity diagnostics. Demo targets: every
+    expected code present. *)
+
+val all_ok : (entry * Check.report) list -> bool
+
+val results_to_json : (entry * Check.report) list -> string
+(** A JSON array of named reports (the CI lint artifact). *)
+
+val print_human : Format.formatter -> (entry * Check.report) list -> unit

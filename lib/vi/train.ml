@@ -11,6 +11,38 @@ type report = {
    — is common to all loop flavors. On rollback the step counter jumps
    back to the snapshot step and already-collected reports past it are
    discarded (so the returned series is the committed trajectory). *)
+(* Opt-in pre-flight: statically analyze the given targets before any
+   optimization step runs. Diagnostics go to stderr; under [strict] an
+   error-severity diagnostic aborts the run with
+   [Check.Preflight_error] instead of letting training fail later (or
+   silently optimize a -inf-density objective). *)
+let run_preflight ~strict targets =
+  match targets with
+  | [] -> ()
+  | _ ->
+    let failing =
+      List.filter
+        (fun target ->
+          let report = Check.analyze target in
+          List.iter
+            (fun d ->
+              Format.eprintf "[preflight] %a@." Check.pp_diagnostic d)
+            report.Check.diagnostics;
+          Check.has_errors report)
+        targets
+    in
+    if failing <> [] then begin
+      Format.eprintf
+        "[preflight] %d of %d target(s) have error-severity diagnostics@."
+        (List.length failing) (List.length targets);
+      if strict then
+        raise
+          (Check.Preflight_error
+             (Printf.sprintf
+                "pre-flight check failed on %d of %d target(s)"
+                (List.length failing) (List.length targets)))
+    end
+
 let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
     key =
   let g = match guard with Some g -> g | None -> Guard.create () in
@@ -48,14 +80,18 @@ let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
   List.rev !reports
 
 let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1) ?guard
-    ?(on_step = fun _ -> ()) ~steps ~objective key =
+    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
+    ~steps ~objective key =
+  run_preflight ~strict:preflight_strict preflight;
   fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       Adev.expectation_mean ~samples (objective frame step) key_step)
     key
 
 let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard
-    ?(on_step = fun _ -> ()) ~steps ~objectives key =
+    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
+    ~steps ~objectives key =
+  run_preflight ~strict:preflight_strict preflight;
   fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       let objs = objectives frame step in
@@ -69,7 +105,9 @@ let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard
     key
 
 let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard
-    ?(on_step = fun _ -> ()) ~steps ~surrogate key =
+    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
+    ~steps ~surrogate key =
+  run_preflight ~strict:preflight_strict preflight;
   fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
     ~make_surrogate:(fun frame step key_step -> surrogate frame step key_step)
     key

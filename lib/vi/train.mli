@@ -24,6 +24,8 @@ val fit :
   ?direction:Optim.direction ->
   ?samples:int ->
   ?guard:Guard.t ->
+  ?preflight:Check.target list ->
+  ?preflight_strict:bool ->
   ?on_step:(report -> unit) ->
   steps:int ->
   objective:(Store.Frame.t -> int -> Ad.t Adev.t) ->
@@ -37,13 +39,21 @@ val fit :
     order — the {e committed} trajectory: steps undone by a rollback
     are replayed and reported once, though [on_step] may fire more
     than once per index while retrying.
-    @raise Guard.Diverged per the guard's policy. *)
+
+    [preflight] statically analyzes the given targets (see [Check])
+    before the first step: diagnostics are printed to stderr, and with
+    [preflight_strict] (default false) any error-severity diagnostic
+    raises [Check.Preflight_error] instead of starting training.
+    @raise Guard.Diverged per the guard's policy.
+    @raise Check.Preflight_error under [preflight_strict]. *)
 
 val fit_batch :
   store:Store.t ->
   optim:Optim.t ->
   ?direction:Optim.direction ->
   ?guard:Guard.t ->
+  ?preflight:Check.target list ->
+  ?preflight_strict:bool ->
   ?on_step:(report -> unit) ->
   steps:int ->
   objectives:(Store.Frame.t -> int -> Ad.t Adev.t list) ->
@@ -60,6 +70,8 @@ val fit_surrogate :
   optim:Optim.t ->
   ?direction:Optim.direction ->
   ?guard:Guard.t ->
+  ?preflight:Check.target list ->
+  ?preflight_strict:bool ->
   ?on_step:(report -> unit) ->
   steps:int ->
   surrogate:(Store.Frame.t -> int -> Prng.key -> Ad.t) ->

@@ -315,6 +315,67 @@ let test_normalize_density_estimate () =
     (log_normal x (y /. 2.) (1. /. Float.sqrt 2.))
     (primal w)
 
+(* Address-discipline corners of the density transformation: missing and
+   leftover addresses through marginal/normalize sub-programs, and the
+   prefix variant's contract (leftovers ignored, missing still fatal). *)
+
+let test_density_prefix_missing_address () =
+  (* log_density_prefix forgives leftovers, not missing addresses. *)
+  let trace = Trace.of_list [ ("x", Value.real 0.4) ] in
+  let w = run_det (Gen.log_density_prefix simple_prog trace) k0 in
+  Alcotest.(check bool) "prefix missing address -> -inf" true
+    (primal w = Float.neg_infinity)
+
+let marginal_prog particles =
+  Gen.marginal ~keep:[ "x" ] marginal_inner
+    (Gen.importance ~particles exact_posterior_proposal)
+
+let test_marginal_density_missing_kept () =
+  let w = run_det (Gen.log_density (marginal_prog 1) Trace.empty) k0 in
+  Alcotest.(check bool) "missing kept address -> -inf" true
+    (primal w = Float.neg_infinity)
+
+let test_marginal_density_leftover () =
+  let trace =
+    Trace.of_list [ ("x", Value.real 0.3); ("junk", Value.real 1.) ]
+  in
+  let w = run_det (Gen.log_density (marginal_prog 1) trace) k0 in
+  Alcotest.(check bool) "leftover after marginal -> -inf" true
+    (primal w = Float.neg_infinity);
+  let w' = run_det (Gen.log_density_prefix (marginal_prog 1) trace) k0 in
+  check_close "prefix ignores leftover around marginal" ~tol:1e-9
+    (log_normal 0.3 0. (Float.sqrt 2.))
+    (primal w')
+
+let normalize_prog particles =
+  let y = 1.0 in
+  let proposal _ =
+    Gen.Packed
+      (Gen.sample
+         (Dist.normal_reparam
+            (Ad.scalar (y /. 2.))
+            (Ad.scalar (1. /. Float.sqrt 2.)))
+         "x")
+  in
+  Gen.normalize (normalize_target y) (Gen.importance ~particles proposal)
+
+let test_normalize_density_missing () =
+  let w = run_det (Gen.log_density (normalize_prog 1) Trace.empty) k0 in
+  Alcotest.(check bool) "missing address under normalize -> not finite" true
+    (not (Float.is_finite (primal w)))
+
+let test_normalize_density_leftover () =
+  let trace =
+    Trace.of_list [ ("x", Value.real 0.8); ("junk", Value.real 1.) ]
+  in
+  let w = run_det (Gen.log_density (normalize_prog 1) trace) k0 in
+  Alcotest.(check bool) "leftover after normalize -> -inf" true
+    (primal w = Float.neg_infinity);
+  let w' = run_det (Gen.log_density_prefix (normalize_prog 1) trace) k0 in
+  check_close "prefix ignores leftover around normalize" ~tol:1e-9
+    (log_normal 0.8 (1.0 /. 2.) (1. /. Float.sqrt 2.))
+    (primal w')
+
 (* Property: for programs without marginal/normalize, sim's weight always
    equals density re-evaluated at the produced trace. *)
 let prop_sim_density_roundtrip =
@@ -380,5 +441,15 @@ let suites =
         Alcotest.test_case "normalize more particles" `Slow
           test_normalize_sir_improves_with_particles;
         Alcotest.test_case "normalize density" `Quick
-          test_normalize_density_estimate ]
+          test_normalize_density_estimate;
+        Alcotest.test_case "prefix missing address" `Quick
+          test_density_prefix_missing_address;
+        Alcotest.test_case "marginal density missing kept" `Quick
+          test_marginal_density_missing_kept;
+        Alcotest.test_case "marginal density leftover" `Quick
+          test_marginal_density_leftover;
+        Alcotest.test_case "normalize density missing" `Quick
+          test_normalize_density_missing;
+        Alcotest.test_case "normalize density leftover" `Quick
+          test_normalize_density_leftover ]
       @ qcheck_cases ) ]

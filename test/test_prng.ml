@@ -224,6 +224,42 @@ let prop_beta_in_unit =
       let x = Prng.beta (Prng.key seed) a b in
       x >= 0. && x <= 1.)
 
+let test_input_validation () =
+  let rejects name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "uniform_range inverted" (fun () -> Prng.uniform_range k0 1. 0.);
+  rejects "uniform_range nan lo" (fun () ->
+      Prng.uniform_range k0 Float.nan 1.);
+  rejects "uniform_range inf hi" (fun () ->
+      Prng.uniform_range k0 0. Float.infinity);
+  rejects "bernoulli nan p" (fun () -> Prng.bernoulli k0 Float.nan);
+  rejects "gamma zero shape" (fun () -> Prng.gamma k0 0.);
+  rejects "gamma negative shape" (fun () -> Prng.gamma k0 (-1.));
+  rejects "gamma nan shape" (fun () -> Prng.gamma k0 Float.nan);
+  rejects "weibull zero shape" (fun () -> Prng.weibull k0 ~shape:0. ~scale:1.);
+  rejects "weibull negative scale" (fun () ->
+      Prng.weibull k0 ~shape:2. ~scale:(-1.));
+  rejects "poisson nan rate" (fun () -> Prng.poisson k0 Float.nan);
+  rejects "poisson negative rate" (fun () -> Prng.poisson k0 (-2.));
+  rejects "categorical_logits empty" (fun () ->
+      Prng.categorical_logits k0 [||]);
+  rejects "categorical_logits nan" (fun () ->
+      Prng.categorical_logits k0 [| 0.; Float.nan |]);
+  rejects "categorical_logits all -inf" (fun () ->
+      Prng.categorical_logits k0
+        [| Float.neg_infinity; Float.neg_infinity |]);
+  (* Edge cases that stay valid. *)
+  Alcotest.(check int) "poisson rate 0" 0 (Prng.poisson k0 0.);
+  Alcotest.(check (float 0.)) "uniform_range point" 1.5
+    (Prng.uniform_range k0 1.5 1.5);
+  Alcotest.(check int) "categorical_logits skips -inf" 1
+    (Prng.categorical_logits k0 [| Float.neg_infinity; 0. |])
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_uniform_bounds; prop_split_deterministic; prop_beta_in_unit ]
@@ -257,5 +293,6 @@ let suites =
         Alcotest.test_case "uniform KS" `Slow test_uniform_ks;
         Alcotest.test_case "normal KS" `Slow test_normal_ks;
         Alcotest.test_case "permutation" `Quick test_permutation;
-        Alcotest.test_case "tensor draws" `Quick test_tensor_draws ]
+        Alcotest.test_case "tensor draws" `Quick test_tensor_draws;
+        Alcotest.test_case "input validation" `Quick test_input_validation ]
       @ qcheck_cases ) ]
