@@ -1,0 +1,103 @@
+(* Benchmark regression gate: compare the tracked medians of a fresh
+   BENCH_*.json against a committed baseline and fail on regressions.
+
+     compare.exe BASELINE CURRENT [--threshold PCT]
+
+   Entries are matched on (name, parameter value); an entry present in
+   the baseline but missing from the current run is itself a failure
+   (a silently dropped benchmark would otherwise pass forever). The
+   parser is deliberately narrow: it reads exactly the line-oriented
+   format `write_json` in main.ml emits, so no JSON dependency is
+   needed. *)
+
+type entry = {
+  name : string;
+  pkey : string;
+  pval : int;
+  median_ms : float;
+}
+
+let parse_entry line =
+  try
+    Scanf.sscanf line " { \"name\": %S, %S: %d, \"mean_ms\": %f, \
+                       \"stddev_ms\": %f, \"median_ms\": %f"
+      (fun name pkey pval _mean _std median ->
+        Some { name; pkey; pval; median_ms = median })
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+
+let read_entries path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "compare: cannot open %s: %s\n%!" path msg;
+      exit 2
+  in
+  let entries = ref [] in
+  (try
+     while true do
+       match parse_entry (input_line ic) with
+       | Some e -> entries := e :: !entries
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let () =
+  let threshold = ref 15.0 in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        threshold := float_of_string v;
+        parse_args rest
+    | p :: rest ->
+        paths := p :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !paths with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        Printf.eprintf
+          "usage: compare.exe BASELINE CURRENT [--threshold PCT]\n%!";
+        exit 2
+  in
+  let baseline = read_entries baseline_path in
+  let current = read_entries current_path in
+  if baseline = [] then (
+    Printf.eprintf "compare: no entries parsed from %s\n%!" baseline_path;
+    exit 2);
+  let failed = ref false in
+  Printf.printf "%-28s %10s %12s %12s %9s\n" "benchmark" "param"
+    "baseline_ms" "current_ms" "delta";
+  List.iter
+    (fun b ->
+      let found =
+        List.find_opt
+          (fun c -> c.name = b.name && c.pval = b.pval)
+          current
+      in
+      match found with
+      | None ->
+          failed := true;
+          Printf.printf "%-28s %s=%-7d missing from current run  FAIL\n"
+            b.name b.pkey b.pval
+      | Some c ->
+          let delta_pct =
+            (c.median_ms -. b.median_ms) /. b.median_ms *. 100.
+          in
+          let verdict = if delta_pct > !threshold then "FAIL" else "ok" in
+          if delta_pct > !threshold then failed := true;
+          Printf.printf "%-28s %s=%-7d %12.4f %12.4f %+8.1f%%  %s\n" b.name
+            b.pkey b.pval b.median_ms c.median_ms delta_pct verdict)
+    baseline;
+  if !failed then (
+    Printf.printf
+      "regression: some tracked medians degraded by more than %.0f%%\n%!"
+      !threshold;
+    exit 1)
+  else
+    Printf.printf "all tracked medians within %.0f%% of baseline\n%!"
+      !threshold

@@ -12,6 +12,13 @@ let std xs =
   let m = mean xs in
   Float.sqrt (mean (List.map (fun x -> (x -. m) ** 2.) xs))
 
+let median xs =
+  let arr = Array.of_list (List.sort Float.compare xs) in
+  let n = Array.length arr in
+  if n = 0 then Float.nan
+  else if n mod 2 = 1 then arr.(n / 2)
+  else 0.5 *. (arr.((n / 2) - 1) +. arr.(n / 2))
+
 (* ------------------------------------------------------------------ *)
 (* T1 (Table 1 / Fig 10): VAE gradient-estimate wall time, automated
    vs hand-coded, across batch sizes. *)
@@ -665,8 +672,9 @@ let write_json path ~domains entries =
     (fun i e ->
       Printf.fprintf oc
         "    { \"name\": %S, \"%s\": %d, \"mean_ms\": %.6f, \"stddev_ms\": \
-         %.6f, \"domains\": %d }%s\n"
-        e.e_name e.e_pkey e.e_pval (mean e.e_samples) (std e.e_samples) domains
+         %.6f, \"median_ms\": %.6f, \"domains\": %d }%s\n"
+        e.e_name e.e_pkey e.e_pval (mean e.e_samples) (std e.e_samples)
+        (median e.e_samples) domains
         (if i = n - 1 then "" else ","))
     entries;
   Printf.fprintf oc "  ]\n}\n";
@@ -674,7 +682,9 @@ let write_json path ~domains entries =
   Printf.printf "wrote %s (%d entries)\n%!" path n
 
 let json ~quick () =
-  hr "Machine-readable benchmarks -> BENCH_tensor.json, BENCH_vae.json";
+  hr
+    "Machine-readable benchmarks -> BENCH_tensor.json, BENCH_vae.json, \
+     BENCH_batched.json";
   let domains = Parallel.domains () in
   let quota = if quick then 0.25 else 1.0 in
   let limit = if quick then 1 else 300 in
@@ -741,7 +751,46 @@ let json ~quick () =
             e_samples = hand } ])
       batches
   in
-  write_json "BENCH_vae.json" ~domains vae_entries
+  write_json "BENCH_vae.json" ~domains vae_entries;
+  (* Batched-engine speedups: the plated VAE gradient step against the
+     per-datum interpreter loop, and the 64-particle IWELBO drawn as one
+     vectorized pass against the sequential particle loop. *)
+  let batched_entries =
+    let batch = 256 in
+    let images, _ = Data.digit_batch (Prng.key 2) batch in
+    let grad_step elbo =
+      run (fun () ->
+          let frame = Store.Frame.make store in
+          let s = Adev.expectation (elbo frame images) (Prng.key 3) in
+          Ad.backward s;
+          ignore (Sys.opaque_identity (Store.Frame.grads frame)))
+    in
+    let one, _ = Data.digit_batch (Prng.key 4) 1 in
+    let image = Tensor.slice0 one 0 in
+    let particles = 64 in
+    let iwelbo_step batched =
+      run (fun () ->
+          let frame = Store.Frame.make store in
+          let s =
+            Adev.expectation
+              (Objectives.iwelbo ~batched ~particles
+                 ~model:(Vae.model1 frame image)
+                 ~guide:(Vae.guide1 frame image) ())
+              (Prng.key 5)
+          in
+          Ad.backward s;
+          ignore (Sys.opaque_identity (Store.Frame.grads frame)))
+    in
+    [ { e_name = "vae_grad_step_batched"; e_pkey = "batch"; e_pval = batch;
+        e_samples = grad_step Vae.elbo_per_datum };
+      { e_name = "vae_grad_step_looped"; e_pkey = "batch"; e_pval = batch;
+        e_samples = grad_step Vae.elbo_per_datum_looped };
+      { e_name = "iwelbo_batched"; e_pkey = "particles"; e_pval = particles;
+        e_samples = iwelbo_step true };
+      { e_name = "iwelbo_sequential"; e_pkey = "particles"; e_pval = particles;
+        e_samples = iwelbo_step false } ]
+  in
+  write_json "BENCH_batched.json" ~domains batched_entries
 
 (* ------------------------------------------------------------------ *)
 

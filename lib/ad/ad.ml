@@ -213,6 +213,37 @@ let logsumexp a =
          let gs = Tensor.to_scalar g in
          Tensor.map (fun x -> gs *. Float.exp (x -. lse)) a.v) ]
 
+(* Re-insert a size-1 dimension at [ax] and broadcast back to the input
+   shape, turning the gradient of an axis reduction into a full-shape
+   cotangent. *)
+let expand_reduced ax in_shape t =
+  let r = Array.length in_shape in
+  let keep = Array.init r (fun i -> if i = ax then 1 else in_shape.(i)) in
+  Tensor.broadcast_to (Tensor.reshape keep t) in_shape
+
+let sum_axis ax a =
+  let in_shape = Tensor.shape a.v in
+  node (Tensor.sum_axis ax a.v) [ (a, fun g -> expand_reduced ax in_shape g) ]
+
+let logsumexp_axis ax a =
+  let in_shape = Tensor.shape a.v in
+  let lse = Tensor.logsumexp_axis ax a.v in
+  node lse
+    [ (a,
+       fun g ->
+         (* d lse / d x = softmax along the axis: exp (x - lse). *)
+         Tensor.mul
+           (expand_reduced ax in_shape g)
+           (Tensor.exp (Tensor.sub a.v (expand_reduced ax in_shape lse)))) ]
+
+let bernoulli_logits_scores ~x logits =
+  let v, sigma = Tensor.bernoulli_logits_scores_fwd ~logits:logits.v ~x in
+  node v
+    [ (logits,
+       fun g ->
+         unbroadcast (Tensor.shape logits.v)
+           (Tensor.bernoulli_logits_scores_vjp ~sigma ~x ~g)) ]
+
 let log_softmax a =
   let lse = Tensor.logsumexp a.v in
   let v = Tensor.map (fun x -> x -. lse) a.v in

@@ -99,6 +99,27 @@ val transpose : t -> t
 val logsumexp : t -> t
 (** Stable logsumexp over all elements, rank-0. *)
 
+val sum_axis : int -> t -> t
+(** [sum_axis ax a] sums out dimension [ax] (removing it); the adjoint
+    broadcasts the cotangent back along the reduced axis. *)
+
+val logsumexp_axis : int -> t -> t
+(** [logsumexp_axis ax a] is the stable logsumexp along dimension [ax]
+    (removing it); the adjoint is the softmax-weighted broadcast of the
+    cotangent. This is the one-axis-reduction form that batched
+    K-particle objectives (e.g. IWELBO over the particle axis) use in
+    place of [K] scalar terms. *)
+
+val bernoulli_logits_scores : x:Tensor.t -> t -> t
+(** [bernoulli_logits_scores ~x logits] is the fused per-row
+    Bernoulli-with-logits log-pmf [sum_tail (x*l - softplus l)] over
+    the broadcast of the operands (leading axis = rows), with the
+    custom adjoint [g_i (x - sigmoid l)] into [logits] reusing the
+    forward pass's sigmoid. One pass each way, versus the ~8 tensor
+    temporaries of the compositional form — the hot likelihood kernel
+    of the batched execution engine. [x] is the (0/1-valued) carrier
+    of a discrete site and is not differentiated. *)
+
 val log_softmax : t -> t
 (** Elementwise [x - logsumexp x]. *)
 

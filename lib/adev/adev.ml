@@ -90,9 +90,81 @@ let sample (d : 'a Dist.t) : 'a t =
         (Printf.sprintf "Adev.sample: %s has no MVD couplings" d.name)
   end
 
-let rec replicate n m =
-  if n <= 0 then return []
-  else bind m (fun x -> bind (replicate (n - 1) m) (fun rest -> return (x :: rest)))
+(* Tail-recursive accumulator building the exact nested-bind term the
+   historical recursive formulation built — same key-split stream, same
+   element order — without O(n) stack frames at construction time. *)
+let replicate n m =
+  let rec go acc j =
+    if j <= 0 then acc
+    else go (bind m (fun x -> bind acc (fun rest -> return (x :: rest)))) (j - 1)
+  in
+  go (return []) n
+
+(* Batched sites: n i.i.d. instances of one primitive as a single
+   rank-lifted draw. REPARAM lifts the pathwise sampler; REINFORCE
+   becomes one axis-reduced DiCE surrogate instead of n scalar terms.
+   When the continuation's result is instance-aligned (same shape as
+   the per-instance log-density vector), each instance couples to its
+   own log density — elementwise DiCE, the lower-variance estimator;
+   otherwise the result couples to the joint log density (unbiased by
+   independence: cross terms vanish in expectation). *)
+let sample_batched ~n (d : 'a Dist.t) : 'a t =
+ fun key k ->
+  let b =
+    match d.Dist.batched with
+    | Some b -> b
+    | None ->
+      raise (Dist.Not_batchable (d.Dist.name ^ ": no batched execution payload"))
+  in
+  if !primal_mode then k (b.Dist.sample_n key n)
+  else
+    match d.Dist.strategy with
+    | Dist.Reparam -> begin
+      match b.Dist.reparam_n with
+      | Some r ->
+        let x = r key n in
+        Value.register_origin_value (d.Dist.inject x)
+          ~strategy:(Dist.strategy_name d.Dist.strategy) ();
+        k x
+      | None ->
+        raise
+          (Dist.Not_batchable
+             (d.Dist.name ^ ": no batched reparameterized sampler"))
+    end
+    | Dist.Reinforce ->
+      let x = b.Dist.sample_n key n in
+      let y = k x in
+      let lp = b.Dist.log_density_n x in
+      if Ad.shape y = Ad.shape lp then score_function_surrogate y lp
+      else score_function_surrogate y (Ad.sum lp)
+    | s ->
+      (* ENUM/MVD products and stateful baselines cannot be collapsed
+         into one rank-lifted site; a failed attempt must not touch
+         baseline cells, so refuse before sampling. *)
+      raise
+        (Dist.Not_batchable
+           (Printf.sprintf "%s sites cannot be batched" (Dist.strategy_name s)))
+
+let replicate_batched n d = sample_batched ~n d
+
+(* Key plumbing for interpreters that need explicit control over the
+   stream (the plate lowering aligns batched rows with sequential
+   instances via [Prng.fold_in]). *)
+let keyed f key k = f key key k
+let with_key key m _ambient k = m key k
+
+let batch_fallback_exn = function
+  | Dist.Not_batchable _ | Tensor.Shape_error _ | Value.Smoothness_error _ ->
+    true
+  | _ -> false
+
+let or_else m fallback key k =
+  try m key k with e when batch_fallback_exn e -> fallback key k
+
+(* Defer term construction into the run so that interpreters that
+   refuse eagerly (e.g. the vectorized evaluators probing batched
+   payloads) raise where [or_else] can catch them. *)
+let delay f key k = (f ()) key k
 
 let score w _key k = Ad.mul w (k ())
 let score_log lw key k = score (Ad.exp lw) key k

@@ -56,7 +56,57 @@ val score_log : Ad.t -> unit t
 val replicate : int -> 'a t -> 'a list t
 (** Run a computation [n] times with independent randomness, collecting
     the results (the particle-drawing idiom of IWELBO-style
-    objectives). *)
+    objectives). Tail-recursive: safe at very large particle counts. *)
+
+(** {1 Batched sites}
+
+    One rank-lifted sample in place of [n] interpreter passes: the
+    drawn value's leading axis is the instance axis (see
+    {!Dist.batched}). REPARAM sites lift the pathwise sampler;
+    REINFORCE sites collapse the [n] DiCE terms into one
+    axis-reduction — elementwise against the per-instance log-density
+    vector when the continuation's result is instance-aligned (lower
+    variance), against the joint log density otherwise (unbiased by
+    independence). *)
+
+val sample_batched : n:int -> 'a Dist.t -> 'a t
+(** Draw [n] i.i.d. instances of a primitive as one batched site. Row
+    [i] is bit-for-bit the scalar draw under [Prng.fold_in key i].
+    @raise Dist.Not_batchable when the primitive has no batched
+    payload or its strategy (ENUM, MVD, baseline REINFORCE) cannot be
+    collapsed; the check happens before any sampling or baseline
+    mutation, so callers can safely retry sequentially with the same
+    key (see {!or_else}). *)
+
+val replicate_batched : int -> 'a Dist.t -> 'a t
+(** [replicate_batched n d] rewrites the [replicate n (sample d)]
+    particle-drawing idiom into one batched site returning the stacked
+    value (use {!Dist.batched}'s [unstack] to recover rows). *)
+
+val keyed : (Prng.key -> 'a t) -> 'a t
+(** Expose the ambient key to the computation being built (the plate
+    lowering uses it to align batched rows with sequential
+    instances). *)
+
+val with_key : Prng.key -> 'a t -> 'a t
+(** Run a computation under an explicit key, ignoring the ambient
+    one. *)
+
+val or_else : 'a t -> 'a t -> 'a t
+(** [or_else m fallback] runs [m]; if it raises a batching-related
+    error ([Dist.Not_batchable], a shape error from a rank-assuming
+    continuation, or a smoothness error), runs [fallback] under the
+    {e same} key. Keys are pure and the AD tape is functional, so the
+    retry is safe — with the caveat that a stateful baseline updated
+    before a {e downstream} failure would be updated again; batched
+    sites themselves refuse before touching baselines. *)
+
+val delay : (unit -> 'a t) -> 'a t
+(** Defer the construction of a computation into its run. Interpreters
+    that inspect programs eagerly (the vectorized evaluators probe
+    every site's batched payload while building the term) raise their
+    refusals at construction time; [delay] moves that moment inside
+    the run so [or_else] can catch it. *)
 
 (** {1 Running} *)
 

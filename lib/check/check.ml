@@ -317,6 +317,83 @@ let rec explore : type a. ctx -> path -> a Gen.t -> (a * path) list =
   | Gen.Node_marginal (keep, inner, alg) ->
     explore_marginal ctx path keep inner alg
   | Gen.Node_normalize (inner, alg) -> explore_normalize ctx path inner alg
+  | Gen.Node_plate (n, body) -> explore_plate ctx path n body
+
+(* [plate ~n body]: the instances must be structurally interchangeable
+   (that is what lets the runtime lower the plate to one batched site),
+   and the body's addresses live in their own indexed scope. Instances
+   0 and n-1 are explored as representatives; disagreement between the
+   two ends is index-dependence the batched lowering cannot express
+   (PV210), and a body address also bound by the enclosing program
+   collides with the batched lowering's un-suffixed plate address
+   (PV211). *)
+and explore_plate :
+    type v. ctx -> path -> int -> (int -> v Gen.t) -> (v array * path) list =
+ fun ctx path n body ->
+  let explore_instance i =
+    guarded ctx (fun () -> explore ctx { seen = [] } (body i))
+  in
+  let inst0 = explore_instance 0 in
+  let paths0 = List.map snd inst0 in
+  let may0 = may_addrs paths0 in
+  let shape_of s =
+    match s.s_value with
+    | Value.Real v -> Some (Ad.shape v)
+    | Value.Bool _ | Value.Int _ -> None
+  in
+  (if n > 1 then begin
+     let pathsN = List.map snd (explore_instance (n - 1)) in
+     let mayN = may_addrs pathsN in
+     if paths0 <> [] && pathsN <> [] then begin
+       List.iter
+         (fun (a, s0) ->
+           match List.assoc_opt a mayN with
+           | None ->
+             emit ctx "PV210" Warning ~address:a
+               (Printf.sprintf
+                  "plate body binds %S at instance 0 but not at instance %d: \
+                   index-dependent structure defeats the batched lowering"
+                  a (n - 1))
+           | Some sn ->
+             if s0.s_carrier <> sn.s_carrier then
+               emit ctx "PV210" Warning ~address:a
+                 (Printf.sprintf
+                    "plate body carrier at %S changes across instances (%s at \
+                     0, %s at %d)"
+                    a (carrier_name s0.s_carrier) (carrier_name sn.s_carrier)
+                    (n - 1))
+             else if shape_of s0 <> shape_of sn then
+               emit ctx "PV210" Warning ~address:a
+                 (Printf.sprintf
+                    "plate body shape at %S changes across instances: the \
+                     plate is not shape-consistent and cannot be batched" a))
+         may0;
+       List.iter
+         (fun (a, _) ->
+           if not (List.mem_assoc a may0) then
+             emit ctx "PV210" Warning ~address:a
+               (Printf.sprintf
+                  "plate body binds %S at instance %d but not at instance 0: \
+                   index-dependent structure defeats the batched lowering"
+                  a (n - 1)))
+         mayN
+     end
+   end);
+  let path' =
+    List.fold_left
+      (fun acc (a, s) ->
+        if List.mem_assoc a acc.seen then begin
+          emit ctx "PV211" Error ~address:a
+            (Printf.sprintf
+               "plate address %S escapes its plate: the enclosing program \
+                also binds it, which collides with the plate's batched \
+                lowering" a);
+          acc
+        end
+        else { seen = (a, s) :: acc.seen })
+      path (List.rev may0)
+  in
+  List.map (fun (x, _) -> (Array.make n x, path')) (take ctx.max_width inst0)
 
 (* [marginal ~keep inner alg] contributes the kept addresses to the
    enclosing trace; its auxiliary addresses must be covered by the

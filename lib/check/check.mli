@@ -18,7 +18,10 @@
       samples an address the model cannot consume; PV204 carrier
       mismatch; PV205/PV206 [marginal] kept/proposal coverage; PV207
       [normalize] proposal coverage; PV208 guide support exceeds the
-      model's (warning).
+      model's (warning); PV210 plate body not shape-consistent across
+      instances, so the batched lowering silently degrades to the
+      sequential path (warning); PV211 plate body address collides with
+      a site bound in the enclosing scope.
     - {b PV3xx — values and shapes}: PV301 observed value outside the
       primitive's static support; PV302 observed NaN; PV310 tensor shape
       error (e.g. through [Layer] applications); PV390 other exception

@@ -42,6 +42,16 @@ let nonneg_ints =
 let int_range lo hi =
   { continuous = false; static_support = Int_range { lo; hi = Some hi } }
 
+type 'a batched = {
+  sample_n : Prng.key -> int -> 'a;
+  log_density_n : 'a -> Ad.t;
+  reparam_n : (Prng.key -> int -> 'a) option;
+  stack : 'a array -> 'a;
+  unstack : int -> 'a -> 'a array;
+}
+
+exception Not_batchable of string
+
 type 'a t = {
   name : string;
   strategy : strategy;
@@ -54,12 +64,13 @@ type 'a t = {
   reparam : (Prng.key -> 'a) option;
   mvd : (Prng.key -> 'a * 'a coupling list) option;
   meta : meta;
+  batched : 'a batched option;
 }
 
 let make ~name ~strategy ~sample ~log_density ~default ~inject ~project
-    ?support ?reparam ?mvd ?(meta = unknown_meta) () =
+    ?support ?reparam ?mvd ?(meta = unknown_meta) ?batched () =
   { name; strategy; sample; log_density; default; inject; project; support;
-    reparam; mvd; meta }
+    reparam; mvd; meta; batched }
 
 (* Injection helpers per carrier type. *)
 
@@ -82,6 +93,49 @@ let log_stable a =
   let safe = Tensor.clip ~min:eps ~max:Float.infinity v in
   Ad.log (Ad.add a (Ad.const (Tensor.sub safe v)))
 
+(* ------------------------------------------------------------------ *)
+(* Batched execution scaffolding.
+
+   A batched payload runs [n] i.i.d. instances of a primitive as ONE
+   rank-lifted value whose leading axis is the instance axis. Row [i]
+   always reuses the scalar code path under key [Prng.fold_in key i],
+   so a batched draw is bit-for-bit the stack of the sequential draws
+   and seeded scalar behavior is untouched. [log_density_n] reduces
+   every axis except the instance axis, yielding the per-instance
+   log-density vector. *)
+
+(* Sum out all trailing axes, leaving the instance axis: [n; ...] -> [n]. *)
+let reduce_tail v =
+  let rec go v =
+    if Array.length (Ad.shape v) <= 1 then v else go (Ad.sum_axis 1 v)
+  in
+  go v
+
+let scalar_rows key n draw =
+  Ad.const
+    (Tensor.of_array [| n |]
+       (Array.init n (fun i -> draw (Prng.fold_in key i))))
+
+let stack_real rows = Ad.stack0 (Array.to_list rows)
+let unstack_real n x = Array.init n (fun i -> Ad.slice0 x i)
+
+(* Batched payload for scalar-real primitives: [sample_n] literally
+   stacks [n] calls of the scalar sampler. *)
+let batched_scalar ?reparam_n ~sample ~log_density_n () =
+  { sample_n = (fun key n -> scalar_rows key n (fun k -> primal (sample k)));
+    log_density_n;
+    reparam_n;
+    stack = stack_real;
+    unstack = unstack_real }
+
+(* Instance-axis dispatch for tensor-carrier primitives: a parameter is
+   data-indexed (one row per instance) when its leading dimension equals
+   the instance count and it has rank >= 2; otherwise the whole
+   parameter is shared by every instance (a plate lift). *)
+let param_row v n i =
+  let s = Tensor.shape v in
+  if Array.length s >= 2 && s.(0) = n then Tensor.slice0 v i else v
+
 (* Normal *)
 
 let log_density_normal ~mu ~sigma x =
@@ -90,12 +144,21 @@ let log_density_normal ~mu ~sigma x =
   Ad.scale (-0.5) (z * z) - Ad.log sigma - Ad.scalar (0.5 *. log_2pi)
 
 let normal_base ~strategy ?support ?reparam ?mvd mu sigma =
-  make ~name:"normal" ~strategy
-    ~sample:(fun key ->
-      Ad.scalar (Prng.normal_mean_std key (primal mu) (primal sigma)))
+  let sample key =
+    Ad.scalar (Prng.normal_mean_std key (primal mu) (primal sigma))
+  in
+  make ~name:"normal" ~strategy ~sample
     ~log_density:(log_density_normal ~mu ~sigma)
     ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
-    ?support ?reparam ?mvd ~meta:real_line ()
+    ?support ?reparam ?mvd ~meta:real_line
+    ~batched:
+      (batched_scalar ~sample
+         ~log_density_n:(log_density_normal ~mu ~sigma)
+         ~reparam_n:(fun key n ->
+           let eps = scalar_rows key n Prng.normal in
+           Ad.O.(mu + (sigma * eps)))
+         ())
+    ()
 
 let normal_reparam mu sigma =
   normal_base ~strategy:Reparam
@@ -142,20 +205,42 @@ let normal_mvd mu sigma =
 let uniform lo hi =
   if hi <= lo then invalid_arg "Dist.uniform: hi <= lo";
   let logd = -.Float.log (hi -. lo) in
-  make ~name:"uniform" ~strategy:Reinforce
-    ~sample:(fun key -> Ad.scalar (Prng.uniform_range key lo hi))
+  let sample key = Ad.scalar (Prng.uniform_range key lo hi) in
+  make ~name:"uniform" ~strategy:Reinforce ~sample
     ~log_density:(fun x ->
       let v = primal x in
       if v >= lo && v <= hi then Ad.scalar logd
       else Ad.scalar Float.neg_infinity)
     ~default:(Ad.scalar lo) ~inject:inject_real ~project:project_real
-    ~meta:(real_interval lo hi) ()
+    ~meta:(real_interval lo hi)
+    ~batched:
+      (batched_scalar ~sample
+         ~log_density_n:(fun x ->
+           Ad.const
+             (Tensor.map
+                (fun v ->
+                  if v >= lo && v <= hi then logd else Float.neg_infinity)
+                (Ad.value x)))
+         ())
+    ()
 
 (* Beta / Gamma *)
 
 let beta_reinforce a b =
-  make ~name:"beta" ~strategy:Reinforce
-    ~sample:(fun key -> Ad.scalar (Prng.beta key (primal a) (primal b)))
+  let sample key = Ad.scalar (Prng.beta key (primal a) (primal b)) in
+  let log_density_n x =
+    let open Ad.O in
+    let xc =
+      Ad.const
+        (Tensor.map
+           (fun v -> Float.min (Float.max v 1e-12) (1. -. 1e-12))
+           (Ad.value x))
+    in
+    ((a - Ad.scalar 1.) * Ad.log xc)
+    + ((b - Ad.scalar 1.) * Ad.log (Ad.scalar 1. - xc))
+    - Special.log_beta a b
+  in
+  make ~name:"beta" ~strategy:Reinforce ~sample
     ~log_density:(fun x ->
       let open Ad.O in
       let xv = Float.min (Float.max (primal x) 1e-12) (1. -. 1e-12) in
@@ -164,63 +249,99 @@ let beta_reinforce a b =
       + ((b - Ad.scalar 1.) * Ad.log (Ad.scalar 1. - x))
       - Special.log_beta a b)
     ~default:(Ad.scalar 0.5) ~inject:inject_real ~project:project_real
-    ~meta:(real_interval 0. 1.) ()
+    ~meta:(real_interval 0. 1.)
+    ~batched:(batched_scalar ~sample ~log_density_n ())
+    ()
 
 let gamma_reinforce shape =
-  make ~name:"gamma" ~strategy:Reinforce
-    ~sample:(fun key -> Ad.scalar (Prng.gamma key (primal shape)))
+  let sample key = Ad.scalar (Prng.gamma key (primal shape)) in
+  let log_density_n x =
+    let open Ad.O in
+    let xc = Ad.const (Tensor.map (fun v -> Float.max v 1e-12) (Ad.value x)) in
+    ((shape - Ad.scalar 1.) * Ad.log xc) - xc - Special.lgamma_ad shape
+  in
+  make ~name:"gamma" ~strategy:Reinforce ~sample
     ~log_density:(fun x ->
       let open Ad.O in
       let xv = Float.max (primal x) 1e-12 in
       let x = Ad.scalar xv in
       ((shape - Ad.scalar 1.) * Ad.log x) - x - Special.lgamma_ad shape)
     ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real
-    ~meta:nonneg_reals ()
+    ~meta:nonneg_reals
+    ~batched:(batched_scalar ~sample ~log_density_n ())
+    ()
 
 (* Location-scale families with inverse-CDF reparameterizations. *)
 
 let laplace_reparam loc scale =
-  make ~name:"laplace" ~strategy:Reparam
-    ~sample:(fun key ->
-      let u = Prng.uniform key -. 0.5 in
-      let m = if u < 0. then Float.log (1. +. (2. *. u)) else -.Float.log (1. -. (2. *. u)) in
-      Ad.scalar (primal loc +. (primal scale *. m)))
-    ~log_density:(fun x ->
-      let open Ad.O in
-      let z = (x - loc) / scale in
-      (* |z| = z * sign(z) with the sign detached: correct value and
-         subgradient away from the kink at the location (the usual
-         Laplace caveat). *)
-      let sign = Ad.const (Tensor.map (fun v -> if v >= 0. then 1. else -1.) (Ad.value z)) in
-      let abs_z = Ad.mul z sign in
-      Ad.neg abs_z - Ad.log (Ad.scale 2. scale))
+  let sample key =
+    let u = Prng.uniform key -. 0.5 in
+    let m = if u < 0. then Float.log (1. +. (2. *. u)) else -.Float.log (1. -. (2. *. u)) in
+    Ad.scalar (primal loc +. (primal scale *. m))
+  in
+  let log_density x =
+    let open Ad.O in
+    let z = (x - loc) / scale in
+    (* |z| = z * sign(z) with the sign detached: correct value and
+       subgradient away from the kink at the location (the usual
+       Laplace caveat). This works elementwise, so it doubles as the
+       per-instance batched density (after tail reduction there is no
+       tail: scalar instances are already the instance axis). *)
+    let sign = Ad.const (Tensor.map (fun v -> if v >= 0. then 1. else -1.) (Ad.value z)) in
+    let abs_z = Ad.mul z sign in
+    Ad.neg abs_z - Ad.log (Ad.scale 2. scale)
+  in
+  let laplace_m u =
+    if u < 0. then Float.log (1. +. (2. *. u)) else -.Float.log (1. -. (2. *. u))
+  in
+  make ~name:"laplace" ~strategy:Reparam ~sample ~log_density
     ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
     ~reparam:(fun key ->
       let u = Prng.uniform key -. 0.5 in
-      let m = if u < 0. then Float.log (1. +. (2. *. u)) else -.Float.log (1. -. (2. *. u)) in
-      Ad.O.(loc + (scale * Ad.scalar m)))
-    ~meta:real_line ()
+      Ad.O.(loc + (scale * Ad.scalar (laplace_m u))))
+    ~meta:real_line
+    ~batched:
+      (batched_scalar ~sample ~log_density_n:log_density
+         ~reparam_n:(fun key n ->
+           let m = scalar_rows key n (fun k -> laplace_m (Prng.uniform k -. 0.5)) in
+           Ad.O.(loc + (scale * m)))
+         ())
+    ()
 
 let logistic_reparam loc scale =
   let logit u = Float.log (u /. (1. -. u)) in
-  make ~name:"logistic" ~strategy:Reparam
-    ~sample:(fun key ->
-      let u = Float.min (Float.max (Prng.uniform key) 1e-12) (1. -. 1e-12) in
-      Ad.scalar (primal loc +. (primal scale *. logit u)))
-    ~log_density:(fun x ->
-      let open Ad.O in
-      let z = (x - loc) / scale in
-      Ad.neg z - Ad.log scale - Ad.scale 2. (Ad.softplus (Ad.neg z)))
+  let draw_logit k =
+    logit (Float.min (Float.max (Prng.uniform k) 1e-12) (1. -. 1e-12))
+  in
+  let sample key = Ad.scalar (primal loc +. (primal scale *. draw_logit key)) in
+  let log_density x =
+    let open Ad.O in
+    let z = (x - loc) / scale in
+    Ad.neg z - Ad.log scale - Ad.scale 2. (Ad.softplus (Ad.neg z))
+  in
+  make ~name:"logistic" ~strategy:Reparam ~sample ~log_density
     ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
-    ~reparam:(fun key ->
-      let u = Float.min (Float.max (Prng.uniform key) 1e-12) (1. -. 1e-12) in
-      Ad.O.(loc + (scale * Ad.scalar (logit u))))
-    ~meta:real_line ()
+    ~reparam:(fun key -> Ad.O.(loc + (scale * Ad.scalar (draw_logit key))))
+    ~meta:real_line
+    ~batched:
+      (batched_scalar ~sample ~log_density_n:log_density
+         ~reparam_n:(fun key n ->
+           Ad.O.(loc + (scale * scalar_rows key n draw_logit)))
+         ())
+    ()
 
 let lognormal_reparam mu sigma =
-  make ~name:"lognormal" ~strategy:Reparam
-    ~sample:(fun key ->
-      Ad.scalar (Float.exp (Prng.normal_mean_std key (primal mu) (primal sigma))))
+  let sample key =
+    Ad.scalar (Float.exp (Prng.normal_mean_std key (primal mu) (primal sigma)))
+  in
+  let log_density_n x =
+    let logx =
+      Ad.const
+        (Tensor.map (fun v -> Float.log (Float.max v 1e-300)) (Ad.value x))
+    in
+    Ad.O.(log_density_normal ~mu ~sigma logx - logx)
+  in
+  make ~name:"lognormal" ~strategy:Reparam ~sample
     ~log_density:(fun x ->
       let xv = Float.max (primal x) 1e-300 in
       let logx = Ad.scalar (Float.log xv) in
@@ -229,24 +350,47 @@ let lognormal_reparam mu sigma =
     ~reparam:(fun key ->
       let eps = Ad.scalar (Prng.normal key) in
       Ad.exp Ad.O.(mu + (sigma * eps)))
-    ~meta:nonneg_reals ()
+    ~meta:nonneg_reals
+    ~batched:
+      (batched_scalar ~sample ~log_density_n
+         ~reparam_n:(fun key n ->
+           let eps = scalar_rows key n Prng.normal in
+           Ad.exp Ad.O.(mu + (sigma * eps)))
+         ())
+    ()
 
 let exponential_reparam rate =
-  make ~name:"exponential" ~strategy:Reparam
-    ~sample:(fun key -> Ad.scalar (Prng.exponential key /. primal rate))
-    ~log_density:(fun x -> Ad.O.(Ad.log rate - (rate * x)))
+  let sample key = Ad.scalar (Prng.exponential key /. primal rate) in
+  let log_density x = Ad.O.(Ad.log rate - (rate * x)) in
+  make ~name:"exponential" ~strategy:Reparam ~sample ~log_density
     ~default:(Ad.scalar 1.) ~inject:inject_real ~project:project_real
     ~reparam:(fun key -> Ad.div (Ad.scalar (Prng.exponential key)) rate)
-    ~meta:nonneg_reals ()
+    ~meta:nonneg_reals
+    ~batched:
+      (batched_scalar ~sample ~log_density_n:log_density
+         ~reparam_n:(fun key n ->
+           Ad.div (scalar_rows key n Prng.exponential) rate)
+         ())
+    ()
 
 let student_t_reinforce df =
-  make ~name:"student_t" ~strategy:Reinforce
-    ~sample:(fun key ->
-      (* t = Z / sqrt(V / df) with V ~ chi^2(df) = Gamma(df/2, 2). *)
-      let k1, k2 = Prng.split key in
-      let z = Prng.normal k1 in
-      let v = 2. *. Prng.gamma k2 (primal df /. 2.) in
-      Ad.scalar (z /. Float.sqrt (v /. primal df)))
+  let sample key =
+    (* t = Z / sqrt(V / df) with V ~ chi^2(df) = Gamma(df/2, 2). *)
+    let k1, k2 = Prng.split key in
+    let z = Prng.normal k1 in
+    let v = 2. *. Prng.gamma k2 (primal df /. 2.) in
+    Ad.scalar (z /. Float.sqrt (v /. primal df))
+  in
+  let log_density_n x =
+    let open Ad.O in
+    let x2 = Ad.const (Tensor.map (fun v -> v *. v) (Ad.value x)) in
+    let half = Ad.scale 0.5 df in
+    let half1 = Ad.add_scalar 0.5 half in
+    Special.lgamma_ad half1 - Special.lgamma_ad half
+    - Ad.scale 0.5 (Ad.log (Ad.scale Float.pi df))
+    - (half1 * Ad.log (Ad.add_scalar 1. (x2 * Ad.pow_scalar df (-1.))))
+  in
+  make ~name:"student_t" ~strategy:Reinforce ~sample
     ~log_density:(fun x ->
       let open Ad.O in
       let xv = primal x in
@@ -258,15 +402,32 @@ let student_t_reinforce df =
         * Ad.log (Ad.add_scalar 1. (Ad.scale (xv *. xv) (Ad.pow_scalar df (-1.)))))
       )
     ~default:(Ad.scalar 0.) ~inject:inject_real ~project:project_real
-    ~meta:real_line ()
+    ~meta:real_line
+    ~batched:(batched_scalar ~sample ~log_density_n ())
+    ()
 
 let scaled_beta_reinforce ~lo ~hi a b =
   if hi <= lo then invalid_arg "Dist.scaled_beta_reinforce: hi <= lo";
   let width = hi -. lo in
   let unscale x = (primal x -. lo) /. width in
-  make ~name:"scaled_beta" ~strategy:Reinforce
-    ~sample:(fun key ->
-      Ad.scalar (lo +. (width *. Prng.beta key (primal a) (primal b))))
+  let sample key =
+    Ad.scalar (lo +. (width *. Prng.beta key (primal a) (primal b)))
+  in
+  let log_density_n x =
+    let open Ad.O in
+    let u =
+      Ad.const
+        (Tensor.map
+           (fun v ->
+             Float.min (Float.max ((v -. lo) /. width) 1e-12) (1. -. 1e-12))
+           (Ad.value x))
+    in
+    ((a - Ad.scalar 1.) * Ad.log u)
+    + ((b - Ad.scalar 1.) * Ad.log (Ad.scalar 1. - u))
+    - Special.log_beta a b
+    - Ad.scalar (Float.log width)
+  in
+  make ~name:"scaled_beta" ~strategy:Reinforce ~sample
     ~log_density:(fun x ->
       let open Ad.O in
       let u = Float.min (Float.max (unscale x) 1e-12) (1. -. 1e-12) in
@@ -276,7 +437,9 @@ let scaled_beta_reinforce ~lo ~hi a b =
       - Special.log_beta a b
       - Ad.scalar (Float.log width))
     ~default:(Ad.scalar ((lo +. hi) /. 2.)) ~inject:inject_real
-    ~project:project_real ~meta:(real_interval lo hi) ()
+    ~project:project_real ~meta:(real_interval lo hi)
+    ~batched:(batched_scalar ~sample ~log_density_n ())
+    ()
 
 (* Flip *)
 
@@ -447,13 +610,59 @@ let log_density_mv_normal_diag ~mean ~std x =
   - Ad.sum (Ad.log std)
   - Ad.scalar (0.5 *. d *. log_2pi)
 
+(* Per-instance log-density of [n] diagonal normals: [x] carries the
+   instance axis; parameters are either shared (plate lift) or
+   data-indexed (leading dimension = n, see [param_row]). *)
+let log_density_n_mv_normal_diag ~mean ~std x =
+  let xs = Ad.shape x in
+  let n = xs.(0) in
+  let per_dim =
+    float_of_int
+      (Array.fold_left (fun a b -> a * b) 1
+         (Array.sub xs 1 (Array.length xs - 1)))
+  in
+  let open Ad.O in
+  let z = (x - mean) / std in
+  let log_std =
+    let s = Tensor.shape (Ad.value std) in
+    if Array.length s >= 2 && s.(0) = n then reduce_tail (Ad.log std)
+    else Ad.sum (Ad.log std)
+  in
+  Ad.scale (-0.5) (reduce_tail (z * z))
+  - log_std
+  - Ad.scalar (0.5 *. per_dim *. log_2pi)
+
+let batched_mv_normal_diag mean std =
+  let mean_v = Ad.value mean and std_v = Ad.value std in
+  { sample_n =
+      (fun key n ->
+        Ad.const
+          (Tensor.stack0
+             (List.init n (fun i ->
+                  Prng.normal_tensor_mean_std (Prng.fold_in key i)
+                    (param_row mean_v n i) (param_row std_v n i)))));
+    log_density_n = log_density_n_mv_normal_diag ~mean ~std;
+    reparam_n =
+      Some
+        (fun key n ->
+          let eps =
+            Tensor.stack0
+              (List.init n (fun i ->
+                   Prng.normal_tensor (Prng.fold_in key i)
+                     (Tensor.shape (param_row mean_v n i))))
+          in
+          Ad.O.(mean + (std * Ad.const eps)));
+    stack = stack_real;
+    unstack = unstack_real }
+
 let mv_normal_diag_base ~strategy ?reparam mean std =
   make ~name:"mv_normal_diag" ~strategy
     ~sample:(fun key ->
       Ad.const (Prng.normal_tensor_mean_std key (Ad.value mean) (Ad.value std)))
     ~log_density:(log_density_mv_normal_diag ~mean ~std)
     ~default:(Ad.const (Tensor.zeros (Ad.shape mean)))
-    ~inject:inject_real ~project:project_real ?reparam ~meta:real_line ()
+    ~inject:inject_real ~project:project_real ?reparam ~meta:real_line
+    ~batched:(batched_mv_normal_diag mean std) ()
 
 let mv_normal_diag_reparam mean std =
   mv_normal_diag_base ~strategy:Reparam
@@ -467,21 +676,44 @@ let mv_normal_diag_reinforce mean std =
 
 (* Vectors of independent Bernoullis (image likelihoods) *)
 
+(* Batched payload shared by both Bernoulli-vector primitives:
+   [elementwise x] must carry the instance axis on its leading
+   dimension (from the value, the parameters, or both via
+   broadcasting); the tail reduction yields the per-instance vector. *)
+let batched_bernoulli ~probs_of ~elementwise params =
+  { sample_n =
+      (fun key n ->
+        let params_v = Ad.value params in
+        Ad.const
+          (Tensor.stack0
+             (List.init n (fun i ->
+                  let p = probs_of (param_row params_v n i) in
+                  let u =
+                    Prng.uniform_tensor (Prng.fold_in key i) (Tensor.shape p)
+                  in
+                  Tensor.map2 (fun ui pi -> if ui < pi then 1. else 0.) u p))));
+    log_density_n = (fun x -> reduce_tail (elementwise x));
+    reparam_n = None;
+    stack = stack_real;
+    unstack = unstack_real }
+
 let bernoulli_vector probs =
+  let elementwise x =
+    let open Ad.O in
+    (x * log_stable probs)
+    + ((Ad.scalar 1. - x) * log_stable (Ad.scalar 1. - probs))
+  in
   make ~name:"bernoulli_vector" ~strategy:Reinforce
     ~sample:(fun key ->
       let u = Prng.uniform_tensor key (Ad.shape probs) in
       Ad.const
         (Tensor.map2 (fun ui pi -> if ui < pi then 1. else 0.) u
            (Ad.value probs)))
-    ~log_density:(fun x ->
-      let open Ad.O in
-      Ad.sum
-        ((x * log_stable probs)
-        + ((Ad.scalar 1. - x) * log_stable (Ad.scalar 1. - probs))))
+    ~log_density:(fun x -> Ad.sum (elementwise x))
     ~default:(Ad.const (Tensor.zeros (Ad.shape probs)))
     ~inject:inject_real ~project:project_real
-    ~meta:{ continuous = false; static_support = Unit_hypercube } ()
+    ~meta:{ continuous = false; static_support = Unit_hypercube }
+    ~batched:(batched_bernoulli ~probs_of:Fun.id ~elementwise probs) ()
 
 let log_density_bernoulli_logits ~logits x =
   let open Ad.O in
@@ -491,6 +723,12 @@ let log_density_bernoulli_logits ~logits x =
        + ((Ad.scalar 1. - x) * Ad.softplus logits)))
 
 let bernoulli_logits_vector logits =
+  let elementwise x =
+    let open Ad.O in
+    Ad.neg
+      ((x * Ad.softplus (Ad.neg logits))
+      + ((Ad.scalar 1. - x) * Ad.softplus logits))
+  in
   make ~name:"bernoulli_logits_vector" ~strategy:Reinforce
     ~sample:(fun key ->
       let probs = Tensor.sigmoid (Ad.value logits) in
@@ -499,4 +737,45 @@ let bernoulli_logits_vector logits =
     ~log_density:(log_density_bernoulli_logits ~logits)
     ~default:(Ad.const (Tensor.zeros (Ad.shape logits)))
     ~inject:inject_real ~project:project_real
-    ~meta:{ continuous = false; static_support = Unit_hypercube } ()
+    ~meta:{ continuous = false; static_support = Unit_hypercube }
+      (* The generic payload's [reduce_tail (elementwise x)] walks the
+         [n x dim] likelihood ~8 times; the fused kernel makes the
+         batched scoring one pass with a one-pass custom adjoint. *)
+    ~batched:
+      { (batched_bernoulli ~probs_of:Tensor.sigmoid ~elementwise logits) with
+        log_density_n =
+          (fun x -> Ad.bernoulli_logits_scores ~x:(Ad.value x) logits) }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Batched API *)
+
+let batchable d = Option.is_some d.batched
+
+let batched_exn d =
+  match d.batched with
+  | Some b -> b
+  | None -> raise (Not_batchable (d.name ^ ": no batched execution payload"))
+
+let sample_n d key n = (batched_exn d).sample_n key n
+let log_density_batched d x = (batched_exn d).log_density_n x
+
+let iid n d =
+  if n < 1 then invalid_arg "Dist.iid: n < 1";
+  (match d.strategy with
+  | Reparam | Reinforce -> ()
+  | s ->
+    raise
+      (Not_batchable
+         (Printf.sprintf "Dist.iid: %s sites cannot be batched"
+            (strategy_name s))));
+  let b = batched_exn d in
+  make
+    ~name:(Printf.sprintf "iid(%d,%s)" n d.name)
+    ~strategy:d.strategy
+    ~sample:(fun key -> b.sample_n key n)
+    ~log_density:(fun x -> Ad.sum (b.log_density_n x))
+    ~default:(b.stack (Array.make n d.default))
+    ~inject:d.inject ~project:d.project
+    ?reparam:(Option.map (fun r key -> r key n) b.reparam_n)
+    ~meta:d.meta ()

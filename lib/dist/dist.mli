@@ -80,6 +80,46 @@ val finite_meta : meta
 val nonneg_ints : meta
 val int_range : int -> int -> meta
 
+(** {1 Batched execution}
+
+    A batched payload runs [n] i.i.d. instances of a primitive as ONE
+    rank-lifted value whose {e leading axis is the instance axis},
+    instead of [n] separate draws. The contract that makes batched and
+    sequential execution interchangeable:
+
+    - Row [i] of [sample_n key n] (and of [reparam_n key n]) is
+      bit-for-bit the scalar draw under key [Prng.fold_in key i], so a
+      batched site and a loop of per-instance sites see the same
+      randomness.
+    - [log_density_n x] reduces every axis {e except} the instance
+      axis, yielding the per-instance log-density vector [\[n\]].
+      Parameters are either shared by every instance (a plate lift) or
+      {e data-indexed}: a tensor parameter whose leading dimension
+      equals [n] (and whose rank is at least 2) provides one row per
+      instance.
+
+    Every real-carrier primitive ships a payload; [bool]/[int]
+    carriers (flip, categorical, poisson, ...) do not — their values
+    cannot be stacked into one tensor, so plates over them always take
+    the sequential path. *)
+
+type 'a batched = {
+  sample_n : Prng.key -> int -> 'a;
+      (** Detached batched sampler; leading axis = instance axis. *)
+  log_density_n : 'a -> Ad.t;
+      (** Per-instance log-density vector [\[n\]]. *)
+  reparam_n : (Prng.key -> int -> 'a) option;
+      (** Differentiable batched sampler (REPARAM sites only). *)
+  stack : 'a array -> 'a;  (** Stack per-instance values along axis 0. *)
+  unstack : int -> 'a -> 'a array;
+      (** [unstack n x] recovers the [n] per-instance values. *)
+}
+
+exception Not_batchable of string
+(** Raised when a batched execution path is requested of a primitive
+    (or site strategy) that cannot provide one; callers fall back to
+    the sequential path. *)
+
 type 'a t = {
   name : string;
   strategy : strategy;
@@ -97,6 +137,8 @@ type 'a t = {
   mvd : (Prng.key -> 'a * 'a coupling list) option;
       (** Primal sample plus couplings, required by MVD. *)
   meta : meta;  (** Static metadata for pre-flight checks. *)
+  batched : 'a batched option;
+      (** Batched execution payload, when the carrier supports it. *)
 }
 
 val make :
@@ -111,8 +153,29 @@ val make :
   ?reparam:(Prng.key -> 'a) ->
   ?mvd:(Prng.key -> 'a * 'a coupling list) ->
   ?meta:meta ->
+  ?batched:'a batched ->
   unit ->
   'a t
+
+val batchable : 'a t -> bool
+(** Whether the primitive carries a batched execution payload. *)
+
+val sample_n : 'a t -> Prng.key -> int -> 'a
+(** [sample_n d key n] stacks [n] i.i.d. detached draws (row [i] uses
+    key [Prng.fold_in key i]).
+    @raise Not_batchable when [d] has no batched payload. *)
+
+val log_density_batched : 'a t -> 'a -> Ad.t
+(** Per-instance log-density vector of a stacked value.
+    @raise Not_batchable when [d] has no batched payload. *)
+
+val iid : int -> 'a t -> 'a t
+(** [iid n d] is the product of [n] independent copies of [d] as a
+    single primitive: one stacked sample (leading axis = instance
+    axis), joint log density. This is the plated-site form case
+    studies use to turn a per-datum prior loop into one rank-lifted
+    site. Only REPARAM and REINFORCE primitives can be lifted.
+    @raise Not_batchable otherwise. *)
 
 (** {1 Scalar continuous primitives}
 

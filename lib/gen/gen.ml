@@ -5,6 +5,7 @@ type _ t =
   | Observe : 'b Dist.t * 'b -> unit t
   | Marginal : string list * 'b t * algorithm -> Trace.t t
   | Normalize : 'a t * algorithm -> 'a t
+  | Plate : int * (int -> 'b t) -> 'b array t
 
 and packed = Packed : 'a t -> packed
 and algorithm = { proposal : Trace.t -> packed; particles : int }
@@ -14,6 +15,10 @@ let bind m f = Bind (m, f)
 let map f m = Bind (m, fun x -> Return (f x))
 let sample d name = Sample (d, name)
 let observe d v = Observe (d, v)
+
+let plate ~n body =
+  if n < 1 then invalid_arg "Gen.plate: n < 1";
+  Plate (n, body)
 
 let importance ?(particles = 1) proposal =
   if particles < 1 then invalid_arg "Gen.importance: particles < 1";
@@ -45,6 +50,67 @@ let log_mean_exp logws =
   let n = List.length logws in
   Ad.O.(Ad.logsumexp (Ad.stack0 logws) - Ad.scalar (Float.log (float_of_int n)))
 
+(* ------------------------------------------------------------------ *)
+(* Plate lowering *)
+
+let plate_slot addr i = Printf.sprintf "%s[%d]" addr i
+
+type 'a plate_plan = {
+  pl_dist : 'a Dist.t;
+  pl_batched : 'a Dist.batched;
+  pl_addr : string;
+}
+
+let plate_probe_key = Prng.key 0x9e3779b9
+
+(* A plate body is lowered to ONE batched site when every instance is
+   the same single sample site: one address, a batchable primitive
+   whose strategy can be rank-lifted (REPARAM with a batched
+   reparameterized sampler, or plain REINFORCE), and identically
+   distributed across instances. The i.i.d. spot-check draws each
+   instance's primitive at a fixed probe key and compares both the
+   draw and its log density: identical parameters give identical
+   deterministic draws, so any index-dependence in the body shows up
+   as a mismatch and the plate falls back to the sequential path. *)
+let plate_plan : type a. int -> (int -> a t) -> a plate_plan option =
+ fun n body ->
+  match body 0 with
+  | Sample (d0, addr0) -> begin
+    match d0.Dist.batched with
+    | Some b ->
+      let strategy_ok =
+        match d0.Dist.strategy with
+        | Dist.Reparam -> b.Dist.reparam_n <> None
+        | Dist.Reinforce -> true
+        | _ -> false
+      in
+      if not strategy_ok then None
+      else begin
+        let x0 = d0.Dist.sample plate_probe_key in
+        let v0 = d0.Dist.inject x0 in
+        let lp0 = primal (d0.Dist.log_density x0) in
+        let same_dist (di : a Dist.t) =
+          String.equal di.Dist.name d0.Dist.name
+          &&
+          let xi = di.Dist.sample plate_probe_key in
+          Value.equal_primal (di.Dist.inject xi) v0
+          && Float.equal (primal (di.Dist.log_density xi)) lp0
+        in
+        let rec iid i =
+          i >= n
+          ||
+          match body i with
+          | Sample (di, addri) ->
+            String.equal addri addr0 && same_dist di && iid (i + 1)
+          | _ -> false
+        in
+        if iid 1 then Some { pl_dist = d0; pl_batched = b; pl_addr = addr0 }
+        else None
+      end
+    | None -> None
+  end
+  | _ -> None
+
 (* sim (Fig. 5, bottom): run the program through each primitive's
    strategy, building the trace and its log density. *)
 let rec simulate : type a. a t -> (a * Trace.t * Ad.t) Adev.t =
@@ -70,6 +136,7 @@ let rec simulate : type a. a t -> (a * Trace.t * Ad.t) Adev.t =
     Adev.return ((), Trace.empty, lw)
   | Marginal (keep, inner, alg) -> simulate_marginal keep inner alg
   | Normalize (inner, alg) -> simulate_normalize inner alg
+  | Plate (n, body) -> simulate_plate n body
 
 (* density's xi helper (Fig. 5, top): consume trace values, accumulate
    log density, return the remainder. *)
@@ -94,6 +161,7 @@ and density_in : type a. a t -> Trace.t -> (Ad.t * a * Trace.t) Adev.t =
   | Observe (d, v) -> Adev.return (d.Dist.log_density v, (), u)
   | Marginal (keep, inner, alg) -> density_marginal keep inner alg u
   | Normalize (inner, alg) -> density_normalize inner alg u
+  | Plate (n, body) -> density_plate n body u
 
 and log_density : type a. a t -> Trace.t -> Ad.t Adev.t =
  fun prog u ->
@@ -212,6 +280,225 @@ and density_normalize :
   let log_zhat = log_mean_exp (logw_actual :: others) in
   Adev.return (Ad.O.(logp_u - log_zhat), value, remainder)
 
+(* Plate: one batched site when the body is batchable (the trace then
+   stores the stacked value under the single plate address), otherwise
+   a sequential loop whose instance [i] runs under [Prng.fold_in key i]
+   with its addresses suffixed ["[i]"]. The key discipline makes the
+   two paths draw bit-identical values. *)
+and simulate_plate :
+    type b. int -> (int -> b t) -> (b array * Trace.t * Ad.t) Adev.t =
+ fun n body ->
+  Adev.keyed (fun key ->
+      match plate_plan n body with
+      | Some { pl_dist = d; pl_batched = b; pl_addr = addr } ->
+        let open Adev.Syntax in
+        let* x = Adev.with_key key (Adev.sample_batched ~n d) in
+        let v = d.Dist.inject x in
+        Value.register_origin_value v ~address:addr
+          ~strategy:(Dist.strategy_name d.Dist.strategy) ();
+        Adev.return
+          ( b.Dist.unstack n x,
+            Trace.singleton addr v,
+            Ad.sum (b.Dist.log_density_n x) )
+      | None -> simulate_plate_seq n body key)
+
+and simulate_plate_seq :
+    type b. int -> (int -> b t) -> Prng.key -> (b array * Trace.t * Ad.t) Adev.t
+    =
+ fun n body key ->
+  let open Adev.Syntax in
+  let rec go i vals trace w =
+    if i >= n then Adev.return (Array.of_list (List.rev vals), trace, w)
+    else
+      let ki = Prng.fold_in key i in
+      let* x, t_i, w_i =
+        match body i with
+        | Sample (d, addr) ->
+          (* A single-site body is interpreted directly under the row
+             key (not via [simulate]'s bind, which would split it), so
+             sequential draws match batched rows bit-for-bit. *)
+          let* x = Adev.with_key ki (Adev.sample d) in
+          let v = d.Dist.inject x in
+          Value.register_origin_value v ~address:(plate_slot addr i)
+            ~strategy:(Dist.strategy_name d.Dist.strategy) ();
+          Adev.return
+            (x, Trace.singleton (plate_slot addr i) v, d.Dist.log_density x)
+        | prog ->
+          let* x, t, w = Adev.with_key ki (simulate prog) in
+          Adev.return (x, Trace.map_keys (fun a -> plate_slot a i) t, w)
+      in
+      go (i + 1) (x :: vals) (Trace.union_disjoint trace t_i) (Ad.add w_i w)
+  in
+  go 0 [] Trace.empty (Ad.scalar 0.)
+
+and density_plate :
+    type b. int -> (int -> b t) -> Trace.t -> (Ad.t * b array * Trace.t) Adev.t
+    =
+ fun n body u ->
+  Adev.keyed (fun key ->
+      match plate_plan n body with
+      | Some { pl_dist = d; pl_batched = b; pl_addr = addr }
+        when Trace.mem addr u -> begin
+        match d.Dist.project (Trace.get addr u) with
+        | Some x ->
+          Adev.return
+            ( Ad.sum (b.Dist.log_density_n x),
+              b.Dist.unstack n x,
+              Trace.remove addr u )
+        | None ->
+          Adev.return
+            ( neg_inf,
+              Array.init n (fun _ -> d.Dist.default),
+              Trace.remove addr u )
+      end
+      | _ -> density_plate_seq n body u key)
+
+and density_plate_seq :
+    type b.
+    int -> (int -> b t) -> Trace.t -> Prng.key ->
+    (Ad.t * b array * Trace.t) Adev.t =
+ fun n body u key ->
+  let open Adev.Syntax in
+  let rec go i w vals u =
+    if i >= n then Adev.return (w, Array.of_list (List.rev vals), u)
+    else
+      let ki = Prng.fold_in key i in
+      let suffix = Printf.sprintf "[%d]" i in
+      let slen = String.length suffix in
+      let strip name =
+        let nlen = String.length name in
+        if nlen > slen && String.sub name (nlen - slen) slen = suffix then
+          Some (String.sub name 0 (nlen - slen))
+        else None
+      in
+      (* Instance [i] sees only its own suffixed addresses, de-suffixed;
+         what it consumes is removed (re-suffixed) from the plate's
+         remainder. *)
+      let u_i = Trace.filter_map_keys strip u in
+      let* w_i, x_i, rem_i = Adev.with_key ki (density_in (body i) u_i) in
+      let consumed = Trace.diff u_i rem_i in
+      let u =
+        List.fold_left
+          (fun acc (base, _) -> Trace.remove (base ^ suffix) acc)
+          u (Trace.bindings consumed)
+      in
+      go (i + 1) (Ad.add w_i w) (x_i :: vals) u
+  in
+  go 0 (Ad.scalar 0.) [] u
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program vectorized interpreters: run [n] i.i.d. executions of
+   the program as ONE pass in which every sample site is a batched site
+   (leading axis = instance axis) and the accumulated weight is a
+   per-instance [n]-vector. Binds receive batched values, so the
+   program must be rank-polymorphic in its deterministic parts (tensor
+   ops broadcasting over the leading axis). Anything that cannot be
+   rank-lifted raises [Dist.Not_batchable]; wrap calls in
+   [Adev.or_else] to fall back to the sequential interpreters under
+   the same key. *)
+
+let vec_neg_inf n = Ad.const (Tensor.full [| n |] Float.neg_infinity)
+
+(* Broadcast a scalar weight (a batch-invariant contribution) up to the
+   per-instance vector. *)
+let ensure_vec n w =
+  if Ad.shape w = [| n |] then w else Ad.add w (Ad.const (Tensor.zeros [| n |]))
+
+let batched_payload (d : 'v Dist.t) =
+  match d.Dist.batched with
+  | Some b -> b
+  | None ->
+    raise (Dist.Not_batchable (d.Dist.name ^ ": no batched execution payload"))
+
+(* Per-instance observation weight. A stacked observation (or batched
+   parameters broadcasting against a shared one) yields the [n]-vector
+   of per-instance log densities; otherwise every instance shares the
+   scalar log density. *)
+let observe_weight_batched : type v. int -> v Dist.t -> v -> Ad.t =
+ fun n d v ->
+  let scalar () = d.Dist.log_density v in
+  match d.Dist.batched with
+  | None -> scalar ()
+  | Some b -> begin
+    match b.Dist.log_density_n v with
+    | lw when Ad.shape lw = [| n |] -> lw
+    | _ -> scalar ()
+    | exception (Dist.Not_batchable _ | Tensor.Shape_error _) -> scalar ()
+  end
+
+let rec simulate_batched : type a. n:int -> a t -> (a * Trace.t * Ad.t) Adev.t =
+ fun ~n prog ->
+  let open Adev.Syntax in
+  match prog with
+  | Return x -> Adev.return (x, Trace.empty, Ad.scalar 0.)
+  | Bind (m, f) ->
+    let* x, u1, w1 = simulate_batched ~n m in
+    let* y, u2, w2 = simulate_batched ~n (f x) in
+    Adev.return (y, Trace.union_disjoint u1 u2, Ad.add w1 w2)
+  | Sample (d, name) ->
+    let b = batched_payload d in
+    let* x = Adev.sample_batched ~n d in
+    let v = d.Dist.inject x in
+    Value.register_origin_value v ~address:name
+      ~strategy:(Dist.strategy_name d.Dist.strategy) ();
+    Adev.return (x, Trace.singleton name v, b.Dist.log_density_n x)
+  | Observe (d, v) ->
+    let lw = observe_weight_batched n d v in
+    (* The joint score over the n instances: sum of per-instance terms,
+       or n copies of a shared scalar term. *)
+    let joint =
+      if Ad.shape lw = [| n |] then Ad.sum lw
+      else Ad.scale (float_of_int n) lw
+    in
+    let* () = Adev.score_log joint in
+    Adev.return ((), Trace.empty, lw)
+  | Marginal (_, _, _) ->
+    raise (Dist.Not_batchable "Gen.simulate_batched: marginal")
+  | Normalize (_, _) ->
+    raise (Dist.Not_batchable "Gen.simulate_batched: normalize")
+  | Plate (_, _) ->
+    raise (Dist.Not_batchable "Gen.simulate_batched: nested plate")
+
+and density_in_batched :
+    type a. n:int -> a t -> Trace.t -> (Ad.t * a * Trace.t) Adev.t =
+ fun ~n prog u ->
+  let open Adev.Syntax in
+  match prog with
+  | Return x -> Adev.return (Ad.scalar 0., x, u)
+  | Bind (m, f) ->
+    let* w1, x, u1 = density_in_batched ~n m u in
+    let* w2, y, u2 = density_in_batched ~n (f x) u1 in
+    Adev.return (Ad.add w1 w2, y, u2)
+  | Sample (d, name) -> begin
+    let b = batched_payload d in
+    match Trace.find_opt name u with
+    | Some v -> begin
+      match d.Dist.project v with
+      | Some x ->
+        Adev.return (b.Dist.log_density_n x, x, Trace.remove name u)
+      | None ->
+        Adev.return
+          ( vec_neg_inf n,
+            b.Dist.stack (Array.make n d.Dist.default),
+            Trace.remove name u )
+    end
+    | None ->
+      Adev.return (vec_neg_inf n, b.Dist.stack (Array.make n d.Dist.default), u)
+  end
+  | Observe (d, v) -> Adev.return (observe_weight_batched n d v, (), u)
+  | Marginal (_, _, _) ->
+    raise (Dist.Not_batchable "Gen.density_in_batched: marginal")
+  | Normalize (_, _) ->
+    raise (Dist.Not_batchable "Gen.density_in_batched: normalize")
+  | Plate (_, _) ->
+    raise (Dist.Not_batchable "Gen.density_in_batched: nested plate")
+
+let log_density_batched ~n prog u =
+  let open Adev.Syntax in
+  let* w, _, remainder = density_in_batched ~n prog u in
+  if Trace.is_empty remainder then Adev.return (ensure_vec n w)
+  else Adev.return (vec_neg_inf n)
+
 (* Detached execution: every site just samples, every density is primal.
    Mirrors [simulate] / [density_in] without the gradient machinery. *)
 let rec sample_prior : type a. a t -> Prng.key -> a * Trace.t * float =
@@ -263,6 +550,35 @@ let rec sample_prior : type a. a t -> Prng.key -> a * Trace.t * float =
     let j = Prng.categorical keys.(alg.particles) (Array.of_list weights) in
     let t_j, value_j, logp_j, _ = List.nth particles j in
     (value_j, t_j, logp_j -. log_zhat)
+  | Plate (n, body) -> begin
+    match plate_plan n body with
+    | Some { pl_dist = d; pl_batched = b; pl_addr = addr } ->
+      let x = b.Dist.sample_n key n in
+      ( b.Dist.unstack n x,
+        Trace.singleton addr (d.Dist.inject x),
+        primal (Ad.sum (b.Dist.log_density_n x)) )
+    | None ->
+      let rec go i vals trace w =
+        if i >= n then (Array.of_list (List.rev vals), trace, w)
+        else
+          let ki = Prng.fold_in key i in
+          let x, t_i, w_i =
+            match body i with
+            | Sample (d, addr) ->
+              (* Direct single-site interpretation under the row key so
+                 the sequential path draws exactly the batched rows. *)
+              let x = d.Dist.sample ki in
+              ( x,
+                Trace.singleton (plate_slot addr i) (d.Dist.inject x),
+                primal (d.Dist.log_density x) )
+            | prog ->
+              let x, t, w = sample_prior prog ki in
+              (x, Trace.map_keys (fun a -> plate_slot a i) t, w)
+          in
+          go (i + 1) (x :: vals) (Trace.union_disjoint trace t_i) (w +. w_i)
+      in
+      go 0 [] Trace.empty 0.
+  end
 
 and prior_density : type a. a t -> Trace.t -> Prng.key -> float * a * Trace.t =
  fun prog u key ->
@@ -308,6 +624,45 @@ and prior_density : type a. a t -> Trace.t -> Prng.key -> float * a * Trace.t =
     in
     let log_zhat = prior_log_mean_exp ((logp_u -. logq_u) :: others) in
     (logp_u -. log_zhat, value, remainder)
+  | Plate (n, body) -> begin
+    match plate_plan n body with
+    | Some { pl_dist = d; pl_batched = b; pl_addr = addr }
+      when Trace.mem addr u -> begin
+      match d.Dist.project (Trace.get addr u) with
+      | Some x ->
+        ( primal (Ad.sum (b.Dist.log_density_n x)),
+          b.Dist.unstack n x,
+          Trace.remove addr u )
+      | None ->
+        ( Float.neg_infinity,
+          Array.init n (fun _ -> d.Dist.default),
+          Trace.remove addr u )
+    end
+    | _ ->
+      let rec go i w vals u =
+        if i >= n then (w, Array.of_list (List.rev vals), u)
+        else
+          let ki = Prng.fold_in key i in
+          let suffix = Printf.sprintf "[%d]" i in
+          let slen = String.length suffix in
+          let strip name =
+            let nlen = String.length name in
+            if nlen > slen && String.sub name (nlen - slen) slen = suffix then
+              Some (String.sub name 0 (nlen - slen))
+            else None
+          in
+          let u_i = Trace.filter_map_keys strip u in
+          let w_i, x_i, rem_i = prior_density (body i) u_i ki in
+          let consumed = Trace.diff u_i rem_i in
+          let u =
+            List.fold_left
+              (fun acc (base, _) -> Trace.remove (base ^ suffix) acc)
+              u (Trace.bindings consumed)
+          in
+          go (i + 1) (w +. w_i) (x_i :: vals) u
+      in
+      go 0 0. [] u
+  end
 
 and prior_marginal_estimate :
     type b.
@@ -375,6 +730,7 @@ let rec enumerate : type a. a t -> (a * Trace.t * float) list = function
   | Observe (d, v) -> [ ((), Trace.empty, primal (d.Dist.log_density v)) ]
   | Marginal (_, _, _) -> invalid_arg "Gen.enumerate: marginal"
   | Normalize (_, _) -> invalid_arg "Gen.enumerate: normalize"
+  | Plate (_, _) -> invalid_arg "Gen.enumerate: plate"
 
 let exact_log_marginal prog =
   let ws = List.map (fun (_, _, w) -> w) (enumerate prog) in
@@ -394,6 +750,7 @@ let view : type a. a t -> a view = function
   | Observe (d, v) -> View_observe (d, v)
   | Marginal (_, _, _) -> View_unsupported "marginal"
   | Normalize (_, _) -> View_unsupported "normalize"
+  | Plate (_, _) -> View_unsupported "plate"
 
 type _ node =
   | Node_return : 'a -> 'a node
@@ -402,6 +759,7 @@ type _ node =
   | Node_observe : 'v Dist.t * 'v -> unit node
   | Node_marginal : string list * 'b t * algorithm -> Trace.t node
   | Node_normalize : 'a t * algorithm -> 'a node
+  | Node_plate : int * (int -> 'v t) -> 'v array node
 
 let reflect : type a. a t -> a node = function
   | Return x -> Node_return x
@@ -410,6 +768,7 @@ let reflect : type a. a t -> a node = function
   | Observe (d, v) -> Node_observe (d, v)
   | Marginal (keep, inner, alg) -> Node_marginal (keep, inner, alg)
   | Normalize (inner, alg) -> Node_normalize (inner, alg)
+  | Plate (n, body) -> Node_plate (n, body)
 
 let algorithm_proposal alg = alg.proposal
 let algorithm_particles alg = alg.particles

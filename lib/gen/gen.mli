@@ -34,6 +34,24 @@ val observe : 'a Dist.t -> 'a -> unit t
 (** [observe d v] conditions on the likelihood of [v] under [d]: it
     contributes a density factor and makes no random choices. *)
 
+val plate : n:int -> (int -> 'a t) -> 'a array t
+(** [plate ~n body]: [n] independent instances of [body 0 .. body
+    (n-1)], as one program returning the array of their results.
+
+    When every instance is the {e same single sample site} — one
+    address, one batchable primitive (see {!Dist.batched}), identically
+    distributed across indices — the plate is lowered to ONE rank-lifted
+    batched site: a single tensor draw whose leading axis is the
+    instance axis, a single vectorized log-density, and (for REINFORCE)
+    a single axis-reduced surrogate. The trace then stores the stacked
+    value under the plate's single address.
+
+    Otherwise the plate runs sequentially: instance [i] executes under
+    [Prng.fold_in key i] with every address suffixed ["[i]"]. The key
+    discipline makes the two paths draw bit-identical values, so
+    batchability is a pure performance property, never a semantic one.
+    @raise Invalid_argument if [n < 1]. *)
+
 (** {1 Inference-algorithm specifications (Appendix A.3)} *)
 
 type packed = Packed : 'a t -> packed
@@ -86,6 +104,39 @@ val log_density : 'a t -> Trace.t -> Ad.t Adev.t
 val log_density_prefix : 'a t -> Trace.t -> Ad.t Adev.t
 (** Like {!log_density} but ignores unconsumed addresses — convenient
     when scoring a sub-trace produced by a larger program. *)
+
+(** {1 Vectorized evaluators (batched particles)}
+
+    Run [n] i.i.d. executions of a program as ONE pass: every sample
+    site becomes a batched site whose drawn value carries the instance
+    axis as its leading axis, and the accumulated log density is a
+    per-instance [n]-vector. Binds receive batched values, so the
+    program's deterministic parts must be rank-polymorphic (tensor ops
+    broadcasting over the leading axis) — which the [Nn] layers and
+    [Ad] primitives are. Row [i] of every draw is bit-for-bit the
+    scalar draw instance [i] would make under [Prng.fold_in key i].
+
+    Programs containing [marginal], [normalize], [plate], or primitives
+    without batched payloads raise {!Dist.Not_batchable} (before any
+    stateful baseline is touched); wrap calls in {!Adev.or_else} to
+    fall back to a sequential interpretation under the same key. *)
+
+val simulate_batched : n:int -> 'a t -> ('a * Trace.t * Ad.t) Adev.t
+(** Vectorized {!simulate}: the trace stores stacked values under the
+    program's (un-suffixed) addresses; the third component is the
+    per-instance log-density vector of shape [[n]] (a scalar when the
+    program is deterministic). [observe] scores the joint — the sum of
+    the per-instance factors. *)
+
+val density_in_batched : n:int -> 'a t -> Trace.t -> (Ad.t * 'a * Trace.t) Adev.t
+(** Vectorized {!density_in}: consumes stacked values, returns the
+    per-instance log-density vector, the batched return value, and the
+    remainder. *)
+
+val log_density_batched : n:int -> 'a t -> Trace.t -> Ad.t Adev.t
+(** Vectorized {!log_density}: the [n]-vector of per-instance log
+    densities, or a vector of negative infinities when the trace has a
+    nonempty remainder. *)
 
 (** {1 Detached execution (no gradient machinery)} *)
 
@@ -150,6 +201,7 @@ type _ node =
   | Node_observe : 'v Dist.t * 'v -> unit node
   | Node_marginal : string list * 'b t * algorithm -> Trace.t node
   | Node_normalize : 'a t * algorithm -> 'a node
+  | Node_plate : int * (int -> 'v t) -> 'v array node
 
 val reflect : 'a t -> 'a node
 

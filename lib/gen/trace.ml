@@ -34,6 +34,15 @@ let size = Smap.cardinal
 let keys t = List.map fst (Smap.bindings t)
 let bindings = Smap.bindings
 let of_list l = List.fold_left (fun acc (name, v) -> add name v acc) empty l
+
+let map_keys f t =
+  Smap.fold (fun name v acc -> add (f name) v acc) t empty
+
+let filter_map_keys f t =
+  Smap.fold
+    (fun name v acc ->
+      match f name with Some name' -> add name' v acc | None -> acc)
+    t empty
 let subset_keys a b = Smap.for_all (fun name _ -> Smap.mem name b) a
 
 let equal_primal a b =

@@ -42,6 +42,14 @@ val keys : t -> string list
 val bindings : t -> (string * Value.t) list
 val of_list : (string * Value.t) list -> t
 
+val map_keys : (string -> string) -> t -> t
+(** Rename every address (used by the sequential plate fallback to
+    suffix instance indices). @raise Duplicate_address on collision. *)
+
+val filter_map_keys : (string -> string option) -> t -> t
+(** Keep and rename the addresses for which [f] returns [Some];
+    @raise Duplicate_address on collision. *)
+
 val subset_keys : t -> t -> bool
 (** [subset_keys u v]: every address of [u] is bound in [v]. *)
 

@@ -211,26 +211,34 @@ let matmul_t ~m ~k ~n a b c =
           let p = ref 0 in
           let k4 = k - 3 in
           (* Sequential accumulation into one register: the unrolled
-             terms are added in the same order as the rolled loop. *)
+             terms are added in the same order as the rolled loop.
+             Unlike the saxpy-style kernels, no zero-skip test here —
+             it would cost a branch per multiply-add rather than per
+             row, and adding an exact [0.] leaves the accumulator
+             bit-identical anyway. *)
           while !p < k4 do
             let p0 = !p in
-            let a0 = Array.unsafe_get a (arow + p0) in
-            if a0 <> 0. then acc := !acc +. (a0 *. Array.unsafe_get b (brow + p0));
-            let a1 = Array.unsafe_get a (arow + p0 + 1) in
-            if a1 <> 0. then
-              acc := !acc +. (a1 *. Array.unsafe_get b (brow + p0 + 1));
-            let a2 = Array.unsafe_get a (arow + p0 + 2) in
-            if a2 <> 0. then
-              acc := !acc +. (a2 *. Array.unsafe_get b (brow + p0 + 2));
-            let a3 = Array.unsafe_get a (arow + p0 + 3) in
-            if a3 <> 0. then
-              acc := !acc +. (a3 *. Array.unsafe_get b (brow + p0 + 3));
+            acc :=
+              !acc
+              +. (Array.unsafe_get a (arow + p0) *. Array.unsafe_get b (brow + p0));
+            acc :=
+              !acc
+              +. (Array.unsafe_get a (arow + p0 + 1)
+                 *. Array.unsafe_get b (brow + p0 + 1));
+            acc :=
+              !acc
+              +. (Array.unsafe_get a (arow + p0 + 2)
+                 *. Array.unsafe_get b (brow + p0 + 2));
+            acc :=
+              !acc
+              +. (Array.unsafe_get a (arow + p0 + 3)
+                 *. Array.unsafe_get b (brow + p0 + 3));
             p := p0 + 4
           done;
           while !p < k do
-            let aip = Array.unsafe_get a (arow + !p) in
-            if aip <> 0. then
-              acc := !acc +. (aip *. Array.unsafe_get b (brow + !p));
+            acc :=
+              !acc
+              +. (Array.unsafe_get a (arow + !p) *. Array.unsafe_get b (brow + !p));
             incr p
           done;
           Array.unsafe_set c (crow + j) !acc

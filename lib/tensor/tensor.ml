@@ -365,6 +365,149 @@ let softmax t =
   let lse = logsumexp t in
   map (fun x -> Float.exp (x -. lse)) t
 
+let max_axis ax t =
+  let r = Array.length t.shape in
+  if ax < 0 || ax >= r then shape_error "max_axis %d of %a" ax pp_shape t.shape;
+  let out_shape =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> ax) (Array.to_list t.shape))
+  in
+  let out = full out_shape Float.neg_infinity in
+  let n = Array.length t.data in
+  let inner = t.st.(ax) in
+  let axis_len = t.shape.(ax) in
+  let outer_stride = inner * axis_len in
+  let nblocks = if outer_stride = 0 then 0 else n / outer_stride in
+  let src = t.data and dst = out.data in
+  for block = 0 to nblocks - 1 do
+    let ibase = block * outer_stride and jbase = block * inner in
+    for a = 0 to axis_len - 1 do
+      let arow = ibase + (a * inner) in
+      for w = 0 to inner - 1 do
+        Array.unsafe_set dst (jbase + w)
+          (Float.max
+             (Array.unsafe_get dst (jbase + w))
+             (Array.unsafe_get src (arow + w)))
+      done
+    done
+  done;
+  out
+
+let logsumexp_axis ax t =
+  let r = Array.length t.shape in
+  if ax < 0 || ax >= r then
+    shape_error "logsumexp_axis %d of %a" ax pp_shape t.shape;
+  let m = max_axis ax t in
+  let out = zeros (Array.copy m.shape) in
+  let n = Array.length t.data in
+  let inner = t.st.(ax) in
+  let axis_len = t.shape.(ax) in
+  let outer_stride = inner * axis_len in
+  let nblocks = if outer_stride = 0 then 0 else n / outer_stride in
+  let src = t.data and dst = out.data and mx = m.data in
+  for block = 0 to nblocks - 1 do
+    let ibase = block * outer_stride and jbase = block * inner in
+    for a = 0 to axis_len - 1 do
+      let arow = ibase + (a * inner) in
+      for w = 0 to inner - 1 do
+        let mj = Array.unsafe_get mx (jbase + w) in
+        (* When every term is -inf the max-shift would produce NaN; the
+           accumulator stays 0 and the final log gives -inf below. *)
+        if mj > Float.neg_infinity then
+          Array.unsafe_set dst (jbase + w)
+            (Array.unsafe_get dst (jbase + w)
+            +. Float.exp (Array.unsafe_get src (arow + w) -. mj))
+      done
+    done
+  done;
+  Array.iteri
+    (fun j s ->
+      dst.(j) <-
+        (if mx.(j) = Float.neg_infinity then Float.neg_infinity
+         else mx.(j) +. Float.log s))
+    (Array.copy dst);
+  out
+
+(* Fused Bernoulli-with-logits row scoring. The compositional form
+   [-(x * softplus (-l) + (1 - x) * softplus l)] walks the operands
+   eight times and allocates as many temporaries; on the batched
+   likelihood path this is the hot scoring kernel, so it gets one fused
+   pass over the broadcast of [logits] and [x], summing all trailing
+   axes into the per-row score [x*l - softplus l]. *)
+
+(* The plan for one fused scoring pass: broadcast shape [n x tail] plus
+   each operand's row stride — [tail] when the operand carries the row
+   axis, [0] when it tiles along rows. Operands with exotic broadcast
+   patterns are materialized to the full shape. *)
+let bernoulli_logits_plan logits x =
+  let bshape = broadcast_shapes logits.shape x.shape in
+  if Array.length bshape < 1 then
+    shape_error "bernoulli_logits_scores: scalar operands";
+  let n = bshape.(0) in
+  let size = shape_size bshape in
+  let tail = if n = 0 then 0 else size / n in
+  let leg t =
+    let ts = Array.length t.data in
+    if ts = size then (t.data, tail)
+    else if ts = tail && shape_size (Array.sub bshape 1 (Array.length bshape - 1)) = tail
+    then (t.data, 0)
+    else ((broadcast_to t bshape).data, tail)
+  in
+  let ld, lst = leg logits and xd, xst = leg x in
+  (bshape, n, tail, ld, lst, xd, xst)
+
+let bernoulli_logits_scores_fwd ~logits ~x =
+  let bshape, n, tail, l, lst, xd, xst = bernoulli_logits_plan logits x in
+  let out = Array.make n 0. in
+  let sg = Array.make (shape_size bshape) 0. in
+  for i = 0 to n - 1 do
+    let lbase = i * lst and xbase = i * xst and sbase = i * tail in
+    let acc = ref 0. in
+    for j = 0 to tail - 1 do
+      let lij = Array.unsafe_get l (lbase + j) in
+      (* softplus with the same >30 cutoff as [softplus]; the exp is
+         shared with the sigmoid cached for the backward pass. *)
+      let sp, s =
+        if lij > 30. then (lij, 1. /. (1. +. Float.exp (-.lij)))
+        else begin
+          let e = Float.exp lij in
+          (Float.log (1. +. e), e /. (1. +. e))
+        end
+      in
+      Array.unsafe_set sg (sbase + j) s;
+      acc := !acc +. ((Array.unsafe_get xd (xbase + j) *. lij) -. sp)
+    done;
+    out.(i) <- !acc
+  done;
+  (mk [| n |] out, mk bshape sg)
+
+let bernoulli_logits_scores ~logits ~x =
+  fst (bernoulli_logits_scores_fwd ~logits ~x)
+
+(* Cotangent into [logits] at the broadcast shape (callers reduce back
+   to the operand shape): [g_i * (x - sigma)], with [g] the per-row
+   cotangent and [sigma] the forward pass's cached sigmoid. *)
+let bernoulli_logits_scores_vjp ~sigma ~x ~g =
+  let n = sigma.shape.(0) in
+  let tail = if n = 0 then 0 else Array.length sigma.data / n in
+  let xd, xst =
+    if Array.length x.data = Array.length sigma.data then (x.data, tail)
+    else if Array.length x.data = tail then (x.data, 0)
+    else ((broadcast_to x sigma.shape).data, tail)
+  in
+  let out = Array.make (Array.length sigma.data) 0. in
+  let sd = sigma.data and gd = g.data in
+  for i = 0 to n - 1 do
+    let base = i * tail and xbase = i * xst in
+    let gi = Array.unsafe_get gd i in
+    for j = 0 to tail - 1 do
+      Array.unsafe_set out (base + j)
+        (gi
+        *. (Array.unsafe_get xd (xbase + j) -. Array.unsafe_get sd (base + j)))
+    done
+  done;
+  mk (Array.copy sigma.shape) out
+
 (* Linear algebra *)
 
 let matmul a b =

@@ -177,6 +177,38 @@ val logsumexp : t -> float
 val softmax : t -> t
 (** Softmax over all elements (stable). *)
 
+val max_axis : int -> t -> t
+(** [max_axis ax t] takes the elementwise maximum along dimension [ax]
+    (removing it). Empty reductions yield [neg_infinity]. *)
+
+val logsumexp_axis : int -> t -> t
+(** [logsumexp_axis ax t] is a numerically stable
+    [log (sum (exp t))] along dimension [ax] (removing it), the
+    axis-wise counterpart of {!logsumexp}. Rows whose maximum is
+    [neg_infinity] reduce to [neg_infinity] rather than NaN. *)
+
+val bernoulli_logits_scores : logits:t -> x:t -> t
+(** Fused Bernoulli-with-logits row scoring: broadcasts [logits] and
+    [x] together, then sums the elementwise log-pmf
+    [x*l - softplus l] (identically
+    [-(x * softplus (-l) + (1 - x) * softplus l)]) over every trailing
+    axis, yielding the per-row score vector indexed by the leading
+    axis. One pass, no intermediate tensors — the hot scoring kernel
+    of the batched likelihood path.
+    @raise Shape_error when both operands are scalars. *)
+
+val bernoulli_logits_scores_fwd : logits:t -> x:t -> t * t
+(** {!bernoulli_logits_scores} together with the sigmoid of the
+    broadcast logits, computed from the same exponentials, so a
+    reverse pass can reuse it without re-evaluating [exp]. *)
+
+val bernoulli_logits_scores_vjp : sigma:t -> x:t -> g:t -> t
+(** Cotangent of {!bernoulli_logits_scores} with respect to [logits]
+    at the broadcast shape: [g_i * (x - sigma)] with [g] the per-row
+    cotangent and [sigma] the cached sigmoid from
+    {!bernoulli_logits_scores_fwd}. Callers reduce back to the operand
+    shape. *)
+
 (** {1 Linear algebra} *)
 
 val matmul : t -> t -> t

@@ -181,6 +181,7 @@ let batch_objectives ?(pres = RE) ?(pos = RE) ~baselines objective frame images
       | Iwelbo n ->
         Objectives.iwelbo ~particles:n ~model:(model frame image)
           ~guide:(guide ~pres ~pos ~baselines frame image)
+          ()
       | Rws n -> rws_objective ~particles:n ~baselines frame image)
     rows
 

@@ -100,7 +100,8 @@ let objective_name = function
 let objective kind frame =
   match kind with
   | Elbo -> Objectives.elbo ~model ~guide:(guide_naive frame)
-  | Iwelbo n -> Objectives.iwelbo ~particles:n ~model ~guide:(guide_naive frame)
+  | Iwelbo n ->
+    Objectives.iwelbo ~particles:n ~model ~guide:(guide_naive frame) ()
   | Hvi ->
     Objectives.hvi ~keep:[ "x"; "y" ] ~reverse:reverse_kernel ~model
       ~guide_joint:(guide_joint frame) ()

@@ -29,6 +29,19 @@ val guide : Store.Frame.t -> Tensor.t -> Tensor.t -> unit Gen.t
 
 val elbo : Store.Frame.t -> Tensor.t -> Tensor.t -> Ad.t Adev.t
 
+val model_batch : Store.Frame.t -> Tensor.t -> Tensor.t -> unit Gen.t
+(** Stacked-minibatch model (inputs [[b x input_dim]], targets
+    [[b x output_dim]]): the latent site carries data-indexed
+    [[b x latent]] parameters for the vectorized evaluators. *)
+
+val guide_batch : Store.Frame.t -> Tensor.t -> Tensor.t -> unit Gen.t
+(** Stacked-minibatch recognition network. *)
+
+val elbo_batch : Store.Frame.t -> Tensor.t -> Tensor.t -> Ad.t Adev.t
+(** The [[b]]-vector of per-datum ELBO terms, computed as one
+    vectorized pass ([Objectives.elbo_batched]) with a per-datum
+    sequential fallback under the same key. *)
+
 val train_epoch :
   ?guard:Guard.t ->
   store:Store.t ->

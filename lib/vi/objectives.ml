@@ -5,18 +5,45 @@ let elbo ~model ~guide =
   let* logp = Gen.log_density model trace in
   Adev.return (Ad.sub logp logq)
 
-let iwelbo ~particles ~model ~guide =
+let iwelbo ?(batched = false) ~particles ~model ~guide () =
   if particles < 1 then invalid_arg "Objectives.iwelbo: particles < 1";
-  let particle =
-    let* _, trace, logq = Gen.simulate guide in
-    let* logp = Gen.log_density model trace in
-    Adev.return (Ad.sub logp logq)
+  let sequential =
+    let particle =
+      let* _, trace, logq = Gen.simulate guide in
+      let* logp = Gen.log_density model trace in
+      Adev.return (Ad.sub logp logq)
+    in
+    let* logws = Adev.replicate particles particle in
+    Adev.return
+      (Ad.sub
+         (Ad.logsumexp (Ad.stack0 logws))
+         (Ad.scalar (Float.log (float_of_int particles))))
   in
-  let* logws = Adev.replicate particles particle in
-  Adev.return
-    (Ad.sub
-       (Ad.logsumexp (Ad.stack0 logws))
-       (Ad.scalar (Float.log (float_of_int particles))))
+  if not batched then sequential
+  else
+    (* All particles as ONE vectorized pass: one batched draw per guide
+       site, one [particles]-vector of log weights, one logsumexp over
+       the particle axis. Falls back to the sequential estimator (same
+       key) when something in the pair cannot be rank-lifted. *)
+    let vectorized =
+      Adev.delay (fun () ->
+          let* _, trace, logq = Gen.simulate_batched ~n:particles guide in
+          let* logp = Gen.log_density_batched ~n:particles model trace in
+          Adev.return
+            (Ad.sub
+               (Ad.logsumexp_axis 0 (Ad.sub logp logq))
+               (Ad.scalar (Float.log (float_of_int particles)))))
+    in
+    Adev.or_else vectorized sequential
+
+let elbo_batched ~n ~model ~guide =
+  if n < 1 then invalid_arg "Objectives.elbo_batched: n < 1";
+  (* Delayed so callers can [Adev.or_else] a sequential fallback: the
+     vectorized evaluators refuse while constructing the term. *)
+  Adev.delay (fun () ->
+      let* _, trace, logq = Gen.simulate_batched ~n guide in
+      let* logp = Gen.log_density_batched ~n model trace in
+      Adev.return (Ad.sub logp logq))
 
 let marginal_guide ~keep ~reverse ~aux_particles guide_joint =
   Gen.marginal ~keep guide_joint
@@ -28,6 +55,7 @@ let hvi ~keep ~reverse ?(aux_particles = 1) ~model ~guide_joint () =
 let diwhvi ~particles ~keep ~reverse ~aux_particles ~model ~guide_joint =
   iwelbo ~particles ~model
     ~guide:(marginal_guide ~keep ~reverse ~aux_particles guide_joint)
+    ()
 
 let sir ~particles ~model ~proposal =
   Gen.normalize model (Gen.importance_prior ~particles (Gen.Packed proposal))

@@ -19,9 +19,33 @@ val elbo : model:'a Gen.t -> guide:'b Gen.t -> Ad.t Adev.t
     estimates and the objective is the correspondingly looser bound of
     Appendix A.2. *)
 
-val iwelbo : particles:int -> model:'a Gen.t -> guide:'b Gen.t -> Ad.t Adev.t
+val iwelbo :
+  ?batched:bool ->
+  particles:int ->
+  model:'a Gen.t ->
+  guide:'b Gen.t ->
+  unit ->
+  Ad.t Adev.t
 (** The importance-weighted ELBO of Burda et al.:
-    [E log (1/N sum_i p(z_i, y) / q(z_i))]. *)
+    [E log (1/N sum_i p(z_i, y) / q(z_i))].
+
+    With [~batched:true] the [N] particles are drawn as ONE vectorized
+    pass ([Gen.simulate_batched] / [Gen.log_density_batched]): each
+    guide site makes a single rank-lifted draw with the particle axis
+    leading, and the bound is one [logsumexp] over that axis — same
+    estimator, one tape instead of [N]. Falls back to the sequential
+    construction (under the same key) when the pair cannot be
+    rank-lifted; the default [false] preserves the historical sequential
+    key stream exactly. *)
+
+val elbo_batched : n:int -> model:'a Gen.t -> guide:'b Gen.t -> Ad.t Adev.t
+(** [n] independent ELBO terms as one vectorized pass, returned as an
+    [[n]]-vector (one per instance). Written for plated-minibatch
+    training: model and guide see stacked data, data-indexed parameters
+    (leading axis [n]) give each instance its own row. Average it (or
+    feed [Train.fit_batched]) to get the minibatch ELBO.
+    @raise Dist.Not_batchable when a site cannot be rank-lifted — wrap
+    in [Adev.or_else] or keep a per-datum loop as fallback. *)
 
 val hvi :
   keep:string list ->

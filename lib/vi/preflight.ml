@@ -70,6 +70,35 @@ let demo_observe_outside_support () =
   in
   Check.Program (Gen.Packed prog)
 
+(* A plate whose body shape depends on the instance index: the batched
+   lowering cannot stack the rows, so every run silently takes the
+   sequential path (PV210). *)
+let demo_plate_shape () =
+  let prog =
+    Gen.plate ~n:8 (fun i ->
+        let dim = if i = 0 then 2 else 3 in
+        Gen.sample
+          (Dist.mv_normal_diag_reparam
+             (Ad.const (Tensor.zeros [| dim |]))
+             (Ad.const (Tensor.ones [| dim |])))
+          "z")
+  in
+  Check.Program (Gen.Packed prog)
+
+(* A plate body reusing an address bound outside the plate: under the
+   batched lowering the stacked value would collide with the enclosing
+   site (PV211). *)
+let demo_plate_escape () =
+  let prog =
+    let* _ = Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "z" in
+    let* _ =
+      Gen.plate ~n:4 (fun _ ->
+          Gen.sample (Dist.normal_reparam (Ad.scalar 0.) (Ad.scalar 1.)) "z")
+    in
+    Gen.return ()
+  in
+  Check.Program (Gen.Packed prog)
+
 (* ------------------------------------------------------------------ *)
 (* Example-program mirrors                                             *)
 
@@ -256,7 +285,11 @@ let entries =
       make = demo_duplicate_address };
     { name = "demo/observe-outside-support";
       expect = [ "PV301" ];
-      make = demo_observe_outside_support } ]
+      make = demo_observe_outside_support };
+    { name = "demo/plate-shape"; expect = [ "PV210" ]; make = demo_plate_shape };
+    { name = "demo/plate-escape";
+      expect = [ "PV211" ];
+      make = demo_plate_escape } ]
 
 (* ------------------------------------------------------------------ *)
 (* Running the registry                                                *)

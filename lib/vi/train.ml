@@ -104,6 +104,17 @@ let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard
       Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates))
     key
 
+let fit_batched ~store ~optim ?(direction = Optim.Ascend) ?guard
+    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
+    ~steps ~objective key =
+  run_preflight ~strict:preflight_strict preflight;
+  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+    ~make_surrogate:(fun frame step key_step ->
+      let m, obj = objective frame step in
+      let vec = Adev.expectation obj key_step in
+      Ad.scale (1. /. float_of_int (Stdlib.max 1 m)) (Ad.sum vec))
+    key
+
 let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard
     ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
     ~steps ~surrogate key =

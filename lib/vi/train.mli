@@ -65,6 +65,27 @@ val fit_batch :
     objective in the returned list gets its own surrogate and key, and
     the update uses their average. *)
 
+val fit_batched :
+  store:Store.t ->
+  optim:Optim.t ->
+  ?direction:Optim.direction ->
+  ?guard:Guard.t ->
+  ?preflight:Check.target list ->
+  ?preflight_strict:bool ->
+  ?on_step:(report -> unit) ->
+  steps:int ->
+  objective:(Store.Frame.t -> int -> int * Ad.t Adev.t) ->
+  Prng.key ->
+  report list
+(** Like {!fit_batch}, for vectorized per-instance objectives (e.g.
+    {!Objectives.elbo_batched}): the builder returns the instance count
+    [m] together with ONE lambda_ADEV computation whose value is the
+    [[m]]-vector of per-instance objective terms; the update uses
+    [sum / m] as the surrogate. One batched pass replaces [m]
+    independent surrogates — the instances share the step's key, which
+    is exactly what the batched evaluators' [fold_in] row discipline
+    expects. *)
+
 val fit_surrogate :
   store:Store.t ->
   optim:Optim.t ->

@@ -24,12 +24,19 @@ let decode frame z =
   let h = Layer.dense frame ~name:"vae.dec.trunk" ~act:Layer.Softplus z in
   Layer.dense frame ~name:"vae.dec.out" h
 
+(* The standard-normal prior over one datum's latent code. *)
+let prior1 =
+  Dist.mv_normal_diag_reparam
+    (Ad.const (Tensor.zeros [| latent_dim |]))
+    (Ad.const (Tensor.ones [| latent_dim |]))
+
 let model frame images =
   let n = (Tensor.shape images).(0) in
-  let zeros = Ad.const (Tensor.zeros [| n; latent_dim |]) in
-  let ones = Ad.const (Tensor.ones [| n; latent_dim |]) in
   let open Gen.Syntax in
-  let* z = Gen.sample (Dist.mv_normal_diag_reparam zeros ones) "latent" in
+  (* [iid n prior1]: the minibatch prior as one plated (rank-lifted)
+     site — n i.i.d. rows drawn and scored as a single [n x latent]
+     batched draw. *)
+  let* z = Gen.sample (Dist.iid n prior1) "latent" in
   let logits = decode frame z in
   Gen.observe (Dist.bernoulli_logits_vector logits) (Ad.const images)
 
@@ -39,11 +46,45 @@ let guide frame images =
   let* _ = Gen.sample (Dist.mv_normal_diag_reparam mu std) "latent" in
   Gen.return ()
 
+(* Single-datum programs (image: [image_dim] vector). These are what the
+   vectorized particle evaluators rank-lift: under
+   [Gen.simulate_batched ~n:k] the one latent site draws [k x latent]
+   in one pass and the observation broadcasts to a [k]-vector of
+   likelihoods. *)
+let model1 frame image =
+  let open Gen.Syntax in
+  let* z = Gen.sample prior1 "latent" in
+  let logits = decode frame z in
+  Gen.observe (Dist.bernoulli_logits_vector logits) (Ad.const image)
+
+let guide1 frame image =
+  let mu, std = encode frame (Ad.const image) in
+  let open Gen.Syntax in
+  let* _ = Gen.sample (Dist.mv_normal_diag_reparam mu std) "latent" in
+  Gen.return ()
+
 let elbo_per_datum frame images =
   let n = float_of_int (Tensor.shape images).(0) in
   Adev.map
     (Ad.scale (1. /. n))
     (Objectives.elbo ~model:(model frame images) ~guide:(guide frame images))
+
+(* The unbatched reference: one interpreter pass and one tape per datum.
+   Same objective as {!elbo_per_datum}; what Table 1's vectorization
+   column measures against. *)
+let elbo_per_datum_looped frame images =
+  let n = (Tensor.shape images).(0) in
+  let open Adev.Syntax in
+  let rec go i acc =
+    if i >= n then Adev.return (Ad.scale (1. /. float_of_int n) acc)
+    else
+      let image = Tensor.slice0 images i in
+      let* e =
+        Objectives.elbo ~model:(model1 frame image) ~guide:(guide1 frame image)
+      in
+      go (i + 1) (Ad.add acc e)
+  in
+  go 0 (Ad.scalar 0.)
 
 let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?guard ?store key =
   let store = match store with Some s -> s | None -> Store.create () in
@@ -58,14 +99,11 @@ let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?guard ?store key =
   in
   (store, reports)
 
-let grad_step_time store ~batch ~repeats key =
-  let images, _ = Data.digit_batch key batch in
-  (* One warmup round, then time forward + backward. *)
+(* One warmup round, then time forward + backward per repeat. *)
+let time_surrogate store ~repeats make key =
   let run i =
     let frame = Store.Frame.make store in
-    let surrogate =
-      Adev.expectation (elbo_per_datum frame images) (Prng.fold_in key i)
-    in
+    let surrogate = Adev.expectation (make frame) (Prng.fold_in key i) in
     Ad.backward surrogate;
     ignore (Store.Frame.grads frame)
   in
@@ -75,3 +113,22 @@ let grad_step_time store ~batch ~repeats key =
     run i
   done;
   (Unix.gettimeofday () -. t0) /. float_of_int repeats
+
+let grad_step_time store ~batch ~repeats key =
+  let images, _ = Data.digit_batch key batch in
+  time_surrogate store ~repeats (fun frame -> elbo_per_datum frame images) key
+
+let grad_step_time_looped store ~batch ~repeats key =
+  let images, _ = Data.digit_batch key batch in
+  time_surrogate store ~repeats
+    (fun frame -> elbo_per_datum_looped frame images)
+    key
+
+let iwelbo_step_time store ~particles ~batched ~repeats key =
+  let images, _ = Data.digit_batch key 1 in
+  let image = Tensor.slice0 images 0 in
+  time_surrogate store ~repeats
+    (fun frame ->
+      Objectives.iwelbo ~batched ~particles ~model:(model1 frame image)
+        ~guide:(guide1 frame image) ())
+    key

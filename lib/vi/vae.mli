@@ -21,14 +21,28 @@ val decode : Store.Frame.t -> Ad.t -> Ad.t
 (** [decode frame z] = pixel logits, [n x 144]. *)
 
 val model : Store.Frame.t -> Tensor.t -> unit Gen.t
-(** Generative program for a batch of images: batched standard-normal
-    latent, decoder, Bernoulli pixel likelihood. *)
+(** Generative program for a batch of images: the minibatch prior is a
+    plated site ([Dist.iid]: one rank-lifted [batch x latent] draw),
+    then decoder and Bernoulli pixel likelihood. *)
 
 val guide : Store.Frame.t -> Tensor.t -> unit Gen.t
 (** Amortized Gaussian posterior from the encoder. *)
 
+val model1 : Store.Frame.t -> Tensor.t -> unit Gen.t
+(** Single-datum model (image: [[image_dim]] vector, one [latent_dim]
+    latent). Rank-polymorphic: under [Gen.simulate_batched] the latent
+    site lifts to a particle axis and the observation broadcasts. *)
+
+val guide1 : Store.Frame.t -> Tensor.t -> unit Gen.t
+(** Single-datum amortized posterior. *)
+
 val elbo_per_datum : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
 (** The batch ELBO divided by the batch size. *)
+
+val elbo_per_datum_looped : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
+(** The same objective computed the unbatched way: one interpreter pass
+    per datum, summed. Reference point for the vectorization
+    benchmarks; statistically identical to {!elbo_per_datum}. *)
 
 val train :
   ?steps:int -> ?batch:int -> ?lr:float -> ?guard:Guard.t ->
@@ -42,3 +56,14 @@ val grad_step_time :
 (** Mean seconds per gradient estimate (forward + backward) of the
     automated estimator at the given batch size — the Table 1 "Ours"
     column. *)
+
+val grad_step_time_looped :
+  Store.t -> batch:int -> repeats:int -> Prng.key -> float
+(** Mean seconds per gradient estimate of the per-datum looped
+    reference ({!elbo_per_datum_looped}) at the given batch size. *)
+
+val iwelbo_step_time :
+  Store.t -> particles:int -> batched:bool -> repeats:int -> Prng.key -> float
+(** Mean seconds per IWELBO gradient estimate on one datum with the
+    given particle count, via the vectorized ([batched:true]) or
+    sequential particle path. *)

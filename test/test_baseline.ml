@@ -213,7 +213,7 @@ let test_svi_iwelbo_matches_modular () =
       !modular
       +. Adev.estimate
            (Objectives.iwelbo ~particles:3 ~model:toy_model
-              ~guide:(toy_guide (Ad.scalar theta)))
+              ~guide:(toy_guide (Ad.scalar theta)) ())
            (Prng.fold_in (Prng.key 55) i)
   done;
   let nf = float_of_int n in

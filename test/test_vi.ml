@@ -112,7 +112,7 @@ let test_iwelbo_tighter_than_elbo () =
   let iw =
     Adev.estimate ~samples:3000
       (Objectives.iwelbo ~particles:10 ~model:(conjugate_model y)
-         ~guide:(conjugate_guide frame))
+         ~guide:(conjugate_guide frame) ())
       k0
   in
   Alcotest.(check bool)
@@ -134,7 +134,7 @@ let test_elbo_of_sir_equals_iwelbo () =
   let iw =
     Adev.estimate ~samples:4000
       (Objectives.iwelbo ~particles:n ~model:(conjugate_model y)
-         ~guide:(conjugate_guide frame))
+         ~guide:(conjugate_guide frame) ())
       k0
   in
   let q_sir =
