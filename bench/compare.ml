@@ -2,13 +2,20 @@
    BENCH_*.json against a committed baseline and fail on regressions.
 
      compare.exe BASELINE CURRENT [--threshold PCT]
+                 [--overhead NAME:REF:PCT]
 
    Entries are matched on (name, parameter value); an entry present in
    the baseline but missing from the current run is itself a failure
    (a silently dropped benchmark would otherwise pass forever). The
    parser is deliberately narrow: it reads exactly the line-oriented
    format `write_json` in main.ml emits, so no JSON dependency is
-   needed. *)
+   needed.
+
+   `--overhead NAME:REF:PCT` is an intra-file gate on CURRENT: for
+   every parameter value where both NAME and REF appear, NAME's median
+   must stay within PCT percent of REF's median. Used to bound the
+   cost of instrumented re-runs (e.g. vae_grad_step_obs vs
+   vae_grad_step) without needing a separate baseline file. *)
 
 type entry = {
   name : string;
@@ -43,13 +50,56 @@ let read_entries path =
   close_in ic;
   List.rev !entries
 
+(* Gate NAME's medians against REF's within a single entry list. *)
+let check_overhead entries ~name ~ref_name ~pct =
+  let of_name n = List.filter (fun e -> e.name = n) entries in
+  let subjects = of_name name in
+  if subjects = [] then (
+    Printf.printf "%-28s missing from current run  FAIL\n" name;
+    true)
+  else
+    List.fold_left
+      (fun failed s ->
+        match
+          List.find_opt (fun r -> r.pval = s.pval) (of_name ref_name)
+        with
+        | None ->
+            Printf.printf "%-28s %s=%-7d no %s entry to compare  FAIL\n"
+              s.name s.pkey s.pval ref_name;
+            true
+        | Some r ->
+            let delta_pct =
+              (s.median_ms -. r.median_ms) /. r.median_ms *. 100.
+            in
+            let bad = delta_pct > pct in
+            Printf.printf "%-28s %s=%-7d %12.4f %12.4f %+8.1f%%  %s\n"
+              (s.name ^ " vs " ^ ref_name)
+              s.pkey s.pval r.median_ms s.median_ms delta_pct
+              (if bad then "FAIL" else "ok");
+            failed || bad)
+      false subjects
+
 let () =
   let threshold = ref 15.0 in
+  let overheads = ref [] in
   let paths = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--threshold" :: v :: rest ->
         threshold := float_of_string v;
+        parse_args rest
+    | "--overhead" :: v :: rest ->
+        (match String.split_on_char ':' v with
+        | [ name; ref_name; pct ] -> (
+            match float_of_string_opt pct with
+            | Some pct -> overheads := (name, ref_name, pct) :: !overheads
+            | None ->
+                Printf.eprintf "compare: bad --overhead percent %S\n%!" pct;
+                exit 2)
+        | _ ->
+            Printf.eprintf
+              "compare: --overhead expects NAME:REF:PCT, got %S\n%!" v;
+            exit 2);
         parse_args rest
     | p :: rest ->
         paths := p :: !paths;
@@ -61,7 +111,8 @@ let () =
     | [ b; c ] -> (b, c)
     | _ ->
         Printf.eprintf
-          "usage: compare.exe BASELINE CURRENT [--threshold PCT]\n%!";
+          "usage: compare.exe BASELINE CURRENT [--threshold PCT] \
+           [--overhead NAME:REF:PCT]\n%!";
         exit 2
   in
   let baseline = read_entries baseline_path in
@@ -93,6 +144,10 @@ let () =
           Printf.printf "%-28s %s=%-7d %12.4f %12.4f %+8.1f%%  %s\n" b.name
             b.pkey b.pval b.median_ms c.median_ms delta_pct verdict)
     baseline;
+  List.iter
+    (fun (name, ref_name, pct) ->
+      if check_overhead current ~name ~ref_name ~pct then failed := true)
+    (List.rev !overheads);
   if !failed then (
     Printf.printf
       "regression: some tracked medians degraded by more than %.0f%%\n%!"

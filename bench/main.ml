@@ -751,7 +751,28 @@ let json ~quick () =
             e_samples = hand } ])
       batches
   in
-  write_json "BENCH_vae.json" ~domains vae_entries;
+  (* Observability overhead: the batch-256 "ours" grad step re-run with
+     recording enabled (null sink). compare.exe --overhead gates the
+     median of this entry against vae_grad_step from the same run. *)
+  let obs_entry =
+    let batch = 256 in
+    let images, _ = Data.digit_batch (Prng.key 2) batch in
+    Obs.configure ~enabled:true ~sink:`Null ();
+    let samples =
+      run (fun () ->
+          let frame = Store.Frame.make store in
+          let s =
+            Adev.expectation (Vae.elbo_per_datum frame images) (Prng.key 3)
+          in
+          Ad.backward s;
+          ignore (Sys.opaque_identity (Store.Frame.grads frame)))
+    in
+    Obs.configure ~enabled:false ~sink:`Console ();
+    Obs.reset ();
+    { e_name = "vae_grad_step_obs"; e_pkey = "batch"; e_pval = batch;
+      e_samples = samples }
+  in
+  write_json "BENCH_vae.json" ~domains (vae_entries @ [ obs_entry ]);
   (* Batched-engine speedups: the plated VAE gradient step against the
      per-datum interpreter loop, and the 64-particle IWELBO drawn as one
      vectorized pass against the sequential particle loop. *)

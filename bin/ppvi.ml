@@ -105,6 +105,61 @@ let resilience_term =
         & info [ "resume" ] ~docv:"FILE"
             ~doc:"Load parameters from $(docv) and continue training."))
 
+(* Observability options shared by the training commands: stream a
+   JSONL trace and/or print the aggregated tables at the end. *)
+
+type obs_opts = { trace : string option; metrics : bool }
+
+let obs_term =
+  let make trace metrics = { trace; metrics } in
+  Term.(
+    const make
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace" ] ~docv:"FILE"
+            ~doc:
+              "Enable observability and stream span/metric events to \
+               $(docv) as JSON Lines (schema in docs/OBSERVABILITY.md). \
+               Preflight and progress messages become \"msg\" events in \
+               the file, keeping stderr machine-clean.")
+    $ Arg.(
+        value & flag
+        & info [ "metrics" ]
+            ~doc:
+              "Enable observability and print the aggregated span, \
+               counter, and estimator tables to stderr when the run \
+               finishes."))
+
+let open_trace path =
+  try Obs.configure ~enabled:true ~sink:(`File path) ()
+  with Sys_error msg ->
+    Printf.eprintf "ppvi: cannot open trace file: %s\n" msg;
+    exit 1
+
+let obs_setup o =
+  match o.trace with
+  | Some path -> open_trace path
+  | None -> if o.metrics then Obs.configure ~enabled:true ()
+
+(* Snapshot the process-wide gauges the library layers cannot push
+   themselves (they would need a dependency on lib/parallel). *)
+let obs_gauges () =
+  Obs.gauge "parallel/domains" (float_of_int (Parallel.domains ()));
+  Obs.gauge "parallel/jobs" (float_of_int (Parallel.jobs_run ()));
+  Obs.gauge "parallel/jobs_parallel"
+    (float_of_int (Parallel.jobs_parallel ()));
+  Obs.gauge "parallel/blocks" (float_of_int (Parallel.blocks_run ()));
+  Obs.gauge "ad/nodes_total" (float_of_int (Ad.node_count ()))
+
+let obs_finish o =
+  if o.trace <> None || o.metrics then obs_gauges ();
+  if o.metrics then Obs.report_human Format.err_formatter;
+  if o.trace <> None then begin
+    Obs.flush ();
+    Obs.shutdown ()
+  end
+
 (* Opt-in static pre-flight shared by the training commands: analyze
    this workload's registry targets before training. Warnings by
    default; --preflight-strict turns error-severity diagnostics into a
@@ -135,18 +190,22 @@ let run_preflight (enabled, strict) filter =
       (fun (e, r) ->
         List.iter
           (fun d ->
-            Format.eprintf "[preflight %s] %a@." e.Preflight.name
-              Check.pp_diagnostic d)
+            Obs.message Obs.Preflight
+              (Format.asprintf "[preflight %s] %a" e.Preflight.name
+                 Check.pp_diagnostic d))
           r.Check.diagnostics)
       clean;
     let bad = List.filter (fun (_, r) -> Check.has_errors r) clean in
     if bad <> [] then begin
-      Printf.eprintf
-        "preflight: %d of %d target(s) have error-severity diagnostics\n"
-        (List.length bad) (List.length clean);
+      Obs.message Obs.Preflight
+        (Printf.sprintf
+           "preflight: %d of %d target(s) have error-severity diagnostics"
+           (List.length bad) (List.length clean));
       if strict then exit 1
     end
-    else Printf.eprintf "preflight: %d target(s) clean\n" (List.length clean)
+    else
+      Obs.message Obs.Preflight
+        (Printf.sprintf "preflight: %d target(s) clean" (List.length clean))
   end
 
 let initial_store r =
@@ -193,7 +252,8 @@ let cone_objective_conv =
   Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Cone.objective_name k))
 
 let cone_cmd =
-  let run objective steps seed csv resilience pf =
+  let run objective steps seed csv resilience pf obs =
+    obs_setup obs;
     run_preflight pf "cone/";
     let store, reports =
       Cone.train ~steps ~guard:resilience.guard ?store:(initial_store resilience)
@@ -204,7 +264,8 @@ let cone_cmd =
       steps
       (Cone.final_value store objective (Prng.key (seed + 1)));
     print_series csv reports;
-    finish_run resilience store
+    finish_run resilience store;
+    obs_finish obs
   in
   Cmd.v
     (Cmd.info "cone" ~doc:"Train a guide on the ring posterior (Fig. 2/3).")
@@ -216,12 +277,13 @@ let cone_cmd =
           & opt cone_objective_conv Cone.Elbo
           & info [ "objective" ] ~doc:"elbo|iwelbo|hvi|iwhvi|diwhvi")
       $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term
-      $ preflight_term)
+      $ preflight_term $ obs_term)
 
 (* coin *)
 
 let coin_cmd =
-  let run steps seed csv resilience pf =
+  let run steps seed csv resilience pf obs =
+    obs_setup obs;
     run_preflight pf "coin";
     let store, reports, seconds =
       Coin.train ~steps ~guard:resilience.guard
@@ -233,19 +295,21 @@ let coin_cmd =
       (Coin.final_elbo store (Prng.key (seed + 1)))
       seconds;
     print_series csv reports;
-    finish_run resilience store
+    finish_run resilience store;
+    obs_finish obs
   in
   Cmd.v
     (Cmd.info "coin" ~doc:"Beta-Bernoulli coin fairness (Appendix D.1).")
     Term.(
       const (fun () -> run)
       $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term
-      $ preflight_term)
+      $ preflight_term $ obs_term)
 
 (* regression *)
 
 let regression_cmd =
-  let run steps seed csv resilience pf =
+  let run steps seed csv resilience pf obs =
+    obs_setup obs;
     run_preflight pf "regression";
     let store, reports, seconds =
       Regression.train ~steps ~guard:resilience.guard
@@ -257,7 +321,8 @@ let regression_cmd =
     Printf.printf "ELBO/datum %.3f\n"
       (Regression.final_elbo_per_datum store (Prng.key (seed + 1)));
     print_series csv reports;
-    finish_run resilience store
+    finish_run resilience store;
+    obs_finish obs
   in
   Cmd.v
     (Cmd.info "regression"
@@ -265,12 +330,13 @@ let regression_cmd =
     Term.(
       const (fun () -> run)
       $ domains_term $ steps_arg 1500 $ seed_arg $ csv_arg $ resilience_term
-      $ preflight_term)
+      $ preflight_term $ obs_term)
 
 (* vae *)
 
 let vae_cmd =
-  let run steps batch seed csv resilience pf =
+  let run steps batch seed csv resilience pf obs =
+    obs_setup obs;
     run_preflight pf "vae";
     let store, reports =
       Vae.train ~steps ~batch ~guard:resilience.guard
@@ -280,7 +346,8 @@ let vae_cmd =
     Printf.printf "final ELBO/datum %.2f after %d steps (batch %d)\n" last
       steps batch;
     print_series csv reports;
-    finish_run resilience store
+    finish_run resilience store;
+    obs_finish obs
   in
   Cmd.v
     (Cmd.info "vae" ~doc:"Sprite-digit VAE (Table 1 workload).")
@@ -288,7 +355,7 @@ let vae_cmd =
       const (fun () -> run)
       $ domains_term $ steps_arg 300
       $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.")
-      $ seed_arg $ csv_arg $ resilience_term $ preflight_term)
+      $ seed_arg $ csv_arg $ resilience_term $ preflight_term $ obs_term)
 
 (* air *)
 
@@ -304,7 +371,8 @@ let strategy_conv =
     (parse, fun ppf s -> Format.pp_print_string ppf (Air.strategy_name s))
 
 let air_cmd =
-  let run strategy epochs images seed resilience pf =
+  let run strategy epochs images seed resilience pf obs =
+    obs_setup obs;
     run_preflight pf "air";
     let data_images, _ = Data.air_batch (Prng.key (seed + 10)) images in
     let eval_images, eval_counts = Data.air_batch (Prng.key (seed + 11)) 64 in
@@ -330,7 +398,8 @@ let air_cmd =
       Printf.printf "epoch %d: ELBO %8.2f  acc %.2f  %.2f s\n%!" epoch obj acc
         dt
     done;
-    finish_run resilience store
+    finish_run resilience store;
+    obs_finish obs
   in
   Cmd.v
     (Cmd.info "air" ~doc:"Attend-Infer-Repeat scenes (Table 2 workload).")
@@ -342,7 +411,107 @@ let air_cmd =
           & info [ "strategy" ] ~doc:"re|bl|enum|mvd")
       $ Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Training epochs.")
       $ Arg.(value & opt int 192 & info [ "images" ] ~doc:"Training scenes.")
-      $ seed_arg $ resilience_term $ preflight_term)
+      $ seed_arg $ resilience_term $ preflight_term $ obs_term)
+
+(* profile *)
+
+let profile_target_conv =
+  Arg.enum
+    [ ("cone", `Cone); ("coin", `Coin); ("regression", `Regression);
+      ("vae", `Vae) ]
+
+let profile_cmd =
+  let run () target objective steps batch seed json trace =
+    (* Recording is on for the whole run; the trace file (when given)
+       receives every sampled event, and the aggregate tables go to
+       stdout at the end. *)
+    (match trace with
+    | Some path -> open_trace path
+    | None -> Obs.configure ~enabled:true ());
+    let name =
+      match target with
+      | `Cone ->
+        ignore (Cone.train ~steps objective (Prng.key seed));
+        Printf.sprintf "cone (%s)" (Cone.objective_name objective)
+      | `Coin ->
+        ignore (Coin.train ~steps (Prng.key seed));
+        "coin"
+      | `Regression ->
+        ignore (Regression.train ~steps (Prng.key seed));
+        "regression"
+      | `Vae ->
+        ignore (Vae.train ~steps ~batch (Prng.key seed));
+        Printf.sprintf "vae (batch %d)" batch
+    in
+    obs_gauges ();
+    if json then print_endline (Obs.report_json ())
+    else begin
+      Printf.printf "profile: %s, %d steps, seed %d\n" name steps seed;
+      Obs.report_human Format.std_formatter
+    end;
+    if trace <> None then begin
+      Obs.flush ();
+      Obs.shutdown ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Train a workload with observability enabled and print the \
+          per-phase time/alloc breakdown, the metric tables, and the \
+          per-address estimator-variance ranking (noisiest gradient \
+          sites first). See docs/OBSERVABILITY.md for how to read the \
+          tables.")
+    Term.(
+      const run
+      $ domains_term
+      $ Arg.(
+          required
+          & pos 0 (some profile_target_conv) None
+          & info [] ~docv:"TARGET" ~doc:"cone|coin|regression|vae")
+      $ Arg.(
+          value
+          & opt cone_objective_conv (Cone.Iwhvi 5)
+          & info [ "objective" ]
+              ~doc:
+                "Cone objective (elbo|iwelbo|hvi|iwhvi|diwhvi). The \
+                 default iwhvi guide mixes REPARAM and REINFORCE sites, \
+                 which is what makes the estimator ranking interesting.")
+      $ steps_arg 150
+      $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"VAE batch size.")
+      $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "json" ]
+              ~doc:"Emit the report as one JSON object on stdout.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:"Also stream events to $(docv) as JSON Lines."))
+
+(* trace-lint *)
+
+let trace_lint_cmd =
+  let run () file =
+    match Obs.validate_jsonl file with
+    | Ok n -> Printf.printf "%s: %d event line(s), all valid JSON\n" file n
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-lint"
+       ~doc:
+         "Validate a $(b,--trace) JSONL file: every non-empty line must \
+          parse as a JSON object. Exits non-zero at the first offending \
+          line (used by the CI obs-smoke step).")
+    Term.(
+      const run $ const ()
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"FILE" ~doc:"Trace file to validate."))
 
 (* check *)
 
@@ -414,5 +583,5 @@ let () =
        (Cmd.group
           (Cmd.info "ppvi" ~version:"1.0.0"
              ~doc:"Programmable variational inference workloads.")
-          [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; check_cmd;
-            info_cmd ]))
+          [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; profile_cmd;
+            trace_lint_cmd; check_cmd; info_cmd ]))

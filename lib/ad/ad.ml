@@ -23,6 +23,7 @@ let to_float t = Tensor.to_scalar t.v
 let shape t = Tensor.shape t.v
 let is_leaf t = Array.length t.parents = 0
 let id t = t.id
+let node_count () = !counter
 
 let accumulate t delta =
   match t.g with

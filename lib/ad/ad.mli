@@ -40,6 +40,11 @@ val id : t -> int
     order). Used to key side tables — e.g. the provenance registry that
     lets smoothness errors name the sample site a value came from. *)
 
+val node_count : unit -> int
+(** Total number of AD nodes constructed so far (process-wide,
+    monotone). Deltas between two reads measure a region's tape
+    growth; the observability layer gauges this per training step. *)
+
 (** {1 Differentiation} *)
 
 val backward : t -> unit

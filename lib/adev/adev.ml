@@ -27,7 +27,26 @@ let in_primal_mode f =
   primal_mode := true;
   Fun.protect ~finally:(fun () -> primal_mode := saved) f
 
-let sample (d : 'a Dist.t) : 'a t =
+(* Observability plumbing. [addr] is the trace address a [Gen]
+   interpreter attached via [sample_at] ("" for anonymous sites, shown
+   as "<dist-name>"). The hooks only read primal floats and the wall
+   clock — they never consume PRNG keys or touch AD state, so enabling
+   them cannot change a seeded run (the bit-identity property in
+   test/test_obs.ml). The statistic fed per site is the estimator's
+   {e score coefficient}: the stochastic scalar multiplying
+   [grad log p] in the surrogate — [primal y - baseline] for the score
+   function estimators, each coupling's [weight * (y+ - y-)] for MVD,
+   and 0 for the pathwise/exact strategies (REPARAM, ENUM), whose
+   gradient carries no score-function noise. *)
+
+let site_address addr (d : 'a Dist.t) =
+  if addr = "" then "<" ^ d.Dist.name ^ ">" else addr
+
+let record_site addr (d : 'a Dist.t) coeff =
+  Obs.estimator ~address:(site_address addr d)
+    ~strategy:(Dist.strategy_name d.Dist.strategy) coeff
+
+let sample_at (addr : string) (d : 'a Dist.t) : 'a t =
  fun key k ->
   if !primal_mode then k (d.sample key)
   else
@@ -35,7 +54,16 @@ let sample (d : 'a Dist.t) : 'a t =
   | Dist.Reparam -> begin
     match d.reparam with
     | Some r ->
-      let x = r key in
+      let x =
+        if Obs.live () then begin
+          let t0 = Obs.start () in
+          let x = r key in
+          Obs.stop Obs.Simulate d.name t0;
+          record_site addr d 0.;
+          x
+        end
+        else r key
+      in
       (* Record where this smooth sample came from, so a later
          non-smooth use can report the offending strategy (and, once
          [Gen.simulate] adds it, the trace address). *)
@@ -48,14 +76,33 @@ let sample (d : 'a Dist.t) : 'a t =
            d.name)
   end
   | Dist.Reinforce ->
-    let x = d.sample key in
+    let x =
+      if Obs.live () then begin
+        let t0 = Obs.start () in
+        let x = d.sample key in
+        Obs.stop Obs.Simulate d.name t0;
+        x
+      end
+      else d.sample key
+    in
     let y = k x in
+    if Obs.live () then record_site addr d (Tensor.to_scalar (Ad.value y));
     score_function_surrogate y (d.log_density x)
   | Dist.Reinforce_baseline cell ->
-    let x = d.sample key in
+    let x =
+      if Obs.live () then begin
+        let t0 = Obs.start () in
+        let x = d.sample key in
+        Obs.stop Obs.Simulate d.name t0;
+        x
+      end
+      else d.sample key
+    in
     let y = k x in
     let b = Baseline.value cell in
     Baseline.update cell (Tensor.to_scalar (Ad.value y));
+    if Obs.live () then
+      record_site addr d (Tensor.to_scalar (Ad.value y) -. b);
     score_function_surrogate ~baseline:b y (d.log_density x)
   | Dist.Enum -> begin
     match d.support with
@@ -65,6 +112,7 @@ let sample (d : 'a Dist.t) : 'a t =
           (fun v -> Ad.mul (Ad.exp (d.log_density v)) (k v))
           support
       in
+      if Obs.live () then record_site addr d 0.;
       Ad.add_list terms
     | None ->
       invalid_arg
@@ -80,6 +128,8 @@ let sample (d : 'a Dist.t) : 'a t =
         let primal v = Tensor.to_scalar (Ad.value (in_primal_mode (fun () -> k v))) in
         let y_plus = primal c.plus in
         let y_minus = primal c.minus in
+        if Obs.live () then
+          record_site addr d (c.weight *. (y_plus -. y_minus));
         Ad.scale
           (c.weight *. (y_plus -. y_minus))
           (Ad.sub c.param (Ad.stop_grad c.param))
@@ -89,6 +139,8 @@ let sample (d : 'a Dist.t) : 'a t =
       invalid_arg
         (Printf.sprintf "Adev.sample: %s has no MVD couplings" d.name)
   end
+
+let sample d = sample_at "" d
 
 (* Tail-recursive accumulator building the exact nested-bind term the
    historical recursive formulation built — same key-split stream, same
@@ -108,7 +160,7 @@ let replicate n m =
    own log density — elementwise DiCE, the lower-variance estimator;
    otherwise the result couples to the joint log density (unbiased by
    independence: cross terms vanish in expectation). *)
-let sample_batched ~n (d : 'a Dist.t) : 'a t =
+let sample_batched_at addr ~n (d : 'a Dist.t) : 'a t =
  fun key k ->
   let b =
     match d.Dist.batched with
@@ -122,7 +174,17 @@ let sample_batched ~n (d : 'a Dist.t) : 'a t =
     | Dist.Reparam -> begin
       match b.Dist.reparam_n with
       | Some r ->
-        let x = r key n in
+        let x =
+          if Obs.live () then begin
+            let t0 = Obs.start () in
+            let x = r key n in
+            Obs.stop Obs.Simulate d.Dist.name t0;
+            record_site addr d 0.;
+            Obs.hist "adev/batched_site_n" (float_of_int n);
+            x
+          end
+          else r key n
+        in
         Value.register_origin_value (d.Dist.inject x)
           ~strategy:(Dist.strategy_name d.Dist.strategy) ();
         k x
@@ -132,9 +194,19 @@ let sample_batched ~n (d : 'a Dist.t) : 'a t =
              (d.Dist.name ^ ": no batched reparameterized sampler"))
     end
     | Dist.Reinforce ->
-      let x = b.Dist.sample_n key n in
+      let x =
+        if Obs.live () then begin
+          let t0 = Obs.start () in
+          let x = b.Dist.sample_n key n in
+          Obs.stop Obs.Simulate d.Dist.name t0;
+          Obs.hist "adev/batched_site_n" (float_of_int n);
+          x
+        end
+        else b.Dist.sample_n key n
+      in
       let y = k x in
       let lp = b.Dist.log_density_n x in
+      if Obs.live () then record_site addr d (Tensor.mean (Ad.value y));
       if Ad.shape y = Ad.shape lp then score_function_surrogate y lp
       else score_function_surrogate y (Ad.sum lp)
     | s ->
@@ -144,6 +216,8 @@ let sample_batched ~n (d : 'a Dist.t) : 'a t =
       raise
         (Dist.Not_batchable
            (Printf.sprintf "%s sites cannot be batched" (Dist.strategy_name s)))
+
+let sample_batched ~n d = sample_batched_at "" ~n d
 
 let replicate_batched n d = sample_batched ~n d
 

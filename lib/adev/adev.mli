@@ -45,6 +45,16 @@ val sample : 'a Dist.t -> 'a t
     @raise Invalid_argument if the strategy's required data is missing
     (e.g. ENUM without a finite support). *)
 
+val sample_at : string -> 'a Dist.t -> 'a t
+(** [sample_at addr d] is {!sample} with a trace address attached for
+    observability: when [Obs.live ()], each draw is timed and the
+    estimator's score coefficient is fed into the per-site Welford
+    accumulator under [(addr, strategy)] (an empty [addr] displays as
+    ["<dist-name>"]). The hooks never consume PRNG keys or mutate AD
+    state, so [sample_at addr d = sample d] as a measure — bit-for-bit
+    when observability is disabled. [Gen]'s interpreters call this
+    with the site's trace address. *)
+
 val score : Ad.t -> unit t
 (** Multiply the measure by a (nonnegative) density factor, as in the
     paper's [score]: [E (do { score w; m })] integrates [m]'s integrand
@@ -77,6 +87,11 @@ val sample_batched : n:int -> 'a Dist.t -> 'a t
     collapsed; the check happens before any sampling or baseline
     mutation, so callers can safely retry sequentially with the same
     key (see {!or_else}). *)
+
+val sample_batched_at : string -> n:int -> 'a Dist.t -> 'a t
+(** {!sample_batched} with a trace address for observability, as in
+    {!sample_at} (the REINFORCE coefficient recorded is the mean of
+    the continuation's per-instance primal values). *)
 
 val replicate_batched : int -> 'a Dist.t -> 'a t
 (** [replicate_batched n d] rewrites the [replicate n (sample d)]

@@ -4,8 +4,14 @@ let run t key = t key
 
 let mean ?(samples = 1000) t key =
   let ks = Prng.split_many key samples in
+  let live = Obs.live () in
   Array.fold_left
-    (fun acc k -> acc +. Tensor.to_scalar (Ad.value (t k)))
+    (fun acc k ->
+      let v = Tensor.to_scalar (Ad.value (t k)) in
+      (* Plain Monte Carlo over the estimator's own draws: the sample
+         spread here is the end-to-end estimator variance. *)
+      if live then Obs.estimator ~address:"<estimated.mean>" ~strategy:"MC" v;
+      acc +. v)
     0. ks
   /. float_of_int samples
 

@@ -34,6 +34,27 @@ let primal a = Tensor.to_scalar (Ad.value a)
 let neg_inf = Ad.scalar Float.neg_infinity
 let rigid a = Value.to_float_rigid (Value.Real a)
 
+(* Observability: time density-leaf evaluations under the primitive's
+   name. Plain calls (no closures), so the disabled path allocates
+   nothing beyond what the untimed code did. *)
+let timed_density (d : 'v Dist.t) x =
+  if Obs.live () then begin
+    let t0 = Obs.start () in
+    let lw = d.Dist.log_density x in
+    Obs.stop Obs.Density d.Dist.name t0;
+    lw
+  end
+  else d.Dist.log_density x
+
+let timed_density_n (b : 'v Dist.batched) name x =
+  if Obs.live () then begin
+    let t0 = Obs.start () in
+    let lw = b.Dist.log_density_n x in
+    Obs.stop Obs.Density name t0;
+    lw
+  end
+  else b.Dist.log_density_n x
+
 (* Run an Adev computation [n] times, collecting the results (each run
    gets an independent key via the monad's splitting). *)
 let rec collect n f =
@@ -123,15 +144,15 @@ let rec simulate : type a. a t -> (a * Trace.t * Ad.t) Adev.t =
     let* y, u2, w2 = simulate (f x) in
     Adev.return (y, Trace.union_disjoint u1 u2, Ad.add w1 w2)
   | Sample (d, name) ->
-    let* x = Adev.sample d in
+    let* x = Adev.sample_at name d in
     let v = d.Dist.inject x in
     (* Attach the trace address to the provenance entry [Adev.sample]
        made, so smoothness errors can name the sample site. *)
     Value.register_origin_value v
       ~address:name ~strategy:(Dist.strategy_name d.Dist.strategy) ();
-    Adev.return (x, Trace.singleton name v, d.Dist.log_density x)
+    Adev.return (x, Trace.singleton name v, timed_density d x)
   | Observe (d, v) ->
-    let lw = d.Dist.log_density v in
+    let lw = timed_density d v in
     let* () = Adev.score_log lw in
     Adev.return ((), Trace.empty, lw)
   | Marginal (keep, inner, alg) -> simulate_marginal keep inner alg
@@ -153,12 +174,12 @@ and density_in : type a. a t -> Trace.t -> (Ad.t * a * Trace.t) Adev.t =
     match Trace.find_opt name u with
     | Some v -> begin
       match d.Dist.project v with
-      | Some x -> Adev.return (d.Dist.log_density x, x, Trace.remove name u)
+      | Some x -> Adev.return (timed_density d x, x, Trace.remove name u)
       | None -> Adev.return (neg_inf, d.Dist.default, Trace.remove name u)
     end
     | None -> Adev.return (neg_inf, d.Dist.default, u)
   end
-  | Observe (d, v) -> Adev.return (d.Dist.log_density v, (), u)
+  | Observe (d, v) -> Adev.return (timed_density d v, (), u)
   | Marginal (keep, inner, alg) -> density_marginal keep inner alg u
   | Normalize (inner, alg) -> density_normalize inner alg u
   | Plate (n, body) -> density_plate n body u
@@ -292,15 +313,18 @@ and simulate_plate :
       match plate_plan n body with
       | Some { pl_dist = d; pl_batched = b; pl_addr = addr } ->
         let open Adev.Syntax in
-        let* x = Adev.with_key key (Adev.sample_batched ~n d) in
+        Obs.incr "gen/plate_batched";
+        let* x = Adev.with_key key (Adev.sample_batched_at addr ~n d) in
         let v = d.Dist.inject x in
         Value.register_origin_value v ~address:addr
           ~strategy:(Dist.strategy_name d.Dist.strategy) ();
         Adev.return
           ( b.Dist.unstack n x,
             Trace.singleton addr v,
-            Ad.sum (b.Dist.log_density_n x) )
-      | None -> simulate_plate_seq n body key)
+            Ad.sum (timed_density_n b d.Dist.name x) )
+      | None ->
+        Obs.incr "gen/plate_seq";
+        simulate_plate_seq n body key)
 
 and simulate_plate_seq :
     type b. int -> (int -> b t) -> Prng.key -> (b array * Trace.t * Ad.t) Adev.t
@@ -317,12 +341,12 @@ and simulate_plate_seq :
           (* A single-site body is interpreted directly under the row
              key (not via [simulate]'s bind, which would split it), so
              sequential draws match batched rows bit-for-bit. *)
-          let* x = Adev.with_key ki (Adev.sample d) in
+          let* x = Adev.with_key ki (Adev.sample_at addr d) in
           let v = d.Dist.inject x in
           Value.register_origin_value v ~address:(plate_slot addr i)
             ~strategy:(Dist.strategy_name d.Dist.strategy) ();
           Adev.return
-            (x, Trace.singleton (plate_slot addr i) v, d.Dist.log_density x)
+            (x, Trace.singleton (plate_slot addr i) v, timed_density d x)
         | prog ->
           let* x, t, w = Adev.with_key ki (simulate prog) in
           Adev.return (x, Trace.map_keys (fun a -> plate_slot a i) t, w)
@@ -339,10 +363,11 @@ and density_plate :
       match plate_plan n body with
       | Some { pl_dist = d; pl_batched = b; pl_addr = addr }
         when Trace.mem addr u -> begin
+        Obs.incr "gen/plate_batched";
         match d.Dist.project (Trace.get addr u) with
         | Some x ->
           Adev.return
-            ( Ad.sum (b.Dist.log_density_n x),
+            ( Ad.sum (timed_density_n b d.Dist.name x),
               b.Dist.unstack n x,
               Trace.remove addr u )
         | None ->
@@ -351,7 +376,9 @@ and density_plate :
               Array.init n (fun _ -> d.Dist.default),
               Trace.remove addr u )
       end
-      | _ -> density_plate_seq n body u key)
+      | _ ->
+        Obs.incr "gen/plate_seq";
+        density_plate_seq n body u key)
 
 and density_plate_seq :
     type b.
@@ -416,11 +443,11 @@ let batched_payload (d : 'v Dist.t) =
    scalar log density. *)
 let observe_weight_batched : type v. int -> v Dist.t -> v -> Ad.t =
  fun n d v ->
-  let scalar () = d.Dist.log_density v in
+  let scalar () = timed_density d v in
   match d.Dist.batched with
   | None -> scalar ()
   | Some b -> begin
-    match b.Dist.log_density_n v with
+    match timed_density_n b d.Dist.name v with
     | lw when Ad.shape lw = [| n |] -> lw
     | _ -> scalar ()
     | exception (Dist.Not_batchable _ | Tensor.Shape_error _) -> scalar ()
@@ -437,11 +464,11 @@ let rec simulate_batched : type a. n:int -> a t -> (a * Trace.t * Ad.t) Adev.t =
     Adev.return (y, Trace.union_disjoint u1 u2, Ad.add w1 w2)
   | Sample (d, name) ->
     let b = batched_payload d in
-    let* x = Adev.sample_batched ~n d in
+    let* x = Adev.sample_batched_at name ~n d in
     let v = d.Dist.inject x in
     Value.register_origin_value v ~address:name
       ~strategy:(Dist.strategy_name d.Dist.strategy) ();
-    Adev.return (x, Trace.singleton name v, b.Dist.log_density_n x)
+    Adev.return (x, Trace.singleton name v, timed_density_n b d.Dist.name x)
   | Observe (d, v) ->
     let lw = observe_weight_batched n d v in
     (* The joint score over the n instances: sum of per-instance terms,
@@ -475,7 +502,7 @@ and density_in_batched :
     | Some v -> begin
       match d.Dist.project v with
       | Some x ->
-        Adev.return (b.Dist.log_density_n x, x, Trace.remove name u)
+        Adev.return (timed_density_n b d.Dist.name x, x, Trace.remove name u)
       | None ->
         Adev.return
           ( vec_neg_inf n,

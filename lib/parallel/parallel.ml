@@ -31,6 +31,15 @@ let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let domains () = !configured
 
+(* Utilization counters for the observability layer (atomic: [run] may
+   be entered from worker domains running nested kernels inline). *)
+let jobs_total = Atomic.make 0
+let jobs_parallel_total = Atomic.make 0
+let blocks_total = Atomic.make 0
+let jobs_run () = Atomic.get jobs_total
+let jobs_parallel () = Atomic.get jobs_parallel_total
+let blocks_run () = Atomic.get blocks_total
+
 let record_exn e =
   Mutex.lock mutex;
   if !first_exn = None then first_exn := Some e;
@@ -84,12 +93,15 @@ let ensure_workers () =
   done
 
 let run ~blocks:nb f =
-  if nb > 0 then
+  if nb > 0 then begin
+    Atomic.incr jobs_total;
+    ignore (Atomic.fetch_and_add blocks_total nb);
     if nb = 1 || !configured <= 1 || Domain.DLS.get in_worker then
       for i = 0 to nb - 1 do
         f i
       done
     else begin
+      Atomic.incr jobs_parallel_total;
       ensure_workers ();
       Mutex.lock mutex;
       job := Some f;
@@ -108,3 +120,4 @@ let run ~blocks:nb f =
       Mutex.unlock mutex;
       match e with Some e -> raise e | None -> ()
     end
+  end

@@ -26,6 +26,18 @@ val set_domains : int -> unit
     [1 .. max_domains]), joining any existing workers first. Safe to call
     repeatedly; cheap when the count does not change. *)
 
+val jobs_run : unit -> int
+(** Process-wide number of {!run} calls with at least one block. *)
+
+val jobs_parallel : unit -> int
+(** How many of those were dispatched to the pool (the rest ran
+    inline: single block, one domain, or nested inside a worker).
+    [jobs_parallel () / jobs_run ()] is the domain-utilization ratio
+    the observability layer reports. *)
+
+val blocks_run : unit -> int
+(** Process-wide number of blocks executed. *)
+
 val run : blocks:int -> (int -> unit) -> unit
 (** [run ~blocks f] executes [f 0 .. f (blocks - 1)], possibly in
     parallel on the pool's domains (the calling domain participates).

@@ -143,10 +143,19 @@ let observe t ~step ~store ~optim anomalies =
   | [] -> Proceed
   | _ :: _ -> begin
     t.log <- List.rev_append anomalies t.log;
+    if Obs.live () then
+      List.iter
+        (fun a ->
+          Obs.incr
+            (match a.kind with
+            | Nan -> "guard/nan_anomalies"
+            | Inf -> "guard/inf_anomalies"))
+        anomalies;
     match t.policy with
     | Fail_fast -> raise (Diverged { step; anomalies; retries = t.retries })
     | Skip_step ->
       t.skips <- t.skips + 1;
+      Obs.incr "guard/skips";
       Skip
     | Rollback_retry -> begin
       match t.last_good with
@@ -155,6 +164,7 @@ let observe t ~step ~store ~optim anomalies =
         if t.retries >= t.max_retries then
           raise (Diverged { step; anomalies; retries = t.retries });
         t.retries <- t.retries + 1;
+        Obs.incr "guard/rollbacks";
         Store.restore store ~from:cp.params;
         Optim.restore optim cp.optim_state;
         Restart_from cp.at_step

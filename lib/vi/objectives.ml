@@ -7,6 +7,7 @@ let elbo ~model ~guide =
 
 let iwelbo ?(batched = false) ~particles ~model ~guide () =
   if particles < 1 then invalid_arg "Objectives.iwelbo: particles < 1";
+  Obs.hist "objective/particles" (float_of_int particles);
   let sequential =
     let particle =
       let* _, trace, logq = Gen.simulate guide in

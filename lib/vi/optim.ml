@@ -35,12 +35,18 @@ let step ?clip_norm ?(on_skip = fun _ _ -> ()) t direction store grads =
   List.iter
     (fun (name, g) ->
       t.skipped <- t.skipped + 1;
+      Obs.incr "optim/skipped_grads";
       on_skip name g)
     bad;
   let finite =
     match clip_norm with
     | None -> finite
     | Some max_norm ->
+      if Obs.live () then begin
+        let norm = Tensor.global_norm (List.map snd finite) in
+        Obs.hist "optim/grad_norm" norm;
+        if norm > max_norm then Obs.incr "optim/clip_events"
+      end;
       let clipped =
         Tensor.clip_by_global_norm ~max_norm (List.map snd finite)
       in

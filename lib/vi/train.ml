@@ -20,28 +20,35 @@ let run_preflight ~strict targets =
   match targets with
   | [] -> ()
   | _ ->
-    let failing =
-      List.filter
-        (fun target ->
-          let report = Check.analyze target in
-          List.iter
-            (fun d ->
-              Format.eprintf "[preflight] %a@." Check.pp_diagnostic d)
-            report.Check.diagnostics;
-          Check.has_errors report)
-        targets
-    in
-    if failing <> [] then begin
-      Format.eprintf
-        "[preflight] %d of %d target(s) have error-severity diagnostics@."
-        (List.length failing) (List.length targets);
-      if strict then
-        raise
-          (Check.Preflight_error
-             (Printf.sprintf
-                "pre-flight check failed on %d of %d target(s)"
-                (List.length failing) (List.length targets)))
-    end
+    Obs.span Obs.Preflight "train/preflight" (fun () ->
+        let failing =
+          List.filter
+            (fun target ->
+              let report = Check.analyze target in
+              List.iter
+                (fun d ->
+                  (* Routed through the sink, not printed directly: a
+                     console sink keeps the historical stderr lines, a
+                     file sink turns them into "msg" events so
+                     --json/--trace stderr stays machine-clean. *)
+                  Obs.message Obs.Preflight
+                    (Format.asprintf "[preflight] %a" Check.pp_diagnostic d))
+                report.Check.diagnostics;
+              Check.has_errors report)
+            targets
+        in
+        if failing <> [] then begin
+          Obs.message Obs.Preflight
+            (Printf.sprintf
+               "[preflight] %d of %d target(s) have error-severity diagnostics"
+               (List.length failing) (List.length targets));
+          if strict then
+            raise
+              (Check.Preflight_error
+                 (Printf.sprintf
+                    "pre-flight check failed on %d of %d target(s)"
+                    (List.length failing) (List.length targets)))
+        end)
 
 let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
     key =
@@ -52,13 +59,29 @@ let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
     if Guard.due_snapshot g ~step:!step then
       Guard.take_snapshot g ~step:!step ~store ~optim;
     let key_run = Guard.active_key g key in
+    (* Manual start/stop spans (no closures): a disabled run executes
+       the exact instruction stream the unobserved loop did. *)
+    let live = Obs.live () in
+    let nodes0 = if live then Ad.node_count () else 0 in
+    let t_fwd = if live then Obs.start () else 0. in
     let frame = Store.Frame.make store in
     let surrogate = make_surrogate frame !step (Prng.fold_in key_run !step) in
+    if live then Obs.stop Obs.Grad "train/forward" t_fwd;
+    let t_bwd = if live then Obs.start () else 0. in
     Ad.backward surrogate;
+    if live then begin
+      Obs.stop Obs.Grad "train/backward" t_bwd;
+      Obs.gauge "train/tape_nodes"
+        (float_of_int (Ad.node_count () - nodes0));
+      Obs.hist "train/objective" (Tensor.to_scalar (Ad.value surrogate))
+    end;
     let objective = Tensor.to_scalar (Ad.value surrogate) in
     let grads = Store.Frame.grads frame in
+    let t_guard = if live then Obs.start () else 0. in
     let anomalies = Guard.scan ~step:!step ~objective ~grads in
-    match Guard.observe g ~step:!step ~store ~optim anomalies with
+    let verdict = Guard.observe g ~step:!step ~store ~optim anomalies in
+    if live then Obs.stop Obs.Guard "train/guard" t_guard;
+    match verdict with
     | Guard.Restart_from resume ->
       reports := List.filter (fun r -> r.step < resume) !reports;
       step := resume
@@ -66,7 +89,12 @@ let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
       (* Under [Skip] the non-finite gradients are dropped (and counted)
          inside [Optim.step]; the finite remainder still applies, which
          preserves the historical skip-and-continue behavior. *)
+      let t_opt = if live then Obs.start () else 0. in
       Optim.step ?clip_norm:(Guard.clip_norm g) optim direction store grads;
+      if live then begin
+        Obs.stop Obs.Optim "train/optim" t_opt;
+        Obs.incr "train/steps"
+      end;
       let report =
         { step = !step;
           objective;

@@ -1,0 +1,325 @@
+(* Tests for lib/obs: span aggregation and nesting, Welford estimator
+   statistics against a two-pass reference, the JSONL sink and its
+   parser, and the central determinism contract — enabling
+   observability must not change a seeded run's outputs bit for bit. *)
+
+let with_obs sink f =
+  Obs.configure ~enabled:true ~sink ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.shutdown f
+
+let find_span name kind rows =
+  List.find_opt
+    (fun r -> r.Obs.sr_name = name && r.Obs.sr_kind = kind)
+    rows
+
+let burn () =
+  (* A little deterministic work so spans have nonzero duration. *)
+  let acc = ref 0. in
+  for i = 1 to 10_000 do
+    acc := !acc +. sqrt (float_of_int i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* Spans *)
+
+let test_span_nesting () =
+  with_obs `Null (fun () ->
+      Obs.span Obs.Other "outer" (fun () ->
+          burn ();
+          Obs.span Obs.Other "inner" burn);
+      let rows = Obs.span_rows () in
+      let outer =
+        match find_span "outer" Obs.Other rows with
+        | Some r -> r
+        | None -> Alcotest.fail "outer span missing"
+      in
+      let inner =
+        match find_span "inner" Obs.Other rows with
+        | Some r -> r
+        | None -> Alcotest.fail "inner span missing"
+      in
+      Alcotest.(check int) "outer count" 1 outer.Obs.sr_count;
+      Alcotest.(check int) "inner count" 1 inner.Obs.sr_count;
+      if outer.Obs.sr_total_ms < inner.Obs.sr_total_ms then
+        Alcotest.failf "outer (%g ms) shorter than nested inner (%g ms)"
+          outer.Obs.sr_total_ms inner.Obs.sr_total_ms;
+      if inner.Obs.sr_total_ms < 0. then
+        Alcotest.fail "negative span duration";
+      (* The ring buffer sees the inner span close first, one level
+         deeper, with a monotone timeline. *)
+      let evs =
+        List.filter_map
+          (function
+            | Obs.Span_ev { name; depth; t; _ } -> Some (name, depth, t)
+            | Obs.Msg_ev _ -> None)
+          (Obs.recent ())
+      in
+      match evs with
+      | [ (n1, d1, t1); (n2, d2, t2) ] ->
+          Alcotest.(check string) "inner closes first" "inner" n1;
+          Alcotest.(check int) "inner depth" 1 d1;
+          Alcotest.(check string) "outer closes second" "outer" n2;
+          Alcotest.(check int) "outer depth" 0 d2;
+          (* [t] is the span's start time: outer opened first. *)
+          if t1 < t2 then Alcotest.fail "inner started before outer"
+      | evs -> Alcotest.failf "expected 2 span events, got %d" (List.length evs))
+
+let test_span_kinds_distinct () =
+  (* A sampler and a density evaluation share the primitive's name but
+     must aggregate separately (regression: rows were once keyed by
+     name alone and the tables merged). *)
+  with_obs `Null (fun () ->
+      Obs.span Obs.Simulate "normal" burn;
+      Obs.span Obs.Density "normal" burn;
+      Obs.span Obs.Density "normal" burn;
+      let rows = Obs.span_rows () in
+      let count kind =
+        match find_span "normal" kind rows with
+        | Some r -> r.Obs.sr_count
+        | None -> 0
+      in
+      Alcotest.(check int) "simulate row" 1 (count Obs.Simulate);
+      Alcotest.(check int) "density row" 2 (count Obs.Density))
+
+let test_start_stop_matches_span () =
+  with_obs `Null (fun () ->
+      let t0 = Obs.start () in
+      burn ();
+      Obs.stop Obs.Grad "manual" t0;
+      match find_span "manual" Obs.Grad (Obs.span_rows ()) with
+      | Some r ->
+          Alcotest.(check int) "count" 1 r.Obs.sr_count;
+          if r.Obs.sr_total_ms < 0. then Alcotest.fail "negative duration"
+      | None -> Alcotest.fail "manual span missing")
+
+let test_disabled_hooks_are_noops () =
+  Obs.reset ();
+  Alcotest.(check bool) "initially disabled" false (Obs.live ());
+  Obs.incr "ghost";
+  Obs.gauge "ghost" 1.;
+  Obs.hist "ghost" 1.;
+  Obs.estimator ~address:"ghost" ~strategy:"REINFORCE" 1.;
+  Obs.span Obs.Other "ghost" burn;
+  Alcotest.(check int) "counter untouched" 0 (Obs.counter_value "ghost");
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.span_rows ()));
+  Alcotest.(check int) "no estimator rows" 0
+    (List.length (Obs.estimator_rows ()))
+
+(* Metrics *)
+
+let test_counters_gauges_hist () =
+  with_obs `Null (fun () ->
+      Obs.incr "steps";
+      Obs.incr ~by:4 "steps";
+      Obs.gauge "nodes" 17.;
+      Obs.gauge "nodes" 42.;
+      List.iter (Obs.hist "obj") [ 1.0; 2.0; 4.0; -3.0 ];
+      Alcotest.(check int) "counter" 5 (Obs.counter_value "steps");
+      Alcotest.(check (float 0.)) "gauge keeps last" 42.
+        (Obs.gauge_value "nodes");
+      match Obs.hist_rows () with
+      | [ h ] ->
+          Alcotest.(check int) "hist count" 4 h.Obs.hr_count;
+          Alcotest.(check (float 1e-12)) "hist mean" 1.0 h.Obs.hr_mean;
+          Alcotest.(check (float 0.)) "hist min" (-3.0) h.Obs.hr_min;
+          Alcotest.(check (float 0.)) "hist max" 4.0 h.Obs.hr_max
+      | rows -> Alcotest.failf "expected 1 histogram, got %d" (List.length rows))
+
+(* Estimator statistics: Welford vs a two-pass reference *)
+
+let two_pass xs =
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0. xs /. n in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+  in
+  (mean, var)
+
+let welford_matches_two_pass =
+  QCheck.Test.make ~count:200 ~name:"obs welford variance = two-pass variance"
+    QCheck.(list_of_size Gen.(2 -- 60) (float_bound_exclusive 100.))
+    (fun xs ->
+      QCheck.assume (List.length xs >= 2);
+      with_obs `Null (fun () ->
+          List.iter (Obs.estimator ~address:"site" ~strategy:"REINFORCE") xs;
+          match Obs.estimator_rows () with
+          | [ r ] ->
+              let mean, var = two_pass xs in
+              let close a b =
+                Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs b)
+              in
+              r.Obs.er_count = List.length xs
+              && close r.Obs.er_mean mean
+              && close r.Obs.er_variance var
+          | _ -> false))
+
+let test_estimator_ranking () =
+  with_obs `Null (fun () ->
+      (* A noisy REINFORCE site must rank above a zero-coefficient
+         REPARAM site. *)
+      List.iter
+        (Obs.estimator ~address:"v" ~strategy:"REINFORCE")
+        [ 10.; -7.; 3.; 22.; -15. ];
+      List.iter (Obs.estimator ~address:"x" ~strategy:"REPARAM") [ 0.; 0.; 0. ];
+      match Obs.estimator_rows () with
+      | noisy :: rest ->
+          Alcotest.(check string) "noisiest first" "v" noisy.Obs.er_address;
+          Alcotest.(check string) "strategy tag" "REINFORCE"
+            noisy.Obs.er_strategy;
+          if noisy.Obs.er_variance <= 0. then
+            Alcotest.fail "REINFORCE variance not positive";
+          List.iter
+            (fun r ->
+              if r.Obs.er_variance > noisy.Obs.er_variance then
+                Alcotest.fail "rows not sorted by variance")
+            rest
+      | [] -> Alcotest.fail "no estimator rows")
+
+(* JSON + JSONL sink *)
+
+let test_json_parse () =
+  let src = {|{"a": [1, 2.5, -3e-2], "s": "he\"llo\nx", "b": true, "n": null}|} in
+  match Obs.Json.parse src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j -> (
+      (match Obs.Json.member "a" j with
+      | Some (Obs.Json.Arr [ Num a; Num b; Num c ]) ->
+          Alcotest.(check (float 0.)) "int" 1. a;
+          Alcotest.(check (float 0.)) "float" 2.5 b;
+          Alcotest.(check (float 1e-18)) "exp" (-0.03) c
+      | _ -> Alcotest.fail "array member");
+      (match Obs.Json.member "s" j with
+      | Some (Obs.Json.Str s) ->
+          Alcotest.(check string) "escapes" "he\"llo\nx" s
+      | _ -> Alcotest.fail "string member");
+      (match Obs.Json.parse "{\"unterminated\": tru" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted malformed input"))
+
+let test_jsonl_roundtrip () =
+  let path = Filename.temp_file "ppvi_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      with_obs (`File path) (fun () ->
+          Obs.span Obs.Simulate "normal" burn;
+          Obs.message Obs.Preflight "hello trace";
+          Obs.incr "steps";
+          Obs.gauge "nodes" 3.;
+          Obs.hist "obj" 1.5;
+          Obs.estimator ~address:"v" ~strategy:"REINFORCE" 2.0;
+          Obs.flush ());
+      (match Obs.validate_jsonl path with
+      | Error e -> Alcotest.failf "trace does not lint: %s" e
+      | Ok n -> if n < 4 then Alcotest.failf "expected >= 4 events, got %d" n);
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let parsed =
+        List.rev_map
+          (fun l ->
+            match Obs.Json.parse l with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "unparseable line %S: %s" l e)
+          !lines
+      in
+      let ev_is name j =
+        match Obs.Json.member "ev" j with
+        | Some (Obs.Json.Str s) -> s = name
+        | _ -> false
+      in
+      (match parsed with
+      | first :: _ ->
+          if not (ev_is "meta" first) then
+            Alcotest.fail "first event is not the meta header";
+          (match Obs.Json.member "schema_version" first with
+          | Some (Obs.Json.Num 1.) -> ()
+          | _ -> Alcotest.fail "schema_version missing")
+      | [] -> Alcotest.fail "empty trace");
+      let has name = List.exists (ev_is name) parsed in
+      List.iter
+        (fun ev ->
+          if not (has ev) then Alcotest.failf "no %S event in trace" ev)
+        [ "span"; "msg"; "counter"; "gauge"; "hist"; "estimator" ])
+
+(* Determinism: observability must never change a seeded run. *)
+
+let store_fingerprint store =
+  List.map (fun n -> (n, Store.tensor store n)) (Store.names store)
+
+let check_same_store name a b =
+  let fa = store_fingerprint a and fb = store_fingerprint b in
+  Alcotest.(check (list string))
+    (name ^ ": parameter names")
+    (List.map fst fa) (List.map fst fb);
+  List.iter2
+    (fun (n, ta) (_, tb) ->
+      if not (Tensor.equal ta tb) then
+        Alcotest.failf "%s: parameter %s differs with obs enabled" name n)
+    fa fb
+
+let test_coin_bit_identity () =
+  let run () =
+    let store, reports, _wall = Coin.train ~steps:60 (Prng.key 11) in
+    (store, List.map (fun r -> r.Train.objective) reports)
+  in
+  let store_off, obj_off = run () in
+  let store_on, obj_on =
+    with_obs `Null (fun () ->
+        let r = run () in
+        (* The instrumented run must actually have recorded something,
+           or this test is vacuous. *)
+        if Obs.counter_value "train/steps" = 0 then
+          Alcotest.fail "instrumentation recorded no steps";
+        r)
+  in
+  check_same_store "coin" store_off store_on;
+  Alcotest.(check (list (float 0.))) "coin: objective trajectory" obj_off obj_on
+
+let cone_bit_identity =
+  QCheck.Test.make ~count:4
+    ~name:"obs on/off bit-identity (cone IWHVI, random seeds)"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let run () =
+        let store, reports =
+          Cone.train ~steps:12 (Cone.Iwhvi 3) (Prng.key seed)
+        in
+        (store, List.map (fun r -> r.Train.objective) reports)
+      in
+      let store_off, obj_off = run () in
+      let store_on, obj_on = with_obs `Null run in
+      obj_off = obj_on
+      && Store.names store_off = Store.names store_on
+      && List.for_all2
+           (fun n n' ->
+             Tensor.equal (Store.tensor store_off n) (Store.tensor store_on n'))
+           (Store.names store_off) (Store.names store_on))
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting and timing" `Quick test_span_nesting;
+        Alcotest.test_case "span rows keyed by kind" `Quick
+          test_span_kinds_distinct;
+        Alcotest.test_case "start/stop hot path" `Quick
+          test_start_stop_matches_span;
+        Alcotest.test_case "disabled hooks are no-ops" `Quick
+          test_disabled_hooks_are_noops;
+        Alcotest.test_case "counters, gauges, histograms" `Quick
+          test_counters_gauges_hist;
+        Alcotest.test_case "estimator ranking" `Quick test_estimator_ranking;
+        Alcotest.test_case "json parser" `Quick test_json_parse;
+        Alcotest.test_case "jsonl sink round-trip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "coin bit-identity" `Quick test_coin_bit_identity;
+        QCheck_alcotest.to_alcotest welford_matches_two_pass;
+        QCheck_alcotest.to_alcotest cone_bit_identity;
+      ] );
+  ]
