@@ -42,12 +42,15 @@ let print_series csv reports =
   end
 
 (* Resilience options, shared by every training command: guard policy,
-   gradient clipping, and checkpoint/resume paths. *)
+   gradient clipping, checkpoint/resume paths, rotated in-loop
+   checkpointing, and (for resilience testing) a fault-injection
+   plan. *)
 
 type resilience = {
   guard : Guard.t;
   checkpoint : string option;
   resume : string option;
+  persist : Persist.cfg option;
 }
 
 let policy_conv =
@@ -72,9 +75,32 @@ let positive_float_conv =
   in
   Arg.conv (parse, fun ppf x -> Format.fprintf ppf "%g" x)
 
+let fault_spec_conv =
+  let parse s =
+    match Fault.plan_of_string ~seed:0 s with
+    | Ok _ -> Ok s
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf s)
+
 let resilience_term =
-  let make policy clip_norm max_retries checkpoint resume =
-    { guard = Guard.create ~policy ?clip_norm ~max_retries (); checkpoint; resume }
+  let make policy clip_norm max_retries checkpoint resume ckpt_dir ckpt_every
+      ckpt_keep fault fault_seed =
+    (match fault with
+    | None -> Fault.clear ()
+    | Some spec -> (
+      match Fault.plan_of_string ~seed:fault_seed spec with
+      | Ok plan -> Fault.install plan
+      | Error msg ->
+        Printf.eprintf "ppvi: bad --fault spec: %s\n" msg;
+        exit 1));
+    let persist =
+      Option.map
+        (fun dir -> Persist.cfg ~every:ckpt_every ~keep:ckpt_keep dir)
+        ckpt_dir
+    in
+    { guard = Guard.create ~policy ?clip_norm ~max_retries ();
+      checkpoint; resume; persist }
   in
   Term.(
     const make
@@ -102,8 +128,42 @@ let resilience_term =
     $ Arg.(
         value
         & opt (some string) None
-        & info [ "resume" ] ~docv:"FILE"
-            ~doc:"Load parameters from $(docv) and continue training."))
+        & info [ "resume" ] ~docv:"PATH"
+            ~doc:
+              "Load parameters from $(docv) — a checkpoint file, or a \
+               $(b,--ckpt-dir) directory (the newest readable checkpoint \
+               wins) — and continue training.")
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "ckpt-dir" ] ~docv:"DIR"
+            ~doc:
+              "Write rotated, checksummed checkpoints ($(b,ckpt.N) + \
+               $(b,latest)) into $(docv) during training, and resume \
+               from the newest readable one on startup — a crashed run \
+               restarted with the same arguments continues bit-exactly \
+               (see docs/RESILIENCE.md).")
+    $ Arg.(
+        value & opt int 25
+        & info [ "ckpt-every" ] ~docv:"N"
+            ~doc:"Checkpoint every $(docv) committed steps (with --ckpt-dir).")
+    $ Arg.(
+        value & opt int 3
+        & info [ "ckpt-keep" ] ~docv:"N"
+            ~doc:"Rotation depth for --ckpt-dir (default 3).")
+    $ Arg.(
+        value
+        & opt (some fault_spec_conv) None
+        & info [ "fault" ] ~docv:"SPEC"
+            ~doc:
+              "Install a deterministic fault-injection plan for this run \
+               (resilience testing; see $(b,ppvi chaos) and \
+               docs/RESILIENCE.md). Example: \
+               \"grad-nan=0.05 io-error=0.1 kill-in=10..40\".")
+    $ Arg.(
+        value & opt int 0
+        & info [ "fault-seed" ] ~docv:"N"
+            ~doc:"Seed for the --fault plan's own PRNG stream."))
 
 (* Observability options shared by the training commands: stream a
    JSONL trace and/or print the aggregated tables at the end. *)
@@ -208,16 +268,67 @@ let run_preflight (enabled, strict) filter =
         (Printf.sprintf "preflight: %d target(s) clean" (List.length clean))
   end
 
+(* When a --resume file is missing or corrupt, scan its directory for a
+   sibling rotated checkpoint that still loads and suggest it — one
+   actionable line instead of a backtrace. *)
+let resume_hint path =
+  let dir = Filename.dirname path in
+  let index f =
+    if String.length f > 5 && String.sub f 0 5 = "ckpt." then
+      int_of_string_opt (String.sub f 5 (String.length f - 5))
+    else None
+  in
+  let loadable =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             match index f with
+             | Some i when f <> Filename.basename path -> (
+               let full = Filename.concat dir f in
+               match Store.load full with
+               | _ -> Some (i, full)
+               | exception _ -> None)
+             | _ -> None)
+  in
+  match List.sort (fun (a, _) (b, _) -> compare b a) loadable with
+  | (_, best) :: _ ->
+    Printf.sprintf " (a loadable checkpoint exists at %s; try --resume %s)"
+      best best
+  | [] -> ""
+
+let resume_fail path what =
+  Printf.eprintf "ppvi: cannot resume: %s%s\n" what (resume_hint path);
+  exit 1
+
 let initial_store r =
   Option.map
     (fun path ->
-      try Store.load path with
-      | Sys_error msg ->
-        Printf.eprintf "ppvi: cannot resume: %s\n" msg;
-        exit 1
-      | Store.Corrupt_checkpoint msg ->
-        Printf.eprintf "ppvi: cannot resume: corrupt checkpoint: %s\n" msg;
-        exit 1)
+      if Sys.file_exists path && Sys.is_directory path then
+        (* A directory: pick the newest readable rotated checkpoint,
+           falling back past corrupt ones (Store.load_latest). *)
+        match Store.load_latest path with
+        | Some (store, chosen) ->
+          Printf.printf "resuming from %s\n" chosen;
+          store
+        | None ->
+          Printf.eprintf
+            "ppvi: cannot resume: no checkpoints in %s (expected ckpt.N \
+             files)\n"
+            path;
+          exit 1
+        | exception Store.Corrupt_checkpoint msg ->
+          Printf.eprintf
+            "ppvi: cannot resume: every checkpoint in %s is corrupt: %s\n"
+            path msg;
+          exit 1
+      else
+        try Store.load path with
+        | Sys_error msg -> resume_fail path msg
+        | Store.Corrupt_checkpoint msg ->
+          resume_fail path
+            (Printf.sprintf "corrupt checkpoint %s: %s" path msg))
     r.resume
 
 let finish_run r store =
@@ -236,7 +347,16 @@ let finish_run r store =
     Printf.printf
       "guard [%s]: %d anomalies, %d skipped steps, %d rollbacks\n"
       (Guard.policy_name (Guard.policy g))
-      (Guard.anomaly_count g) (Guard.skip_count g) (Guard.retry_count g)
+      (Guard.anomaly_count g) (Guard.skip_count g) (Guard.retry_count g);
+  if Fault.active () then begin
+    (match Fault.injected () with
+    | [] -> Printf.printf "faults injected: none\n"
+    | tallies ->
+      Printf.printf "faults injected:%s\n"
+        (String.concat ""
+           (List.map (fun (k, n) -> Printf.sprintf " %s=%d" k n) tallies)));
+    Fault.clear ()
+  end
 
 (* cone *)
 
@@ -256,8 +376,8 @@ let cone_cmd =
     obs_setup obs;
     run_preflight pf "cone/";
     let store, reports =
-      Cone.train ~steps ~guard:resilience.guard ?store:(initial_store resilience)
-        objective (Prng.key seed)
+      Cone.train ~steps ~guard:resilience.guard ?persist:resilience.persist
+        ?store:(initial_store resilience) objective (Prng.key seed)
     in
     Printf.printf "%s after %d steps: %.3f\n"
       (Cone.objective_name objective)
@@ -286,7 +406,7 @@ let coin_cmd =
     obs_setup obs;
     run_preflight pf "coin";
     let store, reports, seconds =
-      Coin.train ~steps ~guard:resilience.guard
+      Coin.train ~steps ~guard:resilience.guard ?persist:resilience.persist
         ?store:(initial_store resilience) (Prng.key seed)
     in
     Printf.printf
@@ -313,7 +433,8 @@ let regression_cmd =
     run_preflight pf "regression";
     let store, reports, seconds =
       Regression.train ~steps ~guard:resilience.guard
-        ?store:(initial_store resilience) (Prng.key seed)
+        ?persist:resilience.persist ?store:(initial_store resilience)
+        (Prng.key seed)
     in
     let a, ba, br, bar = Regression.coefficient_means store in
     Printf.printf "a=%.2f bA=%.2f bR=%.2f bAR=%.2f  (%.2f s)\n" a ba br bar
@@ -340,7 +461,8 @@ let vae_cmd =
     run_preflight pf "vae";
     let store, reports =
       Vae.train ~steps ~batch ~guard:resilience.guard
-        ?store:(initial_store resilience) (Prng.key seed)
+        ?persist:resilience.persist ?store:(initial_store resilience)
+        (Prng.key seed)
     in
     let last = (List.nth reports (steps - 1)).Train.objective in
     Printf.printf "final ELBO/datum %.2f after %d steps (batch %d)\n" last
@@ -553,6 +675,237 @@ let check_cmd =
           & info [ "target" ] ~docv:"SUBSTR"
             ~doc:"Only analyze registry targets whose name contains $(docv)."))
 
+(* chaos *)
+
+(* The crash-recovery harness (docs/RESILIENCE.md): establish an
+   uninterrupted reference run, then repeatedly fork a child that
+   trains the same workload with rotated checkpoints under a fault
+   plan that SIGKILLs it at a seeded step, and finally resume once
+   more in-process and require the final parameters to be
+   bit-identical to the reference. *)
+
+let chaos_target_conv = Arg.enum [ ("coin", `Coin); ("cone", `Cone) ]
+
+let store_bits store =
+  List.map
+    (fun name ->
+      let x = Store.tensor store name in
+      ( name,
+        Array.init (Tensor.size x) (fun i ->
+            Int64.bits_of_float (Tensor.get_flat x i)) ))
+    (Store.names store)
+
+let first_mismatch a b =
+  let rec go = function
+    | [], [] -> None
+    | (n, _) :: _, [] | [], (n, _) :: _ -> Some n
+    | (n1, x) :: ra, (n2, y) :: rb ->
+      if n1 <> n2 || x <> y then Some n1 else go (ra, rb)
+  in
+  go (a, b)
+
+let clean_dir dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+let ckpt_index f =
+  if String.length f > 5 && String.sub f 0 5 = "ckpt." then
+    int_of_string_opt (String.sub f 5 (String.length f - 5))
+  else None
+
+(* Chop the newest checkpoint in half, so the final resume must detect
+   the corruption and fall back to an older one. *)
+let truncate_newest dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> None
+  | files -> (
+    let newest =
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             Option.map (fun i -> (i, f)) (ckpt_index f))
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    match newest with
+    | [] -> None
+    | (_, f) :: _ ->
+      let path = Filename.concat dir f in
+      let len = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (len / 2);
+      Some path)
+
+let chaos_cmd =
+  let run () target steps seed kills every keep spec dir plan_out
+      corrupt_latest trace =
+    if Parallel.domains () > 1 then begin
+      (* kill cycles fork, and OCaml forbids fork once worker domains
+         exist; chaos results are domain-count-invariant anyway *)
+      Printf.eprintf "ppvi chaos: incompatible with --domains > 1\n";
+      exit 1
+    end;
+    let key = Prng.key seed in
+    let train ?persist () =
+      match target with
+      | `Coin ->
+        let s, _, _ = Coin.train ~steps ~samples:2 ?persist key in
+        s
+      | `Cone ->
+        let s, _ = Cone.train ~steps ?persist Cone.Elbo key in
+        s
+    in
+    Printf.printf "chaos %s: %d steps, checkpoint every %d, %d kill cycle(s)\n%!"
+      (match target with `Coin -> "coin" | `Cone -> "cone")
+      steps every kills;
+    let reference = store_bits (train ()) in
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ppvi-chaos-%d" (Unix.getpid ()))
+    in
+    clean_dir dir;
+    let cfg = Persist.cfg ~every ~keep dir in
+    let plan_for cycle =
+      let spec' =
+        let kill = Printf.sprintf "kill-in=1..%d" (max 1 (steps - 1)) in
+        match spec with None -> kill | Some s -> s ^ " " ^ kill
+      in
+      match Fault.plan_of_string ~seed:(seed + (97 * cycle)) spec' with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "ppvi: bad --fault spec: %s\n" msg;
+        exit 1
+    in
+    let plans = List.init kills (fun i -> plan_for (i + 1)) in
+    (match plan_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Printf.sprintf "{\"cycles\": [%s]}\n"
+           (String.concat ", " (List.map Fault.plan_to_json plans)));
+      close_out oc;
+      Printf.printf "fault plans written to %s\n%!" path);
+    List.iteri
+      (fun i plan ->
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+          (* The child: train with checkpointing under the plan; the
+             plan SIGKILLs it at its chosen step (unless a resumed run
+             is already past that step). Never return to the parent's
+             cmdliner driver. *)
+          Fault.install plan;
+          (try ignore (train ~persist:cfg ()) with _ -> ());
+          Unix._exit 0
+        | pid -> (
+          let _, status = Unix.waitpid [] pid in
+          let kill =
+            match Fault.kill_step plan with
+            | Some k -> string_of_int k
+            | None -> "?"
+          in
+          match status with
+          | Unix.WSIGNALED s when s = Sys.sigkill ->
+            Printf.printf "cycle %d: killed at step %s, state on disk\n%!"
+              (i + 1) kill
+          | Unix.WEXITED 0 ->
+            Printf.printf
+              "cycle %d: run completed (kill step %s behind the resume \
+               point)\n%!"
+              (i + 1) kill
+          | _ ->
+            Printf.eprintf "ppvi chaos: unexpected child status\n";
+            exit 1))
+      plans;
+    if corrupt_latest then (
+      match truncate_newest dir with
+      | Some path -> Printf.printf "truncated newest checkpoint %s\n%!" path
+      | None -> ());
+    (match trace with Some path -> open_trace path | None -> ());
+    let final = store_bits (train ~persist:cfg ()) in
+    (match trace with
+    | Some _ ->
+      Obs.flush ();
+      Obs.shutdown ()
+    | None -> ());
+    match first_mismatch reference final with
+    | None ->
+      Printf.printf
+        "chaos: PASS — final parameters bit-identical to the uninterrupted \
+         run (%d tensors)\n"
+        (List.length reference)
+    | Some name ->
+      Printf.eprintf
+        "chaos: FAIL — parameter %S differs from the uninterrupted run\n"
+        name;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Crash-recovery harness: train a workload with rotated \
+          checkpoints while a seeded fault plan SIGKILLs the process \
+          mid-run (repeatedly), then resume and verify the final \
+          parameters are bit-identical to an uninterrupted run. See \
+          docs/RESILIENCE.md.")
+    Term.(
+      const (fun () -> run ())
+      $ domains_term
+      $ Arg.(
+          required
+          & pos 0 (some chaos_target_conv) None
+          & info [] ~docv:"TARGET" ~doc:"coin|cone")
+      $ steps_arg 60 $ seed_arg
+      $ Arg.(
+          value & opt int 2
+          & info [ "kills" ] ~docv:"N"
+              ~doc:"Number of SIGKILL-and-resume cycles.")
+      $ Arg.(
+          value & opt int 7
+          & info [ "every" ] ~docv:"N" ~doc:"Checkpoint every $(docv) steps.")
+      $ Arg.(
+          value & opt int 3
+          & info [ "keep" ] ~docv:"N" ~doc:"Checkpoint rotation depth.")
+      $ Arg.(
+          value
+          & opt (some fault_spec_conv) None
+          & info [ "fault" ] ~docv:"SPEC"
+              ~doc:
+                "Extra fault spec merged into each cycle's plan (the \
+                 kill schedule is added automatically).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "dir" ] ~docv:"DIR"
+              ~doc:
+                "Checkpoint directory (default: a fresh temp directory; \
+                 cleared before the first cycle).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "plan-out" ] ~docv:"FILE"
+              ~doc:
+                "Write the per-cycle fault plans as one JSON object (the \
+                 CI artifact that makes a failing run replayable).")
+      $ Arg.(
+          value & flag
+          & info [ "corrupt-latest" ]
+              ~doc:
+                "Truncate the newest checkpoint before the final resume, \
+                 forcing the corruption-fallback path.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:
+                "Stream the final resume's observability events to \
+                 $(docv) as JSON Lines."))
+
 (* info *)
 
 let info_cmd =
@@ -584,4 +937,4 @@ let () =
           (Cmd.info "ppvi" ~version:"1.0.0"
              ~doc:"Programmable variational inference workloads.")
           [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; profile_cmd;
-            trace_lint_cmd; check_cmd; info_cmd ]))
+            chaos_cmd; trace_lint_cmd; check_cmd; info_cmd ]))

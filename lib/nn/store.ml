@@ -52,84 +52,373 @@ let restore t ~from =
      magic "PPVISTOR" | version u32 | count u32
      then per tensor, in registration order:
      name_len u32 | name bytes | rank u32 | dims u32* | elems f64*
+   Version 2 appends a CRC-32 (IEEE) u32 after each tensor record
+   (covering that record's bytes) and a whole-file CRC-32 u32 after the
+   last record (covering every preceding byte, header included), so
+   both truncation and bit rot are detected before any tensor is
+   trusted. Version-1 files (no checksums) remain readable.
    Floats are stored as their IEEE-754 bit patterns, so a round-trip is
    bit-exact (including NaNs and infinities). *)
 
 let magic = "PPVISTOR"
-let format_version = 1
+let format_version = 2
 
 exception Corrupt_checkpoint of string
 
 let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt_checkpoint s)) fmt
 
-let write_u32 oc n =
-  let b = Bytes.create 4 in
-  Bytes.set_int32_be b 0 (Int32.of_int n);
-  output_bytes oc b
+module Crc32 = struct
+  (* Standard IEEE 802.3 CRC-32, table-driven, over 63-bit ints masked
+     to 32 bits — no Int32 boxing on the hot path. *)
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
 
-let write_f64 oc x =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_be b 0 (Int64.bits_of_float x);
-  output_bytes oc b
+  let sub s pos len =
+    let table = Lazy.force table in
+    let c = ref 0xFFFFFFFF in
+    for i = pos to pos + len - 1 do
+      c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+    done;
+    !c lxor 0xFFFFFFFF
+end
 
-let read_u32 ic =
-  let b = Bytes.create 4 in
-  really_input ic b 0 4;
-  Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFFFFFF
+(* Serialization into a buffer: checkpoints are at most a few hundred
+   MB of parameters, and building the image in memory is what lets the
+   save be atomic (single rename) and checksummed. *)
 
-let read_f64 ic =
-  let b = Bytes.create 8 in
-  really_input ic b 0 8;
-  Int64.float_of_bits (Bytes.get_int64_be b 0)
+let buf_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (n land 0xFF))
 
-let save t path =
-  let oc = open_out_bin path in
+let buf_f64 b x =
+  let bits = Int64.bits_of_float x in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (i * 8)) land 0xFF))
+  done
+
+let serialize_tensor b crc name x =
+  let start = Buffer.length b in
+  buf_u32 b (String.length name);
+  Buffer.add_string b name;
+  let shape = Tensor.shape x in
+  buf_u32 b (Array.length shape);
+  Array.iter (buf_u32 b) shape;
+  Array.iter (buf_f64 b) (Tensor.to_array x);
+  if crc then begin
+    let record = Buffer.sub b start (Buffer.length b - start) in
+    buf_u32 b (Crc32.sub record 0 (String.length record))
+  end
+
+let serialize ?(version = format_version) t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  buf_u32 b version;
+  let order = names t in
+  buf_u32 b (List.length order);
+  List.iter (fun name -> serialize_tensor b (version >= 2) name (tensor t name)) order;
+  if version >= 2 then begin
+    let body = Buffer.contents b in
+    buf_u32 b (Crc32.sub body 0 (String.length body))
+  end;
+  Buffer.contents b
+
+(* Atomic durable write: the image lands in a temp file in the target's
+   directory, is flushed and fsync'd, and only then renamed over the
+   destination — a crash at any point leaves either the old file or the
+   new one, never a torn hybrid. Flush/fsync/close failures (ENOSPC,
+   EIO) surface as [Sys_error]; they are never swallowed into a
+   "successful" truncated checkpoint. *)
+
+let fsync_out oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error (e, _, _) ->
+    raise (Sys_error (Printf.sprintf "fsync: %s" (Unix.error_message e)))
+
+let fsync_dir dir =
+  (* Best-effort: persists the rename itself. Some filesystems refuse
+     directory fsync; that is not worth failing a save over. *)
+  match Unix.openfile (if dir = "" then "." else dir) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
+let write_file_atomic ~path data =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let committed = ref false in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () ->
+      if not !committed then try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
-      output_string oc magic;
-      write_u32 oc format_version;
-      let order = names t in
-      write_u32 oc (List.length order);
-      List.iter
-        (fun name ->
-          let x = tensor t name in
-          write_u32 oc (String.length name);
-          output_string oc name;
-          let shape = Tensor.shape x in
-          write_u32 oc (Array.length shape);
-          Array.iter (write_u32 oc) shape;
-          Array.iter (write_f64 oc) (Tensor.to_array x))
-        order)
+      let oc = open_out_bin tmp in
+      let closed = ref false in
+      Fun.protect
+        ~finally:(fun () -> if not !closed then close_out_noerr oc)
+        (fun () ->
+          if Fault.active () then begin
+            Fault.on_io ~op:`Write ~path:tmp;
+            match Fault.short_write_len ~path:tmp ~full:(String.length data) with
+            | Some n ->
+              output_substring oc data 0 n;
+              flush oc;
+              raise (Sys_error (tmp ^ ": injected short write fault"))
+            | None -> ()
+          end;
+          output_string oc data;
+          flush oc;
+          fsync_out oc;
+          closed := true;
+          close_out oc);
+      Sys.rename tmp path;
+      committed := true;
+      fsync_dir (Filename.dirname path))
+
+(* Deterministic retry-with-backoff for transient I/O faults: attempt
+   [retries] extra times, sleeping [backoff_ms * 2^attempt] between
+   tries. The schedule is fixed (no jitter), so a replayed fault plan
+   sees the identical sequence of attempts. *)
+let with_io_retries ~retries ~backoff_ms ~what f =
+  let rec attempt i =
+    try f ()
+    with Sys_error msg when i < retries ->
+      Obs.incr "store/io_retries";
+      Obs.message Obs.Fault
+        (Printf.sprintf "store: %s failed (%s); retry %d/%d" what msg (i + 1)
+           retries);
+      if backoff_ms > 0. then
+        Unix.sleepf (backoff_ms *. Float.of_int (1 lsl i) /. 1000.);
+      attempt (i + 1)
+  in
+  attempt 0
+
+let save ?(retries = 0) ?(backoff_ms = 10.) t path =
+  let data = serialize t in
+  with_io_retries ~retries ~backoff_ms ~what:("save to " ^ path) (fun () ->
+      write_file_atomic ~path data)
+
+let save_v1 t path =
+  write_file_atomic ~path (serialize ~version:1 t)
+
+(* --- Reading --- *)
+
+let get_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let get_f64 s pos =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  Int64.float_of_bits !bits
+
+(* Parse the record section shared by both versions from an in-memory
+   image. Every length field is validated against the bytes actually
+   remaining before any allocation is sized from it, so a corrupt or
+   adversarial file raises [Corrupt_checkpoint] — never a multi-GB
+   [Array.init] or [Out_of_memory]. *)
+let parse_records ~path ~crc s ~pos ~limit ~count =
+  let t = create () in
+  let pos = ref pos in
+  let need n what =
+    if n < 0 || n > limit - !pos then
+      corrupt "%s: truncated or corrupt %s (need %d bytes, %d remain)" path what
+        n (limit - !pos)
+  in
+  let u32 what =
+    need 4 what;
+    let v = get_u32 s !pos in
+    pos := !pos + 4;
+    v
+  in
+  (* Each tensor record is at least name_len + rank = 8 bytes. *)
+  if count < 0 || count > (limit - !pos) / 8 then
+    corrupt "%s: absurd tensor count %d for a %d-byte file" path count
+      (String.length s);
+  for _ = 1 to count do
+    let record_start = !pos in
+    let name_len = u32 "name length" in
+    need name_len "tensor name";
+    let name = String.sub s !pos name_len in
+    pos := !pos + name_len;
+    let rank = u32 "rank" in
+    if rank > (limit - !pos) / 4 then
+      corrupt "%s: absurd rank %d for tensor %S" path rank name;
+    let shape =
+      Array.init rank (fun _ ->
+          let d = get_u32 s !pos in
+          pos := !pos + 4;
+          d)
+    in
+    let n =
+      Array.fold_left
+        (fun acc d ->
+          if d < 0 || (d > 0 && acc > (limit - !pos) / 8 / d) then
+            corrupt "%s: absurd dimensions for tensor %S" path name
+          else acc * d)
+        1 shape
+    in
+    need (n * 8) "tensor elements";
+    let data =
+      Array.init n (fun i -> get_f64 s (!pos + (i * 8)))
+    in
+    pos := !pos + (n * 8);
+    if crc then begin
+      let stored = u32 "tensor checksum" in
+      let actual = Crc32.sub s record_start (!pos - 4 - record_start) in
+      if stored <> actual then
+        corrupt "%s: checksum mismatch on tensor %S (stored %08x, computed %08x)"
+          path name stored actual
+    end;
+    if mem t name then corrupt "%s: duplicate tensor name %S" path name;
+    ensure t name (fun () -> Tensor.of_array shape data)
+  done;
+  if !pos <> limit then
+    corrupt "%s: %d trailing bytes after the last tensor record" path
+      (limit - !pos);
+  t
 
 let load path =
+  if Fault.active () then Fault.on_io ~op:`Read ~path;
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let len = String.length data in
+  let header = String.length magic + 8 in
+  if len < header then corrupt "%s: truncated header" path;
+  if String.sub data 0 (String.length magic) <> magic then
+    corrupt "%s: bad magic (not a ppvi checkpoint)" path;
+  let version = get_u32 data (String.length magic) in
+  let count = get_u32 data (String.length magic + 4) in
+  match version with
+  | 1 -> parse_records ~path ~crc:false data ~pos:header ~limit:len ~count
+  | 2 ->
+    if len < header + 4 then corrupt "%s: truncated file checksum" path;
+    let stored = get_u32 data (len - 4) in
+    let actual = Crc32.sub data 0 (len - 4) in
+    if stored <> actual then
+      corrupt "%s: file checksum mismatch (stored %08x, computed %08x)" path
+        stored actual;
+    parse_records ~path ~crc:true data ~pos:header ~limit:(len - 4) ~count
+  | v ->
+    corrupt "%s: unsupported checkpoint version %d (this build reads 1-%d)" path
+      v format_version
+
+(* --- Rotated checkpoints ---
+
+   A checkpoint directory holds [ckpt.N] files (monotonically
+   increasing N) plus a [latest] pointer file naming the newest one.
+   Both are written atomically, so a crash between the two leaves a
+   valid older pointer; [load_latest] trusts the pointer first but
+   falls back to a full scan, newest index first, skipping anything
+   unreadable. *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let ckpt_prefix = "ckpt."
+
+let ckpt_index name =
+  if String.length name > String.length ckpt_prefix
+     && String.sub name 0 (String.length ckpt_prefix) = ckpt_prefix
+  then
+    int_of_string_opt
+      (String.sub name (String.length ckpt_prefix)
+         (String.length name - String.length ckpt_prefix))
+  else None
+
+let list_checkpoints dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           match ckpt_index name with
+           | Some i -> Some (i, Filename.concat dir name)
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare b a)
+
+let save_rotated ?(keep = 3) ?(retries = 0) ?(backoff_ms = 10.) t ~dir =
+  if keep < 1 then invalid_arg "Store.save_rotated: keep < 1";
+  mkdir_p dir;
+  let next =
+    match list_checkpoints dir with (i, _) :: _ -> i + 1 | [] -> 1
+  in
+  let name = Printf.sprintf "%s%d" ckpt_prefix next in
+  let path = Filename.concat dir name in
+  save ~retries ~backoff_ms t path;
+  with_io_retries ~retries ~backoff_ms ~what:("update " ^ dir ^ "/latest")
     (fun () ->
-      let m = Bytes.create (String.length magic) in
-      (try really_input ic m 0 (String.length magic)
-       with End_of_file -> corrupt "%s: truncated header" path);
-      if Bytes.to_string m <> magic then
-        corrupt "%s: bad magic (not a ppvi checkpoint)" path;
-      let v = read_u32 ic in
-      if v <> format_version then
-        corrupt "%s: unsupported checkpoint version %d (expected %d)" path v
-          format_version;
-      let t = create () in
-      let count = read_u32 ic in
-      (try
-         for _ = 1 to count do
-           let name_len = read_u32 ic in
-           let name = really_input_string ic name_len in
-           let rank = read_u32 ic in
-           let shape = Array.init rank (fun _ -> read_u32 ic) in
-           let n = Array.fold_left ( * ) 1 shape in
-           let data = Array.init n (fun _ -> read_f64 ic) in
-           ensure t name (fun () -> Tensor.of_array shape data)
-         done
-       with End_of_file -> corrupt "%s: truncated tensor data" path);
-      t)
+      write_file_atomic ~path:(Filename.concat dir "latest") (name ^ "\n"));
+  (* Prune beyond the keep-count — newest first, and only after the new
+     checkpoint and pointer are durable. *)
+  List.iteri
+    (fun i (_, p) ->
+      if i >= keep then try Sys.remove p with Sys_error _ -> ())
+    (list_checkpoints dir);
+  path
+
+let latest_pointer dir =
+  let pointer = Filename.concat dir "latest" in
+  match open_in pointer with
+  | exception Sys_error _ -> None
+  | ic ->
+    let name = try input_line ic with End_of_file -> "" in
+    close_in_noerr ic;
+    let name = String.trim name in
+    if name = "" || Filename.basename name <> name then None
+    else
+      let path = Filename.concat dir name in
+      if Sys.file_exists path then Some path else None
+
+let load_latest dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+  else begin
+    let scanned = List.map snd (list_checkpoints dir) in
+    let candidates =
+      match latest_pointer dir with
+      | Some p -> p :: List.filter (fun q -> q <> p) scanned
+      | None -> scanned
+    in
+    let rec try_load = function
+      | [] ->
+        if candidates = [] then None
+        else
+          corrupt "%s: all %d checkpoint candidate(s) are corrupt or unreadable"
+            dir (List.length candidates)
+      | path :: rest -> (
+        match load path with
+        | t -> Some (t, path)
+        | exception (Corrupt_checkpoint msg | Sys_error msg) ->
+          Obs.incr "store/fallbacks";
+          Obs.message Obs.Fault
+            (Printf.sprintf
+               "store: skipping unreadable checkpoint %s (%s); falling back to \
+                an older one"
+               path msg);
+          try_load rest)
+    in
+    try_load candidates
+  end
 
 module Frame = struct
   type store = t

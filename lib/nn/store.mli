@@ -42,20 +42,66 @@ val restore : t -> from:t -> unit
 
 (** {1 Persistence}
 
-    Binary checkpoints with a versioned header ("PPVISTOR", format
-    version 1). Floats are stored as IEEE-754 bit patterns, so a
-    save/load round-trip is bit-exact. *)
+    Binary checkpoints with a versioned header ("PPVISTOR"). The
+    current writer emits format version 2: every tensor record carries
+    a CRC-32, and the file ends with a whole-file CRC-32, so
+    truncation and bit rot are detected before any tensor is trusted.
+    Version-1 files (PR 1's format, no checksums) remain readable.
+    Floats are stored as IEEE-754 bit patterns, so a save/load
+    round-trip is bit-exact (including NaNs and infinities).
+
+    Saves are {e atomic and durable}: the image is written to a temp
+    file in the destination directory, flushed, fsync'd, and renamed
+    into place — a crash mid-save leaves the previous checkpoint
+    intact, and a full disk raises [Sys_error] instead of silently
+    truncating. All persistence entry points consult the [Fault]
+    injection hooks (one branch when no plan is installed). *)
 
 exception Corrupt_checkpoint of string
-(** Raised by {!load} on bad magic, version mismatch, or truncation. *)
+(** Raised by {!load} on bad magic, an unsupported version, a
+    checksum mismatch, truncation, or any length field inconsistent
+    with the file's actual size. *)
 
-val save : t -> string -> unit
-(** Write all parameters, in registration order, to a file. *)
+val save : ?retries:int -> ?backoff_ms:float -> t -> string -> unit
+(** Write all parameters, in registration order, atomically to a
+    file. [retries] (default 0) retries transient [Sys_error]
+    failures with a deterministic exponential backoff starting at
+    [backoff_ms] (default 10).
+    @raise Sys_error when the write still fails after the retries. *)
+
+val save_v1 : t -> string -> unit
+(** Write the legacy (version 1, checksum-free) format — kept so the
+    backward-compatibility path stays testable. *)
 
 val load : string -> t
-(** Read a checkpoint written by {!save} into a fresh store.
+(** Read a checkpoint written by {!save} (or a v1 file) into a fresh
+    store.
     @raise Corrupt_checkpoint if the file is not a valid checkpoint.
     @raise Sys_error if the file cannot be opened. *)
+
+(** {1 Rotated checkpoints}
+
+    A checkpoint directory holds [ckpt.N] files (monotonically
+    increasing [N]) plus a [latest] pointer file naming the newest.
+    Both are written atomically, so a crash between the two leaves a
+    consistent older state. *)
+
+val save_rotated :
+  ?keep:int -> ?retries:int -> ?backoff_ms:float -> t -> dir:string -> string
+(** Write the next [ckpt.N] in [dir] (created if missing), update the
+    [latest] pointer, and prune all but the newest [keep] (default 3)
+    checkpoints. Returns the path written.
+    @raise Sys_error when the write fails after the retries. *)
+
+val load_latest : string -> (t * string) option
+(** Load the newest readable checkpoint in a directory, trying the
+    [latest] pointer first and then every [ckpt.N] newest-first.
+    Corrupt or unreadable candidates are skipped with an explanatory
+    [Obs.message] (and a ["store/fallbacks"] counter bump). [None]
+    when the directory is missing or holds no checkpoints.
+    @raise Corrupt_checkpoint when candidates exist but none loads —
+    starting fresh silently would discard training the caller may
+    still want to salvage by hand. *)
 
 module Frame : sig
   type store := t

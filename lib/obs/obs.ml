@@ -11,6 +11,7 @@ type kind =
   | Guard
   | Preflight
   | Step
+  | Fault
   | Other
 
 let kind_name = function
@@ -21,10 +22,11 @@ let kind_name = function
   | Guard -> "guard"
   | Preflight -> "preflight"
   | Step -> "step"
+  | Fault -> "fault"
   | Other -> "other"
 
 let all_kinds =
-  [ Simulate; Density; Grad; Optim; Guard; Preflight; Step; Other ]
+  [ Simulate; Density; Grad; Optim; Guard; Preflight; Step; Fault; Other ]
 
 let kind_index = function
   | Simulate -> 0
@@ -34,9 +36,10 @@ let kind_index = function
   | Guard -> 4
   | Preflight -> 5
   | Step -> 6
-  | Other -> 7
+  | Fault -> 7
+  | Other -> 8
 
-let n_kinds = 8
+let n_kinds = 9
 
 (* ------------------------------------------------------------------ *)
 (* JSON: a writer (events, reports) and a minimal reader (trace-lint,

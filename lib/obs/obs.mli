@@ -45,11 +45,13 @@ type kind =
   | Guard  (** anomaly scanning and policy dispatch *)
   | Preflight  (** static analysis before training *)
   | Step  (** one whole optimization step *)
+  | Fault  (** fault injection, checkpoint recovery, retries *)
   | Other
 
 val kind_name : kind -> string
 (** Stable lowercase tag used in event lines ("simulate", "density",
-    "grad", "optim-step", "guard", "preflight", "step", "other"). *)
+    "grad", "optim-step", "guard", "preflight", "step", "fault",
+    "other"). *)
 
 val all_kinds : kind list
 
@@ -213,6 +215,9 @@ module Json : sig
     | Str of string
     | Arr of t list
     | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Serialize one JSON value (non-finite numbers become [null]). *)
 
   val parse : string -> (t, string) result
   (** Parse one complete JSON value (trailing whitespace allowed). *)

@@ -35,13 +35,14 @@ let exact_posterior_mean =
 
 let objective frame = Objectives.elbo ~model ~guide:(guide frame)
 
-let train ?(steps = 1500) ?(samples = 8) ?(lr = 0.02) ?guard ?store key =
+let train ?(steps = 1500) ?(samples = 8) ?(lr = 0.02) ?guard ?persist ?store
+    key =
   let store = match store with Some s -> s | None -> Store.create () in
   register store;
   let optim = Optim.adam ~lr () in
   let t0 = Unix.gettimeofday () in
   let reports =
-    Train.fit ~store ~optim ~samples ?guard ~steps
+    Train.fit ~store ~optim ~samples ?guard ?persist ~steps
       ~objective:(fun frame _ -> objective frame)
       key
   in

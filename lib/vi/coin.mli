@@ -17,11 +17,13 @@ val exact_posterior_mean : float
 
 val train :
   ?steps:int -> ?samples:int -> ?lr:float -> ?guard:Guard.t ->
-  ?store:Store.t -> Prng.key ->
+  ?persist:Persist.cfg -> ?store:Store.t -> Prng.key ->
   Store.t * Train.report list * float
 (** Returns the trained store, per-step reports, and wall seconds.
-    [?guard] configures resilience (see {!Guard}); [?store] continues
-    training from an existing (e.g. checkpoint-loaded) store. *)
+    [?guard] configures resilience (see {!Guard}); [?persist] writes
+    rotated checkpoints and resumes from them (see {!Persist});
+    [?store] continues training from an existing (e.g.
+    checkpoint-loaded) store. *)
 
 val posterior_mean : Store.t -> float
 (** alpha / (alpha + beta) at the learned parameters. *)

@@ -116,12 +116,12 @@ let objective kind frame =
     Objectives.diwhvi ~particles:n ~keep:[ "x"; "y" ] ~reverse:reverse_kernel
       ~aux_particles:m ~model ~guide_joint:(guide_joint frame)
 
-let train ?(steps = 1500) ?(lr = 0.05) ?guard ?store kind key =
+let train ?(steps = 1500) ?(lr = 0.05) ?guard ?persist ?store kind key =
   let store = match store with Some s -> s | None -> Store.create () in
   register store key;
   let optim = Optim.adam ~lr () in
   let reports =
-    Train.fit ~store ~optim ?guard ~steps
+    Train.fit ~store ~optim ?guard ?persist ~steps
       ~objective:(fun frame _step -> objective kind frame)
       key
   in

@@ -53,11 +53,12 @@ val objective : objective_kind -> Store.Frame.t -> Ad.t Adev.t
 (** The Table 4 objective programs. *)
 
 val train :
-  ?steps:int -> ?lr:float -> ?guard:Guard.t -> ?store:Store.t ->
-  objective_kind -> Prng.key ->
+  ?steps:int -> ?lr:float -> ?guard:Guard.t -> ?persist:Persist.cfg ->
+  ?store:Store.t -> objective_kind -> Prng.key ->
   Store.t * Train.report list
 (** Optimize one objective from a fresh parameter store with ADAM.
     Defaults: 1500 steps, lr 0.05. [?guard] configures resilience;
+    [?persist] writes rotated checkpoints and resumes from them;
     [?store] continues from an existing (e.g. checkpoint-loaded)
     store. *)
 

@@ -75,6 +75,15 @@ let create ?(policy = Skip_step) ?clip_norm ?(snapshot_every = 10)
 
 let policy t = t.policy
 let clip_norm t = t.clip_norm
+
+(* Crash-exact resume support: [active_key] derives the run's key from
+   the retry counter, so a resumed process must restore it to replay
+   the identical PRNG stream the interrupted run would have seen. *)
+let resume t ~retries ~skips =
+  if retries < 0 then invalid_arg "Guard.resume: retries < 0";
+  if skips < 0 then invalid_arg "Guard.resume: skips < 0";
+  t.retries <- retries;
+  t.skips <- skips
 let anomalies t = List.rev t.log
 let anomaly_count t = List.length t.log
 let skip_count t = t.skips

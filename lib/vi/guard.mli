@@ -85,6 +85,12 @@ val skip_count : t -> int
 val retry_count : t -> int
 (** Rollbacks performed so far under [Rollback_retry]. *)
 
+val resume : t -> retries:int -> skips:int -> unit
+(** Restore the counters a durable checkpoint recorded, so a resumed
+    run replays the exact PRNG stream ({!active_key} depends on the
+    retry counter) and keeps honest cumulative statistics. Used by
+    [Persist]. *)
+
 (** {1 Driver API}
 
     Used by [Train]; exposed so custom loops (e.g. the baseline

@@ -29,6 +29,22 @@ let skipped t = t.skipped
 
 let step ?clip_norm ?(on_skip = fun _ _ -> ()) t direction store grads =
   let sign = match direction with Ascend -> 1. | Descend -> -1. in
+  (* Fault-injection hook (one branch when no plan is installed): a
+     poisoned gradient exercises the exact skip/report machinery a real
+     divergent sample would. *)
+  let grads =
+    if Fault.active () then
+      List.map
+        (fun (name, g) ->
+          match Fault.grad_poison ~name with
+          | None -> (name, g)
+          | Some v ->
+            let a = Tensor.to_array g in
+            if Array.length a > 0 then a.(0) <- v;
+            (name, Tensor.of_array (Tensor.shape g) a))
+        grads
+    else grads
+  in
   let finite, bad =
     List.partition (fun (_, g) -> Tensor.all_finite g) grads
   in
@@ -106,3 +122,55 @@ let restore t ((states, skipped) : snapshot) =
         { m = Tensor.copy s.m; v = Tensor.copy s.v; t = s.t })
     states;
   t.skipped <- skipped
+
+(* Tensor-encoded state, for durable checkpoints: per parameter the
+   moments as-is and the step counter as a scalar, prefixed "m."/"v."/
+   "t." (the parameter name may itself contain dots; only the first
+   dot is the tag separator). Scalars round-trip exactly — counters
+   are far below the 2^53 integer-precision limit. *)
+
+let export_state t =
+  let entries =
+    Hashtbl.fold
+      (fun name s acc ->
+        ("m." ^ name, Tensor.copy s.m)
+        :: ("v." ^ name, Tensor.copy s.v)
+        :: ("t." ^ name, Tensor.scalar (float_of_int s.t))
+        :: acc)
+      t.states []
+  in
+  ("skipped", Tensor.scalar (float_of_int t.skipped))
+  :: List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let import_state t entries =
+  Hashtbl.reset t.states;
+  t.skipped <- 0;
+  let ms = Hashtbl.create 16 in
+  let vs = Hashtbl.create 16 in
+  let ts = Hashtbl.create 16 in
+  List.iter
+    (fun (key, x) ->
+      if key = "skipped" then
+        t.skipped <- int_of_float (Tensor.to_scalar x)
+      else
+        match String.index_opt key '.' with
+        | None -> ()
+        | Some i ->
+          let tag = String.sub key 0 i in
+          let name = String.sub key (i + 1) (String.length key - i - 1) in
+          (match tag with
+          | "m" -> Hashtbl.replace ms name x
+          | "v" -> Hashtbl.replace vs name x
+          | "t" -> Hashtbl.replace ts name x
+          | _ -> ()))
+    entries;
+  Hashtbl.iter
+    (fun name m ->
+      match (Hashtbl.find_opt vs name, Hashtbl.find_opt ts name) with
+      | Some v, Some steps ->
+        Hashtbl.add t.states name
+          { m = Tensor.copy m;
+            v = Tensor.copy v;
+            t = int_of_float (Tensor.to_scalar steps) }
+      | _ -> ())
+    ms

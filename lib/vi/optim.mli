@@ -53,3 +53,19 @@ val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 (** Overwrite the optimizer's state with the snapshot's. The snapshot
     may be restored any number of times. *)
+
+(** {1 Durable state}
+
+    Tensor-encoded optimizer state for crash-exact resume (the
+    [Persist] layer stores these alongside the parameters in rotated
+    checkpoints). The encoding is bit-exact: an export/import
+    round-trip reproduces every moment bit and step counter. *)
+
+val export_state : t -> (string * Tensor.t) list
+(** ADAM moments and step counters as named tensors (["m.<param>"],
+    ["v.<param>"], ["t.<param>"], plus ["skipped"]). Empty moments
+    (SGD, or before the first step) export only ["skipped"]. *)
+
+val import_state : t -> (string * Tensor.t) list -> unit
+(** Replace the optimizer's state with a previously exported one.
+    Entries with unrecognized names are ignored. *)

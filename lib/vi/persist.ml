@@ -1,0 +1,76 @@
+(* Training state rides inside the parameter store image under
+   reserved "__"-prefixed names, so the durable format stays "a bag of
+   named tensors" and every Store guarantee (checksums, atomicity,
+   rotation, fallback) covers the whole training state for free. *)
+
+type cfg = {
+  dir : string;
+  every : int;
+  keep : int;
+  retries : int;
+  backoff_ms : float;
+}
+
+let cfg ?(every = 25) ?(keep = 3) ?(retries = 2) ?(backoff_ms = 5.) dir =
+  if every < 1 then invalid_arg "Persist.cfg: every < 1";
+  { dir; every; keep; retries; backoff_ms }
+
+let step_key = "__ckpt/step"
+let retries_key = "__ckpt/guard_retries"
+let skips_key = "__ckpt/guard_skips"
+let optim_prefix = "__optim/"
+
+let is_reserved name = String.length name >= 2 && name.[0] = '_' && name.[1] = '_'
+
+let save cfg ~step ~store ~optim ~guard =
+  let packed = Store.copy store in
+  Store.ensure packed step_key (fun () -> Tensor.scalar (float_of_int step));
+  Store.ensure packed retries_key (fun () ->
+      Tensor.scalar (float_of_int (Guard.retry_count guard)));
+  Store.ensure packed skips_key (fun () ->
+      Tensor.scalar (float_of_int (Guard.skip_count guard)));
+  List.iter
+    (fun (name, x) -> Store.ensure packed (optim_prefix ^ name) (fun () -> x))
+    (Optim.export_state optim);
+  ignore
+    (Store.save_rotated ~keep:cfg.keep ~retries:cfg.retries
+       ~backoff_ms:cfg.backoff_ms packed ~dir:cfg.dir)
+
+type resumed = { step : int; path : string }
+
+let scalar_int packed name ~default =
+  if Store.mem packed name then
+    int_of_float (Tensor.to_scalar (Store.tensor packed name))
+  else default
+
+let load_into cfg ~store ~optim ~guard =
+  match Store.load_latest cfg.dir with
+  | None -> None
+  | Some (packed, path) ->
+    let step = scalar_int packed step_key ~default:0 in
+    List.iter
+      (fun name ->
+        if not (is_reserved name) then begin
+          let x = Store.tensor packed name in
+          if Store.mem store name then Store.set store name x
+          else Store.ensure store name (fun () -> x)
+        end)
+      (Store.names packed);
+    let optim_entries =
+      List.filter_map
+        (fun name ->
+          if String.length name > String.length optim_prefix
+             && String.sub name 0 (String.length optim_prefix) = optim_prefix
+          then
+            Some
+              ( String.sub name (String.length optim_prefix)
+                  (String.length name - String.length optim_prefix),
+                Store.tensor packed name )
+          else None)
+        (Store.names packed)
+    in
+    Optim.import_state optim optim_entries;
+    Guard.resume guard
+      ~retries:(scalar_int packed retries_key ~default:0)
+      ~skips:(scalar_int packed skips_key ~default:0);
+    Some { step; path }

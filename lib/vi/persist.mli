@@ -1,0 +1,43 @@
+(** Durable training state: rotated checkpoints that make a training
+    run resumable {e bit-exactly} after a crash.
+
+    A training checkpoint is an ordinary {!Store.t} image (format v2:
+    checksummed, atomically written, rotated — see [Store]) holding
+    the model parameters plus reserved ["__"]-prefixed tensors that
+    encode everything else one step depends on: the step index, the
+    optimizer moments and counters, and the guard's retry/skip
+    counters (the retry counter feeds [Guard.active_key], so it is
+    part of the PRNG stream). Resuming from step [s] therefore
+    replays steps [s..] with exactly the state — every bit of it —
+    the interrupted run had, and a SIGKILLed-and-resumed run ends
+    with parameters bit-identical to an uninterrupted one (enforced
+    by [test/test_chaos.ml] and the CI chaos-smoke job). *)
+
+type cfg = {
+  dir : string;  (** checkpoint directory ([ckpt.N] + [latest]) *)
+  every : int;  (** save after every [every]-th committed step *)
+  keep : int;  (** rotation depth *)
+  retries : int;  (** transient-I/O retry budget per save *)
+  backoff_ms : float;  (** deterministic backoff base (doubles per retry) *)
+}
+
+val cfg :
+  ?every:int -> ?keep:int -> ?retries:int -> ?backoff_ms:float -> string -> cfg
+(** Defaults: every 25 steps, keep 3, 2 retries, 5 ms backoff. *)
+
+val save :
+  cfg -> step:int -> store:Store.t -> optim:Optim.t -> guard:Guard.t -> unit
+(** Write one rotated checkpoint recording that steps [0..step-1] are
+    committed ([step] is the next step to run).
+    @raise Sys_error when the write fails after the retry budget. *)
+
+type resumed = { step : int;  (** next step to run *) path : string }
+
+val load_into :
+  cfg -> store:Store.t -> optim:Optim.t -> guard:Guard.t -> resumed option
+(** Load the newest readable checkpoint from [cfg.dir] into the given
+    training state: parameters into [store] (registering any the
+    store lacks), moments into [optim], counters into [guard].
+    [None] when the directory has no checkpoints (fresh start).
+    @raise Store.Corrupt_checkpoint when checkpoints exist but none
+    loads. *)

@@ -65,13 +65,14 @@ let guide frame =
 
 let objective frame = Objectives.elbo ~model ~guide:(guide frame)
 
-let train ?(steps = 1200) ?(samples = 1) ?(lr = 0.05) ?guard ?store key =
+let train ?(steps = 1200) ?(samples = 1) ?(lr = 0.05) ?guard ?persist ?store
+    key =
   let store = match store with Some s -> s | None -> Store.create () in
   register store;
   let optim = Optim.adam ~lr () in
   let t0 = Unix.gettimeofday () in
   let reports =
-    Train.fit ~store ~optim ~samples ?guard ~steps
+    Train.fit ~store ~optim ~samples ?guard ?persist ~steps
       ~objective:(fun frame _ -> objective frame)
       key
   in

@@ -12,7 +12,7 @@ val guide : Store.Frame.t -> unit Gen.t
 
 val train :
   ?steps:int -> ?samples:int -> ?lr:float -> ?guard:Guard.t ->
-  ?store:Store.t -> Prng.key ->
+  ?persist:Persist.cfg -> ?store:Store.t -> Prng.key ->
   Store.t * Train.report list * float
 (** Returns the trained store, per-step reports, and wall seconds.
     [?guard] configures resilience (see {!Guard}); [?store] continues

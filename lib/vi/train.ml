@@ -50,11 +50,38 @@ let run_preflight ~strict targets =
                     (List.length failing) (List.length targets)))
         end)
 
-let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
-    key =
+let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
+    ~make_surrogate key =
   let g = match guard with Some g -> g | None -> Guard.create () in
   let reports = ref [] in
   let step = ref 0 in
+  (* Crash-exact resume: when a checkpoint directory is configured and
+     holds a readable checkpoint, restore parameters, optimizer moments,
+     and guard counters, and continue from the recorded step — the
+     per-step [fold_in] key discipline makes the replayed suffix
+     bit-identical to the run the crash interrupted. *)
+  (match persist with
+  | None -> ()
+  | Some cfg -> (
+    match Persist.load_into cfg ~store ~optim ~guard:g with
+    | None -> ()
+    | Some { Persist.step = resumed; path } ->
+      Obs.message Obs.Fault
+        (Printf.sprintf "train: resumed from %s at step %d" path resumed);
+      Obs.incr "train/resumes";
+      step := resumed));
+  (* Save after the [every]-th committed step; !step is then the next
+     step to run, which is what the checkpoint records. *)
+  let due_checkpoint () =
+    match persist with
+    | Some cfg when !step > 0 && !step mod cfg.every = 0 -> Some cfg
+    | _ -> None
+  in
+  let checkpoint () =
+    match due_checkpoint () with
+    | Some cfg -> Persist.save cfg ~step:!step ~store ~optim ~guard:g
+    | None -> ()
+  in
   while !step < steps do
     if Guard.due_snapshot g ~step:!step then
       Guard.take_snapshot g ~step:!step ~store ~optim;
@@ -63,64 +90,96 @@ let fit_generic ~store ~optim ~direction ~guard ~on_step ~steps ~make_surrogate
        the exact instruction stream the unobserved loop did. *)
     let live = Obs.live () in
     let nodes0 = if live then Ad.node_count () else 0 in
-    let t_fwd = if live then Obs.start () else 0. in
-    let frame = Store.Frame.make store in
-    let surrogate = make_surrogate frame !step (Prng.fold_in key_run !step) in
-    if live then Obs.stop Obs.Grad "train/forward" t_fwd;
-    let t_bwd = if live then Obs.start () else 0. in
-    Ad.backward surrogate;
-    if live then begin
-      Obs.stop Obs.Grad "train/backward" t_bwd;
-      Obs.gauge "train/tape_nodes"
-        (float_of_int (Ad.node_count () - nodes0));
-      Obs.hist "train/objective" (Tensor.to_scalar (Ad.value surrogate))
-    end;
-    let objective = Tensor.to_scalar (Ad.value surrogate) in
-    let grads = Store.Frame.grads frame in
-    let t_guard = if live then Obs.start () else 0. in
-    let anomalies = Guard.scan ~step:!step ~objective ~grads in
-    let verdict = Guard.observe g ~step:!step ~store ~optim anomalies in
-    if live then Obs.stop Obs.Guard "train/guard" t_guard;
-    match verdict with
-    | Guard.Restart_from resume ->
-      reports := List.filter (fun r -> r.step < resume) !reports;
-      step := resume
-    | Guard.Proceed | Guard.Skip ->
-      (* Under [Skip] the non-finite gradients are dropped (and counted)
-         inside [Optim.step]; the finite remainder still applies, which
-         preserves the historical skip-and-continue behavior. *)
-      let t_opt = if live then Obs.start () else 0. in
-      Optim.step ?clip_norm:(Guard.clip_norm g) optim direction store grads;
-      if live then begin
-        Obs.stop Obs.Optim "train/optim" t_opt;
-        Obs.incr "train/steps"
-      end;
-      let report =
-        { step = !step;
-          objective;
-          anomalies = Guard.anomaly_count g;
-          retries = Guard.retry_count g }
-      in
-      on_step report;
-      reports := report :: !reports;
-      incr step
+    let computed =
+      match
+        (* Fault-injection hook (one branch when inactive): may delay
+           the step, raise Out_of_memory (absorbed below), or SIGKILL
+           the process outright. *)
+        if Fault.active () then Fault.on_step ~step:!step;
+        let t_fwd = if live then Obs.start () else 0. in
+        let frame = Store.Frame.make store in
+        let surrogate =
+          make_surrogate frame !step (Prng.fold_in key_run !step)
+        in
+        if live then Obs.stop Obs.Grad "train/forward" t_fwd;
+        let t_bwd = if live then Obs.start () else 0. in
+        Ad.backward surrogate;
+        if live then begin
+          Obs.stop Obs.Grad "train/backward" t_bwd;
+          Obs.gauge "train/tape_nodes"
+            (float_of_int (Ad.node_count () - nodes0));
+          Obs.hist "train/objective" (Tensor.to_scalar (Ad.value surrogate))
+        end;
+        (frame, surrogate)
+      with
+      | pair -> Some pair
+      | exception Out_of_memory when Fault.active () ->
+        (* Graceful degradation under injected allocation failure: drop
+           this step's update (parameters and PRNG discipline are
+           untouched — later steps key off the step index) and keep
+           training. Only fault-injected OOM is absorbed; a real one
+           still propagates. *)
+        Obs.incr "train/oom_skipped";
+        None
+    in
+    match computed with
+    | None ->
+      incr step;
+      checkpoint ()
+    | Some (frame, surrogate) -> (
+      let objective = Tensor.to_scalar (Ad.value surrogate) in
+      let grads = Store.Frame.grads frame in
+      let t_guard = if live then Obs.start () else 0. in
+      let anomalies = Guard.scan ~step:!step ~objective ~grads in
+      let verdict = Guard.observe g ~step:!step ~store ~optim anomalies in
+      if live then Obs.stop Obs.Guard "train/guard" t_guard;
+      match verdict with
+      | Guard.Restart_from resume ->
+        reports := List.filter (fun r -> r.step < resume) !reports;
+        step := resume;
+        (* Make the rollback durable: the retry counter feeds the
+           replay's PRNG stream, so a crash mid-replay must resume
+           with the post-rollback state, not a pre-rollback image. *)
+        (match persist with
+        | Some cfg -> Persist.save cfg ~step:resume ~store ~optim ~guard:g
+        | None -> ())
+      | Guard.Proceed | Guard.Skip ->
+        (* Under [Skip] the non-finite gradients are dropped (and counted)
+           inside [Optim.step]; the finite remainder still applies, which
+           preserves the historical skip-and-continue behavior. *)
+        let t_opt = if live then Obs.start () else 0. in
+        Optim.step ?clip_norm:(Guard.clip_norm g) optim direction store grads;
+        if live then begin
+          Obs.stop Obs.Optim "train/optim" t_opt;
+          Obs.incr "train/steps"
+        end;
+        let report =
+          { step = !step;
+            objective;
+            anomalies = Guard.anomaly_count g;
+            retries = Guard.retry_count g }
+        in
+        on_step report;
+        reports := report :: !reports;
+        incr step;
+        checkpoint ())
   done;
   List.rev !reports
 
 let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1) ?guard
-    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
-    ~steps ~objective key =
+    ?persist ?(preflight = []) ?(preflight_strict = false)
+    ?(on_step = fun _ -> ()) ~steps ~objective key =
   run_preflight ~strict:preflight_strict preflight;
-  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+  fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       Adev.expectation_mean ~samples (objective frame step) key_step)
     key
 
-let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard
+let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
     ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
     ~steps ~objectives key =
   run_preflight ~strict:preflight_strict preflight;
-  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+  fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       let objs = objectives frame step in
       let n = Stdlib.max 1 (List.length objs) in
@@ -132,22 +191,22 @@ let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard
       Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates))
     key
 
-let fit_batched ~store ~optim ?(direction = Optim.Ascend) ?guard
+let fit_batched ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
     ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
     ~steps ~objective key =
   run_preflight ~strict:preflight_strict preflight;
-  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+  fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       let m, obj = objective frame step in
       let vec = Adev.expectation obj key_step in
       Ad.scale (1. /. float_of_int (Stdlib.max 1 m)) (Ad.sum vec))
     key
 
-let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard
+let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
     ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
     ~steps ~surrogate key =
   run_preflight ~strict:preflight_strict preflight;
-  fit_generic ~store ~optim ~direction ~guard ~on_step ~steps
+  fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step -> surrogate frame step key_step)
     key
 

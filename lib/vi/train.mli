@@ -7,7 +7,18 @@
     last snapshot, or raise [Guard.Diverged]. When no [?guard] is
     passed, a fresh default guard ([Skip_step], no clipping) is used,
     which reproduces the historical behavior exactly — same updates,
-    same PRNG stream — while still counting anomalies. *)
+    same PRNG stream — while still counting anomalies.
+
+    Every loop flavor is also {e resumable}: with [?persist] the loop
+    writes rotated, checksummed checkpoints (see [Persist]) after
+    every [cfg.every]-th committed step and, on startup, restores the
+    newest readable one — parameters, optimizer moments, and guard
+    counters — continuing bit-exactly where the interrupted run left
+    off. With fault injection active (see [Fault]) each step first
+    runs the fault plan's step hook, and an {e injected}
+    [Out_of_memory] is absorbed by skipping that step's update
+    (counted as ["train/oom_skipped"]); real allocation failures
+    still propagate. *)
 
 type report = {
   step : int;
@@ -24,6 +35,7 @@ val fit :
   ?direction:Optim.direction ->
   ?samples:int ->
   ?guard:Guard.t ->
+  ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
   ?on_step:(report -> unit) ->
@@ -52,6 +64,7 @@ val fit_batch :
   optim:Optim.t ->
   ?direction:Optim.direction ->
   ?guard:Guard.t ->
+  ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
   ?on_step:(report -> unit) ->
@@ -70,6 +83,7 @@ val fit_batched :
   optim:Optim.t ->
   ?direction:Optim.direction ->
   ?guard:Guard.t ->
+  ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
   ?on_step:(report -> unit) ->
@@ -91,6 +105,7 @@ val fit_surrogate :
   optim:Optim.t ->
   ?direction:Optim.direction ->
   ?guard:Guard.t ->
+  ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
   ?on_step:(report -> unit) ->

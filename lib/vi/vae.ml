@@ -86,12 +86,12 @@ let elbo_per_datum_looped frame images =
   in
   go 0 (Ad.scalar 0.)
 
-let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?guard ?store key =
+let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?guard ?persist ?store key =
   let store = match store with Some s -> s | None -> Store.create () in
   register store key;
   let optim = Optim.adam ~lr () in
   let reports =
-    Train.fit ~store ~optim ?guard ~steps
+    Train.fit ~store ~optim ?guard ?persist ~steps
       ~objective:(fun frame step ->
         let images, _ = Data.digit_batch (Prng.fold_in key (10000 + step)) batch in
         elbo_per_datum frame images)

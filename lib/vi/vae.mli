@@ -46,7 +46,7 @@ val elbo_per_datum_looped : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
 
 val train :
   ?steps:int -> ?batch:int -> ?lr:float -> ?guard:Guard.t ->
-  ?store:Store.t -> Prng.key ->
+  ?persist:Persist.cfg -> ?store:Store.t -> Prng.key ->
   Store.t * Train.report list
 (** [?guard] configures resilience (see {!Guard}); [?store] continues
     training from an existing (e.g. checkpoint-loaded) store. *)

@@ -1,0 +1,168 @@
+(* Fault-injection plan tests: spec parsing, decision determinism, the
+   disabled-hooks bit-identity property, and graceful degradation of
+   the training loop under full-rate gradient poisoning and injected
+   allocation failures. *)
+
+let plan_exn ~seed spec =
+  match Fault.plan_of_string ~seed spec with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "plan %S rejected: %s" spec msg
+
+let test_parse_errors () =
+  let rejected spec =
+    Alcotest.(check bool)
+      (Printf.sprintf "%S rejected" spec)
+      true
+      (match Fault.plan_of_string ~seed:0 spec with
+      | Ok _ -> false
+      | Error _ -> true)
+  in
+  rejected "bogus";
+  rejected "io-error";
+  rejected "io-error=1.5";
+  rejected "io-error=-0.1";
+  rejected "grad-nan=x";
+  rejected "delay=0.5";
+  rejected "delay=0.5:-3";
+  rejected "kill-at=-1";
+  rejected "kill-in=9..3";
+  rejected "kill-in=7";
+  rejected "unknown-kind=0.5"
+
+let test_parse_accepts () =
+  let p =
+    plan_exn ~seed:4 "io-error=0.25, short-write=0.5; grad-nan=1 delay=0.1:20"
+  in
+  Alcotest.(check int) "seed" 4 (Fault.seed p);
+  Alcotest.(check (option int)) "no kill" None (Fault.kill_step p);
+  let q = plan_exn ~seed:4 "kill-at=17" in
+  Alcotest.(check (option int)) "kill-at" (Some 17) (Fault.kill_step q)
+
+let test_kill_in_range () =
+  (* The kill step resolves inside [lo, hi] for every seed, and is a
+     pure function of the seed. *)
+  for seed = 0 to 49 do
+    let p = plan_exn ~seed "kill-in=5..9" in
+    match Fault.kill_step p with
+    | Some k ->
+      if k < 5 || k > 9 then Alcotest.failf "kill step %d outside 5..9" k;
+      let p' = plan_exn ~seed "kill-in=5..9" in
+      Alcotest.(check (option int))
+        "same seed, same kill step" (Some k) (Fault.kill_step p')
+    | None -> Alcotest.fail "kill-in produced no kill step"
+  done
+
+let test_decisions_deterministic () =
+  (* Reinstalling the same plan replays the identical decision
+     sequence: occurrence counters reset on install. *)
+  let record () =
+    let p = plan_exn ~seed:12 "grad-nan=0.4 grad-inf=0.2 io-error=0.3" in
+    Fault.install p;
+    let grads =
+      (* classify rather than compare raw floats: NaN <> NaN would make
+         two identical decision streams look different *)
+      List.init 40 (fun i ->
+          match Fault.grad_poison ~name:(Printf.sprintf "g%d" i) with
+          | None -> `Clean
+          | Some v when Float.is_nan v -> `Nan
+          | Some _ -> `Inf)
+    in
+    let ios =
+      List.init 40 (fun i ->
+          match Fault.on_io ~op:`Write ~path:(Printf.sprintf "f%d" i) with
+          | () -> false
+          | exception Sys_error _ -> true)
+    in
+    Fault.clear ();
+    (grads, ios)
+  in
+  let a = record () and b = record () in
+  Alcotest.(check bool) "grad decisions replay" true (a = b);
+  Alcotest.(check bool) "some poison fired" true
+    (List.exists (fun d -> d <> `Clean) (fst a));
+  Alcotest.(check bool) "some io fault fired" true (List.exists Fun.id (snd a))
+
+let store_bits store =
+  List.map
+    (fun n -> Array.map Int64.bits_of_float (Tensor.to_array (Store.tensor store n)))
+    (Store.names store)
+
+let train_coin ?persist seed =
+  let store, reports, _ = Coin.train ~steps:8 ~samples:2 ?persist (Prng.key seed) in
+  (store_bits store, List.length reports)
+
+(* The one-branch discipline, as a property: a run with no plan and a
+   run with an installed all-zero-probability plan are bit-identical. *)
+let prop_zero_plan_bit_identical =
+  QCheck.Test.make ~name:"zero-probability plan is bit-identical" ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      Fault.clear ();
+      let clean = train_coin seed in
+      let p =
+        plan_exn ~seed "io-error=0 short-write=0 grad-nan=0 grad-inf=0 oom=0"
+      in
+      Fault.install p;
+      let faulted = Fun.protect ~finally:Fault.clear (fun () -> train_coin seed) in
+      clean = faulted)
+
+let test_full_grad_poison_freezes_params () =
+  Fault.clear ();
+  let clean, _ = train_coin 7 in
+  let p = plan_exn ~seed:7 "grad-nan=1" in
+  Fault.install p;
+  Fun.protect ~finally:Fault.clear (fun () ->
+      let store, reports, _ =
+        Coin.train ~steps:8 ~samples:2 (Prng.key 7)
+      in
+      (* Every gradient is poisoned, so the optimizer's finite-partition
+         skip drops every update: parameters keep their initial values. *)
+      let init = Store.create () in
+      Coin.register init;
+      Alcotest.(check bool) "params frozen at init" true
+        (store_bits store = store_bits init);
+      Alcotest.(check bool) "differs from clean run" true
+        (store_bits store <> clean);
+      Alcotest.(check int) "all steps still reported" 8 (List.length reports);
+      Alcotest.(check bool) "tally recorded poisons" true
+        (List.mem_assoc "grad_nan" (Fault.injected ())))
+
+let test_full_oom_skips_all_steps () =
+  Fault.clear ();
+  let p = plan_exn ~seed:3 "oom=1" in
+  Fault.install p;
+  Fun.protect ~finally:Fault.clear (fun () ->
+      let store, reports, _ =
+        Coin.train ~steps:6 ~samples:2 (Prng.key 3)
+      in
+      Alcotest.(check int) "no step committed a report" 0 (List.length reports);
+      let init = Store.create () in
+      Coin.register init;
+      Alcotest.(check bool) "params frozen at init" true
+        (store_bits store = store_bits init))
+
+let test_delay_injects_but_preserves_results () =
+  Fault.clear ();
+  let clean = train_coin 5 in
+  let p = plan_exn ~seed:5 "delay=1:1" in
+  Fault.install p;
+  let delayed = Fun.protect ~finally:Fault.clear (fun () -> train_coin 5) in
+  Alcotest.(check bool) "delays change timing, not results" true
+    (clean = delayed)
+
+let suites =
+  [ ( "fault",
+      [ Alcotest.test_case "spec parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "spec parse accepts" `Quick test_parse_accepts;
+        Alcotest.test_case "kill-in resolves in range" `Quick
+          test_kill_in_range;
+        Alcotest.test_case "decisions deterministic" `Quick
+          test_decisions_deterministic;
+        Alcotest.test_case "grad-nan=1 freezes params" `Quick
+          test_full_grad_poison_freezes_params;
+        Alcotest.test_case "oom=1 degrades gracefully" `Quick
+          test_full_oom_skips_all_steps;
+        Alcotest.test_case "delay preserves results" `Quick
+          test_delay_injects_but_preserves_results ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_zero_plan_bit_identical ] )
+  ]
