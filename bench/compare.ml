@@ -2,7 +2,8 @@
    BENCH_*.json against a committed baseline and fail on regressions.
 
      compare.exe BASELINE CURRENT [--threshold PCT]
-                 [--overhead NAME:REF:PCT]
+                 [--overhead NAME:REF:PCT] [--speedup NAME:REF:FACTOR]
+                 [--only-gates]
 
    Entries are matched on (name, parameter value); an entry present in
    the baseline but missing from the current run is itself a failure
@@ -15,7 +16,15 @@
    every parameter value where both NAME and REF appear, NAME's median
    must stay within PCT percent of REF's median. Used to bound the
    cost of instrumented re-runs (e.g. vae_grad_step_obs vs
-   vae_grad_step) without needing a separate baseline file. *)
+   vae_grad_step) without needing a separate baseline file.
+
+   `--speedup NAME:REF:FACTOR` is a cross-file gate: NAME's median in
+   CURRENT must be at least FACTOR times faster than REF's median in
+   BASELINE (matched on parameter value). Used to assert that the
+   staged-compilation gradient step holds its 2x win over the
+   committed pre-staging interpreter baseline. With `--only-gates`
+   the baseline-coverage regression walk is skipped, so BASELINE and
+   CURRENT may track different entry sets. *)
 
 type entry = {
   name : string;
@@ -50,6 +59,36 @@ let read_entries path =
   close_in ic;
   List.rev !entries
 
+(* Cross-file speedup gate: NAME (current) must be >= factor x faster
+   than REF (baseline). *)
+let check_speedup ~baseline ~current ~name ~ref_name ~factor =
+  let subjects = List.filter (fun e -> e.name = name) current in
+  if subjects = [] then (
+    Printf.printf "%-28s missing from current run  FAIL\n" name;
+    true)
+  else
+    List.fold_left
+      (fun failed s ->
+        match
+          List.find_opt
+            (fun r -> r.name = ref_name && r.pval = s.pval)
+            baseline
+        with
+        | None ->
+            Printf.printf "%-28s %s=%-7d no baseline %s entry  FAIL\n" s.name
+              s.pkey s.pval ref_name;
+            true
+        | Some r ->
+            let speedup = r.median_ms /. s.median_ms in
+            let bad = speedup < factor in
+            Printf.printf "%-28s %s=%-7d %12.4f %12.4f %7.2fx  %s\n"
+              (s.name ^ " vs " ^ ref_name)
+              s.pkey s.pval r.median_ms s.median_ms speedup
+              (if bad then Printf.sprintf "FAIL (< %.2fx)" factor else "ok")
+            |> ignore;
+            failed || bad)
+      false subjects
+
 (* Gate NAME's medians against REF's within a single entry list. *)
 let check_overhead entries ~name ~ref_name ~pct =
   let of_name n = List.filter (fun e -> e.name = n) entries in
@@ -82,11 +121,29 @@ let check_overhead entries ~name ~ref_name ~pct =
 let () =
   let threshold = ref 15.0 in
   let overheads = ref [] in
+  let speedups = ref [] in
+  let only_gates = ref false in
   let paths = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--threshold" :: v :: rest ->
         threshold := float_of_string v;
+        parse_args rest
+    | "--only-gates" :: rest ->
+        only_gates := true;
+        parse_args rest
+    | "--speedup" :: v :: rest ->
+        (match String.split_on_char ':' v with
+        | [ name; ref_name; factor ] -> (
+            match float_of_string_opt factor with
+            | Some factor -> speedups := (name, ref_name, factor) :: !speedups
+            | None ->
+                Printf.eprintf "compare: bad --speedup factor %S\n%!" factor;
+                exit 2)
+        | _ ->
+            Printf.eprintf
+              "compare: --speedup expects NAME:REF:FACTOR, got %S\n%!" v;
+            exit 2);
         parse_args rest
     | "--overhead" :: v :: rest ->
         (match String.split_on_char ':' v with
@@ -112,7 +169,8 @@ let () =
     | _ ->
         Printf.eprintf
           "usage: compare.exe BASELINE CURRENT [--threshold PCT] \
-           [--overhead NAME:REF:PCT]\n%!";
+           [--overhead NAME:REF:PCT] [--speedup NAME:REF:FACTOR] \
+           [--only-gates]\n%!";
         exit 2
   in
   let baseline = read_entries baseline_path in
@@ -123,6 +181,7 @@ let () =
   let failed = ref false in
   Printf.printf "%-28s %10s %12s %12s %9s\n" "benchmark" "param"
     "baseline_ms" "current_ms" "delta";
+  if not !only_gates then
   List.iter
     (fun b ->
       let found =
@@ -148,11 +207,15 @@ let () =
     (fun (name, ref_name, pct) ->
       if check_overhead current ~name ~ref_name ~pct then failed := true)
     (List.rev !overheads);
+  List.iter
+    (fun (name, ref_name, factor) ->
+      if check_speedup ~baseline ~current ~name ~ref_name ~factor then
+        failed := true)
+    (List.rev !speedups);
   if !failed then (
-    Printf.printf
-      "regression: some tracked medians degraded by more than %.0f%%\n%!"
-      !threshold;
+    Printf.printf "regression: some tracked gates failed\n%!";
     exit 1)
+  else if !only_gates then Printf.printf "all gates passed\n%!"
   else
     Printf.printf "all tracked medians within %.0f%% of baseline\n%!"
       !threshold

@@ -684,7 +684,7 @@ let write_json path ~domains entries =
 let json ~quick () =
   hr
     "Machine-readable benchmarks -> BENCH_tensor.json, BENCH_vae.json, \
-     BENCH_batched.json";
+     BENCH_batched.json, BENCH_compiled.json";
   let domains = Parallel.domains () in
   let quota = if quick then 0.25 else 1.0 in
   let limit = if quick then 1 else 300 in
@@ -811,7 +811,53 @@ let json ~quick () =
       { e_name = "iwelbo_sequential"; e_pkey = "particles"; e_pval = particles;
         e_samples = iwelbo_step false } ]
   in
-  write_json "BENCH_batched.json" ~domains batched_entries
+  write_json "BENCH_batched.json" ~domains batched_entries;
+  (* Staged-compilation speedups: the VAE gradient step through its
+     execution plans next to the interpreter reference (both benefit
+     from the fused Bernoulli kernel; the committed BENCH_batched
+     baseline preserves the pre-staging reference that the CI speedup
+     gate compares against), plus the one-time staging cost itself. *)
+  let compiled_entries =
+    let batch = 256 in
+    let images, _ = Data.digit_batch (Prng.key 2) batch in
+    let grad_step compiled =
+      run (fun () ->
+          let frame = Store.Frame.make store in
+          let s =
+            Adev.expectation
+              (Vae.elbo_per_datum ~compiled frame images)
+              (Prng.key 3)
+          in
+          Ad.backward s;
+          ignore (Sys.opaque_identity (Store.Frame.grads frame)))
+    in
+    (* Warm the plan cache before timing the compiled path, so the
+       entry measures steady-state execution, not staging. *)
+    let frame = Store.Frame.make store in
+    ignore
+      (Compile.plan_for ~id:"vae/model" (Gen.Packed (Vae.model frame images)));
+    ignore
+      (Compile.plan_for ~id:"vae/guide" (Gen.Packed (Vae.guide frame images)));
+    let compiled = grad_step true in
+    let interp = grad_step false in
+    let staging =
+      run (fun () ->
+          let frame = Store.Frame.make store in
+          ignore
+            (Sys.opaque_identity
+               ( Compile.compile ~id:"bench/vae/model"
+                   (Gen.Packed (Vae.model frame images)),
+                 Compile.compile ~id:"bench/vae/guide"
+                   (Gen.Packed (Vae.guide frame images)) )))
+    in
+    [ { e_name = "vae_grad_step_compiled"; e_pkey = "batch"; e_pval = batch;
+        e_samples = compiled };
+      { e_name = "vae_grad_step_interp"; e_pkey = "batch"; e_pval = batch;
+        e_samples = interp };
+      { e_name = "compile_once"; e_pkey = "programs"; e_pval = 2;
+        e_samples = staging } ]
+  in
+  write_json "BENCH_compiled.json" ~domains compiled_entries
 
 (* ------------------------------------------------------------------ *)
 

@@ -543,7 +543,7 @@ let profile_target_conv =
       ("vae", `Vae) ]
 
 let profile_cmd =
-  let run () target objective steps batch seed json trace =
+  let run () target objective steps batch compiled seed json trace =
     (* Recording is on for the whole run; the trace file (when given)
        receives every sampled event, and the aggregate tables go to
        stdout at the end. *)
@@ -562,8 +562,9 @@ let profile_cmd =
         ignore (Regression.train ~steps (Prng.key seed));
         "regression"
       | `Vae ->
-        ignore (Vae.train ~steps ~batch (Prng.key seed));
-        Printf.sprintf "vae (batch %d)" batch
+        ignore (Vae.train ~steps ~batch ~compiled (Prng.key seed));
+        Printf.sprintf "vae (batch %d%s)" batch
+          (if compiled then ", compiled" else "")
     in
     obs_gauges ();
     if json then print_endline (Obs.report_json ())
@@ -601,6 +602,13 @@ let profile_cmd =
                  which is what makes the estimator ranking interesting.")
       $ steps_arg 150
       $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"VAE batch size.")
+      $ Arg.(
+          value & flag
+          & info [ "compiled" ]
+              ~doc:
+                "Train the VAE through its staged execution plans: the \
+                 report then shows the one-time compile/* spans and the \
+                 plan-cache hit/miss counters (staging amortization).")
       $ seed_arg
       $ Arg.(
           value & flag
@@ -634,6 +642,90 @@ let trace_lint_cmd =
           required
           & pos 0 (some file) None
           & info [] ~docv:"FILE" ~doc:"Trace file to validate."))
+
+(* compile *)
+
+let compile_cmd =
+  let contains hay needle =
+    needle = ""
+    ||
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let run () json fuel width filter =
+    let selected =
+      List.filter
+        (fun e -> contains e.Preflight.name filter)
+        Preflight.entries
+    in
+    if selected = [] then begin
+      Printf.eprintf "compile: no registry entry matches %S\n" filter;
+      exit 1
+    end;
+    (* Each registry target contributes its packed program(s): a pair
+       stages model and guide separately, like the objectives do. *)
+    let programs =
+      List.concat_map
+        (fun e ->
+          match e.Preflight.make () with
+          | Check.Program p -> [ (e.Preflight.name, p) ]
+          | Check.Pair { model; guide } ->
+            [ (e.Preflight.name ^ "/model", model);
+              (e.Preflight.name ^ "/guide", guide) ]
+          | exception exn ->
+            Printf.eprintf "compile: %s: target construction failed: %s\n"
+              e.Preflight.name (Printexc.to_string exn);
+            [])
+        selected
+    in
+    let results =
+      List.map
+        (fun (id, p) -> (id, Compile.compile ~fuel ~max_width:width ~id p))
+        programs
+    in
+    if json then begin
+      print_string "[";
+      List.iteri
+        (fun i (id, r) ->
+          if i > 0 then print_string ",";
+          print_string (Compile.to_json ~id r))
+        results;
+      print_endline "]"
+    end
+    else begin
+      List.iter (fun (id, r) -> print_string (Compile.describe ~id r)) results;
+      let compiled =
+        List.length
+          (List.filter (fun (_, r) -> match r with Compile.Compiled _ -> true | _ -> false) results)
+      in
+      Printf.printf "%d/%d programs compiled (the rest run on the interpreter)\n"
+        compiled (List.length results)
+    end
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Stage the built-in generative programs into straight-line \
+          execution plans and print them: the slot table, the fused \
+          per-site kernels, sequential plate fallbacks, and PV501 \
+          refusals for programs whose structure is not static (see \
+          docs/COMPILATION.md).")
+    Term.(
+      const run $ const ()
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Emit a JSON array of plans on stdout.")
+      $ Arg.(
+          value & opt int 20000
+          & info [ "fuel" ] ~doc:"Structure-discovery node budget.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "max-width" ] ~doc:"Probe values per sample site.")
+      $ Arg.(
+          value & pos 0 string ""
+          & info [] ~docv:"TARGET"
+              ~doc:"Registry-name substring filter (default: all)."))
 
 (* check *)
 
@@ -937,4 +1029,4 @@ let () =
           (Cmd.info "ppvi" ~version:"1.0.0"
              ~doc:"Programmable variational inference workloads.")
           [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; profile_cmd;
-            chaos_cmd; trace_lint_cmd; check_cmd; info_cmd ]))
+            chaos_cmd; trace_lint_cmd; compile_cmd; check_cmd; info_cmd ]))

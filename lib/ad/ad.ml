@@ -140,24 +140,23 @@ let unop f df a =
 let neg a = node (Tensor.neg a.v) [ (a, Tensor.neg) ]
 let scale c a = node (Tensor.scale c a.v) [ (a, Tensor.scale c) ]
 let add_scalar c a = node (Tensor.add_scalar c a.v) [ (a, fun g -> g) ]
+(* The hot vjps use the specialized one-pass tensor kernels instead of
+   closure maps (same float expressions, so every gradient bit is
+   unchanged — see [Kernel]). *)
 let exp a = unop Tensor.exp (fun _ v -> v) a
-let log a = unop Tensor.log (fun x _ -> Tensor.map (fun xi -> 1. /. xi) x) a
+let log a = unop Tensor.log (fun x _ -> Tensor.recip x) a
 
 let sqrt a =
-  unop Tensor.sqrt (fun _ v -> Tensor.map (fun vi -> 0.5 /. vi) v) a
+  unop Tensor.sqrt (fun _ v -> Tensor.div (Tensor.scalar 0.5) v) a
 
-let sigmoid a =
-  unop Tensor.sigmoid (fun _ v -> Tensor.map (fun s -> s *. (1. -. s)) v) a
+let sigmoid a = unop Tensor.sigmoid (fun _ v -> Tensor.sigmoid_deriv v) a
 
 let tanh a = unop Tensor.tanh (fun _ v -> Tensor.map (fun s -> 1. -. (s *. s)) v) a
 
 let relu a =
   unop Tensor.relu (fun x _ -> Tensor.map (fun xi -> if xi > 0. then 1. else 0.) x) a
 
-let softplus a =
-  unop Tensor.softplus
-    (fun x _ -> Tensor.map (fun xi -> 1. /. (1. +. Float.exp (-.xi))) x)
-    a
+let softplus a = unop Tensor.softplus (fun x _ -> Tensor.sigmoid x) a
 
 let log1p_exp = softplus
 

@@ -56,13 +56,55 @@ type site = {
   s_value : Value.t;  (* The probe value bound on this path. *)
 }
 
-type path = { seen : (string * site) list }
+(* The ordered structure trail of one exploration path — the single
+   traversal shared by [analyze] (which ignores it) and the staged
+   compiler in [lib/compile] (which consumes it as the program's
+   discovered site sequence). Purely structural data, so trails from
+   different probe paths can be compared with [(=)] to detect
+   data-dependent structure. *)
+type trail_step =
+  | Trail_sample of {
+      t_addr : string;
+      t_dist : string;
+      t_strategy : string;
+      t_reentrant : bool;  (* ENUM / MVD: re-runs its continuation *)
+      t_reparam : bool;
+      t_shape : int array option;
+    }
+  | Trail_observe of { t_dist : string }
+  | Trail_plate of {
+      t_n : int;
+      t_batched : string option;  (* [Some addr]: lowers to one batched site *)
+      t_body_addrs : string list;  (* may-bind base addresses of the body *)
+      t_body_reentrant : bool;
+      t_shape : int array option;  (* per-instance shape when batchable *)
+      t_dist : string option;  (* head primitive when batchable *)
+      t_strategy : string option;
+    }
+  | Trail_marginal of { t_keep : string list }
+  | Trail_normalize
+
+(* Does any step re-run its continuation at runtime (ENUM/MVD
+   enumeration, sub-inference loops)? Such programs cannot be staged. *)
+let trail_reentrant steps =
+  List.exists
+    (function
+      | Trail_sample s -> s.t_reentrant
+      | Trail_plate p -> p.t_body_reentrant
+      | Trail_marginal _ | Trail_normalize -> true
+      | Trail_observe _ -> false)
+    steps
+
+type path = { seen : (string * site) list; trail : trail_step list }
 
 type ctx = {
   mutable diags : diagnostic list;
   mutable fuel : int;
   mutable truncated : bool;
   max_width : int;
+  decide_plates : bool;
+      (* Record plate lowering decisions in the trail (draws probe
+         samples, so only the compiler's traversal pays for it). *)
 }
 
 exception Out_of_fuel
@@ -126,18 +168,18 @@ let interval_probes lo hi =
   else if finite hi then [ hi -. 2.; hi -. 0.5 ]
   else [ -1.; 1. ] (* Straddle the usual [x < k] thresholds around 0. *)
 
-let carrier_of : type a. a Dist.t -> carrier =
- fun d ->
-  match d.Dist.inject d.Dist.default with
+let carrier_of_value = function
   | Value.Real _ -> Real_carrier
   | Value.Bool _ -> Bool_carrier
   | Value.Int _ -> Int_carrier
 
 (* A non-leaf probe for REPARAM sites, registered in the provenance
-   table so a [rigid] use raises an error naming this address. *)
-let tainted_probe : type a. a Dist.t -> address:string -> a option =
- fun d ~address ->
-  match d.Dist.inject d.Dist.default with
+   table so a [rigid] use raises an error naming this address.
+   [default_v] is the site's injected default, computed once by the
+   caller and shared across probes. *)
+let tainted_probe : type a. a Dist.t -> default_v:Value.t -> address:string -> a option =
+ fun d ~default_v ~address ->
+  match default_v with
   | Value.Real base ->
     let t = Ad.add_scalar 0. (Ad.const (Ad.value base)) in
     Value.register_smooth_origin t ~address
@@ -145,10 +187,10 @@ let tainted_probe : type a. a Dist.t -> address:string -> a option =
     d.Dist.project (Value.Real t)
   | _ -> None
 
-let probes : type a. ctx -> address:string -> a Dist.t -> a list =
- fun ctx ~address d ->
+let probes : type a. ctx -> address:string -> default_v:Value.t -> a Dist.t -> a list =
+ fun ctx ~address ~default_v d ->
   let real_probe v =
-    match d.Dist.inject d.Dist.default with
+    match default_v with
     | Value.Real base ->
       d.Dist.project (Value.Real (Ad.const (Tensor.full (Ad.shape base) v)))
     | _ -> None
@@ -156,7 +198,7 @@ let probes : type a. ctx -> address:string -> a Dist.t -> a list =
   let candidates =
     match d.Dist.strategy with
     | Dist.Reparam when Option.is_some d.Dist.reparam -> begin
-      match tainted_probe d ~address with
+      match tainted_probe d ~default_v ~address with
       | Some x -> [ x ]
       | None -> [ d.Dist.default ]
     end
@@ -300,20 +342,42 @@ let rec explore : type a. ctx -> path -> a Gen.t -> (a * path) list =
       emit ctx "PV201" Error ~address:name
         (Printf.sprintf "address %S is sampled more than once on a single path"
            name);
+    (* Probe-invariant site metadata, computed once per site instead of
+       once per probe: the strategy lookup, the injected default (which
+       [carrier_of], the tainted probe, and the interval probes all
+       need), and the meta record. *)
+    let s_dist = d.Dist.name in
+    let s_strategy = Dist.strategy_name d.Dist.strategy in
+    let default_v = d.Dist.inject d.Dist.default in
+    let s_carrier = carrier_of_value default_v in
+    let s_meta = d.Dist.meta in
+    let tstep =
+      Trail_sample
+        { t_addr = name;
+          t_dist = s_dist;
+          t_strategy = s_strategy;
+          t_reentrant =
+            (match d.Dist.strategy with
+            | Dist.Enum | Dist.Mvd -> true
+            | Dist.Reparam | Dist.Reinforce | Dist.Reinforce_baseline _ ->
+              false);
+          t_reparam =
+            (match d.Dist.strategy with Dist.Reparam -> true | _ -> false);
+          t_shape =
+            (match default_v with
+            | Value.Real v -> Some (Ad.shape v)
+            | Value.Bool _ | Value.Int _ -> None) }
+    in
     let mk x =
       let site =
-        { s_dist = d.Dist.name;
-          s_strategy = Dist.strategy_name d.Dist.strategy;
-          s_carrier = carrier_of d;
-          s_meta = d.Dist.meta;
-          s_value = d.Dist.inject x }
+        { s_dist; s_strategy; s_carrier; s_meta; s_value = d.Dist.inject x }
       in
-      (x, { seen = (name, site) :: path.seen })
+      (x, { seen = (name, site) :: path.seen; trail = tstep :: path.trail })
     in
-    List.map mk (probes ctx ~address:name d)
+    List.map mk (probes ctx ~address:name ~default_v d)
   | Gen.Node_observe (d, v) ->
     check_observe ctx d v;
-    [ ((), path) ]
+    [ ((), { path with trail = Trail_observe { t_dist = d.Dist.name } :: path.trail }) ]
   | Gen.Node_marginal (keep, inner, alg) ->
     explore_marginal ctx path keep inner alg
   | Gen.Node_normalize (inner, alg) -> explore_normalize ctx path inner alg
@@ -331,18 +395,18 @@ and explore_plate :
     type v. ctx -> path -> int -> (int -> v Gen.t) -> (v array * path) list =
  fun ctx path n body ->
   let explore_instance i =
-    guarded ctx (fun () -> explore ctx { seen = [] } (body i))
+    guarded ctx (fun () -> explore ctx { seen = []; trail = [] } (body i))
   in
   let inst0 = explore_instance 0 in
   let paths0 = List.map snd inst0 in
   let may0 = may_addrs paths0 in
+  let pathsN = if n > 1 then List.map snd (explore_instance (n - 1)) else [] in
   let shape_of s =
     match s.s_value with
     | Value.Real v -> Some (Ad.shape v)
     | Value.Bool _ | Value.Int _ -> None
   in
   (if n > 1 then begin
-     let pathsN = List.map snd (explore_instance (n - 1)) in
      let mayN = may_addrs pathsN in
      if paths0 <> [] && pathsN <> [] then begin
        List.iter
@@ -379,6 +443,33 @@ and explore_plate :
          mayN
      end
    end);
+  (* The trail records what the runtime's [plate_plan] would decide —
+     computed only on the compiler's traversal ([decide_plates]), since
+     the decision probe draws samples. *)
+  let decision =
+    if ctx.decide_plates then
+      match Gen.plate_decision ~n body with
+      | Gen.Plate_batchable { addr; instance_shape } -> Some (addr, instance_shape)
+      | Gen.Plate_sequential -> None
+    else None
+  in
+  let head_dist, head_strategy =
+    match (decision, Gen.reflect (body 0)) with
+    | Some _, Gen.Node_sample (d, _) ->
+      (Some d.Dist.name, Some (Dist.strategy_name d.Dist.strategy))
+    | _ -> (None, None)
+  in
+  let tstep =
+    Trail_plate
+      { t_n = n;
+        t_batched = Option.map fst decision;
+        t_body_addrs = List.sort_uniq compare (List.map fst may0);
+        t_body_reentrant =
+          List.exists (fun p -> trail_reentrant p.trail) (paths0 @ pathsN);
+        t_shape = Option.map snd decision |> Option.join;
+        t_dist = head_dist;
+        t_strategy = head_strategy }
+  in
   let path' =
     List.fold_left
       (fun acc (a, s) ->
@@ -390,9 +481,10 @@ and explore_plate :
                 lowering" a);
           acc
         end
-        else { seen = (a, s) :: acc.seen })
+        else { acc with seen = (a, s) :: acc.seen })
       path (List.rev may0)
   in
+  let path' = { path' with trail = tstep :: path'.trail } in
   List.map (fun (x, _) -> (Array.make n x, path')) (take ctx.max_width inst0)
 
 (* [marginal ~keep inner alg] contributes the kept addresses to the
@@ -403,7 +495,7 @@ and explore_marginal :
     ctx -> path -> string list -> b Gen.t -> Gen.algorithm ->
     (Trace.t * path) list =
  fun ctx path keep inner alg ->
-  let inner_results = guarded ctx (fun () -> explore ctx { seen = [] } inner) in
+  let inner_results = guarded ctx (fun () -> explore ctx { seen = []; trail = [] } inner) in
   let inner_paths = List.map snd inner_results in
   let may = may_addrs inner_paths in
   let must = must_addrs inner_paths in
@@ -439,7 +531,7 @@ and explore_marginal :
     (ignore
        (guarded ctx (fun () ->
             let (Gen.Packed proposal) = Gen.algorithm_proposal alg kept_trace in
-            let prop_paths = List.map snd (explore ctx { seen = [] } proposal) in
+            let prop_paths = List.map snd (explore ctx { seen = []; trail = [] } proposal) in
             if prop_paths <> [] then begin
               let prop_may = may_addrs prop_paths in
               List.iter
@@ -487,8 +579,12 @@ and explore_marginal :
                      sample" k);
                acc
              end
-             else { seen = (k, s) :: acc.seen })
+             else { acc with seen = (k, s) :: acc.seen })
            path bindings
+       in
+       let path' =
+         { path' with
+           trail = Trail_marginal { t_keep = keep } :: path'.trail }
        in
        (trace, path')
      in
@@ -500,7 +596,7 @@ and explore_marginal :
 and explore_normalize :
     type a. ctx -> path -> a Gen.t -> Gen.algorithm -> (a * path) list =
  fun ctx path inner alg ->
-  let inner_results = guarded ctx (fun () -> explore ctx { seen = [] } inner) in
+  let inner_results = guarded ctx (fun () -> explore ctx { seen = []; trail = [] } inner) in
   let inner_paths = List.map snd inner_results in
   let inner_may = may_addrs inner_paths in
   let inner_must = must_addrs inner_paths in
@@ -508,7 +604,7 @@ and explore_normalize :
   let prop_paths =
     guarded ctx (fun () ->
         let (Gen.Packed proposal) = Gen.algorithm_proposal alg Trace.empty in
-        List.map snd (explore ctx { seen = [] } proposal))
+        List.map snd (explore ctx { seen = []; trail = [] } proposal))
   in
   (if inner_paths <> [] && prop_paths <> [] then begin
      let prop_may = may_addrs prop_paths in
@@ -533,7 +629,9 @@ and explore_normalize :
   | _, [] ->
     (* No usable proposal paths: continue with the inner return values
        and an unchanged enclosing path. *)
-    List.map (fun (x, _) -> (x, path)) (take ctx.max_width inner_results)
+    List.map
+      (fun (x, _) -> (x, { path with trail = Trail_normalize :: path.trail }))
+      (take ctx.max_width inner_results)
   | _ ->
     let prop_rep = List.hd prop_paths in
     let path' =
@@ -546,13 +644,14 @@ and explore_normalize :
                  k);
             acc
           end
-          else { seen = (k, s) :: acc.seen })
+          else { acc with seen = (k, s) :: acc.seen })
         path (List.rev prop_rep.seen)
     in
+    let path' = { path' with trail = Trail_normalize :: path'.trail } in
     List.map (fun (x, _) -> (x, path')) (take ctx.max_width inner_results)
 
 let paths_of ctx (Gen.Packed p) : path list =
-  guarded ctx (fun () -> List.map snd (explore ctx { seen = [] } p))
+  guarded ctx (fun () -> List.map snd (explore ctx { seen = []; trail = [] } p))
 
 (* ------------------------------------------------------------------ *)
 (* Model/guide pair analysis                                           *)
@@ -643,23 +742,40 @@ let analyze_pair ctx (Gen.Packed model) (Gen.Packed guide) =
 
 let default_fuel = 20_000
 
+let sorted_diags ctx =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> compare (a.code, a.address) (b.code, b.address)
+      | c -> c)
+    (List.rev ctx.diags)
+
 let analyze ?(fuel = default_fuel) ?(max_width = 4) target =
-  let ctx = { diags = []; fuel; truncated = false; max_width } in
+  let ctx =
+    { diags = []; fuel; truncated = false; max_width; decide_plates = false }
+  in
   (match target with
   | Program p -> ignore (paths_of ctx p : path list)
   | Pair { model; guide } -> analyze_pair ctx model guide);
   if ctx.truncated then
     emit ctx "PV401" Info
       "exploration budget exhausted; analysis may be incomplete";
-  let diags =
-    List.stable_sort
-      (fun a b ->
-        match compare (severity_rank a.severity) (severity_rank b.severity) with
-        | 0 -> compare (a.code, a.address) (b.code, b.address)
-        | c -> c)
-      (List.rev ctx.diags)
+  { diagnostics = sorted_diags ctx; truncated = ctx.truncated }
+
+(* The compiler's entry point: the same traversal as {!analyze} over a
+   single program, additionally returning the per-path structure trails
+   (with plate lowering decisions resolved). One walk serves both the
+   preflight diagnostics and plan construction. *)
+type trail_result = { trails : trail_step list list; trail_report : report }
+
+let trail ?(fuel = default_fuel) ?(max_width = 4) packed =
+  let ctx =
+    { diags = []; fuel; truncated = false; max_width; decide_plates = true }
   in
-  { diagnostics = diags; truncated = ctx.truncated }
+  let paths = paths_of ctx packed in
+  { trails = List.map (fun p -> List.rev p.trail) paths;
+    trail_report = { diagnostics = sorted_diags ctx; truncated = ctx.truncated }
+  }
 
 let errors report =
   List.filter (fun d -> d.severity = Error) report.diagnostics

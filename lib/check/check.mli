@@ -60,6 +60,55 @@ val analyze : ?fuel:int -> ?max_width:int -> target -> report
 (** [fuel] bounds the number of program nodes visited (default 20000);
     [max_width] bounds the probe values per sample site (default 4). *)
 
+(** {1 Structure trails (shared with the staged compiler)}
+
+    [trail] runs the {e same} abstract-interpretation walk as
+    {!analyze} over a single program, additionally recording the
+    ordered sequence of sites each exploration path visits. The staged
+    compiler ([lib/compile]) consumes these trails as the program's
+    discovered structure — one traversal serves both the preflight
+    diagnostics and plan construction. Trail steps are purely
+    structural data, so trails from different probe paths can be
+    compared with [(=)] to detect data-dependent structure. *)
+
+type trail_step =
+  | Trail_sample of {
+      t_addr : string;
+      t_dist : string;
+      t_strategy : string;
+      t_reentrant : bool;
+          (** ENUM / MVD: the site re-runs its continuation at runtime. *)
+      t_reparam : bool;
+      t_shape : int array option;
+    }
+  | Trail_observe of { t_dist : string }
+  | Trail_plate of {
+      t_n : int;
+      t_batched : string option;
+          (** [Some addr]: the plate lowers to one batched site. *)
+      t_body_addrs : string list;
+          (** May-bind base addresses of the body (sorted, distinct). *)
+      t_body_reentrant : bool;
+      t_shape : int array option;
+          (** Per-instance value shape when batchable. *)
+      t_dist : string option;  (** Head primitive when batchable. *)
+      t_strategy : string option;
+    }
+  | Trail_marginal of { t_keep : string list }
+  | Trail_normalize
+
+val trail_reentrant : trail_step list -> bool
+(** Does any step re-run its continuation at runtime (ENUM/MVD
+    enumeration, sub-inference loops)? Such programs cannot be staged
+    into a straight-line plan. *)
+
+type trail_result = {
+  trails : trail_step list list;  (** One per completed exploration path. *)
+  trail_report : report;
+}
+
+val trail : ?fuel:int -> ?max_width:int -> Gen.packed -> trail_result
+
 val errors : report -> diagnostic list
 (** The error-severity diagnostics of a report. *)
 

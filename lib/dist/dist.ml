@@ -734,7 +734,16 @@ let bernoulli_logits_vector logits =
       let probs = Tensor.sigmoid (Ad.value logits) in
       let u = Prng.uniform_tensor key (Ad.shape logits) in
       Ad.const (Tensor.map2 (fun ui pi -> if ui < pi then 1. else 0.) u probs))
-    ~log_density:(log_density_bernoulli_logits ~logits)
+    ~log_density:(fun x ->
+      (* Observed data is a leaf (no gradient flows into [x]), which is
+         exactly when the fused scoring kernel's custom adjoint
+         [g * (x - sigmoid l)] is the whole gradient — one pass over the
+         likelihood instead of the composed softplus/mul/add chain.
+         Shared by the interpreter and the staged executors, so the
+         bit-identity invariant between them is untouched. *)
+      if Ad.is_leaf x then
+        Ad.sum (Ad.bernoulli_logits_scores ~x:(Ad.value x) logits)
+      else log_density_bernoulli_logits ~logits x)
     ~default:(Ad.const (Tensor.zeros (Ad.shape logits)))
     ~inject:inject_real ~project:project_real
     ~meta:{ continuous = false; static_support = Unit_hypercube }

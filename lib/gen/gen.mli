@@ -105,6 +105,82 @@ val log_density_prefix : 'a t -> Trace.t -> Ad.t Adev.t
 (** Like {!log_density} but ignores unconsumed addresses — convenient
     when scoring a sub-trace produced by a larger program. *)
 
+(** {1 Staged execution plans}
+
+    A plan is the residue of partially evaluating a program once (see
+    [Compile] in [lib/compile]): the straight-line sequence of its
+    sample/observe/plate sites with addresses interned to integer
+    slots, plate lowering decisions pre-made, and per-run buffers
+    preallocated and reused across calls. The compiled executors
+    replace the interpreter's per-call discovery work (trace-map
+    building and merging, plate i.i.d. probing, density remainder
+    threading) with O(1) slot operations, while preserving the
+    flagship invariant: {e compiled execution is bit-identical to the
+    interpreter} — the same [Prng.fold_in] key discipline and the same
+    floating-point accumulation order at every site.
+
+    Plans assume the program's site structure is static; [Compile]
+    refuses programs where it is not. If a model drifts from its cached
+    plan anyway, the executors raise {!Plan_mismatch} (a hard error —
+    never a silent wrong answer, and never an automatic retry, which
+    could double-update stateful REINFORCE baselines). *)
+
+module Plan : sig
+  type kind = Sample_site | Observe_site | Plate_batched | Plate_seq
+
+  type step = {
+    st_kind : kind;
+    st_addr : string;  (** Site address; the primitive name for observes. *)
+    st_slot : int;  (** Trace slot index; [-1] when the step binds none. *)
+    st_dist : string;  (** Primitive name at compile time. *)
+    st_strategy : string;  (** Gradient strategy name at compile time. *)
+    st_n : int;  (** Plate instance count; [1] otherwise. *)
+    st_shape : int array option;  (** Planned value shape, when known. *)
+    st_fused : bool;  (** Density evaluates through a fused kernel. *)
+  }
+
+  type t
+
+  val make : id:string -> step list -> t
+  (** Intern the trace-binding steps' addresses into slots (in step
+      order; any caller-set [st_slot] is overwritten) and freeze the
+      plan. @raise Invalid_argument on duplicate addresses — the
+      executors' trace-consumption counting requires global
+      uniqueness. *)
+
+  val id : t -> string
+  val steps : t -> step array
+  val slots : t -> string array
+  (** The slot table: index [i] holds the trace address interned to
+      slot [i]. *)
+
+  val seq_fallbacks : t -> int
+  (** Number of plate sites executed via the sequential interpreter
+      fallback rather than a fused batched kernel. *)
+end
+
+exception Plan_mismatch of string
+(** The program executed a site the plan did not predict (or finished
+    early): the plan is stale. Recompile or drop [?compiled]. *)
+
+val simulate_compiled : Plan.t -> 'a t -> ('a * Trace.t * Ad.t) Adev.t
+(** {!simulate} against a pre-compiled plan: bit-identical results
+    (same keys, same weights, same trace), with the interpreter's
+    per-call structure discovery skipped. *)
+
+val log_density_compiled : Plan.t -> 'a t -> Trace.t -> Ad.t Adev.t
+(** {!log_density} against a pre-compiled plan: one slot-table lookup
+    pass over the trace, then consumption counting instead of
+    remainder threading. Bit-identical to the interpreter. *)
+
+(** The plate-lowering decision {!simulate} would make per call,
+    exposed so the compiler can pre-record it in a plan. *)
+type plate_decision =
+  | Plate_batchable of { addr : string; instance_shape : int array option }
+  | Plate_sequential
+
+val plate_decision : n:int -> (int -> 'a t) -> plate_decision
+
 (** {1 Vectorized evaluators (batched particles)}
 
     Run [n] i.i.d. executions of a program as ONE pass: every sample

@@ -55,6 +55,285 @@ let map_into f src dst =
         Array.unsafe_set dst i (f (Array.unsafe_get src i))
       done)
 
+(* Specialized elementwise kernels. Without flambda, [map_into f ...]
+   boxes two floats per element to cross the unknown closure [f] — on a
+   [256 x 144] operand that is ~1.8 MB of garbage for a 0.3 MB result.
+   The named kernels below inline the exact float expression the
+   generic path computed (same operations, same order, bit-identical
+   results) into the block loop, so the hot elementwise ops allocate
+   nothing beyond their output. *)
+
+(* A builder taking the float op as an argument would reintroduce the
+   closure; each kernel is written out so the float op is a known call. *)
+
+let exp_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Float.exp (Array.unsafe_get src i))
+      done)
+
+let log_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Float.log (Array.unsafe_get src i))
+      done)
+
+let sqrt_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Float.sqrt (Array.unsafe_get src i))
+      done)
+
+let neg_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (-.(Array.unsafe_get src i))
+      done)
+
+let scale_map_into c src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (c *. Array.unsafe_get src i)
+      done)
+
+let add_scalar_into c src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (c +. Array.unsafe_get src i)
+      done)
+
+let sigmoid_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i
+          (1. /. (1. +. Float.exp (-.(Array.unsafe_get src i))))
+      done)
+
+let tanh_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Float.tanh (Array.unsafe_get src i))
+      done)
+
+let relu_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        let x = Array.unsafe_get src i in
+        Array.unsafe_set dst i (if x > 0. then x else 0.)
+      done)
+
+(* Same >30 cutoff as the historical [Tensor.softplus] closure. *)
+let softplus_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        let x = Array.unsafe_get src i in
+        Array.unsafe_set dst i
+          (if x > 30. then x else Float.log (1. +. Float.exp x))
+      done)
+
+let recip_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (1. /. Array.unsafe_get src i)
+      done)
+
+let sigmoid_deriv_into src dst =
+  let n = Array.length src in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        let s = Array.unsafe_get src i in
+        Array.unsafe_set dst i (s *. (1. -. s))
+      done)
+
+let add2_into a b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i +. Array.unsafe_get b i)
+      done)
+
+let sub2_into a b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i -. Array.unsafe_get b i)
+      done)
+
+let mul2_into a b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i *. Array.unsafe_get b i)
+      done)
+
+let div2_into a b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i /. Array.unsafe_get b i)
+      done)
+
+(* Scalar legs of a broadcast binary op: [a OP c] and [c OP b]. *)
+
+let add_const_into a c dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i +. c)
+      done)
+
+let const_add_into c b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (c +. Array.unsafe_get b i)
+      done)
+
+let sub_const_into a c dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i -. c)
+      done)
+
+let const_sub_into c b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (c -. Array.unsafe_get b i)
+      done)
+
+let mul_const_into a c dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i *. c)
+      done)
+
+let const_mul_into c b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (c *. Array.unsafe_get b i)
+      done)
+
+let div_const_into a c dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (Array.unsafe_get a i /. c)
+      done)
+
+let const_div_into c b dst =
+  let n = Array.length dst in
+  let nb = elt_blocks n in
+  Parallel.run ~blocks:nb (fun bi ->
+      let lo, hi = elt_range n nb bi in
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i (c /. Array.unsafe_get b i)
+      done)
+
+(* Row-broadcast legs: [a : rows x n] OP [b : n], and the flipped
+   orientation. Same loop structure as the [row_broadcast] case of
+   [Tensor.map2]. *)
+
+let row_add_into a b n dst =
+  let rows = Array.length a / n in
+  for r = 0 to rows - 1 do
+    let base = r * n in
+    for j = 0 to n - 1 do
+      Array.unsafe_set dst (base + j)
+        (Array.unsafe_get a (base + j) +. Array.unsafe_get b j)
+    done
+  done
+
+let row_sub_into a b n dst =
+  let rows = Array.length a / n in
+  for r = 0 to rows - 1 do
+    let base = r * n in
+    for j = 0 to n - 1 do
+      Array.unsafe_set dst (base + j)
+        (Array.unsafe_get a (base + j) -. Array.unsafe_get b j)
+    done
+  done
+
+let row_mul_into a b n dst =
+  let rows = Array.length a / n in
+  for r = 0 to rows - 1 do
+    let base = r * n in
+    for j = 0 to n - 1 do
+      Array.unsafe_set dst (base + j)
+        (Array.unsafe_get a (base + j) *. Array.unsafe_get b j)
+    done
+  done
+
+let row_div_into a b n dst =
+  let rows = Array.length a / n in
+  for r = 0 to rows - 1 do
+    let base = r * n in
+    for j = 0 to n - 1 do
+      Array.unsafe_set dst (base + j)
+        (Array.unsafe_get a (base + j) /. Array.unsafe_get b j)
+    done
+  done
+
 let map2_into f a b dst =
   let n = Array.length dst in
   let nb = elt_blocks n in
@@ -153,33 +432,62 @@ let broadcast_copy_into src sst out_shape dst =
 
 (* Matrix products.
 
-   Inner loops are unrolled 4x by hand (the non-flambda compiler does
-   not unroll). Unrolling is bit-transparent: every output element
-   still receives exactly the same operations in the same order, the
-   loop merely does four of them per iteration. *)
+   The per-block loop bodies live in C (kernel_stubs.c): the inner
+   saxpy loops update independent output elements, so gcc may vectorize
+   them without reordering any single element's accumulation chain —
+   OCaml's native compiler never vectorizes. The C bodies replicate the
+   historical OCaml loops' accumulation order and zero-skip semantics
+   exactly, and are compiled with -ffp-contract=off (a fused
+   multiply-add rounds differently), so results remain bit-for-bit
+   identical to the naive references in test/test_kernel.ml. Block
+   partitioning stays on the OCaml side, through the same [Parallel]
+   pool as before. *)
 
-(* [y.(ybase+jlo..jhi-1) += s * v.(vbase+jlo..jhi-1)], 4x unrolled.
-   Distinct output elements, so the unroll does not reorder anything. *)
-let saxpy_row s v vbase y ybase jlo jhi =
-  let j = ref jlo in
-  let j4 = jhi - 3 in
-  while !j < j4 do
-    let j0 = !j in
-    let yj = ybase + j0 and vj = vbase + j0 in
-    Array.unsafe_set y yj (Array.unsafe_get y yj +. (s *. Array.unsafe_get v vj));
-    Array.unsafe_set y (yj + 1)
-      (Array.unsafe_get y (yj + 1) +. (s *. Array.unsafe_get v (vj + 1)));
-    Array.unsafe_set y (yj + 2)
-      (Array.unsafe_get y (yj + 2) +. (s *. Array.unsafe_get v (vj + 2)));
-    Array.unsafe_set y (yj + 3)
-      (Array.unsafe_get y (yj + 3) +. (s *. Array.unsafe_get v (vj + 3)));
-    j := j0 + 4
-  done;
-  while !j < jhi do
-    let yj = ybase + !j and vj = vbase + !j in
-    Array.unsafe_set y yj (Array.unsafe_get y yj +. (s *. Array.unsafe_get v vj));
-    incr j
-  done
+external matmul_block :
+  float array -> float array -> float array ->
+  int -> int -> int -> int -> int -> int -> int -> unit
+  = "ppvi_matmul_block_bc" "ppvi_matmul_block"
+[@@noalloc]
+
+external matmul_t_block :
+  float array -> float array -> float array ->
+  int -> int -> int -> int -> unit
+  = "ppvi_matmul_t_block_bc" "ppvi_matmul_t_block"
+[@@noalloc]
+
+external transpose_into :
+  float array -> float array -> int -> int -> unit
+  = "ppvi_transpose_into"
+[@@noalloc]
+
+external matmul_nt_block :
+  float array -> float array -> float array ->
+  int -> int -> int -> int -> int -> int -> unit
+  = "ppvi_matmul_nt_block_bc" "ppvi_matmul_nt_block"
+[@@noalloc]
+
+external t_matmul_block :
+  float array -> float array -> float array ->
+  int -> int -> int -> int -> int -> unit
+  = "ppvi_t_matmul_block_bc" "ppvi_t_matmul_block"
+[@@noalloc]
+
+external matvec_block :
+  float array -> float array -> float array -> int -> int -> int -> unit
+  = "ppvi_matvec_block_bc" "ppvi_matvec_block"
+[@@noalloc]
+
+external t_matvec_block :
+  float array -> float array -> float array ->
+  int -> int -> int -> int -> unit
+  = "ppvi_t_matvec_block_bc" "ppvi_t_matvec_block"
+[@@noalloc]
+
+external vecmat_block :
+  float array -> float array -> float array ->
+  int -> int -> int -> int -> unit
+  = "ppvi_vecmat_block_bc" "ppvi_vecmat_block"
+[@@noalloc]
 
 let matmul ~m ~k ~n a b c =
   let nb = row_blocks m (m * k * n) in
@@ -189,118 +497,56 @@ let matmul ~m ~k ~n a b c =
       while !jt < n do
         let jlo = !jt in
         let jhi = Stdlib.min n (jlo + col_tile) in
-        for i = lo to hi - 1 do
-          let arow = i * k and crow = i * n in
-          for p = 0 to k - 1 do
-            let aip = Array.unsafe_get a (arow + p) in
-            if aip <> 0. then saxpy_row aip b (p * n) c crow jlo jhi
-          done
-        done;
+        matmul_block a b c m k n lo hi jlo jhi;
         jt := jhi
       done)
 
+(* Above this threshold, [matmul_t] pays one B^T materialization to run
+   in vectorizable saxpy form; the per-element term order (p ascending,
+   no zero-skip) is unchanged, so both paths are bit-identical to the
+   dot-form reference. Below it, the transpose overhead is not worth
+   amortizing over too few output elements. *)
+let nt_min = 1 lsl 14
+
 let matmul_t ~m ~k ~n a b c =
-  let nb = row_blocks m (m * k * n) in
-  Parallel.run ~blocks:nb (fun bi ->
-      let lo, hi = row_range m nb bi in
-      for i = lo to hi - 1 do
-        let arow = i * k and crow = i * n in
-        for j = 0 to n - 1 do
-          let brow = j * k in
-          let acc = ref 0. in
-          let p = ref 0 in
-          let k4 = k - 3 in
-          (* Sequential accumulation into one register: the unrolled
-             terms are added in the same order as the rolled loop.
-             Unlike the saxpy-style kernels, no zero-skip test here —
-             it would cost a branch per multiply-add rather than per
-             row, and adding an exact [0.] leaves the accumulator
-             bit-identical anyway. *)
-          while !p < k4 do
-            let p0 = !p in
-            acc :=
-              !acc
-              +. (Array.unsafe_get a (arow + p0) *. Array.unsafe_get b (brow + p0));
-            acc :=
-              !acc
-              +. (Array.unsafe_get a (arow + p0 + 1)
-                 *. Array.unsafe_get b (brow + p0 + 1));
-            acc :=
-              !acc
-              +. (Array.unsafe_get a (arow + p0 + 2)
-                 *. Array.unsafe_get b (brow + p0 + 2));
-            acc :=
-              !acc
-              +. (Array.unsafe_get a (arow + p0 + 3)
-                 *. Array.unsafe_get b (brow + p0 + 3));
-            p := p0 + 4
-          done;
-          while !p < k do
-            acc :=
-              !acc
-              +. (Array.unsafe_get a (arow + !p) *. Array.unsafe_get b (brow + !p));
-            incr p
-          done;
-          Array.unsafe_set c (crow + j) !acc
-        done
-      done)
+  if m * k * n < nt_min then
+    matmul_t_block a b c k n 0 m
+  else begin
+    let bt = Array.make (k * n) 0. in
+    transpose_into b bt n k;
+    let nb = row_blocks m (m * k * n) in
+    Parallel.run ~blocks:nb (fun bi ->
+        let lo, hi = row_range m nb bi in
+        let jt = ref 0 in
+        while !jt < n do
+          let jlo = !jt in
+          let jhi = Stdlib.min n (jlo + col_tile) in
+          matmul_nt_block a bt c k n lo hi jlo jhi;
+          jt := jhi
+        done)
+  end
 
 let t_matmul ~m ~k ~n a b c =
-  (* Output is k x n: block over the k output rows. For each input row
-     [i], the A segment [a.(i*k + plo .. phi-1)] is contiguous and the B
-     row is reused across the whole block. *)
+  (* Output is k x n: block over the k output rows. *)
   let nb = row_blocks k (m * k * n) in
   Parallel.run ~blocks:nb (fun bi ->
       let plo, phi = row_range k nb bi in
-      for i = 0 to m - 1 do
-        let arow = i * k and brow = i * n in
-        for p = plo to phi - 1 do
-          let aip = Array.unsafe_get a (arow + p) in
-          if aip <> 0. then saxpy_row aip b brow c (p * n) 0 n
-        done
-      done)
+      t_matmul_block a b c m k n plo phi)
 
 let matvec ~m ~k a x y =
   let nb = row_blocks m (m * k) in
   Parallel.run ~blocks:nb (fun bi ->
       let lo, hi = row_range m nb bi in
-      for i = lo to hi - 1 do
-        let arow = i * k in
-        let acc = ref 0. in
-        let p = ref 0 in
-        let k4 = k - 3 in
-        while !p < k4 do
-          let p0 = !p in
-          acc := !acc +. (Array.unsafe_get a (arow + p0) *. Array.unsafe_get x p0);
-          acc :=
-            !acc +. (Array.unsafe_get a (arow + p0 + 1) *. Array.unsafe_get x (p0 + 1));
-          acc :=
-            !acc +. (Array.unsafe_get a (arow + p0 + 2) *. Array.unsafe_get x (p0 + 2));
-          acc :=
-            !acc +. (Array.unsafe_get a (arow + p0 + 3) *. Array.unsafe_get x (p0 + 3));
-          p := p0 + 4
-        done;
-        while !p < k do
-          acc := !acc +. (Array.unsafe_get a (arow + !p) *. Array.unsafe_get x !p);
-          incr p
-        done;
-        Array.unsafe_set y i !acc
-      done)
+      matvec_block a x y k lo hi)
 
 let t_matvec ~m ~k a x y =
   let nb = row_blocks k (m * k) in
   Parallel.run ~blocks:nb (fun bi ->
       let plo, phi = row_range k nb bi in
-      for i = 0 to m - 1 do
-        let xi = Array.unsafe_get x i in
-        saxpy_row xi a (i * k) y 0 plo phi
-      done)
+      t_matvec_block a x y m k plo phi)
 
 let vecmat ~k ~n x b y =
   let nb = row_blocks n (k * n) in
   Parallel.run ~blocks:nb (fun bi ->
       let jlo, jhi = row_range n nb bi in
-      for p = 0 to k - 1 do
-        let xp = Array.unsafe_get x p in
-        if xp <> 0. then saxpy_row xp b (p * n) y 0 jlo jhi
-      done)
+      vecmat_block x b y k n jlo jhi)

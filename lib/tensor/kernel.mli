@@ -31,6 +31,50 @@ val add_into : float array -> float array -> unit
 val axpy_into : float -> float array -> float array -> unit
 (** [axpy_into alpha x y]: [y.(i) <- y.(i) +. alpha *. x.(i)]. *)
 
+(** {1 Specialized elementwise kernels}
+
+    Monomorphic versions of the hot [map_into]/[map2_into] instances.
+    Without flambda, calling an unknown [float -> float] closure boxes
+    two floats per element; these kernels inline the exact float
+    expression of the corresponding closure (bit-identical results, no
+    allocation beyond the output). All follow the same block
+    partitioning as [map_into]. Unary kernels take [src dst]; binary
+    [a b dst] (equal lengths); [*_const] take the scalar leg as a
+    float; [row_*] take [a] ([rows*n]), [b] ([n]) and the row width. *)
+
+val exp_into : float array -> float array -> unit
+val log_into : float array -> float array -> unit
+val sqrt_into : float array -> float array -> unit
+val neg_into : float array -> float array -> unit
+val scale_map_into : float -> float array -> float array -> unit
+val add_scalar_into : float -> float array -> float array -> unit
+val sigmoid_into : float array -> float array -> unit
+val tanh_into : float array -> float array -> unit
+val relu_into : float array -> float array -> unit
+val softplus_into : float array -> float array -> unit
+val recip_into : float array -> float array -> unit
+(** [1. /. x], the [log] vjp. *)
+
+val sigmoid_deriv_into : float array -> float array -> unit
+(** [s *. (1. -. s)] over sigmoid outputs, the [sigmoid] vjp. *)
+
+val add2_into : float array -> float array -> float array -> unit
+val sub2_into : float array -> float array -> float array -> unit
+val mul2_into : float array -> float array -> float array -> unit
+val div2_into : float array -> float array -> float array -> unit
+val add_const_into : float array -> float -> float array -> unit
+val const_add_into : float -> float array -> float array -> unit
+val sub_const_into : float array -> float -> float array -> unit
+val const_sub_into : float -> float array -> float array -> unit
+val mul_const_into : float array -> float -> float array -> unit
+val const_mul_into : float -> float array -> float array -> unit
+val div_const_into : float array -> float -> float array -> unit
+val const_div_into : float -> float array -> float array -> unit
+val row_add_into : float array -> float array -> int -> float array -> unit
+val row_sub_into : float array -> float array -> int -> float array -> unit
+val row_mul_into : float array -> float array -> int -> float array -> unit
+val row_div_into : float array -> float array -> int -> float array -> unit
+
 (** {1 Broadcast map} *)
 
 val broadcast_map2_into :

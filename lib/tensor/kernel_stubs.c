@@ -1,0 +1,227 @@
+/* C bodies for the matrix-product block kernels.
+
+   Each function computes ONE row block of the corresponding OCaml
+   kernel in [kernel.ml], with the exact loop structure, accumulation
+   order, and zero-skip semantics of the OCaml reference — so results
+   stay bit-for-bit identical (enforced by test/test_kernel.ml).
+
+   Why C at all: the inner saxpy loops update independent output
+   elements, so the compiler may vectorize them without reordering any
+   single element's accumulation chain. OCaml's native compiler never
+   vectorizes; gcc -O3 does, which is worth ~2-4x on the matmul-bound
+   training step. Crucially the flags (see dune) include
+   -ffp-contract=off: fused multiply-adds round differently from the
+   separate multiply and add the OCaml kernels perform, and would
+   silently break bit-identity.
+
+   Float arrays are passed unboxed: an OCaml [float array] is a
+   contiguous block of doubles, and none of these stubs allocate or
+   release the runtime lock, so raw pointers stay valid for the call. */
+
+#include <caml/mlvalues.h>
+
+#define DATA(v) ((double *)(v))
+
+/* c[i, jlo..jhi) += a[i, p] * b[p, jlo..jhi) for i in [lo, hi), with
+   the column tile applied by the OCaml caller. Skips a[i,p] == 0 like
+   the reference. */
+CAMLprim value ppvi_matmul_block(value va, value vb, value vc, value vm,
+                                 value vk, value vn, value vlo, value vhi,
+                                 value vjlo, value vjhi) {
+  (void)vm;
+  const double *a = DATA(va), *b = DATA(vb);
+  double *c = DATA(vc);
+  long k = Long_val(vk), n = Long_val(vn);
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  long jlo = Long_val(vjlo), jhi = Long_val(vjhi);
+  for (long i = lo; i < hi; i++) {
+    const double *arow = a + i * k;
+    double *crow = c + i * n;
+    for (long p = 0; p < k; p++) {
+      double aip = arow[p];
+      if (aip != 0.) {
+        const double *brow = b + p * n;
+        for (long j = jlo; j < jhi; j++) crow[j] += aip * brow[j];
+      }
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value ppvi_matmul_block_bc(value *argv, int argn) {
+  (void)argn;
+  return ppvi_matmul_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                           argv[5], argv[6], argv[7], argv[8], argv[9]);
+}
+
+/* c[i, j] = sum_p a[i, p] * b[j, p] for i in [lo, hi): the A * B^T
+   form. Sequential accumulation per output element, no zero-skip —
+   matching the OCaml matmul_t. The p-chain is a single dependent
+   accumulator, so this one gains only scalar codegen, not SIMD. */
+CAMLprim value ppvi_matmul_t_block(value va, value vb, value vc, value vk,
+                                   value vn, value vlo, value vhi) {
+  const double *a = DATA(va), *b = DATA(vb);
+  double *c = DATA(vc);
+  long k = Long_val(vk), n = Long_val(vn);
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  for (long i = lo; i < hi; i++) {
+    const double *arow = a + i * k;
+    double *crow = c + i * n;
+    for (long j = 0; j < n; j++) {
+      const double *brow = b + j * k;
+      double acc = 0.;
+      for (long p = 0; p < k; p++) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value ppvi_matmul_t_block_bc(value *argv, int argn) {
+  (void)argn;
+  return ppvi_matmul_t_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                             argv[5], argv[6]);
+}
+
+/* c[p, 0..n) += a[i, p] * b[i, 0..n) for p in [plo, phi), i ascending:
+   the A^T * B form. Skips a[i,p] == 0 like the reference. */
+CAMLprim value ppvi_t_matmul_block(value va, value vb, value vc, value vm,
+                                   value vk, value vn, value vplo,
+                                   value vphi) {
+  const double *a = DATA(va), *b = DATA(vb);
+  double *c = DATA(vc);
+  long m = Long_val(vm), k = Long_val(vk), n = Long_val(vn);
+  long plo = Long_val(vplo), phi = Long_val(vphi);
+  for (long i = 0; i < m; i++) {
+    const double *arow = a + i * k;
+    const double *brow = b + i * n;
+    for (long p = plo; p < phi; p++) {
+      double aip = arow[p];
+      if (aip != 0.) {
+        double *crow = c + p * n;
+        for (long j = 0; j < n; j++) crow[j] += aip * brow[j];
+      }
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value ppvi_t_matmul_block_bc(value *argv, int argn) {
+  (void)argn;
+  return ppvi_t_matmul_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                             argv[5], argv[6], argv[7]);
+}
+
+/* y[i] = sum_p a[i, p] * x[p] for i in [lo, hi). Sequential per-output
+   accumulation, no zero-skip — matching the OCaml matvec. */
+CAMLprim value ppvi_matvec_block(value va, value vx, value vy, value vk,
+                                 value vlo, value vhi) {
+  const double *a = DATA(va), *x = DATA(vx);
+  double *y = DATA(vy);
+  long k = Long_val(vk);
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  for (long i = lo; i < hi; i++) {
+    const double *arow = a + i * k;
+    double acc = 0.;
+    for (long p = 0; p < k; p++) acc += arow[p] * x[p];
+    y[i] = acc;
+  }
+  return Val_unit;
+}
+
+/* y[plo..phi) += x[i] * a[i, plo..phi), i ascending — A^T x. Skips
+   x[i] == 0 like the reference ([t_matvec] via [saxpy_row]). */
+CAMLprim value ppvi_t_matvec_block(value va, value vx, value vy, value vm,
+                                   value vk, value vplo, value vphi) {
+  const double *a = DATA(va), *x = DATA(vx);
+  double *y = DATA(vy);
+  long m = Long_val(vm), k = Long_val(vk);
+  long plo = Long_val(vplo), phi = Long_val(vphi);
+  for (long i = 0; i < m; i++) {
+    double xi = x[i];
+    if (xi != 0.) {
+      const double *arow = a + i * k;
+      for (long p = plo; p < phi; p++) y[p] += xi * arow[p];
+    }
+  }
+  return Val_unit;
+}
+
+/* y[jlo..jhi) += x[p] * b[p, jlo..jhi), p ascending — x B. Skips
+   x[p] == 0 like the reference. */
+CAMLprim value ppvi_vecmat_block(value vx, value vb, value vy, value vk,
+                                 value vn, value vjlo, value vjhi) {
+  const double *x = DATA(vx), *b = DATA(vb);
+  double *y = DATA(vy);
+  long k = Long_val(vk), n = Long_val(vn);
+  long jlo = Long_val(vjlo), jhi = Long_val(vjhi);
+  for (long p = 0; p < k; p++) {
+    double xp = x[p];
+    if (xp != 0.) {
+      const double *brow = b + p * n;
+      for (long j = jlo; j < jhi; j++) y[j] += xp * brow[j];
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value ppvi_vecmat_block_bc(value *argv, int argn) {
+  (void)argn;
+  return ppvi_vecmat_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                           argv[5], argv[6]);
+}
+
+CAMLprim value ppvi_t_matvec_block_bc(value *argv, int argn) {
+  (void)argn;
+  return ppvi_t_matvec_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                             argv[5], argv[6]);
+}
+
+CAMLprim value ppvi_matvec_block_bc(value *argv, int argn) {
+  (void)argn;
+  return ppvi_matvec_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                           argv[5]);
+}
+
+/* bt[p, j] = b[j, p]: materialize B^T so matmul_t can run in saxpy
+   form. Pure data movement — no arithmetic, so no rounding at all. */
+CAMLprim value ppvi_transpose_into(value vb, value vbt, value vn, value vk) {
+  const double *b = DATA(vb);
+  double *bt = DATA(vbt);
+  long n = Long_val(vn), k = Long_val(vk);
+  for (long j = 0; j < n; j++) {
+    const double *brow = b + j * k;
+    for (long p = 0; p < k; p++) bt[p * n + j] = brow[p];
+  }
+  return Val_unit;
+}
+
+/* c[i, jlo..jhi) += a[i, p] * bt[p, jlo..jhi) for i in [lo, hi), p
+   ascending, NO zero-skip. With bt = B^T this accumulates exactly the
+   matmul_t reference terms (a[i,p] * b[j,p], p ascending) per output
+   element, in saxpy form so the j lanes vectorize. */
+CAMLprim value ppvi_matmul_nt_block(value va, value vbt, value vc, value vk,
+                                    value vn, value vlo, value vhi,
+                                    value vjlo, value vjhi) {
+  const double *a = DATA(va), *bt = DATA(vbt);
+  double *c = DATA(vc);
+  long k = Long_val(vk), n = Long_val(vn);
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  long jlo = Long_val(vjlo), jhi = Long_val(vjhi);
+  for (long i = lo; i < hi; i++) {
+    const double *arow = a + i * k;
+    double *crow = c + i * n;
+    for (long p = 0; p < k; p++) {
+      double aip = arow[p];
+      const double *btrow = bt + p * n;
+      for (long j = jlo; j < jhi; j++) crow[j] += aip * btrow[j];
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value ppvi_matmul_nt_block_bc(value *argv, int argn) {
+  (void)argn;
+  return ppvi_matmul_nt_block(argv[0], argv[1], argv[2], argv[3], argv[4],
+                              argv[5], argv[6], argv[7], argv[8]);
+}

@@ -251,25 +251,84 @@ let broadcast_to t out_shape =
   Kernel.broadcast_copy_into t.data sst bshape data;
   mk bshape data
 
-(* Arithmetic *)
+(* Arithmetic. The named ops route through the specialized kernels in
+   [Kernel] rather than the generic closure-taking [map]/[map2]: without
+   flambda a [float -> float] closure call boxes its argument and result,
+   which on the training hot path costs more in allocation (and GC) than
+   the arithmetic itself. Results are bit-identical — the kernels inline
+   the exact float expressions the closures computed. *)
 
-let add = map2 ( +. )
-let sub = map2 ( -. )
-let mul = map2 ( *. )
-let div = map2 ( /. )
-let neg = map (fun x -> -.x)
-let scale c = map (fun x -> c *. x)
-let add_scalar c = map (fun x -> c +. x)
+let unary k t =
+  let out = Array.make (Array.length t.data) 0. in
+  k t.data out;
+  { t with data = out }
+
+(* Binary op with the same shape/broadcast dispatch as [map2], but with
+   one specialized kernel per leg shape. [same]/[aconst]/[consta]/[row]
+   cover the dispatch cases; exotic broadcasts fall back to the generic
+   strided walk with the op as a closure. *)
+let binary ~same ~aconst ~consta ~row ~f a b =
+  if a.shape = b.shape then begin
+    let out = Array.make (Array.length a.data) 0. in
+    same a.data b.data out;
+    { a with data = out }
+  end
+  else if Array.length b.data = 1 && Array.length b.shape <= Array.length a.shape
+  then begin
+    let c = b.data.(0) in
+    let out = Array.make (Array.length a.data) 0. in
+    aconst a.data c out;
+    { a with data = out }
+  end
+  else if Array.length a.data = 1 && Array.length a.shape <= Array.length b.shape
+  then begin
+    let c = a.data.(0) in
+    let out = Array.make (Array.length b.data) 0. in
+    consta c b.data out;
+    { b with data = out }
+  end
+  else if row_broadcast a b then begin
+    let n = b.shape.(0) in
+    let out = Array.make (Array.length a.data) 0. in
+    row a.data b.data n out;
+    { a with data = out }
+  end
+  else begin
+    let { out_shape; sa; sb } = broadcast_plan a b in
+    let data = Array.make (shape_size out_shape) 0. in
+    Kernel.broadcast_map2_into f a.data sa b.data sb out_shape data;
+    mk out_shape data
+  end
+
+let add =
+  binary ~same:Kernel.add2_into ~aconst:Kernel.add_const_into
+    ~consta:Kernel.const_add_into ~row:Kernel.row_add_into ~f:( +. )
+
+let sub =
+  binary ~same:Kernel.sub2_into ~aconst:Kernel.sub_const_into
+    ~consta:Kernel.const_sub_into ~row:Kernel.row_sub_into ~f:( -. )
+
+let mul =
+  binary ~same:Kernel.mul2_into ~aconst:Kernel.mul_const_into
+    ~consta:Kernel.const_mul_into ~row:Kernel.row_mul_into ~f:( *. )
+
+let div =
+  binary ~same:Kernel.div2_into ~aconst:Kernel.div_const_into
+    ~consta:Kernel.const_div_into ~row:Kernel.row_div_into ~f:( /. )
+
+let neg = unary Kernel.neg_into
+let scale c = unary (Kernel.scale_map_into c)
+let add_scalar c = unary (Kernel.add_scalar_into c)
 let pow_scalar t p = map (fun x -> Float.pow x p) t
-let exp = map Float.exp
-let log = map Float.log
-let sqrt = map Float.sqrt
-let sigmoid = map (fun x -> 1. /. (1. +. Float.exp (-.x)))
-let tanh = map Float.tanh
-let relu = map (fun x -> if x > 0. then x else 0.)
-
-let softplus =
-  map (fun x -> if x > 30. then x else Float.log (1. +. Float.exp x))
+let exp = unary Kernel.exp_into
+let log = unary Kernel.log_into
+let sqrt = unary Kernel.sqrt_into
+let sigmoid = unary Kernel.sigmoid_into
+let tanh = unary Kernel.tanh_into
+let relu = unary Kernel.relu_into
+let softplus = unary Kernel.softplus_into
+let recip = unary Kernel.recip_into
+let sigmoid_deriv = unary Kernel.sigmoid_deriv_into
 
 let clip ~min ~max t =
   map (fun x -> if x < min then min else if x > max then max else x) t

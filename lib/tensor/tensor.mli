@@ -139,6 +139,13 @@ val relu : t -> t
 val softplus : t -> t
 (** Numerically stable [log (1 + exp x)]. *)
 
+val recip : t -> t
+(** Elementwise [1. /. x] — the [log] vjp, in one pass. *)
+
+val sigmoid_deriv : t -> t
+(** Elementwise [s *. (1. -. s)] over sigmoid {e outputs} — the
+    [sigmoid] vjp, in one pass. *)
+
 val clip : min:float -> max:float -> t -> t
 
 val global_norm : t list -> float

@@ -47,6 +47,7 @@ val objective_name : objective -> string
 val batch_objectives :
   ?pres:discrete_strategy ->
   ?pos:discrete_strategy ->
+  ?compiled:bool ->
   baselines:baselines ->
   objective ->
   Store.Frame.t ->
@@ -59,6 +60,7 @@ val batch_objectives :
 val train_epoch :
   ?pres:discrete_strategy ->
   ?pos:discrete_strategy ->
+  ?compiled:bool ->
   ?guard:Guard.t ->
   store:Store.t ->
   optim:Optim.t ->

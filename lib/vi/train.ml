@@ -50,6 +50,26 @@ let run_preflight ~strict targets =
                     (List.length failing) (List.length targets)))
         end)
 
+(* Opt-in staging: compile the named programs before step 0, so the
+   one-time cost lands in a visible span ("compile/<id>" under
+   "train/compile") instead of silently inflating the first step —
+   [ppvi profile] then shows the staging amortization directly. *)
+let run_warm_compile targets =
+  match targets with
+  | [] -> ()
+  | _ ->
+    Obs.span Obs.Preflight "train/compile" (fun () ->
+        List.iter
+          (fun (id, packed) ->
+            match Compile.plan_for ~id packed with
+            | Compile.Compiled _ -> ()
+            | Compile.Refused { Compile.r_reason; _ } ->
+              Obs.message Obs.Preflight
+                (Printf.sprintf
+                   "[compile] %s refused (PV501), using interpreter: %s" id
+                   r_reason))
+          targets)
+
 let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate key =
   let g = match guard with Some g -> g | None -> Guard.create () in
@@ -167,18 +187,20 @@ let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
   List.rev !reports
 
 let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1) ?guard
-    ?persist ?(preflight = []) ?(preflight_strict = false)
+    ?persist ?(preflight = []) ?(preflight_strict = false) ?(compiled = [])
     ?(on_step = fun _ -> ()) ~steps ~objective key =
   run_preflight ~strict:preflight_strict preflight;
+  run_warm_compile compiled;
   fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       Adev.expectation_mean ~samples (objective frame step) key_step)
     key
 
 let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
-    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
-    ~steps ~objectives key =
+    ?(preflight = []) ?(preflight_strict = false) ?(compiled = [])
+    ?(on_step = fun _ -> ()) ~steps ~objectives key =
   run_preflight ~strict:preflight_strict preflight;
+  run_warm_compile compiled;
   fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       let objs = objectives frame step in
@@ -192,9 +214,10 @@ let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
     key
 
 let fit_batched ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
-    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
-    ~steps ~objective key =
+    ?(preflight = []) ?(preflight_strict = false) ?(compiled = [])
+    ?(on_step = fun _ -> ()) ~steps ~objective key =
   run_preflight ~strict:preflight_strict preflight;
+  run_warm_compile compiled;
   fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step ->
       let m, obj = objective frame step in
@@ -203,9 +226,10 @@ let fit_batched ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
     key
 
 let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
-    ?(preflight = []) ?(preflight_strict = false) ?(on_step = fun _ -> ())
-    ~steps ~surrogate key =
+    ?(preflight = []) ?(preflight_strict = false) ?(compiled = [])
+    ?(on_step = fun _ -> ()) ~steps ~surrogate key =
   run_preflight ~strict:preflight_strict preflight;
+  run_warm_compile compiled;
   fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     ~make_surrogate:(fun frame step key_step -> surrogate frame step key_step)
     key

@@ -38,6 +38,7 @@ val fit :
   ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
+  ?compiled:(string * Gen.packed) list ->
   ?on_step:(report -> unit) ->
   steps:int ->
   objective:(Store.Frame.t -> int -> Ad.t Adev.t) ->
@@ -56,6 +57,14 @@ val fit :
     before the first step: diagnostics are printed to stderr, and with
     [preflight_strict] (default false) any error-severity diagnostic
     raises [Check.Preflight_error] instead of starting training.
+
+    [compiled] warm-stages the named programs through [Compile] before
+    step 0 (under the ["train/compile"] span), so the one-time staging
+    cost is visible in [ppvi profile] rather than inflating the first
+    step; a PV501 refusal is reported and the program simply runs on
+    the interpreter. Pass the same ids the objective uses (e.g.
+    [("vae/model", Packed m); ("vae/guide", Packed g)] when the
+    objective is [Objectives.elbo_staged ~id:"vae"]).
     @raise Guard.Diverged per the guard's policy.
     @raise Check.Preflight_error under [preflight_strict]. *)
 
@@ -67,6 +76,7 @@ val fit_batch :
   ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
+  ?compiled:(string * Gen.packed) list ->
   ?on_step:(report -> unit) ->
   steps:int ->
   objectives:(Store.Frame.t -> int -> Ad.t Adev.t list) ->
@@ -86,6 +96,7 @@ val fit_batched :
   ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
+  ?compiled:(string * Gen.packed) list ->
   ?on_step:(report -> unit) ->
   steps:int ->
   objective:(Store.Frame.t -> int -> int * Ad.t Adev.t) ->
@@ -108,6 +119,7 @@ val fit_surrogate :
   ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
   ?preflight_strict:bool ->
+  ?compiled:(string * Gen.packed) list ->
   ?on_step:(report -> unit) ->
   steps:int ->
   surrogate:(Store.Frame.t -> int -> Prng.key -> Ad.t) ->

@@ -36,8 +36,13 @@ val model1 : Store.Frame.t -> Tensor.t -> unit Gen.t
 val guide1 : Store.Frame.t -> Tensor.t -> unit Gen.t
 (** Single-datum amortized posterior. *)
 
-val elbo_per_datum : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
-(** The batch ELBO divided by the batch size. *)
+val elbo_per_datum :
+  ?compiled:bool -> Store.Frame.t -> Tensor.t -> Ad.t Adev.t
+(** The batch ELBO divided by the batch size. [?compiled] (default
+    false) evaluates model and guide through their staged execution
+    plans ([Objectives.elbo_staged], plan id ["vae"]) — bit-identical
+    values and gradients, minus the interpreter's per-call discovery
+    overhead. *)
 
 val elbo_per_datum_looped : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
 (** The same objective computed the unbatched way: one interpreter pass
@@ -46,16 +51,23 @@ val elbo_per_datum_looped : Store.Frame.t -> Tensor.t -> Ad.t Adev.t
 
 val train :
   ?steps:int -> ?batch:int -> ?lr:float -> ?guard:Guard.t ->
-  ?persist:Persist.cfg -> ?store:Store.t -> Prng.key ->
+  ?persist:Persist.cfg -> ?store:Store.t -> ?compiled:bool -> Prng.key ->
   Store.t * Train.report list
 (** [?guard] configures resilience (see {!Guard}); [?store] continues
-    training from an existing (e.g. checkpoint-loaded) store. *)
+    training from an existing (e.g. checkpoint-loaded) store;
+    [?compiled] trains through the staged execution plans (warm-staged
+    before step 0, bit-identical trajectory). *)
 
 val grad_step_time :
   Store.t -> batch:int -> repeats:int -> Prng.key -> float
 (** Mean seconds per gradient estimate (forward + backward) of the
     automated estimator at the given batch size — the Table 1 "Ours"
     column. *)
+
+val grad_step_time_compiled :
+  Store.t -> batch:int -> repeats:int -> Prng.key -> float
+(** {!grad_step_time} through the staged execution plans
+    ([?compiled:true] path); same estimator bit-for-bit. *)
 
 val grad_step_time_looped :
   Store.t -> batch:int -> repeats:int -> Prng.key -> float
