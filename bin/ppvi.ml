@@ -645,6 +645,15 @@ let trace_lint_cmd =
 
 (* compile *)
 
+(* Analysis budgets must be positive: zero fuel would refuse every
+   program with a misleading truncation diagnostic, and a zero probe
+   width would explore no paths at all. Reject loudly instead. *)
+let validate_budget flag v =
+  if v <= 0 then begin
+    Printf.eprintf "ppvi: --%s must be a positive integer (got %d)\n" flag v;
+    exit 2
+  end
+
 let compile_cmd =
   let contains hay needle =
     needle = ""
@@ -654,6 +663,8 @@ let compile_cmd =
     go 0
   in
   let run () json fuel width filter =
+    validate_budget "fuel" fuel;
+    validate_budget "max-width" width;
     let selected =
       List.filter
         (fun e -> contains e.Preflight.name filter)
@@ -730,11 +741,60 @@ let compile_cmd =
 (* check *)
 
 let check_cmd =
-  let run () json fuel width filter =
+  (* The static shape table for one registry entry: every reachable
+     site's inferred abstract shape (symbolic plate/iid axes included).
+     Construction failures surface as an empty table — the analysis
+     report already carries the PV390 diagnostic. *)
+  let shapes_of (e : Preflight.entry) ~fuel ~width =
+    match e.Preflight.make () with
+    | target -> Check.site_shapes ~fuel ~max_width:width target
+    | exception _ -> []
+  in
+  let run () json fuel width shapes filter =
+    validate_budget "fuel" fuel;
+    validate_budget "width" width;
     let results = Preflight.run_all ~fuel ~max_width:width ~filter () in
-    if json then print_endline (Preflight.results_to_json results)
+    if json then
+      if shapes then begin
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf "{\"reports\":";
+        Buffer.add_string buf (Preflight.results_to_json results);
+        Buffer.add_string buf ",\"shapes\":[";
+        List.iteri
+          (fun i (e, _) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "{\"target\":\"%s\",\"sites\":["
+                 e.Preflight.name);
+            List.iteri
+              (fun j (addr, shp) ->
+                if j > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf
+                  (Printf.sprintf "{\"address\":\"%s\",\"shape\":\"%s\"}" addr
+                     (Shape.to_string shp)))
+              (shapes_of e ~fuel ~width);
+            Buffer.add_string buf "]}")
+          results;
+        Buffer.add_string buf "]}";
+        print_endline (Buffer.contents buf)
+      end
+      else print_endline (Preflight.results_to_json results)
     else begin
       Preflight.print_human Format.std_formatter results;
+      if shapes then begin
+        Printf.printf "static site shapes:\n";
+        List.iter
+          (fun (e, _) ->
+            match shapes_of e ~fuel ~width with
+            | [] -> ()
+            | sites ->
+              Printf.printf "  %s\n" e.Preflight.name;
+              List.iter
+                (fun (addr, shp) ->
+                  Printf.printf "    %-24s %s\n" addr (Shape.to_string shp))
+                sites)
+          results
+      end;
       let failed = List.filter (fun (e, r) -> not (Preflight.entry_ok e r)) results in
       Printf.printf "%d/%d targets ok\n"
         (List.length results - List.length failed)
@@ -762,6 +822,13 @@ let check_cmd =
           value & opt int 4
           & info [ "width" ] ~docv:"N"
             ~doc:"Maximum probe values per sample site.")
+      $ Arg.(
+          value & flag
+          & info [ "shapes" ]
+              ~doc:
+                "Also print the statically inferred shape of every \
+                 reachable sample site (symbolic plate/iid batch axes \
+                 shown as N@addr / B@addr).")
       $ Arg.(
           value & opt string ""
           & info [ "target" ] ~docv:"SUBSTR"

@@ -42,9 +42,18 @@ let accumulate t delta =
     t.g <- Some (Tensor.add g delta);
     t.g_owned <- true
 
+(* Monotone count of completed backward passes. The arena-backed
+   compiled executors gate their buffer-pool resets on this: a plan's
+   pool is only reset once a backward has happened since its last
+   arena run, i.e. once the previous surrogate's tape has been
+   consumed and its pooled buffers can no longer be read. *)
+let backward_passes = ref 0
+let backward_epoch () = !backward_passes
+
 let backward root =
   if not (Tensor.is_scalar root.v || Tensor.size root.v = 1) then
     invalid_arg "Ad.backward: root is not a scalar";
+  incr backward_passes;
   (* Topological order by DFS with an explicit stack — deep tapes (long
      training unrolls, large AIR step counts) must not overflow the
      OCaml call stack — then reverse sweep. Visits parents in the same

@@ -51,6 +51,12 @@ val backward : t -> unit
 (** Seed the (scalar) root with gradient 1 and backpropagate. Safe to
     call once per graph. @raise Invalid_argument on a non-scalar root. *)
 
+val backward_epoch : unit -> int
+(** Monotone count of completed {!backward} passes. The arena-backed
+    compiled executors in [Gen] gate buffer-pool resets on this
+    counter: recycling a plan's buffers is only safe once the tape
+    built from them has been consumed by a backward pass. *)
+
 val grad : t -> Tensor.t
 (** The gradient accumulated into this node by the last {!backward}
     through it; a zero tensor if none reached it. *)

@@ -71,7 +71,11 @@ type trail_step =
       t_reparam : bool;
       t_shape : int array option;
     }
-  | Trail_observe of { t_dist : string }
+  | Trail_observe of {
+      t_dist : string;
+      t_shape : int array option;  (* observed value shape, when real *)
+      t_param_shape : int array option;  (* dist default (parameter) shape *)
+    }
   | Trail_plate of {
       t_n : int;
       t_batched : string option;  (* [Some addr]: lowers to one batched site *)
@@ -376,8 +380,56 @@ let rec explore : type a. ctx -> path -> a Gen.t -> (a * path) list =
     in
     List.map mk (probes ctx ~address:name ~default_v d)
   | Gen.Node_observe (d, v) ->
+    let real_shape = function
+      | Value.Real a -> Some (Ad.shape a)
+      | Value.Bool _ | Value.Int _ -> None
+    in
+    let vshape = real_shape (d.Dist.inject v) in
+    let pshape = real_shape (d.Dist.inject d.Dist.default) in
+    (* The static broadcast check between the distribution's parameter
+       shape (its default's shape) and the observed value's shape:
+       incompatible extents are a hard error the density evaluation
+       would also hit (PV601); a two-sided broadcast — both operands
+       stretching an explicit size-1 axis — is legal but almost always
+       a density bug where elementwise scoring was intended (PV602). *)
+    (match (pshape, vshape) with
+    | Some ps, Some vs -> begin
+      match Shape.broadcast (Shape.concrete ps) (Shape.concrete vs) with
+      | Shape.Broadcast_ok _ -> ()
+      | Shape.Broadcast_mismatch { axis; left; right } ->
+        emit ctx "PV601" Error
+          (Printf.sprintf
+             "observed value shape %s cannot broadcast against the %s \
+              parameter shape %s (axis %d: %s vs %s)"
+             (Shape.to_string (Shape.concrete vs))
+             d.Dist.name
+             (Shape.to_string (Shape.concrete ps))
+             axis
+             (Shape.to_string [| left |])
+             (Shape.to_string [| right |]))
+      | Shape.Broadcast_two_sided { result; left_axis; right_axis } ->
+        emit ctx "PV602" Warning
+          (Printf.sprintf
+             "ambiguous two-sided broadcast at the %s observation: the \
+              parameter shape %s stretches at axis %d and the observed \
+              value shape %s stretches at axis %d, scoring a %s \
+              cross-product rather than elementwise — reshape one operand \
+              if that is not intended"
+             d.Dist.name
+             (Shape.to_string (Shape.concrete ps))
+             left_axis
+             (Shape.to_string (Shape.concrete vs))
+             right_axis
+             (Shape.to_string result))
+    end
+    | _ -> ());
     check_observe ctx d v;
-    [ ((), { path with trail = Trail_observe { t_dist = d.Dist.name } :: path.trail }) ]
+    [ ( (),
+        { path with
+          trail =
+            Trail_observe
+              { t_dist = d.Dist.name; t_shape = vshape; t_param_shape = pshape }
+            :: path.trail } ) ]
   | Gen.Node_marginal (keep, inner, alg) ->
     explore_marginal ctx path keep inner alg
   | Gen.Node_normalize (inner, alg) -> explore_normalize ctx path inner alg
@@ -443,6 +495,28 @@ and explore_plate :
          mayN
      end
    end);
+  (* PV603: a batchable plate stacks its per-instance values along a
+     new leading axis of extent [n]. When an instance's own leading
+     dimension already equals the plate count, the stacked tensor's
+     first two axes are indistinguishable by extent — downstream code
+     that indexes "per instance" by the leading axis (the data-indexed
+     parameter contract of the batched primitives) silently reads the
+     wrong axis. Flag the rank collision at the plate boundary. *)
+  if n > 1 then
+    List.iter
+      (fun (a, s0) ->
+        match shape_of s0 with
+        | Some shp when Array.length shp > 0 && shp.(0) = n ->
+          emit ctx "PV603" Warning ~address:a
+            (Printf.sprintf
+               "plate instance shape %s at %S has leading extent %d equal to \
+                the plate count: the stacked value's instance axis and the \
+                instance's own leading axis are ambiguous at the plate \
+                boundary"
+               (Shape.to_string (Shape.concrete shp))
+               a n)
+        | _ -> ())
+      may0;
   (* The trail records what the runtime's [plate_plan] would decide —
      computed only on the compiler's traversal ([decide_plates]), since
      the decision probe draws samples. *)
@@ -679,6 +753,70 @@ let support_leq g m =
   | Finite_support, Finite_support -> Some true
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Abstract site shapes (the PV6xx domain)                             *)
+
+let shape_of_site s =
+  match s.s_value with
+  | Value.Real v -> Some (Ad.shape v)
+  | Value.Bool _ | Value.Int _ -> None
+
+(* addr -> enclosing plate count, recovered from the recorded trails
+   (first plate wins; plan addresses are globally unique). *)
+let plate_counts paths =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc ts ->
+          match ts with
+          | Trail_plate { t_n; t_body_addrs; _ } ->
+            List.fold_left
+              (fun acc a ->
+                if List.mem_assoc a acc then acc else (a, t_n) :: acc)
+              acc t_body_addrs
+          | _ -> acc)
+        acc p.trail)
+    [] paths
+
+(* The abstract stacked shape a site's trace value takes: the probe
+   value's shape, with the leading axis lifted to the symbolic batch
+   dim [B@addr] for [iid] rank-lifted primitives, and the symbolic
+   plate dim [N@addr] prepended when the site lives under a plate
+   (the batched lowering stacks instances along a new leading axis). *)
+let site_shape ~counts addr s =
+  match shape_of_site s with
+  | None -> None
+  | Some shp ->
+    let base =
+      match Shape.iid_count s.s_dist with
+      | Some n when Array.length shp > 0 && shp.(0) = n ->
+        Array.append
+          [| Shape.Sym { sym = "B@" ^ addr; binding = Some n } |]
+          (Shape.concrete (Array.sub shp 1 (Array.length shp - 1)))
+      | _ -> Shape.concrete shp
+    in
+    (match List.assoc_opt addr counts with
+    | Some n ->
+      Some
+        (Array.append
+           [| Shape.Sym { sym = "N@" ^ addr; binding = Some n } |]
+           base)
+    | None -> Some base)
+
+(* Do two same-rank shapes disagree specifically on a symbolic
+   dimension's binding (plate/iid count conflict, PV604) rather than
+   on a concrete extent (PV601)? *)
+let sym_conflict a b =
+  Array.length a = Array.length b
+  && Array.exists2
+       (fun da db ->
+         match (da, db) with
+         | ( Shape.Sym { binding = Some x; _ },
+             Shape.Sym { binding = Some y; _ } ) ->
+           x <> y
+         | _ -> false)
+       a b
+
 let analyze_pair ctx (Gen.Packed model) (Gen.Packed guide) =
   let model_paths = paths_of ctx (Gen.Packed model) in
   let guide_paths = paths_of ctx (Gen.Packed guide) in
@@ -690,6 +828,8 @@ let analyze_pair ctx (Gen.Packed model) (Gen.Packed guide) =
   | _ ->
     let m_may = may_addrs model_paths and m_must = must_addrs model_paths in
     let g_may = may_addrs guide_paths in
+    let m_counts = plate_counts model_paths in
+    let g_counts = plate_counts guide_paths in
     let sev = if ctx.truncated then Warning else Error in
     List.iter
       (fun (n, site) ->
@@ -714,16 +854,43 @@ let analyze_pair ctx (Gen.Packed model) (Gen.Packed guide) =
                  gsite.s_dist
                  (carrier_name gsite.s_carrier))
           else begin
-            match
-              support_leq gsite.s_meta.Dist.static_support
-                site.s_meta.Dist.static_support
-            with
+            (match
+               support_leq gsite.s_meta.Dist.static_support
+                 site.s_meta.Dist.static_support
+             with
             | Some false ->
               emit ctx "PV208" Warning ~address:n
                 (Printf.sprintf
                    "guide support at %S (%s) exceeds the model's (%s): \
                     guide samples can fall outside the model's support" n
                    gsite.s_dist site.s_dist)
+            | _ -> ());
+            (* The shared latent must take the same stacked shape on
+               both sides — the model's density of a guide trace reads
+               the guide's tensor through the model's primitive. A
+               binding conflict on a symbolic dimension (plate or iid
+               batch count) is PV604; any other concrete disagreement
+               is PV601. *)
+            match
+              ( site_shape ~counts:m_counts n site,
+                site_shape ~counts:g_counts n gsite )
+            with
+            | Some ms, Some gs when not (Shape.equal ms gs) ->
+              if sym_conflict ms gs then
+                emit ctx "PV604" Error ~address:n
+                  (Printf.sprintf
+                     "symbolic batch dimension conflict at %S: the model \
+                      binds shape %s but the guide binds shape %s (plate \
+                      or iid counts disagree)"
+                     n (Shape.to_string ms) (Shape.to_string gs))
+              else
+                emit ctx "PV601" Error ~address:n
+                  (Printf.sprintf
+                     "shape mismatch at %S: the model samples %s (%s) but \
+                      the guide samples %s (%s) — densities across the \
+                      pair would fail or silently broadcast"
+                     n (Shape.to_string ms) site.s_dist
+                     (Shape.to_string gs) gsite.s_dist)
             | _ -> ()
           end)
       m_may;
@@ -776,6 +943,27 @@ let trail ?(fuel = default_fuel) ?(max_width = 4) packed =
   { trails = List.map (fun p -> List.rev p.trail) paths;
     trail_report = { diagnostics = sorted_diags ctx; truncated = ctx.truncated }
   }
+
+(* The inferred abstract shape of every reachable sample site — the
+   table behind [ppvi check --shapes]. Addresses of a pair's guide are
+   prefixed with "guide/" (and the model's with "model/") so the two
+   scopes stay distinguishable in one flat listing. *)
+let site_shapes ?(fuel = default_fuel) ?(max_width = 4) target =
+  let ctx =
+    { diags = []; fuel; truncated = false; max_width; decide_plates = false }
+  in
+  let collect prefix packed =
+    let paths = paths_of ctx packed in
+    let counts = plate_counts paths in
+    List.filter_map
+      (fun (addr, s) ->
+        Option.map (fun sh -> (prefix ^ addr, sh)) (site_shape ~counts addr s))
+      (may_addrs paths)
+    |> List.sort compare
+  in
+  match target with
+  | Program p -> collect "" p
+  | Pair { model; guide } -> collect "model/" model @ collect "guide/" guide
 
 let errors report =
   List.filter (fun d -> d.severity = Error) report.diagnostics

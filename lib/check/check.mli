@@ -27,6 +27,15 @@
       error (e.g. through [Layer] applications); PV390 other exception
       during exploration (warning).
     - {b PV401 — analysis budget}: exploration truncated (info).
+    - {b PV6xx — static shapes} (see {!Shape} and [docs/DIAGNOSTICS.md]):
+      PV601 concrete shape mismatch (an observation's value cannot
+      broadcast against its parameters, or model and guide bind
+      different shapes at a shared address); PV602 ambiguous two-sided
+      broadcast at an observation (warning); PV603 plate instance
+      shape whose leading extent equals the plate count, making the
+      stacked axes ambiguous at the plate boundary (warning); PV604
+      symbolic-dimension binding conflict between model and guide
+      (plate or iid batch counts disagree).
 
     Exploration is fuel-bounded, so recursive programs terminate; when
     the budget runs out, coverage findings are demoted to warnings and
@@ -60,6 +69,16 @@ val analyze : ?fuel:int -> ?max_width:int -> target -> report
 (** [fuel] bounds the number of program nodes visited (default 20000);
     [max_width] bounds the probe values per sample site (default 4). *)
 
+val site_shapes :
+  ?fuel:int -> ?max_width:int -> target -> (string * Shape.t) list
+(** The inferred abstract shape of every reachable sample site, sorted
+    by address — the table behind [ppvi check --shapes]. Leading axes
+    are lifted to symbolic dimensions where the analyzer knows their
+    origin: [N@addr] for batched-plate instance counts, [B@addr] for
+    [iid] batch sizes. For a {!Pair}, model addresses are prefixed
+    with ["model/"] and guide addresses with ["guide/"]. Sites binding
+    no real tensor (bool/int carriers) are omitted. *)
+
 (** {1 Structure trails (shared with the staged compiler)}
 
     [trail] runs the {e same} abstract-interpretation walk as
@@ -81,7 +100,13 @@ type trail_step =
       t_reparam : bool;
       t_shape : int array option;
     }
-  | Trail_observe of { t_dist : string }
+  | Trail_observe of {
+      t_dist : string;
+      t_shape : int array option;
+          (** Observed value shape, when the value is a real tensor. *)
+      t_param_shape : int array option;
+          (** The distribution's parameter (default) shape. *)
+    }
   | Trail_plate of {
       t_n : int;
       t_batched : string option;

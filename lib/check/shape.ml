@@ -1,0 +1,178 @@
+(* Abstract tensor shapes with symbolic dimensions.
+
+   The static shape domain behind the PV6xx diagnostics: a shape is a
+   vector of dimensions, each either a concrete extent or a *symbolic*
+   dimension — a plate's instance count ([N@addr]) or an i.i.d. batch
+   size ([B@addr]) — carrying the binding the analyzer saw, when it saw
+   one. Symbolic dims keep their identity through propagation, which is
+   what lets the analyzer tell "model and guide agree this axis is the
+   minibatch" apart from "they happen to both be 256", and report a
+   count conflict (PV604) at the site that introduced the symbol rather
+   than as an anonymous integer mismatch.
+
+   Everything here is pure bookkeeping over [Gen.Plan.t] step metadata
+   and [Yolo] programs; no tensors are materialized. *)
+
+type dim =
+  | Const of int
+  | Sym of { sym : string; binding : int option }
+
+type t = dim array
+
+let scalar : t = [||]
+let concrete a = Array.map (fun n -> Const n) a
+
+let dim_known = function Const n -> Some n | Sym { binding; _ } -> binding
+
+let to_concrete (s : t) : int array option =
+  if Array.for_all (fun d -> dim_known d <> None) s then
+    Some (Array.map (fun d -> Option.get (dim_known d)) s)
+  else None
+
+let dim_to_string = function
+  | Const n -> string_of_int n
+  | Sym { sym; binding = Some n } -> Printf.sprintf "%s=%d" sym n
+  | Sym { sym; binding = None } -> sym
+
+let to_string (s : t) =
+  if Array.length s = 0 then "scalar"
+  else
+    "[" ^ String.concat "," (Array.to_list (Array.map dim_to_string s)) ^ "]"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+(* Two dims agree when their known extents agree; two unbound symbols
+   agree only when they are the same symbol. *)
+let equal_dim a b =
+  match (dim_known a, dim_known b) with
+  | Some x, Some y -> x = y
+  | _ -> (
+    match (a, b) with
+    | Sym a', Sym b' -> String.equal a'.sym b'.sym
+    | _ -> false)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 equal_dim a b
+
+(* ------------------------------------------------------------------ *)
+(* Broadcasting                                                        *)
+
+type broadcast =
+  | Broadcast_ok of t
+  | Broadcast_mismatch of { axis : int; left : dim; right : dim }
+      (* Incompatible known extents at a (result-indexed) axis. *)
+  | Broadcast_two_sided of { result : t; left_axis : int; right_axis : int }
+      (* Legal, but BOTH operands stretch an explicit size-1 axis: the
+         alignment is ambiguous — almost always a density bug where the
+         intent was elementwise. *)
+
+let broadcast (a : t) (b : t) =
+  let ra = Array.length a and rb = Array.length b in
+  let r = Stdlib.max ra rb in
+  let out = Array.make r (Const 1) in
+  let mismatch = ref None in
+  (* Result axes where the respective side stretches an explicit
+     size-1 dimension against a known larger extent. Rank extension
+     (a missing leading axis) is routine broadcasting and does not
+     count — only an explicit [1] facing an explicit [>1]. *)
+  let a_stretch = ref None and b_stretch = ref None in
+  for i = 0 to r - 1 do
+    let da = if i < r - ra then None else Some a.(i - (r - ra)) in
+    let db = if i < r - rb then None else Some b.(i - (r - rb)) in
+    let d =
+      match (da, db) with
+      | None, Some d | Some d, None -> d
+      | None, None -> assert false
+      | Some da, Some db -> (
+        match (dim_known da, dim_known db) with
+        | Some 1, Some 1 -> da
+        | Some 1, k ->
+          if k <> Some 1 && !a_stretch = None then a_stretch := Some i;
+          db
+        | k, Some 1 ->
+          if k <> Some 1 && !b_stretch = None then b_stretch := Some i;
+          da
+        | Some x, Some y ->
+          if x <> y && !mismatch = None then
+            mismatch := Some (i, da, db);
+          da
+        | _ ->
+          (* At least one side symbolic and unbound: assume they
+             agree (the optimistic abstract join). *)
+          da)
+    in
+    out.(i) <- d
+  done;
+  match !mismatch with
+  | Some (axis, left, right) -> Broadcast_mismatch { axis; left; right }
+  | None -> (
+    match (!a_stretch, !b_stretch) with
+    | Some la, Some rb' ->
+      Broadcast_two_sided { result = out; left_axis = la; right_axis = rb' }
+    | _ -> Broadcast_ok out)
+
+(* ------------------------------------------------------------------ *)
+(* Shapes of compiled-plan sites                                       *)
+
+(* The batch count of an [iid] rank-lifted primitive, recovered from
+   its name ["iid(n,base)"] — the leading axis of such a site is the
+   i.i.d. batch symbol, not an anonymous extent. *)
+let iid_count name =
+  let prefix = "iid(" in
+  let lp = String.length prefix in
+  if String.length name > lp && String.sub name 0 lp = prefix then
+    match String.index_opt name ',' with
+    | Some c when c > lp -> int_of_string_opt (String.sub name lp (c - lp))
+    | _ -> None
+  else None
+
+let of_step (s : Gen.Plan.step) : t option =
+  match s.Gen.Plan.st_kind with
+  | Gen.Plan.Sample_site -> begin
+    match s.Gen.Plan.st_shape with
+    | None -> None
+    | Some shp -> (
+      match iid_count s.Gen.Plan.st_dist with
+      | Some n when Array.length shp > 0 && shp.(0) = n ->
+        Some
+          (Array.append
+             [| Sym { sym = "B@" ^ s.Gen.Plan.st_addr; binding = Some n } |]
+             (concrete (Array.sub shp 1 (Array.length shp - 1))))
+      | _ -> Some (concrete shp))
+  end
+  | Gen.Plan.Plate_batched ->
+    let inst =
+      match s.Gen.Plan.st_shape with Some shp -> concrete shp | None -> [||]
+    in
+    Some
+      (Array.append
+         [| Sym
+              { sym = "N@" ^ s.Gen.Plan.st_addr;
+                binding = Some s.Gen.Plan.st_n } |]
+         inst)
+  | Gen.Plan.Observe_site | Gen.Plan.Plate_seq -> None
+
+let of_plan plan =
+  Array.to_list (Gen.Plan.steps plan)
+  |> List.filter_map (fun (s : Gen.Plan.step) ->
+         Option.map (fun sh -> (s.Gen.Plan.st_addr, sh)) (of_step s))
+
+(* ------------------------------------------------------------------ *)
+(* The Yolo ANF fragment                                               *)
+
+(* The Yolo IR is a scalar language: the shape pass over a plan's ANF
+   sketch is the degenerate-but-total case — scope-check the program
+   and assign every defined variable the scalar shape. A scope error is
+   the IR-level analogue of a shape mismatch (an undefined axis). *)
+let of_yolo (p : Yolo.program) : ((string * t) list, string) result =
+  match Yolo.validate p with
+  | Error e -> Error e
+  | Ok () ->
+    let defined =
+      List.map
+        (function
+          | Yolo.Let (x, _) -> x
+          | Yolo.Sample_normal (x, _, _) -> x)
+        p.Yolo.body
+    in
+    Ok (List.map (fun v -> (v, scalar)) (p.Yolo.params @ defined))

@@ -1,0 +1,78 @@
+(** Abstract tensor shapes with symbolic dimensions — the static
+    domain behind the PV6xx shape diagnostics (see
+    [docs/DIAGNOSTICS.md]).
+
+    A shape is a vector of dimensions, each either a concrete extent
+    or a {e symbolic} dimension: a plate's instance count ([N@addr])
+    or an i.i.d. batch size ([B@addr]), carrying the binding the
+    analyzer observed when it observed one. Symbols keep their
+    identity through propagation, so a model/guide count conflict is
+    reported at the site that introduced the symbol (PV604) instead of
+    as an anonymous integer mismatch. *)
+
+type dim =
+  | Const of int  (** A concrete extent. *)
+  | Sym of { sym : string; binding : int option }
+      (** A named symbolic dimension and the extent it was bound to,
+          when known. *)
+
+type t = dim array
+(** A shape; [[||]] is the scalar shape. *)
+
+val scalar : t
+val concrete : int array -> t
+
+val dim_known : dim -> int option
+(** The dimension's concrete extent, when known. *)
+
+val to_concrete : t -> int array option
+(** All-dims-known resolution of a shape; [None] when any symbolic
+    dimension is unbound. *)
+
+val equal : t -> t -> bool
+(** Dimensions agree when their known extents agree; unbound symbols
+    agree only with the same symbol. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Broadcasting} *)
+
+type broadcast =
+  | Broadcast_ok of t
+  | Broadcast_mismatch of { axis : int; left : dim; right : dim }
+      (** Incompatible known extents at a result axis (PV601). *)
+  | Broadcast_two_sided of { result : t; left_axis : int; right_axis : int }
+      (** Legal, but {e both} operands stretch an explicit size-1 axis
+          — an ambiguous alignment, almost always a density bug where
+          elementwise was intended (PV602). Rank extension does not
+          count; only an explicit [1] facing an explicit [>1]. *)
+
+val broadcast : t -> t -> broadcast
+(** NumPy-style right-aligned broadcast of two abstract shapes.
+    Unbound symbolic dimensions are optimistically assumed
+    compatible. *)
+
+(** {1 Shapes of compiled-plan sites} *)
+
+val iid_count : string -> int option
+(** The batch count of an [iid] rank-lifted primitive, recovered from
+    its name ["iid(n,base)"]. *)
+
+val of_step : Gen.Plan.step -> t option
+(** The inferred stacked shape of one trace-binding plan step: the
+    concrete planned shape for plain sample sites, with the leading
+    axis lifted to [B@addr] for [iid] sites and [N@addr] prepended for
+    batched plates. [None] for steps that bind no tensor-shaped value
+    (observes, sequential-fallback plates, non-real carriers). *)
+
+val of_plan : Gen.Plan.t -> (string * t) list
+(** [of_step] over every step of a plan, keyed by site address. *)
+
+(** {1 The Yolo ANF fragment} *)
+
+val of_yolo : Yolo.program -> ((string * t) list, string) result
+(** The shape pass over a plan's scalar ANF sketch: scope-check the
+    program ([Yolo.validate]) and assign every parameter and defined
+    variable the scalar shape; a scope error is the IR-level analogue
+    of a shape mismatch. *)

@@ -49,14 +49,14 @@ let step_of_trail (ts : Check.trail_step) : Gen.Plan.step =
       st_n = 1;
       st_shape = t_shape;
       st_fused = false }
-  | Check.Trail_observe { t_dist } ->
+  | Check.Trail_observe { t_dist; t_shape; t_param_shape = _ } ->
     { st_kind = Gen.Plan.Observe_site;
       st_addr = t_dist;
       st_slot = -1;
       st_dist = t_dist;
       st_strategy = "-";
       st_n = 1;
-      st_shape = None;
+      st_shape = t_shape;
       st_fused = fused_density t_dist }
   | Check.Trail_plate
       { t_n; t_batched; t_body_addrs; t_body_reentrant; t_shape; t_dist;
@@ -227,6 +227,33 @@ let compile ?fuel ?max_width ~id packed =
 
 let cache : (string, result) Hashtbl.t = Hashtbl.create 16
 
+(* Arena execution: cached plans carry a warmed buffer pool computed
+   from the static liveness layout, so every compiled run recycles its
+   op-output buffers instead of minor-allocating them. On by default;
+   [set_arena_execution false] detaches for A/B measurement (the
+   uncached [compile] never attaches, so tests can compare the same
+   plan with and without an arena). *)
+let arena_execution = ref true
+
+let attach_arena plan =
+  let layout = Layout.of_plan plan in
+  let pool = Layout.pool_of layout in
+  if Obs.live () then
+    Obs.gauge "arena/static_bytes" (float_of_int (Layout.arena_bytes layout));
+  Gen.Plan.set_arena plan (Some pool)
+
+let set_arena_execution enabled =
+  arena_execution := enabled;
+  Hashtbl.iter
+    (fun _ r ->
+      match r with
+      | Compiled plan ->
+        if enabled then attach_arena plan else Gen.Plan.set_arena plan None
+      | Refused _ -> ())
+    cache
+
+let arena_execution_enabled () = !arena_execution
+
 let plan_for ?fuel ?max_width ~id packed =
   match Hashtbl.find_opt cache id with
   | Some r ->
@@ -243,7 +270,7 @@ let plan_for ?fuel ?max_width ~id packed =
       Obs.incr "compile/refused";
       Obs.message Obs.Preflight
         (Printf.sprintf "compile/%s refused (PV501): %s" id r_reason)
-    | Compiled _ -> ());
+    | Compiled plan -> if !arena_execution then attach_arena plan);
     Hashtbl.replace cache id r;
     r
 
@@ -346,6 +373,22 @@ let describe ~id result =
           (if s.st_n <> 1 then Printf.sprintf " n=%d" s.st_n else "")
           (if s.st_fused then " [fused kernel]" else ""))
       steps;
+    let layout = Layout.of_plan plan in
+    pr "  arena layout (static liveness, floats):\n";
+    List.iter
+      (fun (iv : Layout.interval) ->
+        pr "    %-16s %-14s live=[%d,%d] offset=%d extent=%d\n"
+          iv.Layout.iv_label (kind_str iv.Layout.iv_kind) iv.Layout.iv_start
+          iv.Layout.iv_stop iv.Layout.iv_offset iv.Layout.iv_extent)
+      layout.Layout.intervals;
+    pr "    total %d floats (%d bytes); naive (no reuse) %d floats%s\n"
+      layout.Layout.arena_floats
+      (Layout.arena_bytes layout)
+      layout.Layout.naive_floats
+      (if layout.Layout.unknown > 0 then
+         Printf.sprintf "; %d step(s) not statically sized"
+           layout.Layout.unknown
+       else "");
     (match yolo_sketch plan with
     | None -> ()
     | Some prog ->
@@ -410,6 +453,24 @@ let to_json ~id result =
         pr "}")
       (Gen.Plan.steps plan);
     pr "]";
+    let layout = Layout.of_plan plan in
+    pr ",\"arena\":{\"floats\":%d,\"bytes\":%d,\"naive_floats\":%d,\
+        \"unknown\":%d,\"intervals\":["
+      layout.Layout.arena_floats
+      (Layout.arena_bytes layout)
+      layout.Layout.naive_floats layout.Layout.unknown;
+    List.iteri
+      (fun i (iv : Layout.interval) ->
+        if i > 0 then pr ",";
+        pr
+          "{\"label\":\"%s\",\"kind\":\"%s\",\"start\":%d,\"stop\":%d,\
+           \"offset\":%d,\"extent\":%d}"
+          (json_escape iv.Layout.iv_label)
+          (json_escape (kind_str iv.Layout.iv_kind))
+          iv.Layout.iv_start iv.Layout.iv_stop iv.Layout.iv_offset
+          iv.Layout.iv_extent)
+      layout.Layout.intervals;
+    pr "]}";
     match yolo_sketch plan with
     | None -> ()
     | Some prog ->

@@ -39,7 +39,21 @@ val plan_for : ?fuel:int -> ?max_width:int -> id:string -> Gen.packed -> result
     ["compile/<id>"] preflight span so [ppvi profile] shows staging
     amortization. Refusals are cached too (counter
     ["compile/refused"]), so the interpreter fallback pays the walk
-    only once. *)
+    only once.
+
+    When arena execution is enabled (the default), freshly compiled
+    plans are attached a buffer pool pre-seeded from their static
+    liveness layout ({!Layout.of_plan}), so compiled runs recycle
+    op-output buffers instead of minor-allocating them. The uncached
+    {!compile} never attaches a pool — tests and benchmarks use it to
+    A/B the same plan with and without an arena. *)
+
+val set_arena_execution : bool -> unit
+(** Toggle arena-backed execution for {!plan_for} plans. Applies to
+    plans already in the cache (attaching or detaching their pools)
+    and to future compilations. Default: enabled. *)
+
+val arena_execution_enabled : unit -> bool
 
 val invalidate : string -> unit
 (** Drop the cached result for one plan id; the next {!plan_for} call

@@ -1,0 +1,140 @@
+(* Static liveness + arena layout over a compiled plan.
+
+   The model is the density-mode execution of the straight-line plan:
+   every trace-slot tensor is resolved up front ([Gen.acquire_dens])
+   and read once, at its own site's step — so a slot's buffer is live
+   on the step interval [0, site_step] — while an observation's score
+   scratch is produced and consumed within its own step ([step,
+   step]). Intervals whose step ranges are disjoint may share a region
+   of the arena slab; a first-fit pass assigns each interval the
+   lowest feasible offset. The resulting layout is the plan's static
+   memory story: total arena floats (with reuse) versus the naive
+   sum-of-extents, per-interval offsets for the report, and the list
+   of region extents used to pre-seed ([Tensor.Pool.warm]) the plan's
+   buffer pool so the first arena run already hits its free lists.
+
+   The layout models the plan's *site* tensors (slot values, observe
+   scratch). Interior op intermediates (layer matmuls, elementwise
+   chains) are recycled by the same pool but sized dynamically: they
+   miss once on the first run and hit thereafter. *)
+
+type interval = {
+  iv_label : string;  (* site address; the primitive name for observes *)
+  iv_kind : Gen.Plan.kind;
+  iv_start : int;  (* first step the buffer is live (inclusive) *)
+  iv_stop : int;  (* last step the buffer is live (inclusive) *)
+  iv_extent : int;  (* floats *)
+  iv_offset : int;  (* assigned slab offset, in floats *)
+}
+
+type t = {
+  intervals : interval list;  (* in plan-step order *)
+  arena_floats : int;  (* slab extent with disjoint-range reuse *)
+  naive_floats : int;  (* sum of extents (no reuse) *)
+  unknown : int;  (* steps whose static shape the walk could not pin *)
+}
+
+let shape_floats shape = Array.fold_left ( * ) 1 shape
+
+(* First-fit placement: each interval gets the lowest offset at which
+   it overlaps no already-placed interval that is simultaneously live.
+   Candidate offsets are 0 and the ends of placed intervals, which is
+   sufficient for a lowest-feasible-offset search. *)
+let place intervals =
+  let placed = ref [] in
+  List.map
+    (fun iv ->
+      let conflicts o p =
+        (* live ranges intersect AND slab regions intersect *)
+        not (iv.iv_stop < p.iv_start || p.iv_stop < iv.iv_start)
+        && not (o + iv.iv_extent <= p.iv_offset
+                || p.iv_offset + p.iv_extent <= o)
+      in
+      let feasible o = List.for_all (fun p -> not (conflicts o p)) !placed in
+      let candidates =
+        0 :: List.map (fun p -> p.iv_offset + p.iv_extent) !placed
+      in
+      let offset =
+        List.fold_left
+          (fun best o -> if o < best && feasible o then o else best)
+          max_int
+          (List.filter feasible candidates)
+      in
+      let iv = { iv with iv_offset = offset } in
+      placed := iv :: !placed;
+      iv)
+    intervals
+
+let of_plan plan =
+  let steps = Gen.Plan.steps plan in
+  let nsteps = Array.length steps in
+  let unknown = ref 0 in
+  let raw = ref [] in
+  Array.iteri
+    (fun i (s : Gen.Plan.step) ->
+      let extent =
+        match s.Gen.Plan.st_shape with
+        | Some shp -> Some (shape_floats shp)
+        | None -> None
+      in
+      match (s.Gen.Plan.st_kind, extent) with
+      | Gen.Plan.Sample_site, Some e ->
+        raw :=
+          { iv_label = s.Gen.Plan.st_addr;
+            iv_kind = s.Gen.Plan.st_kind;
+            iv_start = 0;
+            iv_stop = i;
+            iv_extent = e;
+            iv_offset = 0 }
+          :: !raw
+      | Gen.Plan.Plate_batched, Some e ->
+        (* The stacked value: n instances of the per-instance shape. *)
+        raw :=
+          { iv_label = s.Gen.Plan.st_addr;
+            iv_kind = s.Gen.Plan.st_kind;
+            iv_start = 0;
+            iv_stop = i;
+            iv_extent = s.Gen.Plan.st_n * e;
+            iv_offset = 0 }
+          :: !raw
+      | Gen.Plan.Observe_site, Some e ->
+        raw :=
+          { iv_label = s.Gen.Plan.st_addr;
+            iv_kind = s.Gen.Plan.st_kind;
+            iv_start = i;
+            iv_stop = i;
+            iv_extent = e;
+            iv_offset = 0 }
+          :: !raw
+      | (Gen.Plan.Plate_seq | _), None -> incr unknown
+      | Gen.Plan.Plate_seq, Some _ ->
+        (* Sequential fallbacks run through the interpreter; their
+           buffers are not part of the static story. *)
+        incr unknown)
+    steps;
+  ignore nsteps;
+  let intervals = place (List.rev !raw) in
+  let arena_floats =
+    List.fold_left
+      (fun acc iv -> Stdlib.max acc (iv.iv_offset + iv.iv_extent))
+      0 intervals
+  in
+  let naive_floats =
+    List.fold_left (fun acc iv -> acc + iv.iv_extent) 0 intervals
+  in
+  { intervals; arena_floats; naive_floats; unknown = !unknown }
+
+let arena_bytes t = 8 * t.arena_floats
+
+(* One pooled buffer per distinct slab region: intervals that share an
+   (offset, extent) region reuse the same buffer at runtime, so the
+   warm list carries one entry per region. *)
+let warm_extents t =
+  List.sort_uniq compare
+    (List.map (fun iv -> (iv.iv_offset, iv.iv_extent)) t.intervals)
+  |> List.map snd
+
+let pool_of t =
+  let pool = Tensor.Pool.create () in
+  Tensor.Pool.warm pool (warm_extents t);
+  pool

@@ -1,0 +1,44 @@
+(** Static liveness + arena layout over a compiled plan.
+
+    Models the density-mode execution of the straight-line plan: every
+    trace-slot tensor is resolved up front and read once at its own
+    site's step (live on [[0, site_step]]), while an observation's
+    score scratch is produced and consumed within its own step
+    ([[step, step]]). A first-fit pass assigns each interval the
+    lowest arena-slab offset at which it overlaps no simultaneously
+    live interval, so disjoint live ranges share memory.
+
+    The layout covers the plan's {e site} tensors; interior op
+    intermediates are recycled by the same buffer pool but sized
+    dynamically (one miss on the first run, hits thereafter). *)
+
+type interval = {
+  iv_label : string;
+      (** Site address; the primitive name for observations. *)
+  iv_kind : Gen.Plan.kind;
+  iv_start : int;  (** First step the buffer is live (inclusive). *)
+  iv_stop : int;  (** Last step the buffer is live (inclusive). *)
+  iv_extent : int;  (** Buffer size in floats. *)
+  iv_offset : int;  (** Assigned slab offset, in floats. *)
+}
+
+type t = {
+  intervals : interval list;  (** In plan-step order. *)
+  arena_floats : int;  (** Slab extent with disjoint-range reuse. *)
+  naive_floats : int;  (** Sum of extents (no reuse). *)
+  unknown : int;
+      (** Steps whose static shape the discovery walk could not pin
+          down (sequential-fallback plates, non-real carriers). *)
+}
+
+val of_plan : Gen.Plan.t -> t
+
+val arena_bytes : t -> int
+
+val warm_extents : t -> int list
+(** One buffer extent per distinct slab region — intervals sharing a
+    region reuse one buffer at runtime. *)
+
+val pool_of : t -> Tensor.Pool.t
+(** A fresh buffer pool pre-seeded ([Tensor.Pool.warm]) with the
+    layout's region extents, ready to attach via [Gen.Plan.set_arena]. *)

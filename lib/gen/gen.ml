@@ -184,6 +184,13 @@ module Plan = struct
     p_seq_fallbacks : int;
     mutable p_sim_scratch : sim_scratch option;
     mutable p_dens_scratch : dens_scratch option;
+    mutable p_arena : Tensor.Pool.t option;
+        (* buffer pool installed for the duration of compiled runs *)
+    mutable p_arena_epoch : int;
+        (* [Ad.backward_epoch] at this plan's last arena run; the pool
+           is only reset when a backward has happened since, i.e. when
+           the previous surrogate's tape has been consumed. -1 = never
+           ran. *)
   }
 
   (* [make ~id steps] interns the trace-binding steps' addresses into
@@ -220,12 +227,20 @@ module Plan = struct
       p_slots = slots;
       p_seq_fallbacks = !fallbacks;
       p_sim_scratch = None;
-      p_dens_scratch = None }
+      p_dens_scratch = None;
+      p_arena = None;
+      p_arena_epoch = -1 }
 
   let id p = p.p_id
   let steps p = p.p_steps
   let slots p = p.p_slots
   let seq_fallbacks p = p.p_seq_fallbacks
+
+  let set_arena p arena =
+    p.p_arena <- arena;
+    p.p_arena_epoch <- -1
+
+  let arena p = p.p_arena
 end
 
 exception Plan_mismatch of string
@@ -536,6 +551,41 @@ and density_plate_seq :
    evaluator's remainder threading (one [Trace.find_opt] per slot up
    front, then consumption counting). *)
 
+(* Arena-backed execution. When a plan carries a pool (attached by
+   [Compile.plan_for]'s static layout), a compiled run installs it as
+   the ambient tensor allocator for its own duration: every op-output
+   buffer of the forward pass comes from the pool's free lists. The
+   pool is reset — recycling the previous run's buffers — only when
+   [Ad.backward_epoch] has advanced since this plan's last arena run,
+   so multi-sample estimators that stack several forward tapes before
+   one backward ([Adev.expectation_mean], replicated particles) never
+   recycle a buffer a live tape still references. [Adev.run] /
+   [Adev.expectation] restore the caller's ambient pool even on
+   exceptional exit. *)
+type arena_token = No_arena | Installed of Tensor.Pool.t option
+
+let arena_enter plan =
+  match plan.Plan.p_arena with
+  | None -> No_arena
+  | Some pool ->
+    let prev = Tensor.current_pool () in
+    let epoch = Ad.backward_epoch () in
+    if epoch <> plan.Plan.p_arena_epoch then begin
+      Tensor.Pool.reset pool;
+      plan.Plan.p_arena_epoch <- epoch
+    end;
+    if Obs.live () then begin
+      Obs.gauge "arena/bytes" (float_of_int (Tensor.Pool.bytes pool));
+      Obs.gauge "arena/hits" (float_of_int (Tensor.Pool.hits pool));
+      Obs.gauge "arena/misses" (float_of_int (Tensor.Pool.misses pool))
+    end;
+    Tensor.set_pool (Some pool);
+    Installed prev
+
+let arena_exit = function
+  | No_arena -> ()
+  | Installed prev -> Tensor.set_pool prev
+
 let acquire_sim plan =
   match plan.Plan.p_sim_scratch with
   | Some st ->
@@ -696,9 +746,11 @@ let compiled_trace plan st =
 let simulate_compiled : type a. Plan.t -> a t -> (a * Trace.t * Ad.t) Adev.t =
  fun plan prog ->
   Adev.delay (fun () ->
+      let tok = arena_enter plan in
       let st = acquire_sim plan in
       Adev.map
         (fun (x, w) ->
+          arena_exit tok;
           if st.xcursor <> Array.length plan.Plan.p_steps then
             plan_mismatch plan
               (Printf.sprintf "the program finished after %d of %d planned sites"
@@ -794,14 +846,16 @@ let log_density_compiled : type a. Plan.t -> a t -> Trace.t -> Ad.t Adev.t =
   let finished = ref None in
   let* w, _ =
     Adev.delay (fun () ->
+        let tok = arena_enter plan in
         let st = acquire_dens plan u in
-        finished := Some st;
+        finished := Some (st, tok);
         exec_density plan st prog u)
   in
   match !finished with
   | None -> assert false
-  | Some st ->
+  | Some (st, tok) ->
     finished := None;
+    arena_exit tok;
     if st.dcursor <> Array.length plan.Plan.p_steps then
       plan_mismatch plan
         (Printf.sprintf "the program finished after %d of %d planned sites"

@@ -157,6 +157,21 @@ module Plan : sig
   val seq_fallbacks : t -> int
   (** Number of plate sites executed via the sequential interpreter
       fallback rather than a fused batched kernel. *)
+
+  val set_arena : t -> Tensor.Pool.t option -> unit
+  (** Attach (or detach) a buffer pool. While attached, every compiled
+      execution of this plan installs the pool as the ambient tensor
+      allocator for its own duration, so forward-pass op outputs are
+      recycled across runs instead of freshly allocated. The pool is
+      reset only when [Ad.backward_epoch] has advanced since the
+      plan's last arena run — tapes stacked across several forward
+      runs (multi-sample estimators) are never invalidated. Contract:
+      surrogates produced by this plan's earlier arena runs must be
+      consumed (backward or discarded) before the first arena run
+      following a backward pass. *)
+
+  val arena : t -> Tensor.Pool.t option
+  (** The attached pool, if any. *)
 end
 
 exception Plan_mismatch of string

@@ -24,6 +24,127 @@ let strides shape =
 
 let mk shape data = { shape; data; st = strides shape }
 
+(* ------------------------------------------------------------------ *)
+(* Buffer pool (the execution arena).
+
+   A pool is a set of size classes keyed by exact buffer length. Each
+   class holds its buffers in a growable pointer array with a cursor:
+   [alloc] hands out the buffer at the cursor — in steady state this
+   touches no allocator at all, only a bounds check and a zero fill —
+   and [reset] rewinds every cursor to zero. A compiled training step
+   therefore recycles the previous step's buffers instead of
+   re-allocating them, and the pool's own bookkeeping contributes
+   {e zero} minor words on the hot path (the classic free-list design
+   conses a cell per hand-out, which costs more minor allocation than
+   it saves for mostly-major-heap tensor buffers).
+
+   Handed-out buffers are zero-filled, so pooled execution is
+   bit-identical to fresh allocation. Soundness is the caller's
+   contract: [reset] must only run once no tensor built from the
+   previous generation's buffers is referenced any longer (the
+   compiled executors in [Gen] gate resets on [Ad.backward_epoch] so
+   a surrogate's tape is always consumed before its buffers are
+   recycled). The ambient pool is domain-local state; worker domains
+   spawned by [Parallel] never see the coordinating domain's pool. *)
+
+module Pool = struct
+  type slot = {
+    mutable bufs : float array array;  (* capacity; first [len] live *)
+    mutable len : int;
+    mutable cursor : int;  (* next buffer to hand out; <= len *)
+  }
+
+  type t = {
+    classes : (int, slot) Hashtbl.t;
+    mutable slots : slot list;  (* every class, for alloc-free reset *)
+    mutable hits : int;
+    mutable misses : int;
+    mutable floats : int;  (* total floats owned by the pool *)
+    mutable resets : int;
+  }
+
+  let create () =
+    { classes = Hashtbl.create 32;
+      slots = [];
+      hits = 0;
+      misses = 0;
+      floats = 0;
+      resets = 0 }
+
+  let class_of p n =
+    match Hashtbl.find p.classes n with
+    | s -> s
+    | exception Not_found ->
+      let s = { bufs = [||]; len = 0; cursor = 0 } in
+      Hashtbl.add p.classes n s;
+      p.slots <- s :: p.slots;
+      s
+
+  let push s buf =
+    if s.len = Array.length s.bufs then begin
+      let grown = Array.make (Stdlib.max 4 (2 * s.len)) [||] in
+      Array.blit s.bufs 0 grown 0 s.len;
+      s.bufs <- grown
+    end;
+    s.bufs.(s.len) <- buf;
+    s.len <- s.len + 1
+
+  let alloc p n =
+    let s = class_of p n in
+    if s.cursor < s.len then begin
+      let buf = s.bufs.(s.cursor) in
+      s.cursor <- s.cursor + 1;
+      p.hits <- p.hits + 1;
+      Array.fill buf 0 n 0.;
+      buf
+    end
+    else begin
+      p.misses <- p.misses + 1;
+      p.floats <- p.floats + n;
+      let buf = Array.make n 0. in
+      push s buf;
+      s.cursor <- s.len;
+      buf
+    end
+
+  let reset p =
+    List.iter (fun s -> s.cursor <- 0) p.slots;
+    p.resets <- p.resets + 1
+
+  (* Seed the size classes from a static layout's predicted extents,
+     so the first run already hits. *)
+  let warm p sizes =
+    List.iter
+      (fun n ->
+        if n > 0 then begin
+          p.floats <- p.floats + n;
+          push (class_of p n) (Array.make n 0.)
+        end)
+      sizes
+
+  let hits p = p.hits
+  let misses p = p.misses
+  let floats p = p.floats
+  let bytes p = 8 * p.floats
+  let resets p = p.resets
+end
+
+(* The ambient pool. Domain-local so a pool installed on the
+   coordinating domain is invisible to [Parallel] workers (which only
+   ever write into caller-allocated buffers anyway). *)
+let pool_key : Pool.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current_pool () = Domain.DLS.get pool_key
+let set_pool p = Domain.DLS.set pool_key p
+
+(* Every op-output allocation funnels through here (the zero fill is
+   what [Array.make n 0.] provided). Copy-semantics constructors
+   ([of_array], [copy], [to_array]) deliberately do not: their results
+   are the ones callers retain across steps. *)
+let alloc n =
+  match Domain.DLS.get pool_key with
+  | Some p -> Pool.alloc p n
+  | None -> Array.make n 0.
+
 (* Construction *)
 
 let of_array shape data =
@@ -34,9 +155,16 @@ let of_array shape data =
   mk (Array.copy shape) (Array.copy data)
 
 let scalar x = mk [||] [| x |]
-let zeros shape = mk (Array.copy shape) (Array.make (shape_size shape) 0.)
-let ones shape = mk (Array.copy shape) (Array.make (shape_size shape) 1.)
-let full shape x = mk (Array.copy shape) (Array.make (shape_size shape) x)
+let zeros shape = mk (Array.copy shape) (alloc (shape_size shape))
+
+let filled shape x =
+  let n = shape_size shape in
+  let data = alloc n in
+  Array.fill data 0 n x;
+  mk (Array.copy shape) data
+
+let ones shape = filled shape 1.
+let full shape x = filled shape x
 
 let of_list1 xs = of_array [| List.length xs |] (Array.of_list xs)
 
@@ -71,7 +199,7 @@ let init shape f =
   let n = shape_size shape in
   let r = Array.length shape in
   let ix = Array.make r 0 in
-  let data = Array.make n 0. in
+  let data = alloc n in
   for flat = 0 to n - 1 do
     data.(flat) <- f ix;
     (* advance the multi-index, rightmost dimension fastest *)
@@ -135,7 +263,7 @@ let map2_ f dst src =
 (* Elementwise *)
 
 let map f t =
-  let out = Array.make (Array.length t.data) 0. in
+  let out = alloc (Array.length t.data) in
   Kernel.map_into f t.data out;
   { t with data = out }
 
@@ -200,7 +328,7 @@ let row_broadcast a b =
 
 let map2 f a b =
   if a.shape = b.shape then begin
-    let out = Array.make (Array.length a.data) 0. in
+    let out = alloc (Array.length a.data) in
     Kernel.map2_into f a.data b.data out;
     { a with data = out }
   end
@@ -208,21 +336,21 @@ let map2 f a b =
   then begin
     (* [b] broadcasts as a scalar over [a]. *)
     let c = b.data.(0) in
-    let out = Array.make (Array.length a.data) 0. in
+    let out = alloc (Array.length a.data) in
     Kernel.map_into (fun x -> f x c) a.data out;
     { a with data = out }
   end
   else if Array.length a.data = 1 && Array.length a.shape <= Array.length b.shape
   then begin
     let c = a.data.(0) in
-    let out = Array.make (Array.length b.data) 0. in
+    let out = alloc (Array.length b.data) in
     Kernel.map_into (fun y -> f c y) b.data out;
     { b with data = out }
   end
   else if row_broadcast a b then begin
     (* Common bias-add pattern: [| ...; n |] (+) [| n |]. *)
     let n = b.shape.(0) in
-    let out = Array.make (Array.length a.data) 0. in
+    let out = alloc (Array.length a.data) in
     let rows = Array.length a.data / n in
     for r = 0 to rows - 1 do
       let base = r * n in
@@ -234,7 +362,7 @@ let map2 f a b =
   end
   else begin
     let { out_shape; sa; sb } = broadcast_plan a b in
-    let data = Array.make (shape_size out_shape) 0. in
+    let data = alloc (shape_size out_shape) in
     Kernel.broadcast_map2_into f a.data sa b.data sb out_shape data;
     mk out_shape data
   end
@@ -247,7 +375,7 @@ let broadcast_to t out_shape =
      survive into the result, as with [map2]. *)
   let bshape = broadcast_shapes t.shape out_shape in
   let sst = broadcast_strides_of t.shape t.st bshape in
-  let data = Array.make (shape_size bshape) 0. in
+  let data = alloc (shape_size bshape) in
   Kernel.broadcast_copy_into t.data sst bshape data;
   mk bshape data
 
@@ -259,7 +387,7 @@ let broadcast_to t out_shape =
    the exact float expressions the closures computed. *)
 
 let unary k t =
-  let out = Array.make (Array.length t.data) 0. in
+  let out = alloc (Array.length t.data) in
   k t.data out;
   { t with data = out }
 
@@ -269,33 +397,33 @@ let unary k t =
    strided walk with the op as a closure. *)
 let binary ~same ~aconst ~consta ~row ~f a b =
   if a.shape = b.shape then begin
-    let out = Array.make (Array.length a.data) 0. in
+    let out = alloc (Array.length a.data) in
     same a.data b.data out;
     { a with data = out }
   end
   else if Array.length b.data = 1 && Array.length b.shape <= Array.length a.shape
   then begin
     let c = b.data.(0) in
-    let out = Array.make (Array.length a.data) 0. in
+    let out = alloc (Array.length a.data) in
     aconst a.data c out;
     { a with data = out }
   end
   else if Array.length a.data = 1 && Array.length a.shape <= Array.length b.shape
   then begin
     let c = a.data.(0) in
-    let out = Array.make (Array.length b.data) 0. in
+    let out = alloc (Array.length b.data) in
     consta c b.data out;
     { b with data = out }
   end
   else if row_broadcast a b then begin
     let n = b.shape.(0) in
-    let out = Array.make (Array.length a.data) 0. in
+    let out = alloc (Array.length a.data) in
     row a.data b.data n out;
     { a with data = out }
   end
   else begin
     let { out_shape; sa; sb } = broadcast_plan a b in
-    let data = Array.make (shape_size out_shape) 0. in
+    let data = alloc (shape_size out_shape) in
     Kernel.broadcast_map2_into f a.data sa b.data sb out_shape data;
     mk out_shape data
   end
@@ -517,8 +645,8 @@ let bernoulli_logits_plan logits x =
 
 let bernoulli_logits_scores_fwd ~logits ~x =
   let bshape, n, tail, l, lst, xd, xst = bernoulli_logits_plan logits x in
-  let out = Array.make n 0. in
-  let sg = Array.make (shape_size bshape) 0. in
+  let out = alloc n in
+  let sg = alloc (shape_size bshape) in
   for i = 0 to n - 1 do
     let lbase = i * lst and xbase = i * xst and sbase = i * tail in
     let acc = ref 0. in
@@ -554,7 +682,7 @@ let bernoulli_logits_scores_vjp ~sigma ~x ~g =
     else if Array.length x.data = tail then (x.data, 0)
     else ((broadcast_to x sigma.shape).data, tail)
   in
-  let out = Array.make (Array.length sigma.data) 0. in
+  let out = alloc (Array.length sigma.data) in
   let sd = sigma.data and gd = g.data in
   for i = 0 to n - 1 do
     let base = i * tail and xbase = i * xst in
@@ -576,14 +704,14 @@ let matmul a b =
     let k' = b.shape.(0) and n = b.shape.(1) in
     if k <> k' then
       shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
-    let data = Array.make (m * n) 0. in
+    let data = alloc (m * n) in
     Kernel.matmul ~m ~k ~n a.data b.data data;
     mk [| m; n |] data
   | 2, 1 ->
     let m = a.shape.(0) and k = a.shape.(1) in
     if k <> b.shape.(0) then
       shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
-    let data = Array.make m 0. in
+    let data = alloc m in
     Kernel.matvec ~m ~k a.data b.data data;
     mk [| m |] data
   | 1, 2 ->
@@ -591,7 +719,7 @@ let matmul a b =
     let k' = b.shape.(0) and n = b.shape.(1) in
     if k <> k' then
       shape_error "matmul: %a x %a" pp_shape a.shape pp_shape b.shape;
-    let data = Array.make n 0. in
+    let data = alloc n in
     Kernel.vecmat ~k ~n a.data b.data data;
     mk [| n |] data
   | ra, rb -> shape_error "matmul: ranks %d and %d" ra rb
@@ -603,7 +731,7 @@ let matmul_t a b =
     let n = b.shape.(0) and k' = b.shape.(1) in
     if k <> k' then
       shape_error "matmul_t: %a x %a^T" pp_shape a.shape pp_shape b.shape;
-    let data = Array.make (m * n) 0. in
+    let data = alloc (m * n) in
     Kernel.matmul_t ~m ~k ~n a.data b.data data;
     mk [| m; n |] data
   | ra, rb -> shape_error "matmul_t: ranks %d and %d" ra rb
@@ -615,14 +743,14 @@ let t_matmul a b =
     let m' = b.shape.(0) and n = b.shape.(1) in
     if m <> m' then
       shape_error "t_matmul: %a^T x %a" pp_shape a.shape pp_shape b.shape;
-    let data = Array.make (k * n) 0. in
+    let data = alloc (k * n) in
     Kernel.t_matmul ~m ~k ~n a.data b.data data;
     mk [| k; n |] data
   | 2, 1 ->
     let m = a.shape.(0) and k = a.shape.(1) in
     if m <> b.shape.(0) then
       shape_error "t_matmul: %a^T x %a" pp_shape a.shape pp_shape b.shape;
-    let data = Array.make k 0. in
+    let data = alloc k in
     Kernel.t_matvec ~m ~k a.data b.data data;
     mk [| k |] data
   | ra, rb -> shape_error "t_matmul: ranks %d and %d" ra rb
@@ -632,7 +760,7 @@ let transpose t =
   | 0 | 1 -> t
   | 2 ->
     let m = t.shape.(0) and n = t.shape.(1) in
-    let data = Array.make (m * n) 0. in
+    let data = alloc (m * n) in
     for i = 0 to m - 1 do
       for j = 0 to n - 1 do
         data.((j * m) + i) <- t.data.((i * n) + j)
@@ -679,7 +807,7 @@ let concat0 ts =
     let total0 = List.fold_left (fun acc t -> acc + t.shape.(0)) 0 ts in
     let out_shape = Array.copy first.shape in
     out_shape.(0) <- total0;
-    let data = Array.make (shape_size out_shape) 0. in
+    let data = alloc (shape_size out_shape) in
     let off = ref 0 in
     List.iter
       (fun t ->
@@ -698,7 +826,7 @@ let stack0 ts =
           shape_error "stack0: %a vs %a" pp_shape t.shape pp_shape first.shape)
       rest;
     let out_shape = Array.append [| List.length ts |] first.shape in
-    let data = Array.make (shape_size out_shape) 0. in
+    let data = alloc (shape_size out_shape) in
     List.iteri
       (fun i t -> Array.blit t.data 0 data (i * Array.length t.data)
           (Array.length t.data))
@@ -711,7 +839,9 @@ let slice0 t i =
     shape_error "slice0: index %d of %a" i pp_shape t.shape;
   let sub_shape = Array.sub t.shape 1 (Array.length t.shape - 1) in
   let n = shape_size sub_shape in
-  mk sub_shape (Array.sub t.data (i * n) n)
+  let data = alloc n in
+  Array.blit t.data (i * n) data 0 n;
+  mk sub_shape data
 
 let rows t = List.init t.shape.(0) (slice0 t)
 let take_rows t ixs = stack0 (List.map (slice0 t) ixs)

@@ -267,6 +267,60 @@ val rows : t -> t list
 val take_rows : t -> int list -> t
 (** Gather the given axis-0 slices into a new tensor. *)
 
+(** {1 Buffer pool (execution arena)}
+
+    A {!Pool.t} recycles output buffers across repeated executions of
+    the same compiled plan. While installed as the ambient allocator
+    (see {!set_pool}), every operation's output buffer is drawn from
+    the pool's free lists instead of [Array.make]; {!Pool.reset}
+    reclaims everything handed out since the previous reset. Handed-out
+    buffers are zero-filled, so pooled execution is bit-identical to
+    fresh allocation.
+
+    Soundness is the caller's contract: [reset] must only run once no
+    tensor built from the previous generation's buffers is referenced
+    any longer. The compiled executors in [Gen] gate resets on
+    [Ad.backward_epoch], so a surrogate's tape is always consumed
+    before its buffers are recycled. The ambient pool is domain-local:
+    worker domains spawned by [Parallel] never observe the
+    coordinating domain's pool. *)
+
+module Pool : sig
+  type t
+
+  val create : unit -> t
+
+  val alloc : t -> int -> float array
+  (** [alloc p n] hands out a zero-filled buffer of length [n], reusing
+      a free buffer of exactly that length when one is available. *)
+
+  val reset : t -> unit
+  (** Return every buffer handed out since the last reset to the free
+      lists. See the soundness contract above. *)
+
+  val warm : t -> int list -> unit
+  (** [warm p sizes] pre-seeds the free lists with one buffer per
+      listed extent (a static arena layout's prediction), so the first
+      execution already hits. *)
+
+  val hits : t -> int
+  val misses : t -> int
+
+  val floats : t -> int
+  (** Total floats owned by the pool (allocated or warmed). *)
+
+  val bytes : t -> int
+  val resets : t -> int
+end
+
+val current_pool : unit -> Pool.t option
+(** The ambient pool of the current domain, if any. *)
+
+val set_pool : Pool.t option -> unit
+(** Install (or clear) the ambient pool for the current domain. All
+    subsequent op-output allocations on this domain are routed through
+    it until cleared. *)
+
 (** {1 Comparison and printing} *)
 
 val equal : t -> t -> bool

@@ -99,6 +99,69 @@ let demo_plate_escape () =
   in
   Check.Program (Gen.Packed prog)
 
+(* Model and guide bind different concrete shapes at the shared latent:
+   the model's density of a guide trace reads a 3-vector through a
+   2-dimensional primitive (PV601). *)
+let demo_shape_mismatch () =
+  let mv dim =
+    Dist.mv_normal_diag_reparam
+      (Ad.const (Tensor.zeros [| dim |]))
+      (Ad.const (Tensor.ones [| dim |]))
+  in
+  let model =
+    let* _ = Gen.sample (mv 2) "z" in
+    Gen.return ()
+  in
+  let guide =
+    let* _ = Gen.sample (mv 3) "z" in
+    Gen.return ()
+  in
+  pair (Gen.Packed model) (Gen.Packed guide)
+
+(* A two-sided broadcast at an observation: logits [6,1] against a
+   value [1,5] scores a 6x5 cross-product instead of elementwise — the
+   runtime broadcasts without complaint, so only the static shape pass
+   catches it (PV602). *)
+let demo_ambiguous_broadcast () =
+  let prog =
+    Gen.observe
+      (Dist.bernoulli_logits_vector (Ad.const (Tensor.zeros [| 6; 1 |])))
+      (Ad.const (Tensor.zeros [| 1; 5 |]))
+  in
+  Check.Program (Gen.Packed prog)
+
+(* A plate whose per-instance shape has leading extent equal to the
+   plate count: the stacked [3,3] value's instance axis is
+   indistinguishable from the instance's own axis (PV603). *)
+let demo_plate_rank () =
+  let prog =
+    Gen.plate ~n:3 (fun _ ->
+        Gen.sample
+          (Dist.mv_normal_diag_reparam
+             (Ad.const (Tensor.zeros [| 3 |]))
+             (Ad.const (Tensor.ones [| 3 |])))
+          "w")
+  in
+  Check.Program (Gen.Packed prog)
+
+(* Model and guide disagree on the iid batch count at the shared
+   address: a symbolic-dimension binding conflict (PV604). *)
+let demo_plate_count () =
+  let mv1 =
+    Dist.mv_normal_diag_reparam
+      (Ad.const (Tensor.zeros [| 1 |]))
+      (Ad.const (Tensor.ones [| 1 |]))
+  in
+  let model =
+    let* _ = Gen.sample (Dist.iid 8 mv1) "z" in
+    Gen.return ()
+  in
+  let guide =
+    let* _ = Gen.sample (Dist.iid 4 mv1) "z" in
+    Gen.return ()
+  in
+  pair (Gen.Packed model) (Gen.Packed guide)
+
 (* ------------------------------------------------------------------ *)
 (* Example-program mirrors                                             *)
 
@@ -289,14 +352,64 @@ let entries =
     { name = "demo/plate-shape"; expect = [ "PV210" ]; make = demo_plate_shape };
     { name = "demo/plate-escape";
       expect = [ "PV211" ];
-      make = demo_plate_escape } ]
+      make = demo_plate_escape };
+    { name = "demo/pv601-shape-mismatch";
+      expect = [ "PV601" ];
+      make = demo_shape_mismatch };
+    { name = "demo/pv602-ambiguous-broadcast";
+      expect = [ "PV602" ];
+      make = demo_ambiguous_broadcast };
+    { name = "demo/pv603-plate-rank";
+      expect = [ "PV603" ];
+      make = demo_plate_rank };
+    { name = "demo/pv604-plate-count";
+      expect = [ "PV604" ];
+      make = demo_plate_count } ]
 
 (* ------------------------------------------------------------------ *)
 (* Running the registry                                                *)
 
+(* Compileability findings, folded into the same report: stage each of
+   the target's programs through [Compile.compile] (uncached, so
+   frame-specific registry programs never pollute the plan cache) and
+   report refusals as info-severity PV501 diagnostics. One [ppvi
+   check] run thus surfaces strategy, address, shape, and
+   compileability findings together. Info severity is deliberate —
+   refusing to stage is a supported fallback, not an error. *)
+let compile_refusals ?fuel ?max_width name target =
+  let programs =
+    match target with
+    | Check.Program p -> [ (name, p) ]
+    | Check.Pair { model; guide } ->
+      [ (name ^ "/model", model); (name ^ "/guide", guide) ]
+  in
+  List.filter_map
+    (fun (id, p) ->
+      match Compile.compile ?fuel ?max_width ~id p with
+      | Compile.Compiled _ -> None
+      | Compile.Refused r ->
+        Some
+          { Check.code = r.Compile.r_code;
+            severity = Check.Info;
+            address = r.Compile.r_address;
+            message =
+              Printf.sprintf "%s does not stage: %s" id r.Compile.r_reason }
+      | exception exn ->
+        Some
+          { Check.code = "PV501";
+            severity = Check.Info;
+            address = None;
+            message =
+              Printf.sprintf "%s: staging attempt failed: %s" id
+                (Printexc.to_string exn) })
+    programs
+
 let run ?fuel ?max_width entry =
   match entry.make () with
-  | target -> Check.analyze ?fuel ?max_width target
+  | target ->
+    let report = Check.analyze ?fuel ?max_width target in
+    let refusals = compile_refusals ?fuel ?max_width entry.name target in
+    { report with Check.diagnostics = report.Check.diagnostics @ refusals }
   | exception exn ->
     { Check.diagnostics =
         [ { Check.code = "PV390";

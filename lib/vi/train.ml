@@ -110,6 +110,7 @@ let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
        the exact instruction stream the unobserved loop did. *)
     let live = Obs.live () in
     let nodes0 = if live then Ad.node_count () else 0 in
+    let minor0 = if live then Gc.minor_words () else 0. in
     let computed =
       match
         (* Fault-injection hook (one branch when inactive): may delay
@@ -128,6 +129,7 @@ let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
           Obs.stop Obs.Grad "train/backward" t_bwd;
           Obs.gauge "train/tape_nodes"
             (float_of_int (Ad.node_count () - nodes0));
+          Obs.gauge "train/minor_words" (Gc.minor_words () -. minor0);
           Obs.hist "train/objective" (Tensor.to_scalar (Ad.value surrogate))
         end;
         (frame, surrogate)

@@ -1,0 +1,542 @@
+(* Tests for the PV6xx static shape pass and the arena-preallocated
+   compiled execution: the abstract shape domain (broadcast analysis,
+   symbolic dims), the new preflight demo programs, the
+   static-vs-runtime shape consistency property over the compilable
+   registry, the liveness/arena layout invariants, the buffer pool,
+   and the flagship invariant extended to arenas — arena-backed
+   compiled execution is bit-identical to the interpreter and to the
+   arena-free compiled path. *)
+
+open Gen.Syntax
+
+let bits = Int64.bits_of_float
+let float_bits_equal a b = Int64.equal (bits a) (bits b)
+
+let tensor_bits_equal t1 t2 =
+  Tensor.shape t1 = Tensor.shape t2
+  &&
+  let a = Tensor.to_array t1 and b = Tensor.to_array t2 in
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (float_bits_equal x b.(i)) then ok := false) a;
+  !ok
+
+let value_bits_equal v1 v2 =
+  match (v1, v2) with
+  | Value.Real a, Value.Real b -> tensor_bits_equal (Ad.value a) (Ad.value b)
+  | _ -> v1 = v2
+
+let trace_bits_equal t1 t2 =
+  let b1 = Trace.bindings t1 and b2 = Trace.bindings t2 in
+  List.length b1 = List.length b2
+  && List.for_all2
+       (fun (a1, v1) (a2, v2) -> String.equal a1 a2 && value_bits_equal v1 v2)
+       b1 b2
+
+let scalar_of w = Tensor.to_scalar (Ad.value w)
+
+let run_for m key =
+  let out = ref None in
+  ignore
+    (Adev.run m key (fun x ->
+         out := Some x;
+         Ad.scalar 0.));
+  Option.get !out
+
+(* ------------------------------------------------------------------ *)
+(* The abstract shape domain                                           *)
+
+let c = Shape.concrete
+
+let test_broadcast_ok () =
+  (match Shape.broadcast (c [| 4; 1 |]) (c [| 3 |]) with
+  | Shape.Broadcast_ok out ->
+    Alcotest.(check string) "right-aligned result" "[4,3]"
+      (Shape.to_string out)
+  | _ -> Alcotest.fail "expected Broadcast_ok");
+  (* Rank extension alone is routine and never two-sided. *)
+  (match Shape.broadcast (c [| 5; 2 |]) (c [| 2 |]) with
+  | Shape.Broadcast_ok out ->
+    Alcotest.(check string) "rank extension" "[5,2]" (Shape.to_string out)
+  | _ -> Alcotest.fail "expected Broadcast_ok");
+  match Shape.broadcast Shape.scalar (c [| 7 |]) with
+  | Shape.Broadcast_ok out ->
+    Alcotest.(check string) "scalar against vector" "[7]"
+      (Shape.to_string out)
+  | _ -> Alcotest.fail "expected Broadcast_ok"
+
+let test_broadcast_mismatch () =
+  match Shape.broadcast (c [| 4; 3 |]) (c [| 2; 3 |]) with
+  | Shape.Broadcast_mismatch { axis; left; right } ->
+    Alcotest.(check int) "mismatching axis" 0 axis;
+    Alcotest.(check (option int)) "left extent" (Some 4)
+      (Shape.dim_known left);
+    Alcotest.(check (option int)) "right extent" (Some 2)
+      (Shape.dim_known right)
+  | _ -> Alcotest.fail "expected Broadcast_mismatch"
+
+let test_broadcast_two_sided () =
+  (match Shape.broadcast (c [| 6; 1 |]) (c [| 1; 5 |]) with
+  | Shape.Broadcast_two_sided { result; left_axis; right_axis } ->
+    Alcotest.(check string) "cross-product result" "[6,5]"
+      (Shape.to_string result);
+    Alcotest.(check int) "left stretches axis" 1 left_axis;
+    Alcotest.(check int) "right stretches axis" 0 right_axis
+  | _ -> Alcotest.fail "expected Broadcast_two_sided");
+  (* One-sided explicit stretching is plain broadcasting. *)
+  match Shape.broadcast (c [| 6; 1 |]) (c [| 6; 5 |]) with
+  | Shape.Broadcast_ok _ -> ()
+  | _ -> Alcotest.fail "one-sided stretch must be Broadcast_ok"
+
+let test_symbolic_dims () =
+  let sym ?binding s = Shape.Sym { sym = s; binding } in
+  (* Bound symbols compare by extent; unbound only by identity. *)
+  Alcotest.(check bool) "bound sym = equal const" true
+    (Shape.equal [| sym ~binding:8 "B@z" |] (c [| 8 |]));
+  Alcotest.(check bool) "bound sym <> other const" false
+    (Shape.equal [| sym ~binding:8 "B@z" |] (c [| 4 |]));
+  Alcotest.(check bool) "same unbound sym agrees" true
+    (Shape.equal [| sym "N@xs" |] [| sym "N@xs" |]);
+  Alcotest.(check bool) "different unbound syms differ" false
+    (Shape.equal [| sym "N@xs" |] [| sym "N@ys" |]);
+  Alcotest.(check (option (array int))) "to_concrete resolves bindings"
+    (Some [| 8; 2 |])
+    (Shape.to_concrete [| sym ~binding:8 "B@z"; Shape.Const 2 |]);
+  Alcotest.(check (option (array int))) "to_concrete fails when unbound" None
+    (Shape.to_concrete [| sym "N@xs" |]);
+  Alcotest.(check string) "pretty-printing" "[N@xs=3,2]"
+    (Shape.to_string [| sym ~binding:3 "N@xs"; Shape.Const 2 |])
+
+let test_iid_count () =
+  Alcotest.(check (option int)) "iid name parses" (Some 8)
+    (Shape.iid_count "iid(8,normal)");
+  Alcotest.(check (option int)) "plain name does not" None
+    (Shape.iid_count "normal");
+  Alcotest.(check (option int)) "malformed does not" None
+    (Shape.iid_count "iid(x,normal)")
+
+(* ------------------------------------------------------------------ *)
+(* PV6xx demo programs (one per diagnostic)                            *)
+
+let demo_entry name =
+  match
+    List.find_opt (fun e -> e.Preflight.name = name) Preflight.entries
+  with
+  | Some e -> e
+  | None -> Alcotest.failf "registry has no entry %s" name
+
+let codes report = List.map (fun d -> d.Check.code) report.Check.diagnostics
+
+let check_demo name code severity =
+  let e = demo_entry name in
+  let r = Preflight.run e in
+  let d =
+    match List.find_opt (fun d -> d.Check.code = code) r.Check.diagnostics with
+    | Some d -> d
+    | None ->
+      Alcotest.failf "%s missing %s (got: %s)" name code
+        (String.concat "," (codes r))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s severity" code)
+    true
+    (d.Check.severity = severity);
+  Alcotest.(check bool) "demo entry passes its expectation" true
+    (Preflight.entry_ok e r)
+
+let test_pv601_demo () =
+  check_demo "demo/pv601-shape-mismatch" "PV601" Check.Error
+
+let test_pv602_demo () =
+  check_demo "demo/pv602-ambiguous-broadcast" "PV602" Check.Warning
+
+let test_pv603_demo () = check_demo "demo/pv603-plate-rank" "PV603" Check.Warning
+let test_pv604_demo () = check_demo "demo/pv604-plate-count" "PV604" Check.Error
+
+(* Every previously-clean registry target must stay clean under the
+   shape pass (and demo targets must keep producing their expected
+   codes) — the acceptance criterion behind `ppvi check --shapes`. *)
+let test_registry_all_ok () =
+  let results = Preflight.run_all () in
+  List.iter
+    (fun (e, r) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ok (got: %s)" e.Preflight.name
+           (String.concat "," (codes r)))
+        true
+        (Preflight.entry_ok e r))
+    results
+
+(* Compile refusals are folded into the check report as info-severity
+   PV501, so one `ppvi check` surfaces compileability too. The AIR
+   pair refuses staging (data-dependent structure) but must stay a
+   *clean* check target. *)
+let test_pv501_in_check_report () =
+  let e = demo_entry "air" in
+  let r = Preflight.run e in
+  let pv501 =
+    List.filter (fun d -> d.Check.code = "PV501") r.Check.diagnostics
+  in
+  Alcotest.(check bool) "PV501 present in check report" true (pv501 <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "refusal is info severity" true
+        (d.Check.severity = Check.Info))
+    pv501;
+  Alcotest.(check bool) "entry still ok" true (Preflight.entry_ok e r)
+
+(* ------------------------------------------------------------------ *)
+(* Static shapes == runtime shapes (compilable registry)               *)
+
+let registry_programs entry =
+  match entry.Preflight.make () with
+  | Check.Program p -> [ (entry.Preflight.name, p) ]
+  | Check.Pair { model; guide } ->
+    [ (entry.Preflight.name ^ "/model", model);
+      (entry.Preflight.name ^ "/guide", guide) ]
+  | exception _ -> []
+
+(* For every compilable registry program: each statically inferred
+   plan-site shape, once its symbolic dims are resolved, must equal
+   the shape the runtime actually binds in a compiled simulation's
+   trace. *)
+let static_shapes_match_runtime ~id (Gen.Packed prog) seed =
+  match Compile.compile ~id (Gen.Packed prog) with
+  | Compile.Refused _ -> true
+  | Compile.Compiled plan ->
+    let _, trace, _ = run_for (Gen.simulate_compiled plan prog) (Prng.key seed) in
+    List.for_all
+      (fun (addr, shape) ->
+        match Shape.to_concrete shape with
+        | None -> false (* plan-site shapes are always fully bound *)
+        | Some static -> (
+          match Trace.find_opt addr trace with
+          | Some (Value.Real v) -> Ad.shape v = static
+          | Some _ | None -> false))
+      (Shape.of_plan plan)
+
+let prop_static_shapes_match_runtime =
+  QCheck.Test.make ~name:"static shapes == runtime shapes (registry)"
+    ~count:20
+    QCheck.(small_nat)
+    (fun seed ->
+      List.for_all
+        (fun entry ->
+          List.for_all
+            (fun (id, p) ->
+              static_shapes_match_runtime
+                ~id:(Printf.sprintf "shape/%s#%d" id seed)
+                p seed)
+            (registry_programs entry))
+        Preflight.entries)
+
+(* ------------------------------------------------------------------ *)
+(* Liveness / arena layout                                             *)
+
+let layout_invariants (l : Layout.t) =
+  let slab_overlap a b =
+    not
+      (a.Layout.iv_offset + a.Layout.iv_extent <= b.Layout.iv_offset
+      || b.Layout.iv_offset + b.Layout.iv_extent <= a.Layout.iv_offset)
+  in
+  let live_overlap a b =
+    not (a.Layout.iv_stop < b.Layout.iv_start || b.Layout.iv_stop < a.Layout.iv_start)
+  in
+  let rec pairs = function
+    | [] -> true
+    | a :: rest ->
+      List.for_all (fun b -> not (live_overlap a b && slab_overlap a b)) rest
+      && pairs rest
+  in
+  l.Layout.arena_floats <= l.Layout.naive_floats
+  && List.for_all
+       (fun iv ->
+         iv.Layout.iv_offset >= 0
+         && iv.Layout.iv_offset + iv.Layout.iv_extent <= l.Layout.arena_floats)
+       l.Layout.intervals
+  && pairs l.Layout.intervals
+
+let prop_layout_invariants =
+  QCheck.Test.make ~name:"arena layout invariants (registry plans)"
+    ~count:1
+    QCheck.(unit)
+    (fun () ->
+      List.for_all
+        (fun entry ->
+          List.for_all
+            (fun (id, p) ->
+              match Compile.compile ~id:("layout/" ^ id) p with
+              | Compile.Refused _ -> true
+              | Compile.Compiled plan ->
+                layout_invariants (Layout.of_plan plan))
+            (registry_programs entry))
+        Preflight.entries)
+
+(* Two observations at different steps have disjoint live ranges, so
+   first-fit reuses one slab region for both. *)
+let test_layout_reuses_disjoint_ranges () =
+  let prog =
+    let* _ =
+      Gen.observe
+        (Dist.mv_normal_diag_reparam
+           (Ad.const (Tensor.zeros [| 4 |]))
+           (Ad.const (Tensor.ones [| 4 |])))
+        (Ad.const (Tensor.zeros [| 4 |]))
+    in
+    Gen.observe
+      (Dist.mv_normal_diag_reparam
+         (Ad.const (Tensor.zeros [| 4 |]))
+         (Ad.const (Tensor.ones [| 4 |])))
+      (Ad.const (Tensor.ones [| 4 |]))
+  in
+  match Compile.compile ~id:"layout/unit-reuse" (Gen.Packed prog) with
+  | Compile.Refused r -> Alcotest.failf "unexpected refusal: %s" r.r_reason
+  | Compile.Compiled plan ->
+    let l = Layout.of_plan plan in
+    Alcotest.(check int) "two intervals" 2 (List.length l.Layout.intervals);
+    Alcotest.(check int) "naive sums both extents" 8 l.Layout.naive_floats;
+    Alcotest.(check int) "arena shares one region" 4 l.Layout.arena_floats;
+    List.iter
+      (fun iv ->
+        Alcotest.(check int) "both at offset 0" 0 iv.Layout.iv_offset)
+      l.Layout.intervals;
+    Alcotest.(check (list int)) "one warmed extent" [ 4 ]
+      (Layout.warm_extents l)
+
+(* A trace slot is live from step 0, so it can never share a region
+   with an earlier observation's scratch. *)
+let test_layout_keeps_live_ranges_apart () =
+  let prog =
+    let* _ =
+      Gen.observe
+        (Dist.mv_normal_diag_reparam
+           (Ad.const (Tensor.zeros [| 4 |]))
+           (Ad.const (Tensor.ones [| 4 |])))
+        (Ad.const (Tensor.zeros [| 4 |]))
+    in
+    let* _ =
+      Gen.sample
+        (Dist.mv_normal_diag_reparam
+           (Ad.const (Tensor.zeros [| 4 |]))
+           (Ad.const (Tensor.ones [| 4 |])))
+        "z"
+    in
+    Gen.return ()
+  in
+  match Compile.compile ~id:"layout/unit-apart" (Gen.Packed prog) with
+  | Compile.Refused r -> Alcotest.failf "unexpected refusal: %s" r.r_reason
+  | Compile.Compiled plan ->
+    let l = Layout.of_plan plan in
+    Alcotest.(check int) "no reuse possible" 8 l.Layout.arena_floats;
+    Alcotest.(check bool) "invariants hold" true (layout_invariants l)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+
+let test_pool_recycles_buffers () =
+  let p = Tensor.Pool.create () in
+  let b1 = Tensor.Pool.alloc p 16 in
+  Alcotest.(check int) "first alloc misses" 1 (Tensor.Pool.misses p);
+  Array.fill b1 0 16 42.;
+  Tensor.Pool.reset p;
+  let b2 = Tensor.Pool.alloc p 16 in
+  Alcotest.(check bool) "same physical buffer after reset" true (b1 == b2);
+  Alcotest.(check int) "second alloc hits" 1 (Tensor.Pool.hits p);
+  Alcotest.(check bool) "handed out zero-filled" true
+    (Array.for_all (fun x -> x = 0.) b2);
+  (* Without a reset, a second request must get a distinct buffer. *)
+  let b3 = Tensor.Pool.alloc p 16 in
+  Alcotest.(check bool) "no double hand-out" true (not (b2 == b3));
+  Alcotest.(check int) "pool owns both buffers" 32 (Tensor.Pool.floats p)
+
+let test_pool_warm_prehits () =
+  let p = Tensor.Pool.create () in
+  Tensor.Pool.warm p [ 8; 24 ];
+  ignore (Tensor.Pool.alloc p 8);
+  ignore (Tensor.Pool.alloc p 24);
+  Alcotest.(check int) "warmed sizes hit" 2 (Tensor.Pool.hits p);
+  Alcotest.(check int) "no misses" 0 (Tensor.Pool.misses p);
+  ignore (Tensor.Pool.alloc p 9);
+  Alcotest.(check int) "unwarmed size misses" 1 (Tensor.Pool.misses p);
+  Alcotest.(check int) "accounting includes warm + miss" (8 + 24 + 9)
+    (Tensor.Pool.floats p);
+  Alcotest.(check int) "bytes = 8 * floats" (8 * (8 + 24 + 9))
+    (Tensor.Pool.bytes p)
+
+let test_pool_routes_op_outputs () =
+  let p = Tensor.Pool.create () in
+  Tensor.set_pool (Some p);
+  Fun.protect
+    ~finally:(fun () -> Tensor.set_pool None)
+    (fun () ->
+      let a = Tensor.ones [| 8 |] in
+      let b = Tensor.add a a in
+      Alcotest.(check bool) "ops allocate from the pool" true
+        (Tensor.Pool.misses p > 0);
+      Alcotest.(check (float 0.)) "pooled results are correct" 16.
+        (Tensor.sum b));
+  Alcotest.(check bool) "pool uninstalled" true (Tensor.current_pool () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Arena-backed compiled execution: bit identity                       *)
+
+(* Attach the static layout's pool to a freshly compiled plan, then
+   interleave compiled runs with backward passes (advancing the epoch
+   so the pool actually resets and recycles buffers) and require every
+   run to stay bit-identical to the interpreter. *)
+let check_arena_bit_identity ~id (Gen.Packed prog) seed =
+  match Compile.compile ~id (Gen.Packed prog) with
+  | Compile.Refused _ -> true
+  | Compile.Compiled plan ->
+    Gen.Plan.set_arena plan (Some (Layout.pool_of (Layout.of_plan plan)));
+    let ok = ref true in
+    for round = 0 to 2 do
+      let key = Prng.key (seed + (104729 * round)) in
+      let _, ti, wi = run_for (Gen.simulate prog) key in
+      let _, tc, wc = run_for (Gen.simulate_compiled plan prog) key in
+      if
+        not
+          (float_bits_equal (scalar_of wi) (scalar_of wc)
+          && trace_bits_equal ti tc)
+      then ok := false;
+      let di = run_for (Gen.log_density prog ti) key in
+      let dc = run_for (Gen.log_density_compiled plan prog ti) key in
+      if not (float_bits_equal (scalar_of di) (scalar_of dc)) then ok := false;
+      (* Consume the compiled runs' tapes so the next round's
+         arena_enter recycles their buffers. *)
+      Ad.backward wc;
+      Ad.backward dc
+    done;
+    !ok
+
+let prop_registry_arena_bit_identity =
+  QCheck.Test.make
+    ~name:"registry arena-compiled == interpreter (bitwise)" ~count:15
+    QCheck.(small_nat)
+    (fun seed ->
+      List.for_all
+        (fun entry ->
+          List.for_all
+            (fun (id, p) ->
+              check_arena_bit_identity
+                ~id:(Printf.sprintf "arena/%s#%d" id seed)
+                p seed)
+            (registry_programs entry))
+        Preflight.entries)
+
+(* The full VAE gradient step through the plan cache: arena execution
+   on vs off must produce bit-identical surrogates and gradients, and
+   the arena must actually be exercised (pool hits on the warm run). *)
+let test_vae_grad_arena_bit_identity () =
+  Compile.reset_cache ();
+  let store = Store.create () in
+  Vae.register store (Prng.key 3);
+  let images, _ = Data.digit_batch (Prng.key 4) 16 in
+  let grad_of () =
+    let frame = Store.Frame.make store in
+    let s =
+      Adev.expectation (Vae.elbo_per_datum ~compiled:true frame images)
+        (Prng.key 5)
+    in
+    Ad.backward s;
+    (scalar_of s, Store.Frame.grads frame)
+  in
+  Compile.set_arena_execution false;
+  let v0, g0 = grad_of () in
+  Compile.set_arena_execution true;
+  (* Two arena steps: the second recycles the first's buffers. *)
+  let _ = grad_of () in
+  let v1, g1 = grad_of () in
+  Alcotest.(check bool) "surrogate bits equal" true (float_bits_equal v0 v1);
+  List.iter2
+    (fun (n0, t0) (n1, t1) ->
+      Alcotest.(check string) "param order" n0 n1;
+      Alcotest.(check bool) (n0 ^ " grad bits equal") true
+        (tensor_bits_equal t0 t1))
+    g0 g1;
+  let pool_hits id =
+    match Compile.plan_for ~id (Gen.Packed (Gen.return ())) with
+    | Compile.Compiled plan -> (
+      match Gen.Plan.arena plan with
+      | Some p -> Tensor.Pool.hits p
+      | None -> 0)
+    | Compile.Refused _ -> 0
+  in
+  Alcotest.(check bool) "model plan recycled buffers" true
+    (pool_hits "vae/model" > 0);
+  Alcotest.(check bool) "guide plan recycled buffers" true
+    (pool_hits "vae/guide" > 0);
+  Compile.set_arena_execution true;
+  Compile.reset_cache ()
+
+(* Multi-sample estimators stack several forward tapes before one
+   backward; the epoch gate must keep the pool from resetting between
+   them (a reset would corrupt the still-referenced earlier tapes). *)
+let test_arena_multi_sample_safety () =
+  Compile.reset_cache ();
+  let store = Store.create () in
+  Vae.register store (Prng.key 3);
+  let images, _ = Data.digit_batch (Prng.key 4) 8 in
+  let grad_of () =
+    let frame = Store.Frame.make store in
+    let s =
+      Adev.expectation_mean ~samples:3
+        (Vae.elbo_per_datum ~compiled:true frame images)
+        (Prng.key 6)
+    in
+    Ad.backward s;
+    (scalar_of s, Store.Frame.grads frame)
+  in
+  Compile.set_arena_execution false;
+  let v0, g0 = grad_of () in
+  Compile.set_arena_execution true;
+  let _ = grad_of () in
+  let v1, g1 = grad_of () in
+  Alcotest.(check bool) "stacked surrogate bits equal" true
+    (float_bits_equal v0 v1);
+  List.iter2
+    (fun (n0, t0) (n1, t1) ->
+      Alcotest.(check string) "param order" n0 n1;
+      Alcotest.(check bool) (n0 ^ " grad bits equal") true
+        (tensor_bits_equal t0 t1))
+    g0 g1;
+  Compile.set_arena_execution true;
+  Compile.reset_cache ()
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_static_shapes_match_runtime;
+      prop_layout_invariants;
+      prop_registry_arena_bit_identity ]
+
+let suites =
+  [ ( "shape",
+      [ Alcotest.test_case "broadcast ok" `Quick test_broadcast_ok;
+        Alcotest.test_case "broadcast mismatch" `Quick test_broadcast_mismatch;
+        Alcotest.test_case "broadcast two-sided" `Quick
+          test_broadcast_two_sided;
+        Alcotest.test_case "symbolic dims" `Quick test_symbolic_dims;
+        Alcotest.test_case "iid count parsing" `Quick test_iid_count;
+        Alcotest.test_case "PV601 demo (shape mismatch)" `Quick test_pv601_demo;
+        Alcotest.test_case "PV602 demo (ambiguous broadcast)" `Quick
+          test_pv602_demo;
+        Alcotest.test_case "PV603 demo (plate rank)" `Quick test_pv603_demo;
+        Alcotest.test_case "PV604 demo (plate count)" `Quick test_pv604_demo;
+        Alcotest.test_case "registry all ok under shape pass" `Slow
+          test_registry_all_ok;
+        Alcotest.test_case "PV501 folded into check report" `Quick
+          test_pv501_in_check_report ]
+      @ qcheck_cases );
+    ( "arena",
+      [ Alcotest.test_case "layout reuses disjoint ranges" `Quick
+          test_layout_reuses_disjoint_ranges;
+        Alcotest.test_case "layout keeps live ranges apart" `Quick
+          test_layout_keeps_live_ranges_apart;
+        Alcotest.test_case "pool recycles buffers" `Quick
+          test_pool_recycles_buffers;
+        Alcotest.test_case "pool warm pre-hits" `Quick test_pool_warm_prehits;
+        Alcotest.test_case "pool routes op outputs" `Quick
+          test_pool_routes_op_outputs;
+        Alcotest.test_case "vae grad arena bit-identical" `Slow
+          test_vae_grad_arena_bit_identity;
+        Alcotest.test_case "multi-sample arena safety" `Slow
+          test_arena_multi_sample_safety ] ) ]
