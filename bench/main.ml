@@ -913,6 +913,110 @@ let json ~quick () =
   in
   write_json "BENCH_compiled.json" ~domains compiled_entries
 
+(* Memory-scaled training suite -> BENCH_memory.json: rematerialization
+   (latency, GC pressure, peak live tape) and sharded-step determinism.
+   The _kw, peak-live, and mismatch pseudo-entries are deterministic
+   for a fixed batch, so the CI gates on them are machine-independent;
+   only the vae_grad_step_remat latency entry is wall-clock. *)
+let memory ~quick () =
+  hr "Memory-scaled training -> BENCH_memory.json";
+  let domains = Parallel.domains () in
+  let quota = if quick then 0.25 else 1.0 in
+  let limit = if quick then 1 else 300 in
+  let run f = bech_samples ~quota ~limit f in
+  let batch = 256 in
+  let segments = 4 in
+  let store = Store.create () in
+  Vae.register store (Prng.key 1);
+  let key = Prng.key 2 in
+  (* The batch is drawn once: data synthesis is identical on both
+     sides, so excluding it keeps the remat-vs-plain comparison about
+     the tape. *)
+  let images, _ = Data.digit_batch key batch in
+  let step remat () = Vae.grad_step_on store ~images ~segments ~remat key in
+  let plain = run (step false) in
+  let remat = run (step true) in
+  (* GC pressure per gradient step, in kwords, as in the compiled
+     suite: one warm-up step (the segment pool populates its size
+     classes on the first checkpointed run), then the averaged Gc
+     delta over a fixed rep count. *)
+  let alloc_kwords remat =
+    step remat ();
+    let reps = 5 in
+    let s0 = Gc.quick_stat () in
+    for _ = 1 to reps do
+      step remat ()
+    done;
+    let s1 = Gc.quick_stat () in
+    let per f = (f s1 -. f s0) /. float_of_int reps /. 1e3 in
+    ( per (fun (s : Gc.stat) -> s.Gc.minor_words),
+      per (fun (s : Gc.stat) -> s.Gc.major_words -. s.Gc.promoted_words) )
+  in
+  let plain_minor_kw, plain_major_kw = alloc_kwords false in
+  let remat_minor_kw, remat_major_kw = alloc_kwords true in
+  (* Peak live tape nodes, A/B on the SAME sliced step with checkpoint
+     barriers off/on (counts, not times): the vectorized tape's node
+     count is batch-independent, so the honest measure of what
+     checkpointing buys is barrier-vs-no-barrier on one graph. *)
+  let peak_full =
+    Vae.grad_step_peak_live store ~batch ~segments ~remat:false key
+  in
+  let peak_remat =
+    Vae.grad_step_peak_live store ~batch ~segments ~remat:true key
+  in
+  (* Determinism drill: the same 4-shard gradient step on 1, 2, and 4
+     domains, and the remat A/B under fixed keys, must agree
+     bit-for-bit. Mismatch counts become pseudo-entries gated against
+     the constant reference entry (medians can't express "must be
+     zero" directly, so both sides are offset by 1). *)
+  let grads_bits ndomains remat =
+    Parallel.set_domains ndomains;
+    let spec = Vae.step_spec ~shards:4 ~remat ~batch:64 (Prng.key 5) in
+    let _, gs = Train.shard_step ~store ~spec ~step:0 (Prng.key 5) in
+    List.map
+      (fun (n, t) -> (n, Array.map Int64.bits_of_float (Tensor.to_array t)))
+      gs
+  in
+  let reference = grads_bits 1 false in
+  let count_mismatch other =
+    try
+      List.fold_left2
+        (fun acc (n1, b1) (n2, b2) ->
+          if n1 = n2 && b1 = b2 then acc else acc + 1)
+        0 reference other
+    with Invalid_argument _ -> List.length reference
+  in
+  let shard_mismatches =
+    count_mismatch (grads_bits 2 false) + count_mismatch (grads_bits 4 false)
+  in
+  let remat_mismatches =
+    count_mismatch (grads_bits 1 true) + count_mismatch (grads_bits 4 true)
+  in
+  Parallel.set_domains domains;
+  write_json "BENCH_memory.json" ~domains
+    [ { e_name = "vae_grad_step_plain"; e_pkey = "batch"; e_pval = batch;
+        e_samples = plain };
+      { e_name = "vae_grad_step_remat"; e_pkey = "batch"; e_pval = batch;
+        e_samples = remat };
+      { e_name = "vae_grad_step_plain_minor_kw"; e_pkey = "batch";
+        e_pval = batch; e_samples = [ plain_minor_kw ] };
+      { e_name = "vae_grad_step_remat_minor_kw"; e_pkey = "batch";
+        e_pval = batch; e_samples = [ remat_minor_kw ] };
+      { e_name = "vae_grad_step_plain_major_kw"; e_pkey = "batch";
+        e_pval = batch; e_samples = [ plain_major_kw ] };
+      { e_name = "vae_grad_step_remat_major_kw"; e_pkey = "batch";
+        e_pval = batch; e_samples = [ remat_major_kw ] };
+      { e_name = "vae_peak_live_full"; e_pkey = "batch"; e_pval = batch;
+        e_samples = [ float_of_int peak_full ] };
+      { e_name = "vae_peak_live_remat"; e_pkey = "batch"; e_pval = batch;
+        e_samples = [ float_of_int peak_remat ] };
+      { e_name = "vae_shard_mismatches"; e_pkey = "batch"; e_pval = 64;
+        e_samples = [ float_of_int (1 + shard_mismatches) ] };
+      { e_name = "vae_remat_mismatches"; e_pkey = "batch"; e_pval = 64;
+        e_samples = [ float_of_int (1 + remat_mismatches) ] };
+      { e_name = "vae_shard_reference"; e_pkey = "batch"; e_pval = 64;
+        e_samples = [ 1.0 ] } ]
+
 (* ------------------------------------------------------------------ *)
 
 let all ~quick () =
@@ -977,6 +1081,10 @@ let () =
               bechamel ())
           $ domains_flag);
       subcommand "json" "Machine-readable kernel + VAE benchmarks" json;
+      subcommand "memory"
+        "Memory-scaled training: remat latency/GC/peak-live and sharded \
+         determinism -> BENCH_memory.json"
+        memory;
       subcommand "all" "Everything" all ]
   in
   let default =

@@ -210,7 +210,9 @@ let obs_gauges () =
   Obs.gauge "parallel/jobs_parallel"
     (float_of_int (Parallel.jobs_parallel ()));
   Obs.gauge "parallel/blocks" (float_of_int (Parallel.blocks_run ()));
-  Obs.gauge "ad/nodes_total" (float_of_int (Ad.node_count ()))
+  Obs.gauge "ad/nodes_total" (float_of_int (Ad.node_count ()));
+  Obs.gauge "ad/peak_live_nodes" (float_of_int (Ad.peak_live_nodes ()));
+  Obs.gauge "ad/remat_replays" (float_of_int (Ad.remat_replays ()))
 
 let obs_finish o =
   if o.trace <> None || o.metrics then obs_gauges ();
@@ -455,18 +457,56 @@ let regression_cmd =
 
 (* vae *)
 
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg "expected a positive integer")
+    | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+  in
+  Arg.conv (parse, fun ppf n -> Format.fprintf ppf "%d" n)
+
+let shards_arg =
+  Arg.(
+    value & opt positive_int_conv 1
+    & info [ "shards" ]
+        ~doc:
+          "Data-parallel shards per gradient step: the minibatch is \
+           split into $(docv) contiguous slices, each estimated on its \
+           own tape on the domain pool and combined with a \
+           deterministic tree reduction (bit-reproducible across \
+           $(b,--domains) for a fixed shard count). 1 keeps the \
+           historical single-tape trajectory.")
+
+let remat_arg =
+  Arg.(
+    value & flag
+    & info [ "remat" ]
+        ~doc:
+          "Gradient checkpointing: discard each sample's (or shard's) \
+           tape segment after the forward pass and rematerialize it \
+           during backward. Gradients are bit-identical; peak live \
+           tape and major-heap traffic drop, at the cost of a second \
+           forward pass.")
+
 let vae_cmd =
-  let run steps batch seed csv resilience pf obs =
+  let run steps batch shards remat seed csv resilience pf obs =
     obs_setup obs;
     run_preflight pf "vae";
     let store, reports =
-      Vae.train ~steps ~batch ~guard:resilience.guard
+      Vae.train ~steps ~batch ~shards ~remat ~guard:resilience.guard
         ?persist:resilience.persist ?store:(initial_store resilience)
         (Prng.key seed)
     in
-    let last = (List.nth reports (steps - 1)).Train.objective in
-    Printf.printf "final ELBO/datum %.2f after %d steps (batch %d)\n" last
-      steps batch;
+    (* Faulted (OOM-skipped) steps report nothing, and --steps 0 resume
+       runs report nothing at all — print the last report that exists. *)
+    (match List.rev reports with
+    | [] ->
+      Printf.printf "no completed steps (%d requested, batch %d)\n" steps
+        batch
+    | r :: _ ->
+      Printf.printf "final ELBO/datum %.2f after %d steps (batch %d)\n"
+        r.Train.objective steps batch);
     print_series csv reports;
     finish_run resilience store;
     obs_finish obs
@@ -477,7 +517,8 @@ let vae_cmd =
       const (fun () -> run)
       $ domains_term $ steps_arg 300
       $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.")
-      $ seed_arg $ csv_arg $ resilience_term $ preflight_term $ obs_term)
+      $ shards_arg $ remat_arg $ seed_arg $ csv_arg $ resilience_term
+      $ preflight_term $ obs_term)
 
 (* air *)
 
@@ -543,10 +584,14 @@ let profile_target_conv =
       ("vae", `Vae) ]
 
 let profile_cmd =
-  let run () target objective steps batch compiled seed json trace =
+  let run () target objective steps batch shards remat compiled seed json
+      trace =
     (* Recording is on for the whole run; the trace file (when given)
        receives every sampled event, and the aggregate tables go to
-       stdout at the end. *)
+       stdout at the end. The parallel counters are cumulative
+       process-wide — reset them here so the gauges report THIS run's
+       figures, not leftovers from warm-up or a previous profile. *)
+    Parallel.reset_counters ();
     (match trace with
     | Some path -> open_trace path
     | None -> Obs.configure ~enabled:true ());
@@ -562,8 +607,10 @@ let profile_cmd =
         ignore (Regression.train ~steps (Prng.key seed));
         "regression"
       | `Vae ->
-        ignore (Vae.train ~steps ~batch ~compiled (Prng.key seed));
-        Printf.sprintf "vae (batch %d%s)" batch
+        ignore (Vae.train ~steps ~batch ~shards ~remat ~compiled (Prng.key seed));
+        Printf.sprintf "vae (batch %d%s%s%s)" batch
+          (if shards > 1 then Printf.sprintf ", %d shards" shards else "")
+          (if remat then ", remat" else "")
           (if compiled then ", compiled" else "")
     in
     obs_gauges ();
@@ -602,6 +649,7 @@ let profile_cmd =
                  which is what makes the estimator ranking interesting.")
       $ steps_arg 150
       $ Arg.(value & opt int 64 & info [ "batch" ] ~doc:"VAE batch size.")
+      $ shards_arg $ remat_arg
       $ Arg.(
           value & flag
           & info [ "compiled" ]

@@ -8,13 +8,101 @@ type t = {
      second delta arrives. *)
   mutable g_owned : bool;
   parents : (t * (Tensor.t -> Tensor.t)) array;
+  (* A rematerialization thunk for checkpoint-barrier nodes: replaying
+     it rebuilds the discarded tape segment behind this node (see
+     {!checkpoint}). [None] for ordinary nodes; the [parents] of a
+     remat node are the segment's boundary nodes (for topological
+     ordering only — their vjps are never called, the replayed
+     segment's local sweep accumulates into them directly). *)
+  remat : (unit -> t) option;
 }
 
-let counter = ref 0
+(* Counters are atomic: the sharded training driver runs one forward +
+   backward per minibatch shard on worker domains concurrently, and
+   node ids must stay process-unique (they key the backward visit set
+   and provenance side tables). *)
+let counter = Atomic.make 0
+
+(* Live-tape accounting. [live_nodes] is created-minus-retired;
+   [peak_live] tracks its high-water mark. Nodes retire when a
+   checkpoint barrier discards its segment, when a replayed segment's
+   local sweep completes, and when [backward] has consumed a tape —
+   so with remat barriers the peak stops scaling with the full tape
+   length. Both are process-wide; reset them from a quiescent point
+   (between steps) to measure one step's peak. *)
+let live_nodes = Atomic.make 0
+let peak_live = Atomic.make 0
+let remat_replay_total = Atomic.make 0
+
+let track_new () =
+  let l = Atomic.fetch_and_add live_nodes 1 + 1 in
+  let rec bump () =
+    let p = Atomic.get peak_live in
+    if l > p && not (Atomic.compare_and_set peak_live p l) then bump ()
+  in
+  bump ()
+
+let retire n = if n > 0 then ignore (Atomic.fetch_and_add live_nodes (-n))
+
+(* Per-domain created/retired tallies, used to count how many records a
+   checkpoint construction or replay produced on THIS domain (the
+   atomic counter interleaves across domains, so a global delta would
+   over-count under sharding). *)
+type domain_tally = { mutable created : int; mutable retired : int }
+
+let tally : domain_tally Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { created = 0; retired = 0 })
+
+let live_node_count () = Atomic.get live_nodes
+let peak_live_nodes () = Atomic.get peak_live
+let remat_replays () = Atomic.get remat_replay_total
+
+let reset_live_stats () =
+  Atomic.set live_nodes 0;
+  Atomic.set peak_live 0
+
+(* Rematerialization state, all domain-local. [replaying] is consulted
+   by the compiled executors in [Gen]: a replay runs during [backward],
+   after the epoch has advanced, so an arena-backed plan would reset
+   its pool over buffers the main tape still references — replays
+   bypass arenas entirely. [remat_depth] keeps nested checkpoints from
+   resetting the segment pool while an enclosing segment's tensors are
+   still live. *)
+let replaying_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let replaying () = Domain.DLS.get replaying_key
+
+let shard_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let shard_mode () = Domain.DLS.get shard_key
+
+let with_shard_mode f =
+  let saved = Domain.DLS.get shard_key in
+  Domain.DLS.set shard_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set shard_key saved) f
+
+let remat_depth : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+(* The segment pool: recycles the transient tensor buffers of
+   checkpointed segments (both at construction, where the segment is
+   built once and immediately discarded, and at replay). Domain-local,
+   like every ambient pool. Reset only at depth 0 — everything handed
+   out for the previous segment is unreachable once its barrier closed. *)
+let segment_pool : Tensor.Pool.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Tensor.Pool.create ())
+
+(* Observability hook: the replay of a tape segment re-executes user
+   code whose instrumentation (site timers, estimator statistics) must
+   not double-report. [Adev] registers [Obs.suppress] here at load
+   time; the default is a plain call. *)
+let replay_silencer : ((unit -> unit) -> unit) ref = ref (fun f -> f ())
+let set_replay_silencer s = replay_silencer := s
 
 let node v parents =
-  incr counter;
-  { id = !counter; v; g = None; g_owned = false; parents = Array.of_list parents }
+  let id = Atomic.fetch_and_add counter 1 + 1 in
+  track_new ();
+  let tl = Domain.DLS.get tally in
+  tl.created <- tl.created + 1;
+  { id; v; g = None; g_owned = false; parents = Array.of_list parents;
+    remat = None }
 
 let const v = node v []
 let scalar x = const (Tensor.scalar x)
@@ -23,7 +111,7 @@ let to_float t = Tensor.to_scalar t.v
 let shape t = Tensor.shape t.v
 let is_leaf t = Array.length t.parents = 0
 let id t = t.id
-let node_count () = !counter
+let node_count () = Atomic.get counter
 
 let accumulate t delta =
   match t.g with
@@ -46,21 +134,32 @@ let accumulate t delta =
    compiled executors gate their buffer-pool resets on this: a plan's
    pool is only reset once a backward has happened since its last
    arena run, i.e. once the previous surrogate's tape has been
-   consumed and its pooled buffers can no longer be read. *)
-let backward_passes = ref 0
-let backward_epoch () = !backward_passes
+   consumed and its pooled buffers can no longer be read. Atomic: the
+   sharded driver runs one backward per shard on worker domains. *)
+let backward_passes = Atomic.make 0
+let backward_epoch () = Atomic.get backward_passes
 
-let backward root =
-  if not (Tensor.is_scalar root.v || Tensor.size root.v = 1) then
-    invalid_arg "Ad.backward: root is not a scalar";
-  incr backward_passes;
-  (* Topological order by DFS with an explicit stack — deep tapes (long
-     training unrolls, large AIR step counts) must not overflow the
-     OCaml call stack — then reverse sweep. Visits parents in the same
-     order as the recursive formulation, so the gradient accumulation
-     order (and hence every bit of the result) is unchanged. *)
+(* [local_sweep ~stop root seed] seeds [root] with [seed] and runs the
+   reverse sweep over every node reachable from it whose id is > [stop]
+   — nodes at or below [stop] are treated as boundary leaves: deltas
+   accumulate into them but their own parents are not traversed (the
+   enclosing sweep owns them). [stop = 0] is a full backward. Returns
+   the number of nodes swept (they are retired by the caller).
+
+   Topological order by DFS with an explicit stack — deep tapes (long
+   training unrolls, large AIR step counts) must not overflow the
+   OCaml call stack — then reverse sweep. Visits parents in the same
+   order as the recursive formulation, so the gradient accumulation
+   order (and hence every bit of the result) is unchanged. A remat
+   node's sweep replays its segment instead of calling parent vjps:
+   the replayed interior delivers its boundary deltas in the same
+   relative order the full tape would have (segment interiors are
+   private, so the reverse postorder groups them into the same
+   contiguous blocks either way). *)
+let rec local_sweep ~stop root seed =
   let visited = Hashtbl.create 64 in
   let order = ref [] in
+  let swept = ref 0 in
   let stack = ref [] in
   let push n =
     Hashtbl.add visited n.id ();
@@ -75,21 +174,191 @@ let backward root =
       if !next_parent < Array.length n.parents then begin
         let p, _ = n.parents.(!next_parent) in
         incr next_parent;
-        if not (Hashtbl.mem visited p.id) then push p
+        if p.id > stop && not (Hashtbl.mem visited p.id) then push p
       end
       else begin
         stack := rest;
-        order := n :: !order
+        order := n :: !order;
+        incr swept
       end
   done;
-  accumulate root (Tensor.ones (Tensor.shape root.v));
+  accumulate root seed;
   List.iter
     (fun n ->
       match n.g with
       | None -> ()
-      | Some g ->
-        Array.iter (fun (p, vjp) -> accumulate p (vjp g)) n.parents)
-    !order
+      | Some g -> (
+        match n.remat with
+        | Some f -> replay f g
+        | None ->
+          Array.iter
+            (fun (p, vjp) ->
+              if stop > 0 && p.id <= stop then begin
+                (* Boundary delta during a replay-local sweep: it
+                   outlives this replay's pool resets, so it must be
+                   an owned heap tensor. The vjp may return a pooled
+                   tensor unchanged (identity-style vjps pass [g]
+                   through), so copy defensively with no ambient
+                   pool. *)
+                let saved = Tensor.current_pool () in
+                Tensor.set_pool None;
+                (try accumulate p (Tensor.copy (vjp g))
+                 with e ->
+                   Tensor.set_pool saved;
+                   raise e);
+                Tensor.set_pool saved
+              end
+              else accumulate p (vjp g))
+            n.parents))
+    !order;
+  !swept
+
+(* Rebuild a discarded segment and backpropagate [g] through it. The
+   thunk closes over the segment's original boundary nodes, so the
+   local sweep accumulates into the real graph directly; everything
+   the replay creates above the boundary is transient. The replayed
+   forward AND the interior of its local sweep draw their buffers from
+   the segment pool (reset on entry at depth 0 — the previous
+   segment's replay is fully consumed by then); only deltas crossing
+   the boundary go to the heap, because they outlive pool resets. *)
+and replay f g =
+  Atomic.incr remat_replay_total;
+  let depth = Domain.DLS.get remat_depth in
+  let saved_replaying = Domain.DLS.get replaying_key in
+  Domain.DLS.set replaying_key true;
+  incr depth;
+  let saved_pool = Tensor.current_pool () in
+  let pool = Domain.DLS.get segment_pool in
+  if !depth = 1 then Tensor.Pool.reset pool;
+  Tensor.set_pool (Some pool);
+  let tl = Domain.DLS.get tally in
+  let created0 = tl.created and retired0 = tl.retired in
+  let finish () =
+    Tensor.set_pool saved_pool;
+    decr depth;
+    Domain.DLS.set replaying_key saved_replaying
+  in
+  (match
+     !replay_silencer (fun () ->
+         let stop = Atomic.get counter in
+         let r = f () in
+         (* The sweep runs with the segment pool still ambient:
+            interior gradients are transient (dead once this replay's
+            nodes retire), so they recycle through the pool like the
+            replayed forward's tensors. Deltas crossing the boundary
+            are switched to owned heap tensors inside [local_sweep] —
+            they are read after the pool has been reset for the next
+            segment. *)
+         let swept =
+           if r.id > stop then local_sweep ~stop r g
+           else begin
+             (* Degenerate replay: the thunk returned a pre-existing
+                node (possible only if the graph mutated under us —
+                checkpoint never builds a remat node in this case). *)
+             Tensor.set_pool None;
+             accumulate r g;
+             0
+           end
+         in
+         ignore swept)
+   with
+  | () ->
+    let produced = tl.created - created0 - (tl.retired - retired0) in
+    tl.retired <- tl.retired + produced;
+    retire produced;
+    finish ()
+  | exception e ->
+    finish ();
+    raise e)
+
+let backward root =
+  if not (Tensor.is_scalar root.v || Tensor.size root.v = 1) then
+    invalid_arg "Ad.backward: root is not a scalar";
+  Atomic.incr backward_passes;
+  let swept = local_sweep ~stop:0 root (Tensor.ones (Tensor.shape root.v)) in
+  (* The tape is consumed: every swept node retires (leaves included —
+     a fresh frame hands out fresh leaves next step). *)
+  let tl = Domain.DLS.get tally in
+  tl.retired <- tl.retired + swept;
+  retire swept
+
+(* [checkpoint f] runs [f] once, discards the tape segment it built,
+   and returns a single barrier node carrying the segment's value; the
+   segment is rebuilt by replaying [f] if and when a gradient reaches
+   the barrier during [backward]. [f] must be replay-deterministic:
+   same nodes, same values, bit for bit (true for objective builders
+   that close over a parameter frame and explicit PRNG keys; false for
+   thunks reading ambient mutable state, e.g. REINFORCE baseline
+   cells — see docs/MEMORY.md). With [pool] (default true) the
+   segment's transient tensors are drawn from the domain's segment
+   pool, so per-step heap allocation stops scaling with the number of
+   segments. *)
+let checkpoint ?(pool = true) f =
+  let start = Atomic.get counter in
+  let tl = Domain.DLS.get tally in
+  let created0 = tl.created and retired0 = tl.retired in
+  let depth = Domain.DLS.get remat_depth in
+  incr depth;
+  let saved_pool = Tensor.current_pool () in
+  let seg = Domain.DLS.get segment_pool in
+  if pool then begin
+    if !depth = 1 then Tensor.Pool.reset seg;
+    Tensor.set_pool (Some seg)
+  end;
+  let finish () =
+    Tensor.set_pool saved_pool;
+    decr depth
+  in
+  let r = try f () with e -> finish (); raise e in
+  (* The barrier's value must survive segment-pool resets: copy it out
+     with no ambient pool. Boundary values predate the segment, so only
+     the root needs rescuing. *)
+  let v =
+    if pool then begin
+      Tensor.set_pool None;
+      Tensor.copy r.v
+    end
+    else r.v
+  in
+  finish ();
+  if r.id <= start then r
+  else begin
+    (* Boundary discovery replicates the backward DFS (parents in array
+       order, first-encounter) so the barrier's parent order gives
+       boundary nodes the same relative first-visit order in the main
+       sweep that the full tape would have given them. *)
+    let visited = Hashtbl.create 64 in
+    let boundary = ref [] in
+    let stack = ref [ (r, ref 0) ] in
+    Hashtbl.add visited r.id ();
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> continue := false
+      | (n, next_parent) :: rest ->
+        if !next_parent < Array.length n.parents then begin
+          let p, _ = n.parents.(!next_parent) in
+          incr next_parent;
+          if not (Hashtbl.mem visited p.id) then begin
+            Hashtbl.add visited p.id ();
+            if p.id <= start then boundary := p :: !boundary
+            else stack := (p, ref 0) :: !stack
+          end
+        end
+        else stack := rest
+    done;
+    let produced = tl.created - created0 - (tl.retired - retired0) in
+    tl.retired <- tl.retired + produced;
+    retire produced;
+    let parents =
+      Array.of_list
+        (List.rev_map (fun b -> (b, fun (g : Tensor.t) -> g)) !boundary)
+    in
+    let id = Atomic.fetch_and_add counter 1 + 1 in
+    track_new ();
+    tl.created <- tl.created + 1;
+    { id; v; g = None; g_owned = false; parents; remat = Some f }
+  end
 
 let grad t =
   match t.g with

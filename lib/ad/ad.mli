@@ -45,6 +45,75 @@ val node_count : unit -> int
     monotone). Deltas between two reads measure a region's tape
     growth; the observability layer gauges this per training step. *)
 
+(** {1 Live-tape accounting}
+
+    Created-minus-retired node counts. Nodes retire when a
+    {!checkpoint} barrier discards its segment, when a replayed
+    segment's local sweep completes, and when {!backward} has consumed
+    a tape — so with remat barriers the {e peak} stops scaling with
+    the full tape length. All counters are process-wide and atomic. *)
+
+val live_node_count : unit -> int
+(** Nodes currently accounted live (created minus retired) since the
+    last {!reset_live_stats}. *)
+
+val peak_live_nodes : unit -> int
+(** High-water mark of {!live_node_count} since the last
+    {!reset_live_stats}. The [ad/peak_live_nodes] gauge in
+    [ppvi profile] reports this per run. *)
+
+val remat_replays : unit -> int
+(** Process-wide count of checkpoint-segment replays performed by
+    {!backward} (monotone). *)
+
+val reset_live_stats : unit -> unit
+(** Zero the live/peak counters. Only call from a quiescent point (no
+    concurrent graph construction): the training driver resets between
+    steps to measure per-step peaks. *)
+
+(** {1 Gradient checkpointing} *)
+
+val checkpoint : ?pool:bool -> (unit -> t) -> t
+(** [checkpoint f] runs [f] once, discards the tape segment it built,
+    and returns a barrier node carrying the segment's (copied) value;
+    {!backward} rebuilds the segment by replaying [f] if and when a
+    gradient reaches the barrier, then sweeps the replayed interior
+    into the segment's boundary nodes locally. Gradients are bit-for-
+    bit identical to the full-tape backward, provided [f] is
+    {e replay-deterministic}: rebuilding must produce the same values
+    (true for objective builders closing over a parameter frame and
+    explicit PRNG keys; false for thunks reading ambient mutable
+    state such as REINFORCE baseline cells — see docs/MEMORY.md).
+    With [pool] (default true) the segment's transient tensors are
+    drawn from a domain-local segment pool that is recycled at every
+    barrier, so per-step heap allocation stops scaling with the
+    number of segments. Nested checkpoints are supported (inner
+    segments share the pool without resetting it). If [f] returns a
+    node that predates the call, it is returned unchanged. *)
+
+val replaying : unit -> bool
+(** [true] while a checkpoint segment is being rematerialized on this
+    domain. The arena-backed compiled executors in [Gen] bypass their
+    buffer pools during replay: a replay runs mid-[backward], after
+    the epoch has advanced, so an arena reset would recycle buffers
+    the main tape still references. *)
+
+val set_replay_silencer : ((unit -> unit) -> unit) -> unit
+(** Install the wrapper run around every segment replay. [Adev]
+    registers [Obs.suppress] so a replay's re-executed user code does
+    not double-report site timings and estimator statistics. *)
+
+(** {1 Sharded execution} *)
+
+val shard_mode : unit -> bool
+(** [true] inside a data-parallel shard block (see [Train]). Compiled
+    executors bypass plan-owned mutable state — arenas and scratch
+    reuse — under shard mode, since several domains may execute the
+    same plan concurrently. *)
+
+val with_shard_mode : (unit -> 'a) -> 'a
+(** Run a thunk with {!shard_mode} set on the current domain. *)
+
 (** {1 Differentiation} *)
 
 val backward : t -> unit

@@ -261,10 +261,25 @@ let protect_pool f =
 let run m key k = protect_pool (fun () -> m key k)
 let expectation m key = protect_pool (fun () -> m key (fun x -> x))
 
-let expectation_mean ~samples m key =
+(* Register the replay silencer: a checkpoint-segment replay re-runs
+   estimator code whose Obs hooks (site timers, Welford accumulators)
+   must not double-report. Suppression is bit-transparent by the
+   instrumentation contract. *)
+let () = Ad.set_replay_silencer (fun f -> Obs.suppress f)
+
+let expectation_mean ?(remat = false) ~samples m key =
   if samples < 1 then invalid_arg "Adev.expectation_mean: samples < 1";
   let keys = Prng.split_many key samples in
-  let terms = Array.to_list (Array.map (expectation m) keys) in
+  (* With [remat], each sample's surrogate sits behind its own
+     checkpoint barrier: the per-sample tape segment is discarded
+     after construction and rematerialized during backward (the
+     explicit key makes the thunk replay-deterministic), so the peak
+     live tape holds one sample's segment instead of all of them. *)
+  let term ki =
+    if remat then Ad.checkpoint (fun () -> expectation m ki)
+    else expectation m ki
+  in
+  let terms = Array.to_list (Array.map term keys) in
   Ad.scale (1. /. float_of_int samples) (Ad.add_list terms)
 
 let estimate ?(samples = 1) m key =

@@ -134,9 +134,16 @@ val expectation : Ad.t t -> Prng.key -> Ad.t
     estimate of [grad E m]. This is the paper's [E] operator composed
     with the [adev] transformation. *)
 
-val expectation_mean : samples:int -> Ad.t t -> Prng.key -> Ad.t
+val expectation_mean : ?remat:bool -> samples:int -> Ad.t t -> Prng.key -> Ad.t
 (** Average of [samples] independent surrogates (a minibatch of
-    estimates); still unbiased, with variance reduced by 1/samples. *)
+    estimates); still unbiased, with variance reduced by 1/samples.
+    With [remat] (default false) each sample's surrogate sits behind
+    its own [Ad.checkpoint] barrier: the per-sample tape segment is
+    discarded after construction and rematerialized during backward —
+    bit-identical gradients (the explicit per-sample key makes replay
+    exact), with peak live tape bounded by one sample's segment. Do
+    not combine with REINFORCE-baseline sites (their cells mutate
+    between construction and replay; see docs/MEMORY.md). *)
 
 val estimate : ?samples:int -> Ad.t t -> Prng.key -> float
 (** Primal-only Monte Carlo estimate (default 1 sample). *)

@@ -227,6 +227,16 @@ let compile ?fuel ?max_width ~id packed =
 
 let cache : (string, result) Hashtbl.t = Hashtbl.create 16
 
+(* The cache is consulted from sharded training blocks running on
+   worker domains; a mutex keeps concurrent first-compilations of the
+   same step from corrupting the table. Staging inside the lock is
+   fine — it happens once per program id. *)
+let cache_mutex = Mutex.create ()
+
+let with_cache_lock f =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
 (* Arena execution: cached plans carry a warmed buffer pool computed
    from the static liveness layout, so every compiled run recycles its
    op-output buffers instead of minor-allocating them. On by default;
@@ -255,30 +265,32 @@ let set_arena_execution enabled =
 let arena_execution_enabled () = !arena_execution
 
 let plan_for ?fuel ?max_width ~id packed =
-  match Hashtbl.find_opt cache id with
-  | Some r ->
-    Obs.incr "compile/plan_hit";
-    r
-  | None ->
-    Obs.incr "compile/plan_miss";
-    let r =
-      Obs.span Obs.Preflight ("compile/" ^ id) (fun () ->
-          compile ?fuel ?max_width ~id packed)
-    in
-    (match r with
-    | Refused { r_reason; _ } ->
-      Obs.incr "compile/refused";
-      Obs.message Obs.Preflight
-        (Printf.sprintf "compile/%s refused (PV501): %s" id r_reason)
-    | Compiled plan -> if !arena_execution then attach_arena plan);
-    Hashtbl.replace cache id r;
-    r
+  with_cache_lock (fun () ->
+      match Hashtbl.find_opt cache id with
+      | Some r ->
+        Obs.incr "compile/plan_hit";
+        r
+      | None ->
+        Obs.incr "compile/plan_miss";
+        let r =
+          Obs.span Obs.Preflight ("compile/" ^ id) (fun () ->
+              compile ?fuel ?max_width ~id packed)
+        in
+        (match r with
+        | Refused { r_reason; _ } ->
+          Obs.incr "compile/refused";
+          Obs.message Obs.Preflight
+            (Printf.sprintf "compile/%s refused (PV501): %s" id r_reason)
+        | Compiled plan -> if !arena_execution then attach_arena plan);
+        Hashtbl.replace cache id r;
+        r)
 
-let invalidate id = Hashtbl.remove cache id
-let reset_cache () = Hashtbl.reset cache
+let invalidate id = with_cache_lock (fun () -> Hashtbl.remove cache id)
+let reset_cache () = with_cache_lock (fun () -> Hashtbl.reset cache)
 
 let cached_ids () =
-  Hashtbl.fold (fun k _ acc -> k :: acc) cache [] |> List.sort compare
+  with_cache_lock (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) cache [] |> List.sort compare)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

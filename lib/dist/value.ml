@@ -35,9 +35,16 @@ let () =
 let max_origins = 65536
 let origins : (int, string option * string) Hashtbl.t = Hashtbl.create 256
 
+(* Registrations arrive from worker domains under the sharded training
+   driver; a mutex keeps the table coherent (lookups only happen on
+   error paths, where the lock cost is irrelevant). *)
+let origins_mutex = Mutex.create ()
+
 let register_smooth_origin node ?address ~strategy () =
+  Mutex.lock origins_mutex;
   if Hashtbl.length origins >= max_origins then Hashtbl.reset origins;
-  Hashtbl.replace origins (Ad.id node) (address, strategy)
+  Hashtbl.replace origins (Ad.id node) (address, strategy);
+  Mutex.unlock origins_mutex
 
 let register_origin_value v ?address ~strategy () =
   match v with
@@ -45,7 +52,11 @@ let register_origin_value v ?address ~strategy () =
     register_smooth_origin a ?address ~strategy ()
   | Real _ | Bool _ | Int _ -> ()
 
-let smooth_origin node = Hashtbl.find_opt origins (Ad.id node)
+let smooth_origin node =
+  Mutex.lock origins_mutex;
+  let r = Hashtbl.find_opt origins (Ad.id node) in
+  Mutex.unlock origins_mutex;
+  r
 
 let real x = Real (Ad.scalar x)
 let tensor x = Real (Ad.const x)

@@ -564,7 +564,18 @@ and density_plate_seq :
    exceptional exit. *)
 type arena_token = No_arena | Installed of Tensor.Pool.t option
 
+(* Plan-owned mutable state (arena pool, scratch frames) must not be
+   touched during a checkpoint replay — the replay runs mid-[backward],
+   after the epoch has advanced, so the gate below would reset the pool
+   over buffers the main tape still references — nor under the sharded
+   training driver, where several domains can execute the same plan
+   concurrently. Both modes fall back to plain heap allocation and
+   fresh scratch, which is bit-identical by the pool contract. *)
+let plan_state_bypass () = Ad.replaying () || Ad.shard_mode ()
+
 let arena_enter plan =
+  if plan_state_bypass () then No_arena
+  else
   match plan.Plan.p_arena with
   | None -> No_arena
   | Some pool ->
@@ -587,7 +598,7 @@ let arena_exit = function
   | Installed prev -> Tensor.set_pool prev
 
 let acquire_sim plan =
-  match plan.Plan.p_sim_scratch with
+  match (if plan_state_bypass () then None else plan.Plan.p_sim_scratch) with
   | Some st ->
     plan.Plan.p_sim_scratch <- None;
     st.xcursor <- 0;
@@ -599,11 +610,12 @@ let acquire_sim plan =
       xslots = Array.make (Array.length plan.Plan.p_slots) None;
       xextra = [] }
 
-let release_sim plan st = plan.Plan.p_sim_scratch <- Some st
+let release_sim plan st =
+  if not (plan_state_bypass ()) then plan.Plan.p_sim_scratch <- Some st
 
 let acquire_dens plan u =
   let st =
-    match plan.Plan.p_dens_scratch with
+    match (if plan_state_bypass () then None else plan.Plan.p_dens_scratch) with
     | Some st ->
       plan.Plan.p_dens_scratch <- None;
       st.dcursor <- 0;
@@ -620,7 +632,8 @@ let acquire_dens plan u =
   done;
   st
 
-let release_dens plan st = plan.Plan.p_dens_scratch <- Some st
+let release_dens plan st =
+  if not (plan_state_bypass ()) then plan.Plan.p_dens_scratch <- Some st
 
 (* Verify that the runtime site at [cursor] matches the plan and return
    its step. The address check is what makes [Plan_mismatch] a hard

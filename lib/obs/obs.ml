@@ -1,7 +1,10 @@
-(* Global recorder. All instrumented code runs on the main domain (the
-   parallel kernel workers never call into Obs), so plain mutable state
-   is safe; the one cross-domain consumer, [Parallel], keeps its own
-   atomic counters and is read from the reporting layer. *)
+(* Global recorder. All recording runs on the main domain, so plain
+   mutable state is safe: the parallel kernel workers never call into
+   Obs, and instrumented code executed on worker domains (sharded
+   training blocks) runs under [suppress], which turns every hook into
+   a no-op via the domain-local flag below. The one cross-domain
+   producer, [Parallel], keeps its own atomic counters and is read
+   from the reporting layer. *)
 
 type kind =
   | Simulate
@@ -302,7 +305,22 @@ type hist_state = {
 type est = { mutable e_n : int; mutable e_mean : float; mutable e_m2 : float }
 
 let live_flag = ref false
-let live () = !live_flag
+
+(* Domain-local suppression: the recorder's tables are plain Hashtbls
+   owned by the coordinating domain, so instrumented code running on a
+   worker domain (a sharded training block) or re-running during a
+   checkpoint replay must see [live () = false] — both to avoid racing
+   the tables and to avoid double-reporting replayed work. The
+   instrumentation contract (enabling observability never changes a
+   seeded run) makes suppression bit-transparent. *)
+let suppressed : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let suppress f =
+  let saved = Domain.DLS.get suppressed in
+  Domain.DLS.set suppressed true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suppressed saved) f
+
+let live () = !live_flag && not (Domain.DLS.get suppressed)
 let sink = ref Console_sink
 let epoch = ref (Unix.gettimeofday ())
 let depth = ref 0
@@ -391,7 +409,7 @@ let stop ?(alloc = 0.) kind name t0 =
            dur_ms = dur *. 1000.; alloc_b = alloc })
 
 let span kind name f =
-  if not !live_flag then f ()
+  if not (live ()) then f ()
   else begin
     let a0 = Gc.allocated_bytes () in
     let t0 = now () in
@@ -408,21 +426,21 @@ let message kind text =
   | Console_sink -> Printf.eprintf "%s\n%!" text
   | File_sink (oc, _) ->
     write_line oc (event_json (Msg_ev { kind; text; t = now () -. !epoch }));
-    if !live_flag then ring_push (Msg_ev { kind; text; t = now () -. !epoch })
+    if live () then ring_push (Msg_ev { kind; text; t = now () -. !epoch })
   | Null_sink -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
 
 let incr ?(by = 1) name =
-  if !live_flag then begin
+  if live () then begin
     match Hashtbl.find_opt counter_tbl name with
     | Some r -> r := !r + by
     | None -> Hashtbl.add counter_tbl name (ref by)
   end
 
 let gauge name v =
-  if !live_flag then begin
+  if live () then begin
     match Hashtbl.find_opt gauge_tbl name with
     | Some r -> r := v
     | None -> Hashtbl.add gauge_tbl name (ref v)
@@ -437,7 +455,7 @@ let bucket_of v =
   end
 
 let hist name v =
-  if !live_flag then begin
+  if live () then begin
     let h =
       match Hashtbl.find_opt hist_tbl name with
       | Some h -> h
@@ -467,7 +485,7 @@ let gauge_value name =
 (* Estimator statistics (Welford) *)
 
 let estimator ~address ~strategy x =
-  if !live_flag then begin
+  if live () then begin
     let key = (address, strategy) in
     let e =
       match Hashtbl.find_opt est_tbl key with

@@ -58,8 +58,18 @@ val all_kinds : kind list
 (** {1 Configuration} *)
 
 val live : unit -> bool
-(** Whether recording is enabled. The one check every hook performs;
-    [false] is the initial state. *)
+(** Whether recording is enabled on this domain. The one check every
+    hook performs; [false] is the initial state, and [false] under
+    {!suppress} regardless of {!configure}. *)
+
+val suppress : (unit -> 'a) -> 'a
+(** Run a thunk with recording suppressed on the current domain:
+    {!live} returns [false] and every emission hook is a no-op inside
+    it. Used by the sharded training driver (the recorder's tables are
+    owned by the coordinating domain) and around checkpoint-segment
+    replays (re-executed instrumentation must not double-report). The
+    instrumentation contract — enabling observability never changes a
+    seeded run — makes suppression bit-transparent. *)
 
 val configure :
   ?enabled:bool ->

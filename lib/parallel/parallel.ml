@@ -40,19 +40,33 @@ let jobs_run () = Atomic.get jobs_total
 let jobs_parallel () = Atomic.get jobs_parallel_total
 let blocks_run () = Atomic.get blocks_total
 
+let reset_counters () =
+  Atomic.set jobs_total 0;
+  Atomic.set jobs_parallel_total 0;
+  Atomic.set blocks_total 0
+
+let in_worker_now () = Domain.DLS.get in_worker
+
 let record_exn e =
   Mutex.lock mutex;
   if !first_exn = None then first_exn := Some e;
   Mutex.unlock mutex
 
 (* Claim and execute blocks until none are left. Called with [mutex]
-   held; returns with [mutex] held. *)
+   held; returns with [mutex] held. The in-worker flag is raised for
+   the duration of each block on EVERY domain, including the
+   submitting one: a nested [run] from inside a block must execute
+   inline, or it would overwrite the pool's shared job state
+   ([next]/[blocks]/[unfinished]) while the outer job is mid-flight. *)
 let drain f =
   while !next < !blocks do
     let i = !next in
     incr next;
     Mutex.unlock mutex;
+    let saved = Domain.DLS.get in_worker in
+    Domain.DLS.set in_worker true;
     (try f i with e -> record_exn e);
+    Domain.DLS.set in_worker saved;
     Mutex.lock mutex;
     decr unfinished;
     if !unfinished = 0 then Condition.broadcast donec

@@ -38,6 +38,15 @@ val jobs_parallel : unit -> int
 val blocks_run : unit -> int
 (** Process-wide number of blocks executed. *)
 
+val reset_counters : unit -> unit
+(** Zero the three utilization counters. [ppvi profile] calls this at
+    the start of a run so the reported figures are per-run rather than
+    process-lifetime. Do not call concurrently with {!run}. *)
+
+val in_worker_now : unit -> bool
+(** [true] when called from inside a pool worker domain (where nested
+    {!run} calls execute inline). *)
+
 val run : blocks:int -> (int -> unit) -> unit
 (** [run ~blocks f] executes [f 0 .. f (blocks - 1)], possibly in
     parallel on the pool's domains (the calling domain participates).

@@ -70,8 +70,50 @@ let run_warm_compile targets =
                    r_reason))
           targets)
 
+type shard_spec = {
+  shards : int;
+  remat : bool;
+  make :
+    Store.Frame.t -> step:int -> shard:int -> shards:int -> Prng.key -> Ad.t;
+}
+
+let single ?(remat = false) make =
+  { shards = 1;
+    remat;
+    make = (fun frame ~step ~shard:_ ~shards:_ key -> make frame step key) }
+
+(* Deterministic fixed-shape pairwise tree fold over [lo, hi): the
+   reduction shape depends only on the shard count, never on the
+   domain count or completion order, so sharded results are bit-
+   identical whether the pool runs with 1 domain or many. *)
+let rec tree_fold combine (arr : 'a array) lo hi =
+  if hi - lo = 1 then arr.(lo)
+  else
+    let mid = lo + ((hi - lo + 1) / 2) in
+    combine (tree_fold combine arr lo mid) (tree_fold combine arr mid hi)
+
+(* Merge two shards' gradient lists by parameter name: names keep the
+   left list's order (then right-only names in right order), matched
+   names add tensors. A name present on one side only passes through
+   unchanged — materializing a zero for the missing side would both
+   allocate and perturb bits (-0.0 + 0.0 is 0.0). *)
+let merge_grads left right =
+  let pending = Hashtbl.create 16 in
+  List.iter (fun (n, g) -> Hashtbl.replace pending n g) right;
+  let merged =
+    List.map
+      (fun (n, g) ->
+        match Hashtbl.find_opt pending n with
+        | Some g2 ->
+          Hashtbl.remove pending n;
+          (n, Tensor.add g g2)
+        | None -> (n, g))
+      left
+  in
+  merged @ List.filter (fun (n, _) -> Hashtbl.mem pending n) right
+
 let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
-    ~make_surrogate key =
+    ~spec key =
   let g = match guard with Some g -> g | None -> Guard.create () in
   let reports = ref [] in
   let step = ref 0 in
@@ -111,28 +153,69 @@ let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
     let live = Obs.live () in
     let nodes0 = if live then Ad.node_count () else 0 in
     let minor0 = if live then Gc.minor_words () else 0. in
+    (* Per-step live-tape statistics: reset from this quiescent point
+       so the peak gauge (and the remat acceptance tests) measure one
+       step's high-water mark. *)
+    Ad.reset_live_stats ();
+    let nshards = Stdlib.max 1 spec.shards in
     let computed =
       match
         (* Fault-injection hook (one branch when inactive): may delay
            the step, raise Out_of_memory (absorbed below), or SIGKILL
-           the process outright. *)
+           the process outright. Runs on the coordinating domain, once
+           per step, in both the sequential and the sharded path. *)
         if Fault.active () then Fault.on_step ~step:!step;
-        let t_fwd = if live then Obs.start () else 0. in
-        let frame = Store.Frame.make store in
-        let surrogate =
-          make_surrogate frame !step (Prng.fold_in key_run !step)
-        in
-        if live then Obs.stop Obs.Grad "train/forward" t_fwd;
-        let t_bwd = if live then Obs.start () else 0. in
-        Ad.backward surrogate;
-        if live then begin
-          Obs.stop Obs.Grad "train/backward" t_bwd;
-          Obs.gauge "train/tape_nodes"
-            (float_of_int (Ad.node_count () - nodes0));
-          Obs.gauge "train/minor_words" (Gc.minor_words () -. minor0);
-          Obs.hist "train/objective" (Tensor.to_scalar (Ad.value surrogate))
-        end;
-        (frame, surrogate)
+        let key_step = Prng.fold_in key_run !step in
+        if nshards = 1 then begin
+          let t_fwd = if live then Obs.start () else 0. in
+          let frame = Store.Frame.make store in
+          let build () =
+            spec.make frame ~step:!step ~shard:0 ~shards:1 key_step
+          in
+          let surrogate = if spec.remat then Ad.checkpoint build else build () in
+          if live then Obs.stop Obs.Grad "train/forward" t_fwd;
+          let t_bwd = if live then Obs.start () else 0. in
+          Ad.backward surrogate;
+          if live then begin
+            Obs.stop Obs.Grad "train/backward" t_bwd;
+            Obs.hist "train/objective" (Tensor.to_scalar (Ad.value surrogate))
+          end;
+          (Tensor.to_scalar (Ad.value surrogate), Store.Frame.grads frame)
+        end
+        else begin
+          (* Data-parallel sharding: one independent forward + backward
+             per shard (own frame, own key, own tape), scheduled on the
+             domain pool. Shard blocks run with observability
+             suppressed (the recorder is main-domain-only) and under
+             shard mode (compiled plans bypass their shared arenas and
+             scratch). The per-shard key is [fold_in key_step i] and
+             the reduction is a fixed-shape tree, so the result is
+             bit-identical for every domain count. *)
+          let t_fwd = if live then Obs.start () else 0. in
+          let values = Array.make nshards 0. in
+          let grads = Array.make nshards [] in
+          Parallel.run ~blocks:nshards (fun i ->
+              Obs.suppress (fun () ->
+                  Ad.with_shard_mode (fun () ->
+                      let frame = Store.Frame.make store in
+                      let build () =
+                        spec.make frame ~step:!step ~shard:i ~shards:nshards
+                          (Prng.fold_in key_step i)
+                      in
+                      let surrogate =
+                        if spec.remat then Ad.checkpoint build else build ()
+                      in
+                      Ad.backward surrogate;
+                      values.(i) <- Tensor.to_scalar (Ad.value surrogate);
+                      grads.(i) <- Store.Frame.grads frame)));
+          let objective = tree_fold ( +. ) values 0 nshards in
+          let reduced = tree_fold merge_grads grads 0 nshards in
+          if live then begin
+            Obs.stop Obs.Grad "train/forward" t_fwd;
+            Obs.hist "train/objective" objective
+          end;
+          (objective, reduced)
+        end
       with
       | pair -> Some pair
       | exception Out_of_memory when Fault.active () ->
@@ -140,17 +223,21 @@ let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
            this step's update (parameters and PRNG discipline are
            untouched — later steps key off the step index) and keep
            training. Only fault-injected OOM is absorbed; a real one
-           still propagates. *)
+           still propagates (in the sharded path [Parallel.run] still
+           executes every block and re-raises the first exception). *)
         Obs.incr "train/oom_skipped";
         None
     in
+    if live then begin
+      Obs.gauge "train/tape_nodes" (float_of_int (Ad.node_count () - nodes0));
+      Obs.gauge "train/peak_live_nodes" (float_of_int (Ad.peak_live_nodes ()));
+      Obs.gauge "train/minor_words" (Gc.minor_words () -. minor0)
+    end;
     match computed with
     | None ->
       incr step;
       checkpoint ()
-    | Some (frame, surrogate) -> (
-      let objective = Tensor.to_scalar (Ad.value surrogate) in
-      let grads = Store.Frame.grads frame in
+    | Some (objective, grads) -> (
       let t_guard = if live then Obs.start () else 0. in
       let anomalies = Guard.scan ~step:!step ~objective ~grads in
       let verdict = Guard.observe g ~step:!step ~store ~optim anomalies in
@@ -188,31 +275,78 @@ let fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
   done;
   List.rev !reports
 
-let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1) ?guard
-    ?persist ?(preflight = []) ?(preflight_strict = false) ?(compiled = [])
-    ?(on_step = fun _ -> ()) ~steps ~objective key =
+let fit_spec ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
+    ?(preflight = []) ?(preflight_strict = false) ?(compiled = [])
+    ?(on_step = fun _ -> ()) ~steps ~spec key =
   run_preflight ~strict:preflight_strict preflight;
   run_warm_compile compiled;
-  fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
-    ~make_surrogate:(fun frame step key_step ->
-      Adev.expectation_mean ~samples (objective frame step) key_step)
+  fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps ~spec
     key
 
-let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
-    ?(preflight = []) ?(preflight_strict = false) ?(compiled = [])
-    ?(on_step = fun _ -> ()) ~steps ~objectives key =
+let fit ~store ~optim ?(direction = Optim.Ascend) ?(samples = 1)
+    ?(remat = false) ?guard ?persist ?(preflight = [])
+    ?(preflight_strict = false) ?(compiled = []) ?(on_step = fun _ -> ())
+    ~steps ~objective key =
   run_preflight ~strict:preflight_strict preflight;
   run_warm_compile compiled;
+  (* [remat] barriers sit per sample inside [expectation_mean] (not
+     around the whole step), so the peak live tape holds one sample's
+     segment. *)
   fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
-    ~make_surrogate:(fun frame step key_step ->
-      let objs = objectives frame step in
-      let n = Stdlib.max 1 (List.length objs) in
-      let surrogates =
-        List.mapi
-          (fun i obj -> Adev.expectation obj (Prng.fold_in key_step i))
-          objs
-      in
-      Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates))
+    ~spec:
+      (single (fun frame step key_step ->
+           Adev.expectation_mean ~remat ~samples (objective frame step)
+             key_step))
+    key
+
+let fit_batch ~store ~optim ?(direction = Optim.Ascend) ?(shards = 1)
+    ?(remat = false) ?guard ?persist ?(preflight = [])
+    ?(preflight_strict = false) ?(compiled = []) ?(on_step = fun _ -> ())
+    ~steps ~objectives key =
+  run_preflight ~strict:preflight_strict preflight;
+  run_warm_compile compiled;
+  (* Data-parallel across the per-datum objectives: shard [i] takes the
+     contiguous range [lo, hi) of the list, builds each datum's
+     surrogate under its historical key [fold_in key_step j] (the
+     global datum index, so shards = 1 reproduces the unsharded stream
+     bit-for-bit), and contributes [sum / n_total]; the shard partials
+     tree-reduce in the driver. *)
+  let spec =
+    if shards <= 1 then
+      single ~remat (fun frame step key_step ->
+          let objs = objectives frame step in
+          let n = Stdlib.max 1 (List.length objs) in
+          let surrogates =
+            List.mapi
+              (fun i obj -> Adev.expectation obj (Prng.fold_in key_step i))
+              objs
+          in
+          Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates))
+    else
+      { shards;
+        remat;
+        make =
+          (fun frame ~step ~shard ~shards shard_key ->
+            (* [shard_key] is the driver's [fold_in key_step shard];
+               each datum folds its global index into it. The stream
+               is a function of the shard count (shards > 1 is a
+               different — equally valid — estimator draw than
+               shards = 1), and bit-reproducible across domain counts
+               for any fixed shard count. *)
+            let objs = objectives frame step in
+            let n = Stdlib.max 1 (List.length objs) in
+            let lo = shard * n / shards and hi = (shard + 1) * n / shards in
+            let surrogates =
+              List.filteri (fun i _ -> i >= lo && i < hi) objs
+              |> List.mapi (fun j obj ->
+                     Adev.expectation obj (Prng.fold_in shard_key (lo + j)))
+            in
+            match surrogates with
+            | [] -> Ad.scalar 0.
+            | _ ->
+              Ad.scale (1. /. float_of_int n) (Ad.add_list surrogates)) }
+  in
+  fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps ~spec
     key
 
 let fit_batched ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
@@ -221,10 +355,11 @@ let fit_batched ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
   run_preflight ~strict:preflight_strict preflight;
   run_warm_compile compiled;
   fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
-    ~make_surrogate:(fun frame step key_step ->
-      let m, obj = objective frame step in
-      let vec = Adev.expectation obj key_step in
-      Ad.scale (1. /. float_of_int (Stdlib.max 1 m)) (Ad.sum vec))
+    ~spec:
+      (single (fun frame step key_step ->
+           let m, obj = objective frame step in
+           let vec = Adev.expectation obj key_step in
+           Ad.scale (1. /. float_of_int (Stdlib.max 1 m)) (Ad.sum vec)))
     key
 
 let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
@@ -233,8 +368,44 @@ let fit_surrogate ~store ~optim ?(direction = Optim.Ascend) ?guard ?persist
   run_preflight ~strict:preflight_strict preflight;
   run_warm_compile compiled;
   fit_generic ~store ~optim ~direction ~guard ~persist ~on_step ~steps
-    ~make_surrogate:(fun frame step key_step -> surrogate frame step key_step)
+    ~spec:(single (fun frame step key_step -> surrogate frame step key_step))
     key
+
+(* One step's forward/backward(s) for a spec, outside the training
+   loop — no guard, no optimizer, no observability. Returns the
+   objective value and the tree-reduced gradients under exactly the
+   driver's key discipline ([fold_in key step], then [fold_in _ shard]
+   when sharded), so the memory bench and the determinism tests
+   exercise the same code shape the driver runs. *)
+let shard_step ~store ~spec ~step key =
+  let key_step = Prng.fold_in key step in
+  let nshards = Stdlib.max 1 spec.shards in
+  if nshards = 1 then begin
+    let frame = Store.Frame.make store in
+    let build () = spec.make frame ~step ~shard:0 ~shards:1 key_step in
+    let surrogate = if spec.remat then Ad.checkpoint build else build () in
+    Ad.backward surrogate;
+    (Tensor.to_scalar (Ad.value surrogate), Store.Frame.grads frame)
+  end
+  else begin
+    let values = Array.make nshards 0. in
+    let grads = Array.make nshards [] in
+    Parallel.run ~blocks:nshards (fun i ->
+        Obs.suppress (fun () ->
+            Ad.with_shard_mode (fun () ->
+                let frame = Store.Frame.make store in
+                let build () =
+                  spec.make frame ~step ~shard:i ~shards:nshards
+                    (Prng.fold_in key_step i)
+                in
+                let surrogate =
+                  if spec.remat then Ad.checkpoint build else build ()
+                in
+                Ad.backward surrogate;
+                values.(i) <- Tensor.to_scalar (Ad.value surrogate);
+                grads.(i) <- Store.Frame.grads frame)));
+    (tree_fold ( +. ) values 0 nshards, tree_fold merge_grads grads 0 nshards)
+  end
 
 let eval ~store ?(samples = 100) ~objective key =
   let frame = Store.Frame.make store in

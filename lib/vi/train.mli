@@ -29,11 +29,75 @@ type report = {
   retries : int;  (** Cumulative rollbacks performed so far. *)
 }
 
+(** {1 Shardable step specifications}
+
+    Every training flavor lowers to one {e step spec}: a builder that,
+    given a parameter frame, the step index, a shard index, and that
+    shard's PRNG key, returns the shard's surrogate loss. The driver
+    runs one independent forward + backward per shard (own frame, own
+    tape) on the [Parallel] domain pool and combines the shard
+    gradients with a deterministic fixed-shape pairwise tree reduction
+    keyed by parameter name — so for any fixed shard count, results
+    are bit-identical whether the pool runs 1 domain or many. Shard
+    surrogates must be scaled so that their {e sum} over shards is the
+    step objective. Shard blocks run with observability suppressed and
+    under [Ad.shard_mode]; REINFORCE-baseline sites (shared mutable
+    cells) are not sharding-safe — see docs/MEMORY.md. *)
+
+type shard_spec = {
+  shards : int;  (** Number of data-parallel shards per step (>= 1). *)
+  remat : bool;
+      (** Wrap each shard's surrogate in an [Ad.checkpoint] barrier:
+          the shard's tape segment is discarded after construction and
+          rematerialized during backward, with transient tensors drawn
+          from the domain's segment pool. *)
+  make :
+    Store.Frame.t -> step:int -> shard:int -> shards:int -> Prng.key -> Ad.t;
+      (** [make frame ~step ~shard ~shards key] builds shard [shard]'s
+          surrogate. With [shards = 1] the key is the historical
+          per-step key [fold_in key step]; otherwise shard [i]
+          receives [fold_in key_step i]. *)
+}
+
+val shard_step :
+  store:Store.t ->
+  spec:shard_spec ->
+  step:int ->
+  Prng.key ->
+  float * (string * Tensor.t) list
+(** One step's forward/backward(s) for [spec] outside the training loop
+    — no guard, no optimizer, no observability spans — returning the
+    objective value and the tree-reduced gradients. The key discipline
+    matches the driver ([fold_in key step], then [fold_in _ shard] when
+    sharded), so the memory bench and the determinism tests exercise
+    the same reduction shape {!fit_spec} runs. *)
+
+val fit_spec :
+  store:Store.t ->
+  optim:Optim.t ->
+  ?direction:Optim.direction ->
+  ?guard:Guard.t ->
+  ?persist:Persist.cfg ->
+  ?preflight:Check.target list ->
+  ?preflight_strict:bool ->
+  ?compiled:(string * Gen.packed) list ->
+  ?on_step:(report -> unit) ->
+  steps:int ->
+  spec:shard_spec ->
+  Prng.key ->
+  report list
+(** The generic driver: every other flavor is a [shard_spec] instance.
+    Guard scanning, persistence, fault hooks, and reporting all run on
+    the coordinating domain against the tree-reduced gradients, so
+    chaos drills and crash-exact resume behave identically in sharded
+    and sequential runs. *)
+
 val fit :
   store:Store.t ->
   optim:Optim.t ->
   ?direction:Optim.direction ->
   ?samples:int ->
+  ?remat:bool ->
   ?guard:Guard.t ->
   ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
@@ -65,6 +129,11 @@ val fit :
     the interpreter. Pass the same ids the objective uses (e.g.
     [("vae/model", Packed m); ("vae/guide", Packed g)] when the
     objective is [Objectives.elbo_staged ~id:"vae"]).
+
+    [remat] (default false) places an [Ad.checkpoint] barrier around
+    each of the [samples] per-sample surrogates: gradients stay
+    bit-identical (replay is keyed), peak live tape drops to one
+    sample's segment.
     @raise Guard.Diverged per the guard's policy.
     @raise Check.Preflight_error under [preflight_strict]. *)
 
@@ -72,6 +141,8 @@ val fit_batch :
   store:Store.t ->
   optim:Optim.t ->
   ?direction:Optim.direction ->
+  ?shards:int ->
+  ?remat:bool ->
   ?guard:Guard.t ->
   ?persist:Persist.cfg ->
   ?preflight:Check.target list ->
@@ -86,7 +157,13 @@ val fit_batch :
     {e independent} randomness (so that e.g. an ENUM site in one datum
     does not enumerate jointly with the next datum's sites): each
     objective in the returned list gets its own surrogate and key, and
-    the update uses their average. *)
+    the update uses their average.
+
+    [shards] (default 1) splits the objective list into contiguous
+    ranges, one per shard, estimated data-parallel on the domain pool
+    and tree-reduced; [shards = 1] reproduces the historical stream
+    bit-for-bit, and any fixed [shards > 1] is bit-reproducible across
+    domain counts. [remat] checkpoints each shard's surrogate. *)
 
 val fit_batched :
   store:Store.t ->

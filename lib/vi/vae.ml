@@ -91,8 +91,60 @@ let elbo_per_datum_looped frame images =
   in
   go 0 (Ad.scalar 0.)
 
-let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?guard ?persist ?store
-    ?(compiled = false) key =
+(* The batch ELBO built as [segments] contiguous row-slices, each an
+   independent one-sample estimate under [fold_in key i]; with [remat]
+   each slice's tape segment sits behind an [Ad.checkpoint] barrier, so
+   peak live tape holds one slice's segment instead of the whole
+   batch's. The slice ELBOs sum to the batch ELBO, scaled per-datum as
+   in {!elbo_per_datum} (the segment keys differ from the unsliced
+   estimator's stream — compare sliced-to-sliced). *)
+let elbo_sliced ?(segments = 1) ?(remat = false) frame images key =
+  let n = (Tensor.shape images).(0) in
+  let segments = max 1 (min segments n) in
+  let term i =
+    let lo = i * n / segments and hi = (i + 1) * n / segments in
+    let rows = List.init (hi - lo) (fun j -> lo + j) in
+    let slice = Tensor.take_rows images rows in
+    let objective =
+      Objectives.elbo ~model:(model frame slice) ~guide:(guide frame slice)
+    in
+    let build () = Adev.expectation objective (Prng.fold_in key i) in
+    if remat then Ad.checkpoint build else build ()
+  in
+  Ad.scale
+    (1. /. float_of_int n)
+    (Ad.add_list (List.init segments term))
+
+(* The data-parallel step spec: shard [i] scores rows
+   [i*batch/shards, (i+1)*batch/shards) of the step's minibatch, scaled
+   by 1/batch so the shard surrogates sum to the per-datum objective.
+   Every shard redraws the (deterministic) minibatch and slices its own
+   rows — cheaper than coordinating ownership, and key-exact. *)
+let step_spec ~shards ~remat ?(compiled = false) ~batch key =
+  { Train.shards;
+    remat;
+    make =
+      (fun frame ~step ~shard ~shards shard_key ->
+        let images, _ =
+          Data.digit_batch (Prng.fold_in key (10000 + step)) batch
+        in
+        let lo = shard * batch / shards and hi = (shard + 1) * batch / shards in
+        let rows = List.init (hi - lo) (fun j -> lo + j) in
+        let slice = Tensor.take_rows images rows in
+        let objective =
+          if compiled then
+            Objectives.elbo_staged ~id:"vae" ~model:(model frame slice)
+              ~guide:(guide frame slice)
+          else
+            Objectives.elbo ~model:(model frame slice)
+              ~guide:(guide frame slice)
+        in
+        Adev.expectation
+          (Adev.map (Ad.scale (1. /. float_of_int batch)) objective)
+          shard_key) }
+
+let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?(shards = 1)
+    ?(remat = false) ?guard ?persist ?store ?(compiled = false) key =
   let store = match store with Some s -> s | None -> Store.create () in
   register store key;
   let optim = Optim.adam ~lr () in
@@ -109,11 +161,21 @@ let train ?(steps = 400) ?(batch = 64) ?(lr = 1e-3) ?guard ?persist ?store
     end
   in
   let reports =
-    Train.fit ~store ~optim ?guard ?persist ~compiled:warm ~steps
-      ~objective:(fun frame step ->
-        let images, _ = Data.digit_batch (Prng.fold_in key (10000 + step)) batch in
-        elbo_per_datum ~compiled frame images)
-      key
+    if shards <= 1 then
+      (* Historical single-tape path; [remat] places the checkpoint
+         barrier inside [expectation_mean], keeping the instruction
+         stream (and with remat, the gradients bit-for-bit). *)
+      Train.fit ~store ~optim ~remat ?guard ?persist ~compiled:warm ~steps
+        ~objective:(fun frame step ->
+          let images, _ =
+            Data.digit_batch (Prng.fold_in key (10000 + step)) batch
+          in
+          elbo_per_datum ~compiled frame images)
+        key
+    else
+      Train.fit_spec ~store ~optim ?guard ?persist ~compiled:warm ~steps
+        ~spec:(step_spec ~shards ~remat ~compiled ~batch key)
+        key
   in
   (store, reports)
 
@@ -147,6 +209,49 @@ let grad_step_time_looped store ~batch ~repeats key =
   time_surrogate store ~repeats
     (fun frame -> elbo_per_datum_looped frame images)
     key
+
+(* One sliced/checkpointed gradient step over pre-drawn images
+   (forward + backward + grad read, no data generation), for the
+   memory bench's GC word accounting: the caller brackets this with
+   [Gc.quick_stat], and excluding the identical-on-both-sides batch
+   synthesis keeps the remat-vs-plain comparison about the tape. *)
+let grad_step_on store ~images ~segments ~remat key =
+  let frame = Store.Frame.make store in
+  let surrogate =
+    elbo_sliced ~segments ~remat frame images (Prng.fold_in key 1)
+  in
+  Ad.backward surrogate;
+  ignore (Store.Frame.grads frame)
+
+let grad_step_once store ~batch ~segments ~remat key =
+  let images, _ = Data.digit_batch key batch in
+  grad_step_on store ~images ~segments ~remat key
+
+(* Peak live tape for one gradient step built via {!elbo_sliced}:
+   reset the counters from a quiescent point, run forward + backward,
+   return the high-water mark. *)
+let grad_step_peak_live store ~batch ~segments ~remat key =
+  let images, _ = Data.digit_batch key batch in
+  Ad.reset_live_stats ();
+  grad_step_on store ~images ~segments ~remat key;
+  Ad.peak_live_nodes ()
+
+let grad_step_time_remat store ~batch ~segments ~repeats key =
+  let images, _ = Data.digit_batch key batch in
+  let run i =
+    let frame = Store.Frame.make store in
+    let surrogate =
+      elbo_sliced ~segments ~remat:true frame images (Prng.fold_in key i)
+    in
+    Ad.backward surrogate;
+    ignore (Store.Frame.grads frame)
+  in
+  run 0;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to repeats do
+    run i
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int repeats
 
 let iwelbo_step_time store ~particles ~batched ~repeats key =
   let images, _ = Data.digit_batch key 1 in
