@@ -1018,6 +1018,135 @@ let memory ~quick () =
         e_samples = [ 1.0 ] } ]
 
 (* ------------------------------------------------------------------ *)
+(* Inference-as-a-service suite -> BENCH_serve.json: 64 concurrent
+   clients against the coalescing daemon vs the same 64-request index
+   range pushed by one sequential client, plus the observed coalesce
+   ratio, per-request bit-identity across the two passes, and a
+   mid-load drain drill. Mismatch/lost counts become pseudo-entries
+   offset by 1 and gated against the constant serve_reference entry,
+   like the memory suite's determinism gates; the coalesce floor is a
+   constant 2.0 entry gated to stay at or below the observed ratio. *)
+let serve_bench ~quick () =
+  hr "Inference-as-a-service -> BENCH_serve.json";
+  let domains = Parallel.domains () in
+  let reps = if quick then 1 else 3 in
+  let clients = 64 in
+  let per = if quick then 2 else 8 in
+  let total = clients * per in
+  let model = "chain" in
+  let seed = 42 in
+  let sock_counter = ref 0 in
+  let with_server ~max_wait_us f =
+    incr sock_counter;
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ppvi-bench-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+    in
+    let cfg =
+      { (Serve.default_cfg (`Unix path)) with
+        Serve.max_wait_us;
+        queue_bound = 4096
+      }
+    in
+    let s = Serve.start cfg in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.request_drain s;
+        Serve.wait s)
+      (fun () -> f path s)
+  in
+  (* The sequential reference drives the SAME global request indices
+     (round-robin over one client = identity), one at a time, through a
+     fresh daemon with no batching window: every request is its own
+     batch, which is exactly the no-coalescing cost. *)
+  let sequential_pass () =
+    with_server ~max_wait_us:0. (fun path _ ->
+        Serve.run_load (`Unix path) ~clients:1 ~requests:total ~model ~seed ())
+  in
+  let concurrent_pass () =
+    with_server ~max_wait_us:200. (fun path s ->
+        let r =
+          Serve.run_load (`Unix path) ~clients ~requests:per ~model ~seed ()
+        in
+        (r, Batcher.stats (Serve.batcher s)))
+  in
+  (* One warm pass on each side (plan staging, allocator warm-up). *)
+  ignore (sequential_pass ());
+  ignore (concurrent_pass ());
+  let seq_reports = List.init reps (fun _ -> sequential_pass ()) in
+  let conc_runs = List.init reps (fun _ -> concurrent_pass ()) in
+  List.iter
+    (fun r ->
+      if r.Serve.lr_ok <> total then
+        failwith
+          (Printf.sprintf "serve bench: sequential pass answered %d/%d"
+             r.Serve.lr_ok total))
+    seq_reports;
+  List.iter
+    (fun (r, _) ->
+      if r.Serve.lr_ok <> total then
+        failwith
+          (Printf.sprintf "serve bench: concurrent pass answered %d/%d"
+             r.Serve.lr_ok total))
+    conc_runs;
+  let seq_samples =
+    List.map (fun r -> r.Serve.lr_wall_s *. 1000.) seq_reports
+  in
+  let conc_samples =
+    List.map (fun (r, _) -> r.Serve.lr_wall_s *. 1000.) conc_runs
+  in
+  let ratios =
+    List.map (fun (_, st) -> Batcher.coalesce_ratio st) conc_runs
+  in
+  (* Bit-identity: every concurrent report must match the sequential
+     reference index-for-index at the Int64 level. *)
+  let reference = List.hd seq_reports in
+  let mismatches =
+    List.fold_left
+      (fun acc (r, _) -> acc + Serve.mismatches reference r)
+      0 conc_runs
+  in
+  (* Drain drill: request a drain mid-load; every request a client
+     managed to send must still get a reply (value or an explicit
+     draining error) — lost must be 0. *)
+  let drain_lost =
+    with_server ~max_wait_us:200. (fun path s ->
+        let drainer =
+          Thread.create
+            (fun () ->
+              Thread.delay 0.01;
+              Serve.request_drain s)
+            ()
+        in
+        let r =
+          Serve.run_load (`Unix path) ~clients:8 ~requests:50 ~model ~seed:7 ()
+        in
+        Thread.join drainer;
+        r.Serve.lr_lost)
+  in
+  Printf.printf
+    "serve: %d requests  sequential %.1f ms  concurrent(%d clients) %.1f ms  \
+     coalesce ratio %.2f  mismatches %d  drain lost %d\n%!"
+    total (mean seq_samples) clients (mean conc_samples) (mean ratios)
+    mismatches drain_lost;
+  write_json "BENCH_serve.json" ~domains
+    [ { e_name = "serve_sequential_64"; e_pkey = "clients"; e_pval = clients;
+        e_samples = seq_samples };
+      { e_name = "serve_concurrent_64"; e_pkey = "clients"; e_pval = clients;
+        e_samples = conc_samples };
+      { e_name = "serve_coalesce_ratio"; e_pkey = "clients"; e_pval = clients;
+        e_samples = ratios };
+      { e_name = "serve_coalesce_floor"; e_pkey = "clients"; e_pval = clients;
+        e_samples = [ 2.0 ] };
+      { e_name = "serve_bit_mismatches"; e_pkey = "clients"; e_pval = clients;
+        e_samples = [ float_of_int (1 + mismatches) ] };
+      { e_name = "serve_drain_lost"; e_pkey = "clients"; e_pval = clients;
+        e_samples = [ float_of_int (1 + drain_lost) ] };
+      { e_name = "serve_reference"; e_pkey = "clients"; e_pval = clients;
+        e_samples = [ 1.0 ] } ]
+
+(* ------------------------------------------------------------------ *)
 
 let all ~quick () =
   t1 ~quick ();
@@ -1085,6 +1214,10 @@ let () =
         "Memory-scaled training: remat latency/GC/peak-live and sharded \
          determinism -> BENCH_memory.json"
         memory;
+      subcommand "serve"
+        "Inference daemon: coalesced 64-client throughput, coalesce ratio, \
+         bit-identity, drain drill -> BENCH_serve.json"
+        serve_bench;
       subcommand "all" "Everything" all ]
   in
   let default =

@@ -309,21 +309,16 @@ let initial_store r =
     (fun path ->
       if Sys.file_exists path && Sys.is_directory path then
         (* A directory: pick the newest readable rotated checkpoint,
-           falling back past corrupt ones (Store.load_latest). *)
-        match Store.load_latest path with
-        | Some (store, chosen) ->
+           falling back past corrupt ones. The typed error carries the
+           right hint for each failure (missing dir / empty dir /
+           all-corrupt) instead of presuming a loadable sibling. *)
+        match Store.load_latest_result path with
+        | Ok (store, chosen) ->
           Printf.printf "resuming from %s\n" chosen;
           store
-        | None ->
-          Printf.eprintf
-            "ppvi: cannot resume: no checkpoints in %s (expected ckpt.N \
-             files)\n"
-            path;
-          exit 1
-        | exception Store.Corrupt_checkpoint msg ->
-          Printf.eprintf
-            "ppvi: cannot resume: every checkpoint in %s is corrupt: %s\n"
-            path msg;
+        | Error e ->
+          Printf.eprintf "ppvi: cannot resume: %s\n"
+            (Store.latest_error_message e);
           exit 1
       else
         try Store.load path with
@@ -1137,11 +1132,294 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Print the system inventory.")
     Term.(const run $ const ())
 
+(* version *)
+
+let version_cmd =
+  let run () = print_endline Proto.version_string in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the build version and the serve wire-schema generation \
+          (the same pair exchanged in the $(b,ppvi serve) handshake and \
+          $(b,health) reply, so client/server mismatches fail loudly).")
+    Term.(const run $ const ())
+
+(* serve / client *)
+
+let transport_term =
+  let make socket host port =
+    match (socket, port) with
+    | Some path, None -> `Unix path
+    | None, Some p -> `Tcp (host, p)
+    | Some _, Some _ ->
+      Printf.eprintf "ppvi: --socket and --port are mutually exclusive\n";
+      exit 2
+    | None, None -> `Unix "/tmp/ppvi.sock"
+  in
+  Term.(
+    const make
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "socket" ] ~docv:"PATH"
+            ~doc:
+              "Serve (or connect) on a Unix-domain socket at $(docv) \
+               (default /tmp/ppvi.sock).")
+    $ Arg.(
+        value
+        & opt string "127.0.0.1"
+        & info [ "host" ] ~docv:"ADDR"
+            ~doc:"TCP address for --port (default 127.0.0.1).")
+    $ Arg.(
+        value
+        & opt (some positive_int_conv) None
+        & info [ "port" ] ~docv:"PORT" ~doc:"Serve (or connect) over TCP."))
+
+let serve_fault_term =
+  let make fault fault_seed =
+    match fault with
+    | None -> Fault.clear ()
+    | Some spec -> (
+      match Fault.plan_of_string ~seed:fault_seed spec with
+      | Ok plan -> Fault.install plan
+      | Error msg ->
+        Printf.eprintf "ppvi: bad --fault spec: %s\n" msg;
+        exit 1)
+  in
+  Term.(
+    const make
+    $ Arg.(
+        value
+        & opt (some fault_spec_conv) None
+        & info [ "fault" ] ~docv:"SPEC"
+            ~doc:
+              "Install a deterministic fault-injection plan in the serving \
+               path: io-error faults surface as $(b,fault) error replies at \
+               admission and skipped checkpoint reloads; delay/oom faults \
+               fire per executed batch (see docs/RESILIENCE.md).")
+    $ Arg.(
+        value & opt int 0
+        & info [ "fault-seed" ] ~docv:"N"
+            ~doc:"Seed for the --fault plan's own PRNG stream."))
+
+(* Socket-layer failures (no daemon listening, unbindable path, peer
+   gone mid-call) are expected operational errors: one clean line and
+   exit 1, never an uncaught exception. *)
+let socket_errors f =
+  try f () with
+  | Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "ppvi: %s%s: %s\n" fn
+      (if arg = "" then "" else " " ^ arg)
+      (Unix.error_message e);
+    exit 1
+  | Failure msg ->
+    Printf.eprintf "ppvi: %s\n" msg;
+    exit 1
+
+let serve_cmd =
+  let run () () transport () max_batch max_wait_us queue_bound params_root
+      pid_file obs =
+   socket_errors @@ fun () ->
+    obs_setup obs;
+    Printf.printf "%s\n" Proto.version_string;
+    (match transport with
+    | `Unix path -> Printf.printf "serving on unix socket %s\n" path
+    | `Tcp (host, port) -> Printf.printf "serving on %s:%d\n" host port);
+    Printf.printf
+      "coalescing: max-batch %d, max-wait %.0fus, queue bound %d\n%!" max_batch
+      max_wait_us queue_bound;
+    Serve.run
+      {
+        Serve.transport;
+        max_batch;
+        max_wait_us;
+        queue_bound;
+        params_root;
+        pid_file;
+      };
+    Printf.printf "drained cleanly\n";
+    obs_gauges ();
+    obs_finish obs
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the inference daemon: score/sample/elbo/grad requests over a \
+          length-prefixed JSON protocol, coalescing concurrent same-model \
+          requests into one batched execution (docs/SERVING.md). SIGTERM \
+          drains gracefully: queued requests finish, later ones get \
+          explicit $(b,draining) replies.")
+    Term.(
+      const run $ const () $ domains_term $ transport_term $ serve_fault_term
+      $ Arg.(
+          value & opt positive_int_conv 64
+          & info [ "max-batch" ] ~docv:"N"
+              ~doc:"Most requests coalesced into one batched execution.")
+      $ Arg.(
+          value & opt float 200.
+          & info [ "max-wait-us" ] ~docv:"US"
+              ~doc:
+                "How long the executor lingers for more requests before \
+                 running a non-full batch, in microseconds. 0 disables \
+                 coalescing latency entirely.")
+      $ Arg.(
+          value & opt positive_int_conv 256
+          & info [ "queue-bound" ] ~docv:"N"
+              ~doc:
+                "Admission bound: requests beyond this queue depth are shed \
+                 with an $(b,overloaded) reply instead of queueing.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "params-dir" ] ~docv:"DIR"
+              ~doc:
+                "Warm-start each model $(i,m) from the rotated checkpoints \
+                 in $(docv)/$(i,m) (Store.load_latest) and hot-reload its \
+                 parameters when the $(b,latest) pointer rotates.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "pid-file" ] ~docv:"FILE"
+              ~doc:"Write the daemon pid to $(docv) (drain drills).")
+      $ obs_term)
+
+let client_cmd =
+  let run () transport clients requests model seed check stats_only kill_after
+      pid_file =
+   socket_errors @@ fun () ->
+    if stats_only then begin
+      let conn = Serve.Client.connect transport in
+      let version, schema, models = Serve.Client.server_info conn in
+      Printf.printf "server %s (schema %d), models: %s\n" version schema
+        (String.concat ", " models);
+      (match Serve.Client.call conn Proto.Stats with
+      | Proto.R_stats s -> print_endline (Obs.Json.to_string s)
+      | _ -> prerr_endline "unexpected stats reply");
+      Serve.Client.close conn
+    end
+    else begin
+      let kill_after =
+        match (kill_after, pid_file) with
+        | Some n, Some pf -> (
+          match int_of_string_opt (String.trim (In_channel.with_open_text pf In_channel.input_all)) with
+          | Some pid -> Some (n, pid)
+          | None ->
+            Printf.eprintf "ppvi: cannot read a pid from %s\n" pf;
+            exit 2)
+        | Some _, None ->
+          Printf.eprintf "ppvi: --kill-after requires --pid-file\n";
+          exit 2
+        | None, _ -> None
+      in
+      let report label r =
+        Printf.printf
+          "%s: sent %d ok %d overloaded %d draining %d deadline %d failed %d \
+           lost %d in %.3fs\n"
+          label r.Serve.lr_sent r.Serve.lr_ok r.Serve.lr_overloaded
+          r.Serve.lr_draining r.Serve.lr_deadline r.Serve.lr_failed
+          r.Serve.lr_lost r.Serve.lr_wall_s
+      in
+      let concurrent =
+        Serve.run_load transport ~clients ~requests ~model ~seed ?kill_after ()
+      in
+      report "concurrent" concurrent;
+      let failures = ref 0 in
+      if concurrent.Serve.lr_sent = 0 then begin
+        Printf.eprintf
+          "ppvi client: no request was sent — is the server reachable?\n";
+        incr failures
+      end;
+      if concurrent.Serve.lr_lost > 0 then begin
+        Printf.eprintf
+          "ppvi client: %d request(s) got no reply at all — a drain must \
+           answer every accepted request\n"
+          concurrent.Serve.lr_lost;
+        incr failures
+      end;
+      if check then begin
+        (* Sequential reference pass: one connection, one in-flight
+           request, same global indices — every batch the server forms
+           has a single row. Bit-identical replies are the coalescing
+           correctness gate. *)
+        let sequential =
+          Serve.run_load transport ~clients:1 ~requests:(clients * requests)
+            ~model ~seed ()
+        in
+        report "sequential" sequential;
+        let n = Serve.mismatches sequential concurrent in
+        if n > 0 then begin
+          Printf.eprintf
+            "ppvi client: %d reply mismatch(es) between the sequential and \
+             concurrent passes\n"
+            n;
+          incr failures
+        end
+        else
+          Printf.printf
+            "bit-identity: %d replies identical across both passes\n"
+            (List.length sequential.Serve.lr_values)
+      end;
+      if !failures > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Load-drive a running $(b,ppvi serve) daemon: N client threads \
+          with one connection each, deterministic score/elbo request \
+          streams, tallies of shed/drained/lost requests, an optional \
+          sequential bit-identity check (--check), and a SIGTERM drain \
+          drill (--kill-after with --pid-file).")
+    Term.(
+      const run $ const () $ transport_term
+      $ Arg.(
+          value & opt positive_int_conv 8
+          & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+      $ Arg.(
+          value & opt positive_int_conv 16
+          & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+      $ Arg.(
+          value & opt string "chain"
+          & info [ "model" ] ~docv:"NAME"
+              ~doc:"Servable model to target (coin, cone, chain).")
+      $ Arg.(
+          value & opt int 0
+          & info [ "seed" ] ~docv:"N" ~doc:"Seed for the request stream.")
+      $ Arg.(
+          value & flag
+          & info [ "check" ]
+              ~doc:
+                "After the concurrent pass, run the same request stream \
+                 sequentially and require bit-identical replies (exits \
+                 non-zero on any mismatch).")
+      $ Arg.(
+          value & flag
+          & info [ "stats" ]
+              ~doc:
+                "Just print the server's handshake info and its stats \
+                 endpoint as JSON (the $(b,ppvi profile) dashboard \
+                 companion), then exit.")
+      $ Arg.(
+          value
+          & opt (some positive_int_conv) None
+          & info [ "kill-after" ] ~docv:"N"
+              ~doc:
+                "SIGTERM the server (pid from --pid-file) after $(docv) \
+                 replies: the drain drill. Every already-sent request must \
+                 still get a reply — the tally's $(b,lost) column must \
+                 stay 0.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "pid-file" ] ~docv:"FILE"
+              ~doc:"The server's --pid-file (for --kill-after)."))
+
 let () =
   exit
     (Cmd.eval
        (Cmd.group
-          (Cmd.info "ppvi" ~version:"1.0.0"
+          (Cmd.info "ppvi" ~version:Proto.build_version
              ~doc:"Programmable variational inference workloads.")
           [ cone_cmd; coin_cmd; regression_cmd; vae_cmd; air_cmd; profile_cmd;
-            chaos_cmd; trace_lint_cmd; compile_cmd; check_cmd; info_cmd ]))
+            chaos_cmd; trace_lint_cmd; compile_cmd; check_cmd; info_cmd;
+            version_cmd; serve_cmd; client_cmd ]))

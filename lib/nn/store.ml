@@ -390,8 +390,29 @@ let latest_pointer dir =
       let path = Filename.concat dir name in
       if Sys.file_exists path then Some path else None
 
-let load_latest dir =
-  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+type latest_error =
+  | No_directory of string
+  | No_checkpoints of string
+  | All_corrupt of { dir : string; tried : int }
+
+let latest_error_message = function
+  | No_directory dir ->
+    Printf.sprintf
+      "%s: checkpoint directory does not exist (hint: a checkpointed run \
+       creates it; nothing to resume yet)"
+      dir
+  | No_checkpoints dir ->
+    Printf.sprintf
+      "%s: directory holds no ckpt.N checkpoints (hint: nothing to resume \
+       yet; a checkpointed run writes ckpt.N files plus a latest pointer)"
+      dir
+  | All_corrupt { dir; tried } ->
+    Printf.sprintf "%s: all %d checkpoint candidate(s) are corrupt or unreadable"
+      dir tried
+
+let load_latest_result dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (No_directory dir)
   else begin
     let scanned = List.map snd (list_checkpoints dir) in
     let candidates =
@@ -401,13 +422,11 @@ let load_latest dir =
     in
     let rec try_load = function
       | [] ->
-        if candidates = [] then None
-        else
-          corrupt "%s: all %d checkpoint candidate(s) are corrupt or unreadable"
-            dir (List.length candidates)
+        if candidates = [] then Error (No_checkpoints dir)
+        else Error (All_corrupt { dir; tried = List.length candidates })
       | path :: rest -> (
         match load path with
-        | t -> Some (t, path)
+        | t -> Ok (t, path)
         | exception (Corrupt_checkpoint msg | Sys_error msg) ->
           Obs.incr "store/fallbacks";
           Obs.message Obs.Fault
@@ -419,6 +438,12 @@ let load_latest dir =
     in
     try_load candidates
   end
+
+let load_latest dir =
+  match load_latest_result dir with
+  | Ok loaded -> Some loaded
+  | Error (No_directory _ | No_checkpoints _) -> None
+  | Error (All_corrupt _ as e) -> raise (Corrupt_checkpoint (latest_error_message e))
 
 module Frame = struct
   type store = t

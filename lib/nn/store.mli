@@ -93,12 +93,34 @@ val save_rotated :
     checkpoints. Returns the path written.
     @raise Sys_error when the write fails after the retries. *)
 
-val load_latest : string -> (t * string) option
+(** Why [load_latest] failed, split so callers can give an accurate
+    hint: a missing directory and an empty one mean "nothing trained
+    yet, start fresh", while corrupt candidates mean training state
+    exists but cannot be read — silently starting over would discard
+    it. *)
+type latest_error =
+  | No_directory of string  (** the directory does not exist *)
+  | No_checkpoints of string  (** it exists but holds no [ckpt.N] *)
+  | All_corrupt of { dir : string; tried : int }
+      (** every candidate failed to load *)
+
+val latest_error_message : latest_error -> string
+(** One-line diagnosis plus a hint for the recoverable cases, e.g.
+    ["ckpt: checkpoint directory does not exist (hint: a checkpointed
+    run creates it; nothing to resume yet)"]. *)
+
+val load_latest_result : string -> (t * string, latest_error) result
 (** Load the newest readable checkpoint in a directory, trying the
     [latest] pointer first and then every [ckpt.N] newest-first.
     Corrupt or unreadable candidates are skipped with an explanatory
-    [Obs.message] (and a ["store/fallbacks"] counter bump). [None]
-    when the directory is missing or holds no checkpoints.
+    [Obs.message] (and a ["store/fallbacks"] counter bump). Never
+    raises; the error cases are typed so an empty or missing directory
+    can be reported as "nothing to resume" rather than with a message
+    that presumes a loadable sibling exists. *)
+
+val load_latest : string -> (t * string) option
+(** [load_latest_result] with the historical calling convention:
+    [None] when the directory is missing or holds no checkpoints.
     @raise Corrupt_checkpoint when candidates exist but none loads —
     starting fresh silently would discard training the caller may
     still want to salvage by hand. *)

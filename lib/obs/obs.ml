@@ -265,6 +265,10 @@ module Json = struct
     with
     | v -> Ok v
     | exception Bad msg -> Error msg
+    | exception Stack_overflow ->
+      (* Recursive descent: pathological nesting must degrade to a
+         parse error, not crash the linter reading a hostile trace. *)
+      Error "nesting too deep"
 
   let member key = function
     | Obj fields -> List.assoc_opt key fields
@@ -798,23 +802,37 @@ let recent () =
 (* JSONL validation *)
 
 let validate_jsonl path =
-  match open_in path with
+  match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic ->
-    let count = ref 0 in
-    let lineno = ref 0 in
-    let result = ref (Ok 0) in
-    (try
-       while !result = Ok 0 do
-         let line = input_line ic in
-         Stdlib.incr lineno;
-         if String.trim line <> "" then begin
-           match Json.parse line with
-           | Ok _ -> Stdlib.incr count
-           | Error msg ->
-             result := Error (Printf.sprintf "line %d: %s" !lineno msg)
-         end
-       done
-     with End_of_file -> ());
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
     close_in ic;
-    (match !result with Ok _ -> Ok !count | Error _ as e -> e)
+    (* A file that does not end in a newline was truncated mid-line —
+       a recorder killed between [output_string] and its flush leaves
+       exactly this shape. The partial trailing line is skipped (it is
+       not schema drift), while a malformed line that IS
+       newline-terminated still fails the lint. *)
+    let ends_nl = len > 0 && content.[len - 1] = '\n' in
+    let lines = String.split_on_char '\n' content in
+    let lines =
+      if ends_nl then
+        match List.rev lines with "" :: r -> List.rev r | _ -> lines
+      else lines
+    in
+    let rec go lineno count = function
+      | [] -> Ok count
+      | [ last ] when not ends_nl ->
+        if String.trim last = "" then Ok count
+        else (
+          match Json.parse last with
+          | Ok _ -> Ok (count + 1)
+          | Error _ -> Ok count)
+      | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) count rest
+        else (
+          match Json.parse line with
+          | Ok _ -> go (lineno + 1) (count + 1) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+    in
+    go 1 0 lines

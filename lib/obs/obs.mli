@@ -239,4 +239,7 @@ end
 val validate_jsonl : string -> (int, string) result
 (** Parse every non-empty line of the file at the given path as JSON;
     [Ok n] returns the number of event lines, [Error msg] names the
-    first offending line. Used by [ppvi trace-lint] and CI. *)
+    first offending line. A partial trailing line in a file that does
+    not end with a newline — a recorder killed mid-write — is skipped,
+    not an error; a malformed but newline-terminated line still fails
+    (that is schema drift). Used by [ppvi trace-lint] and CI. *)

@@ -1,0 +1,375 @@
+let build_version = "1.0.0"
+let schema_version = 1
+
+let version_string =
+  Printf.sprintf "ppvi %s (serve protocol schema %d)" build_version
+    schema_version
+
+module J = Obs.Json
+
+type wire_value =
+  | Scalar of float
+  | Vector of float array
+
+let bits = Int64.bits_of_float
+let float_eq a b = Int64.equal (bits a) (bits b)
+
+let wire_value_equal a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> float_eq x y
+  | Vector x, Vector y ->
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i v -> if not (float_eq v y.(i)) then ok := false) x;
+        !ok)
+  | _ -> false
+
+type request =
+  | Hello of { version : string; schema : int }
+  | Score of { model : string; trace : (string * wire_value) list }
+  | Sample of { model : string; seed : int }
+  | Elbo of { model : string; seed : int; particles : int }
+  | Grad of { model : string; seed : int }
+  | Health
+  | Stats
+
+type envelope = { id : int; deadline_ms : float option; req : request }
+
+type reply =
+  | R_hello of { version : string; schema : int; models : string list }
+  | R_value of float
+  | R_sample of { trace : (string * wire_value) list; logq : float }
+  | R_grad of { value : float; grads : (string * float) list }
+  | R_health of {
+      status : string;
+      version : string;
+      schema : int;
+      uptime_s : float;
+      models : string list;
+    }
+  | R_stats of Obs.Json.t
+  | R_error of { code : string; msg : string }
+
+type reply_envelope = { rid : int; reply : reply }
+
+let request_op = function
+  | Hello _ -> "hello"
+  | Score _ -> "score"
+  | Sample _ -> "sample"
+  | Elbo _ -> "elbo"
+  | Grad _ -> "grad"
+  | Health -> "health"
+  | Stats -> "stats"
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers *)
+
+(* JSON has no syntax for non-finite floats (the writer would emit
+   null); carry them as marker strings so a score of -inf round-trips. *)
+let json_of_float f =
+  if Float.is_finite f then J.Num f
+  else
+    J.Str
+      (if Float.is_nan f then "nan"
+       else if f > 0. then "inf"
+       else "-inf")
+
+let float_of_json = function
+  | J.Num f -> Ok f
+  | J.Str "nan" -> Ok Float.nan
+  | J.Str "inf" -> Ok Float.infinity
+  | J.Str "-inf" -> Ok Float.neg_infinity
+  | _ -> Error "expected a number"
+
+let json_of_wire = function
+  | Scalar f -> json_of_float f
+  | Vector a -> J.Arr (Array.to_list (Array.map json_of_float a))
+
+let wire_of_json j =
+  match j with
+  | J.Arr items ->
+    let rec go acc = function
+      | [] -> Ok (Vector (Array.of_list (List.rev acc)))
+      | x :: rest -> (
+        match float_of_json x with
+        | Ok f -> go (f :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] items
+  | _ -> (
+    match float_of_json j with
+    | Ok f -> Ok (Scalar f)
+    | Error _ as e -> e)
+
+let str_field name fields = List.assoc_opt name fields
+let ( let* ) = Result.bind
+
+let get_str name fields =
+  match str_field name fields with
+  | Some (J.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let get_int name fields =
+  match str_field name fields with
+  | Some (J.Num f) when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "missing integer field %S" name)
+
+let get_int_default name ~default fields =
+  match str_field name fields with
+  | None -> Ok default
+  | Some (J.Num f) when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ -> Error (Printf.sprintf "field %S is not an integer" name)
+
+let get_float name fields =
+  match str_field name fields with
+  | Some j -> (
+    match float_of_json j with
+    | Ok f -> Ok f
+    | Error _ -> Error (Printf.sprintf "field %S is not a number" name))
+  | None -> Error (Printf.sprintf "missing number field %S" name)
+
+(* ------------------------------------------------------------------ *)
+(* Request codec *)
+
+let encode_request { id; deadline_ms; req } =
+  let base = [ ("id", J.Num (float_of_int id)); ("op", J.Str (request_op req)) ] in
+  let deadline =
+    match deadline_ms with
+    | None -> []
+    | Some d -> [ ("deadline_ms", J.Num d) ]
+  in
+  let rest =
+    match req with
+    | Hello { version; schema } ->
+      [ ("version", J.Str version); ("schema", J.Num (float_of_int schema)) ]
+    | Score { model; trace } ->
+      [ ("model", J.Str model);
+        ("trace", J.Obj (List.map (fun (a, v) -> (a, json_of_wire v)) trace))
+      ]
+    | Sample { model; seed } ->
+      [ ("model", J.Str model); ("seed", J.Num (float_of_int seed)) ]
+    | Elbo { model; seed; particles } ->
+      [ ("model", J.Str model);
+        ("seed", J.Num (float_of_int seed));
+        ("particles", J.Num (float_of_int particles))
+      ]
+    | Grad { model; seed } ->
+      [ ("model", J.Str model); ("seed", J.Num (float_of_int seed)) ]
+    | Health | Stats -> []
+  in
+  J.Obj (base @ deadline @ rest)
+
+let decode_trace fields =
+  match str_field "trace" fields with
+  | Some (J.Obj pairs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (a, j) :: rest -> (
+        match wire_of_json j with
+        | Ok v -> go ((a, v) :: acc) rest
+        | Error e -> Error (Printf.sprintf "trace address %S: %s" a e))
+    in
+    go [] pairs
+  | _ -> Error "missing object field \"trace\""
+
+let decode_request j =
+  match j with
+  | J.Obj fields ->
+    let* id = get_int "id" fields in
+    let deadline_ms =
+      match get_float "deadline_ms" fields with Ok d -> Some d | Error _ -> None
+    in
+    let* op = get_str "op" fields in
+    let* req =
+      match op with
+      | "hello" ->
+        let* version = get_str "version" fields in
+        let* schema = get_int "schema" fields in
+        Ok (Hello { version; schema })
+      | "score" ->
+        let* model = get_str "model" fields in
+        let* trace = decode_trace fields in
+        Ok (Score { model; trace })
+      | "sample" ->
+        let* model = get_str "model" fields in
+        let* seed = get_int "seed" fields in
+        Ok (Sample { model; seed })
+      | "elbo" ->
+        let* model = get_str "model" fields in
+        let* seed = get_int "seed" fields in
+        let* particles = get_int_default "particles" ~default:1 fields in
+        if particles < 1 then Error "particles must be >= 1"
+        else Ok (Elbo { model; seed; particles })
+      | "grad" ->
+        let* model = get_str "model" fields in
+        let* seed = get_int "seed" fields in
+        Ok (Grad { model; seed })
+      | "health" -> Ok Health
+      | "stats" -> Ok Stats
+      | other -> Error (Printf.sprintf "unknown op %S" other)
+    in
+    Ok { id; deadline_ms; req }
+  | _ -> Error "request frame is not a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Reply codec *)
+
+let encode_reply { rid; reply } =
+  let base ok = [ ("id", J.Num (float_of_int rid)); ("ok", J.Bool ok) ] in
+  match reply with
+  | R_hello { version; schema; models } ->
+    J.Obj
+      (base true
+      @ [ ("version", J.Str version);
+          ("schema", J.Num (float_of_int schema));
+          ("models", J.Arr (List.map (fun m -> J.Str m) models))
+        ])
+  | R_value v -> J.Obj (base true @ [ ("value", json_of_float v) ])
+  | R_sample { trace; logq } ->
+    J.Obj
+      (base true
+      @ [ ("trace", J.Obj (List.map (fun (a, v) -> (a, json_of_wire v)) trace));
+          ("logq", json_of_float logq)
+        ])
+  | R_grad { value; grads } ->
+    J.Obj
+      (base true
+      @ [ ("value", json_of_float value);
+          ("grads", J.Obj (List.map (fun (n, g) -> (n, json_of_float g)) grads))
+        ])
+  | R_health { status; version; schema; uptime_s; models } ->
+    J.Obj
+      (base true
+      @ [ ("status", J.Str status);
+          ("version", J.Str version);
+          ("schema", J.Num (float_of_int schema));
+          ("uptime_s", J.Num uptime_s);
+          ("models", J.Arr (List.map (fun m -> J.Str m) models))
+        ])
+  | R_stats s -> J.Obj (base true @ [ ("stats", s) ])
+  | R_error { code; msg } ->
+    J.Obj (base false @ [ ("code", J.Str code); ("msg", J.Str msg) ])
+
+let decode_reply j =
+  match j with
+  | J.Obj fields ->
+    let* rid = get_int "id" fields in
+    let ok = match str_field "ok" fields with Some (J.Bool b) -> b | _ -> false in
+    if not ok then
+      let* code = get_str "code" fields in
+      let* msg = get_str "msg" fields in
+      Ok { rid; reply = R_error { code; msg } }
+    else if str_field "status" fields <> None then
+      let* status = get_str "status" fields in
+      let* version = get_str "version" fields in
+      let* schema = get_int "schema" fields in
+      let* uptime_s = get_float "uptime_s" fields in
+      let models =
+        match str_field "models" fields with
+        | Some (J.Arr ms) ->
+          List.filter_map (function J.Str s -> Some s | _ -> None) ms
+        | _ -> []
+      in
+      Ok { rid; reply = R_health { status; version; schema; uptime_s; models } }
+    else if str_field "stats" fields <> None then
+      match str_field "stats" fields with
+      | Some s -> Ok { rid; reply = R_stats s }
+      | None -> Error "missing stats"
+    else if str_field "models" fields <> None then
+      let* version = get_str "version" fields in
+      let* schema = get_int "schema" fields in
+      let models =
+        match str_field "models" fields with
+        | Some (J.Arr ms) ->
+          List.filter_map (function J.Str s -> Some s | _ -> None) ms
+        | _ -> []
+      in
+      Ok { rid; reply = R_hello { version; schema; models } }
+    else if str_field "grads" fields <> None then
+      let* value = get_float "value" fields in
+      let* grads =
+        match str_field "grads" fields with
+        | Some (J.Obj pairs) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | (n, j) :: rest -> (
+              match float_of_json j with
+              | Ok g -> go ((n, g) :: acc) rest
+              | Error e -> Error e)
+          in
+          go [] pairs
+        | _ -> Error "grads is not an object"
+      in
+      Ok { rid; reply = R_grad { value; grads } }
+    else if str_field "trace" fields <> None then
+      let* logq = get_float "logq" fields in
+      let* trace = decode_trace fields in
+      Ok { rid; reply = R_sample { trace; logq } }
+    else
+      let* value = get_float "value" fields in
+      Ok { rid; reply = R_value value }
+  | _ -> Error "reply frame is not a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+type frame_error =
+  | Eof
+  | Truncated
+  | Oversized of int
+  | Malformed of string
+
+let frame_error_to_string = function
+  | Eof -> "connection closed"
+  | Truncated -> "connection closed mid-frame"
+  | Oversized n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+  | Malformed msg -> Printf.sprintf "malformed frame: %s" msg
+
+let rec write_exact fd buf off len =
+  if len > 0 then begin
+    let w =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_exact fd buf (off + w) (len - w)
+  end
+
+let write_frame fd json =
+  let s = J.to_string json in
+  let n = String.length s in
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string s 0 buf 4 n;
+  write_exact fd buf 0 (4 + n)
+
+(* Returns [`Ok] or [`Short k] with [k] bytes read before EOF/reset. *)
+let read_exact fd buf len =
+  let rec go off =
+    if off >= len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Short off
+      | r -> go (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        `Short off
+  in
+  go 0
+
+let read_frame ?(max_len = 16 * 1024 * 1024) fd =
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 4 with
+  | `Short 0 -> Error Eof
+  | `Short _ -> Error Truncated
+  | `Ok ->
+    let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if n < 0 || n > max_len then Error (Oversized n)
+    else begin
+      let body = Bytes.create n in
+      match read_exact fd body n with
+      | `Short _ -> Error Truncated
+      | `Ok -> (
+        match J.parse (Bytes.unsafe_to_string body) with
+        | Ok j -> Ok j
+        | Error msg -> Error (Malformed msg))
+    end

@@ -1,0 +1,112 @@
+(** Wire protocol for the [ppvi serve] inference daemon.
+
+    Frames are length-prefixed JSON: a 4-byte big-endian payload length
+    followed by that many bytes of UTF-8 JSON, written with the same
+    [Obs.Json] writer the trace sink uses. The writer emits floats with
+    shortest-round-trip formatting, so finite values survive the wire
+    bit-exactly; non-finite values are carried as the strings ["inf"],
+    ["-inf"] and ["nan"] (raw JSON has no spelling for them).
+
+    Every connection opens with a [Hello] carrying the client's build
+    and schema version. The server refuses mismatched schemas with an
+    explicit [schema-mismatch] error before doing any work, so drift
+    between a client and a server fails loudly instead of decoding
+    garbage. *)
+
+val build_version : string
+(** The build version string, e.g. ["1.0.0"]. Single source of truth
+    for [ppvi --version] and the serve handshake. *)
+
+val schema_version : int
+(** Wire-schema generation. Bumped whenever the frame layout or the
+    request/reply field sets change incompatibly. *)
+
+val version_string : string
+(** Human-readable one-liner combining both, for [ppvi version]. *)
+
+(** {1 Values} *)
+
+(** A latent value on the wire: model latents are scalars or flat
+    vectors of reals. Bool/int carriers are coerced to 0/1 floats when
+    a sampled trace is returned. *)
+type wire_value =
+  | Scalar of float
+  | Vector of float array
+
+val wire_value_equal : wire_value -> wire_value -> bool
+(** Bit-level equality ([Int64.bits_of_float] per component), so that
+    NaNs compare equal to themselves and [-0.] differs from [0.]. *)
+
+(** {1 Requests} *)
+
+type request =
+  | Hello of { version : string; schema : int }
+  | Score of { model : string; trace : (string * wire_value) list }
+      (** Joint log-density of the model at the given latent trace. *)
+  | Sample of { model : string; seed : int }
+      (** Draw one trace from the model's current guide. *)
+  | Elbo of { model : string; seed : int; particles : int }
+      (** Monte-Carlo ELBO estimate under the current guide. *)
+  | Grad of { model : string; seed : int }
+      (** One ELBO gradient evaluation; replies with the objective
+          value and the per-parameter gradient L2 norms. *)
+  | Health
+  | Stats
+
+type envelope = {
+  id : int;  (** client-chosen correlation id, echoed in the reply *)
+  deadline_ms : float option;
+      (** optional queueing deadline; requests that wait longer are
+          answered with a [deadline] error instead of being executed *)
+  req : request;
+}
+
+(** {1 Replies} *)
+
+type reply =
+  | R_hello of { version : string; schema : int; models : string list }
+  | R_value of float  (** [score] / [elbo] *)
+  | R_sample of { trace : (string * wire_value) list; logq : float }
+  | R_grad of { value : float; grads : (string * float) list }
+  | R_health of {
+      status : string;  (** ["serving"] or ["draining"] *)
+      version : string;
+      schema : int;
+      uptime_s : float;
+      models : string list;
+    }
+  | R_stats of Obs.Json.t
+  | R_error of { code : string; msg : string }
+      (** codes: [overloaded], [draining], [deadline], [bad-request],
+          [unknown-model], [schema-mismatch], [fault], [internal] *)
+
+type reply_envelope = { rid : int; reply : reply }
+
+(** {1 Codecs} *)
+
+val encode_request : envelope -> Obs.Json.t
+val decode_request : Obs.Json.t -> (envelope, string) result
+val encode_reply : reply_envelope -> Obs.Json.t
+val decode_reply : Obs.Json.t -> (reply_envelope, string) result
+
+val request_op : request -> string
+(** Stable lowercase tag ("score", "elbo", ...) used in metrics. *)
+
+(** {1 Framing} *)
+
+type frame_error =
+  | Eof  (** clean close: the peer shut down between frames *)
+  | Truncated  (** the peer died mid-frame *)
+  | Oversized of int
+  | Malformed of string
+
+val frame_error_to_string : frame_error -> string
+
+val write_frame : Unix.file_descr -> Obs.Json.t -> unit
+(** Writes one frame, looping over partial writes. Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone. *)
+
+val read_frame : ?max_len:int -> Unix.file_descr -> (Obs.Json.t, frame_error) result
+(** Reads one frame. [max_len] (default 16 MiB) bounds the payload a
+    peer can make us allocate. Connection resets are reported as [Eof]
+    when they happen on a frame boundary, [Truncated] otherwise. *)

@@ -1,0 +1,104 @@
+(** The [ppvi serve] daemon: socket listener, connection handling,
+    graceful drain — plus the client side used by [ppvi client], the
+    bench suite and CI smoke drills.
+
+    One thread per connection reads frames and answers in order;
+    coalescing happens across connections inside {!Batcher}. On drain
+    (SIGTERM or {!request_drain}) the listener closes, queued requests
+    flush, and every subsequent request on a live connection gets an
+    explicit [draining] error reply — never silence — so an accepted
+    request is never lost. *)
+
+type transport = [ `Unix of string | `Tcp of string * int ]
+
+type cfg = {
+  transport : transport;
+  max_batch : int;
+  max_wait_us : float;
+  queue_bound : int;
+  params_root : string option;  (** warm-start/hot-reload root dir *)
+  pid_file : string option;
+}
+
+val default_cfg : transport -> cfg
+
+type server
+
+val start : cfg -> server
+(** Binds, registers the built-in models, spawns the executor and the
+    accept loop. Raises [Unix.Unix_error] if the address is taken. *)
+
+val batcher : server -> Batcher.t
+val request_drain : server -> unit
+(** Idempotent; safe from a signal handler's flag-poll loop. *)
+
+val drained : server -> bool
+val wait : server -> unit
+(** Blocks until the server has fully drained and every connection
+    closed (bounded by a grace period), then releases the socket. *)
+
+val run : cfg -> unit
+(** [start] + SIGTERM/SIGINT handlers that trigger a drain + [wait].
+    Returns once the drain completes. *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type conn
+
+  val connect : transport -> conn
+  (** Connects and performs the version handshake; raises [Failure]
+      with the server's error message on a schema mismatch. *)
+
+  val server_info : conn -> string * int * string list
+  (** (build version, schema, served models) from the handshake. *)
+
+  val call : conn -> ?deadline_ms:float -> Proto.request -> Proto.reply
+  (** One request/reply round trip. Raises [Failure] if the connection
+      dies mid-call. *)
+
+  val close : conn -> unit
+end
+
+(** {1 Load driving}
+
+    Deterministic request generation: global request index [i] under
+    [seed] always produces the same request, so a sequential pass and a
+    concurrent pass over the same index range are comparable row by
+    row — the bit-identity gate in bench/CI. *)
+
+val nth_request : model:string -> seed:int -> int -> Proto.request
+(** Request for global index [i]: even indices score a prior-ish trace
+    drawn from [Prng] on [(seed, i)], odd indices ask for a 1-particle
+    ELBO with seed derived from [(seed, i)]. *)
+
+type load_report = {
+  lr_sent : int;
+  lr_ok : int;
+  lr_overloaded : int;
+  lr_draining : int;
+  lr_deadline : int;
+  lr_failed : int;  (** error replies other than the shed classes *)
+  lr_lost : int;  (** sent but no reply of any kind — must be 0 *)
+  lr_wall_s : float;
+  lr_values : (int * Proto.reply) list;  (** by global request index *)
+}
+
+val run_load :
+  transport ->
+  clients:int ->
+  requests:int ->
+  model:string ->
+  seed:int ->
+  ?kill_after:(int * int) ->
+  unit ->
+  load_report
+(** Fires [clients] threads, each with its own connection, splitting
+    the global index range [0 .. clients*requests-1] round-robin.
+    [kill_after (n, pid)] sends SIGTERM to [pid] after [n] total
+    replies have been received — the drain drill. Each thread keeps
+    sending until its range is done or the server says [draining]. *)
+
+val mismatches : load_report -> load_report -> int
+(** Number of indices whose replies are not bit-identical between two
+    reports (missing replies count). *)

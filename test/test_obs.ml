@@ -248,6 +248,82 @@ let test_jsonl_roundtrip () =
           if not (has ev) then Alcotest.failf "no %S event in trace" ev)
         [ "span"; "msg"; "counter"; "gauge"; "hist"; "estimator" ])
 
+(* A recorder killed mid-write leaves a partial trailing line with no
+   newline; trace-lint must tolerate exactly that — and nothing else. *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_temp_jsonl f =
+  let path = Filename.temp_file "ppvi_obs_trunc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let valid_trace_text n =
+  let b = Buffer.create 256 in
+  for i = 1 to n do
+    Buffer.add_string b
+      (Printf.sprintf "{\"ev\": \"span\", \"name\": \"s%d\", \"dur_ms\": %d.5}\n"
+         i i)
+  done;
+  Buffer.contents b
+
+let test_truncated_tail_tolerated () =
+  with_temp_jsonl (fun path ->
+      (* Partial trailing line, no newline: skipped, earlier lines count. *)
+      write_file path (valid_trace_text 3 ^ "{\"ev\": \"sp");
+      (match Obs.validate_jsonl path with
+      | Ok n -> Alcotest.(check int) "partial tail skipped" 3 n
+      | Error e -> Alcotest.failf "partial tail rejected: %s" e);
+      (* A complete unterminated final line still counts as an event. *)
+      write_file path (valid_trace_text 2 ^ "{\"ev\": \"msg\"}");
+      (match Obs.validate_jsonl path with
+      | Ok n -> Alcotest.(check int) "complete unterminated tail counts" 3 n
+      | Error e -> Alcotest.failf "unterminated tail rejected: %s" e);
+      (* A malformed but newline-terminated line is schema drift. *)
+      write_file path (valid_trace_text 2 ^ "{\"ev\": \"sp\n" ^ valid_trace_text 1);
+      match Obs.validate_jsonl path with
+      | Error _ -> ()
+      | Ok n -> Alcotest.failf "malformed interior line accepted (Ok %d)" n)
+
+let prop_random_truncation =
+  QCheck.Test.make ~count:120
+    ~name:"validate_jsonl tolerates any tail truncation of a valid trace"
+    QCheck.(pair (int_range 1 8) (int_range 0 1_000_000))
+    (fun (lines, cut_seed) ->
+      with_temp_jsonl (fun path ->
+          let full = valid_trace_text lines in
+          let cut = 1 + (cut_seed mod String.length full) in
+          write_file path (String.sub full 0 cut);
+          (* Count the complete (newline-terminated) lines kept. *)
+          let kept = ref 0 in
+          String.iter (fun c -> if c = '\n' then incr kept)
+            (String.sub full 0 cut);
+          let tail_start =
+            (* start of the partial tail, if any *)
+            let rec last_nl i = if i < 0 then 0
+              else if full.[i] = '\n' then i + 1 else last_nl (i - 1) in
+            last_nl (cut - 1)
+          in
+          let tail = String.sub full tail_start (cut - tail_start) in
+          let tail_parses =
+            match Obs.Json.parse tail with Ok _ -> true | Error _ -> false
+          in
+          match Obs.validate_jsonl path with
+          | Ok n -> n = !kept + (if tail <> "" && tail_parses then 1 else 0)
+          | Error e ->
+            QCheck.Test.fail_reportf "cut=%d rejected: %s" cut e))
+
+let prop_parse_never_raises =
+  QCheck.Test.make ~count:300 ~name:"Json.parse totality on arbitrary bytes"
+    QCheck.(string_of Gen.(oneofl [ '{'; '}'; '['; ']'; '"'; '\\'; ','; ':';
+                                    'e'; '1'; '.'; '-'; 'n'; 't'; ' ' ]))
+    (fun s ->
+      match Obs.Json.parse s with Ok _ | Error _ -> true)
+
 (* Determinism: observability must never change a seeded run. *)
 
 let store_fingerprint store =
@@ -318,6 +394,10 @@ let suites =
         Alcotest.test_case "estimator ranking" `Quick test_estimator_ranking;
         Alcotest.test_case "json parser" `Quick test_json_parse;
         Alcotest.test_case "jsonl sink round-trip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "truncated trailing line tolerated" `Quick
+          test_truncated_tail_tolerated;
+        QCheck_alcotest.to_alcotest prop_random_truncation;
+        QCheck_alcotest.to_alcotest prop_parse_never_raises;
         Alcotest.test_case "coin bit-identity" `Quick test_coin_bit_identity;
         QCheck_alcotest.to_alcotest welford_matches_two_pass;
         QCheck_alcotest.to_alcotest cone_bit_identity;

@@ -243,6 +243,61 @@ let test_short_write_fails_save () =
   check_bits "destination untouched" (store_bits old)
     (store_bits (Store.load path))
 
+(* load_latest_result gives a typed, hinted answer for each way the
+   resume UX can go wrong: missing dir, empty dir, all-corrupt. The
+   legacy load_latest wrapper keeps its exact behavior. *)
+let test_load_latest_result_typed_errors () =
+  let dir = tmp_dir () in
+  let missing = Filename.concat dir "never-created" in
+  (match Store.load_latest_result missing with
+  | Error (Store.No_directory d) ->
+    Alcotest.(check string) "names the missing dir" missing d;
+    let msg = Store.latest_error_message (Store.No_directory d) in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "missing-dir hint present" true
+      (contains msg "hint" && contains msg d)
+  | Ok _ -> Alcotest.fail "missing dir must not load"
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Store.latest_error_message e));
+  (* Exists but has no ckpt.N files. *)
+  (match Store.load_latest_result dir with
+  | Error (Store.No_checkpoints d) ->
+    Alcotest.(check string) "names the empty dir" dir d
+  | Ok _ -> Alcotest.fail "empty dir must not load"
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Store.latest_error_message e));
+  Alcotest.(check (option (pair pass string)))
+    "load_latest still answers None on empty" None (Store.load_latest dir);
+  (* Only corrupt candidates: typed All_corrupt, and the wrapper still
+     raises rather than silently starting over. *)
+  write_file (Filename.concat dir "ckpt.1") "PPVISTOR-not-really";
+  write_file (Filename.concat dir "latest") "ckpt.1";
+  (match Store.load_latest_result dir with
+  | Error (Store.All_corrupt { dir = d; tried }) ->
+    Alcotest.(check string) "names the dir" dir d;
+    Alcotest.(check int) "counts candidates" 1 tried
+  | Ok _ -> Alcotest.fail "corrupt dir must not load"
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Store.latest_error_message e));
+  Alcotest.(check bool) "load_latest still raises on all-corrupt" true
+    (match Store.load_latest dir with
+    | _ -> false
+    | exception Store.Corrupt_checkpoint _ -> true);
+  (* Happy path: a real checkpoint loads with its path. *)
+  let store = Store.create () in
+  Store.ensure store "x" (fun () -> Tensor.scalar 7.);
+  let written = Store.save_rotated store ~dir in
+  match Store.load_latest_result dir with
+  | Ok (loaded, path) ->
+    Alcotest.(check string) "returns the written path" written path;
+    Alcotest.(check (float 0.)) "payload" 7.
+      (Tensor.to_scalar (Store.tensor loaded "x"))
+  | Error e -> Alcotest.fail (Store.latest_error_message e)
+
 (* qcheck: random stores round-trip bit-exactly, including NaN. *)
 let float_gen =
   QCheck.Gen.(
@@ -304,6 +359,8 @@ let suites =
         Alcotest.test_case "failed save keeps old file" `Quick
           test_failed_save_preserves_old;
         Alcotest.test_case "short write fails save" `Quick
-          test_short_write_fails_save ]
+          test_short_write_fails_save;
+        Alcotest.test_case "load_latest_result typed errors" `Quick
+          test_load_latest_result_typed_errors ]
       @ List.map QCheck_alcotest.to_alcotest
           [ prop_roundtrip; prop_prefix_corrupt ] ) ]
